@@ -1,0 +1,38 @@
+"""EXP-AB — ablation benchmarks: Phase I alone vs the full algorithm."""
+
+from __future__ import annotations
+
+from conftest import once
+from repro.core.ablations import phase1_only_cover_attempt, phase1_reference
+from repro.core.vertex_cover import vertex_cover_2approx
+from repro.graphs import families
+from repro.graphs.weights import uniform_weights
+
+
+def test_ablation_phase1_reference_kernel(benchmark):
+    g = families.random_regular(4, 64, seed=2)
+    w = uniform_weights(64, 8, seed=3)
+    ref = once(benchmark, phase1_reference, g, w)
+    assert all(s in ("S", "M") for s in ref.edge_state.values())
+
+
+def test_ablation_witness_instance(benchmark):
+    from repro.experiments.exp_ablation import phase2_witness_instance
+
+    g, w = phase2_witness_instance()
+
+    def kernel():
+        ablation = phase1_only_cover_attempt(g, w)
+        full = vertex_cover_2approx(g, w)
+        return ablation, full
+
+    ablation, full = once(benchmark, kernel)
+    assert not ablation.cover_is_valid
+    assert full.is_cover()
+
+
+def test_ablation_full_harness(benchmark):
+    from repro.experiments.exp_ablation import run
+
+    table = once(benchmark, run)
+    assert all(table.column("full algorithm covers"))

@@ -1,0 +1,58 @@
+"""EXP-TH1d — the 2-approximation guarantee under timing.
+
+Times packing + exact verification + exact optimum on representative
+instances; asserts ratio <= 2 with the dual certificate.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import once
+from repro.baselines.exact import exact_min_vertex_cover
+from repro.core.vertex_cover import vertex_cover_2approx
+from repro.graphs import families
+from repro.graphs.weights import adversarial_weights, uniform_weights
+
+CASES = [
+    ("petersen", families.petersen_graph()),
+    ("grid3x4", families.grid_2d(3, 4)),
+    ("gnp14", families.gnp_random(14, 0.25, seed=5)),
+]
+
+
+@pytest.mark.parametrize("name,graph", CASES, ids=[c[0] for c in CASES])
+def test_approx_uniform_weights(benchmark, name, graph):
+    w = uniform_weights(graph.n, 8, seed=1)
+
+    def kernel():
+        res = vertex_cover_2approx(graph, w)
+        opt, _ = exact_min_vertex_cover(graph, w)
+        return res, opt
+
+    res, opt = once(benchmark, kernel)
+    assert res.is_cover()
+    assert res.cover_weight <= 2 * opt
+    assert res.certificate_ratio <= 1
+
+
+@pytest.mark.parametrize("name,graph", CASES, ids=[c[0] for c in CASES])
+def test_approx_adversarial_weights(benchmark, name, graph):
+    w = adversarial_weights(graph.n, 16)
+
+    def kernel():
+        res = vertex_cover_2approx(graph, w)
+        opt, _ = exact_min_vertex_cover(graph, w)
+        return res, opt
+
+    res, opt = once(benchmark, kernel)
+    assert res.cover_weight <= 2 * opt
+
+
+def test_approx_full_harness(benchmark):
+    from repro.experiments.exp_approx import run
+
+    table = once(benchmark, run)
+    assert all(r <= 2 for r in table.column("ratio"))

@@ -1,0 +1,56 @@
+"""EXP-F1 / EXP-F2 — the worked-example figures as benchmarks."""
+
+from __future__ import annotations
+
+from conftest import once
+
+
+def test_figure1_trace(benchmark):
+    from repro.experiments.exp_figure1 import run
+
+    table = once(benchmark, run)
+    assert all(table.column("matches"))
+
+
+def test_figure1_full_algorithm(benchmark):
+    from repro.core.set_cover import set_cover_f_approx
+    from repro.experiments.exp_figure1 import figure1_instance
+
+    inst = figure1_instance()
+    res = once(benchmark, set_cover_f_approx, inst)
+    assert res.is_cover()
+    assert res.certificate_ratio <= 1
+
+
+def test_figure2_weak_reduction(benchmark):
+    from repro.experiments.exp_figure2 import run
+
+    table = once(benchmark, run)
+    assert all(table.column("weak colouring"))
+
+
+def test_figure2_large_dag(benchmark):
+    """Weak reduction scaled up: 400-node random decreasing DAG."""
+    import random
+
+    from repro.core.cole_vishkin import (
+        is_weak_colouring,
+        weak_colour_reduction_dag,
+    )
+
+    rng = random.Random(5)
+    n = 400
+    values = rng.sample(range(1, 10**9), n)
+    successors = [[] for _ in range(n)]
+    order = sorted(range(n), key=lambda v: values[v])
+    for i, u in enumerate(order):
+        for v in order[:i]:
+            if rng.random() < 4.0 / n:
+                successors[u].append(v)
+
+    colours = once(
+        benchmark,
+        lambda: weak_colour_reduction_dag(successors, values, chi=10**9)[0],
+    )
+    assert is_weak_colouring(successors, colours)
+    assert all(0 <= c < 6 for c in colours)

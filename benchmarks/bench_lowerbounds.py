@@ -1,0 +1,55 @@
+"""EXP-F3 / EXP-F4 — the lower-bound experiments as benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+
+
+@pytest.mark.parametrize("p", [2, 3, 4])
+def test_figure3_symmetric_kpp(benchmark, p):
+    from repro.lowerbounds.symmetric import symmetric_lower_bound_demo
+
+    demo = once(benchmark, symmetric_lower_bound_demo, p)
+    assert demo.matches_lower_bound
+    assert demo.cover == frozenset(range(p))
+
+
+def test_figure3_port_sensitivity(benchmark):
+    from repro.lowerbounds.symmetric import trivial_algorithm_port_sensitivity
+
+    sizes = once(benchmark, trivial_algorithm_port_sensitivity, 4)
+    assert sizes == {"canonical": 1, "symmetric": 4}
+
+
+@pytest.mark.parametrize("n,p", [(8, 2), (12, 3)])
+def test_figure4_reduction(benchmark, n, p):
+    from repro.core.set_cover import set_cover_f_approx
+    from repro.lowerbounds.cycle_reduction import (
+        cycle_setcover_instance,
+        extract_independent_set,
+        is_independent_in_cycle,
+    )
+
+    inst = cycle_setcover_instance(n, p)
+
+    def kernel():
+        res = set_cover_f_approx(inst)
+        return res, extract_independent_set(n, p, res.cover)
+
+    res, ind = once(benchmark, kernel)
+    assert res.is_cover()
+    assert is_independent_in_cycle(n, ind)
+
+
+def test_figure4_lemma4_adversarial(benchmark):
+    from repro.lowerbounds.cycle_reduction import (
+        adversarial_increasing_ids,
+        local_max_independent_set,
+    )
+
+    n = 500
+    ids = adversarial_increasing_ids(n)
+    ind = once(benchmark, local_max_independent_set, ids, 2)
+    assert len(ind) == 1  # the lower-bound phenomenon

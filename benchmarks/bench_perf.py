@@ -1,0 +1,85 @@
+"""EXP-PERF — substrate micro-benchmarks (simulator, verify, encodings).
+
+These are *repeated-timing* benchmarks (pytest-benchmark auto-tunes
+rounds): they profile the hot paths of the simulator and the exactness
+machinery, the knobs that decide how large an instance the library can
+handle.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.verify import (
+    check_edge_packing,
+    edge_packing_feasible_fast,
+)
+from repro.core.colours import encode_colour_sequence
+from repro.core.edge_packing import maximal_edge_packing
+from repro.graphs import families
+from repro.graphs.weights import uniform_weights
+from repro._util.ordering import canonical_sorted
+from repro._util.sizes import message_size_bits
+
+
+@pytest.fixture(scope="module")
+def medium_instance():
+    g = families.random_regular(4, 128, seed=0)
+    w = uniform_weights(128, 8, seed=1)
+    res = maximal_edge_packing(g, w)
+    return g, w, res
+
+
+def test_perf_edge_packing_n128(benchmark):
+    g = families.random_regular(4, 128, seed=0)
+    w = uniform_weights(128, 8, seed=1)
+    res = benchmark.pedantic(
+        maximal_edge_packing, args=(g, w), rounds=1, iterations=1
+    )
+    assert res.rounds > 0
+
+
+def test_perf_exact_verification(benchmark, medium_instance):
+    g, w, res = medium_instance
+    check = benchmark(lambda: check_edge_packing(g, w, res.y))
+    assert check.ok
+
+
+def test_perf_float_verification(benchmark, medium_instance):
+    g, w, res = medium_instance
+    y_float = [float(res.y[e]) for e in range(g.m)]
+    ok = benchmark(lambda: edge_packing_feasible_fast(g, w, y_float))
+    assert ok
+
+
+def test_perf_colour_encoding(benchmark):
+    delta, W = 6, 64
+    from repro._util.rationals import factorial
+
+    scale = factorial(delta) ** delta
+    seq = [Fraction(i * 17 % (W * scale) + 1, scale) for i in range(delta)]
+    code = benchmark(lambda: encode_colour_sequence(seq, delta, W))
+    assert code > 0
+
+
+def test_perf_canonical_sort(benchmark):
+    values = [((i * 7919) % 97, Fraction(i, 3), f"s{i % 5}") for i in range(200)]
+    out = benchmark(lambda: canonical_sorted(values))
+    assert len(out) == 200
+
+
+def test_perf_message_size_metering(benchmark):
+    history = tuple(
+        (Fraction(i, 3), ("wcv", i, i % 7, Fraction(i + 1, 2))) for i in range(300)
+    )
+    bits = benchmark(lambda: message_size_bits(history))
+    assert bits > 0
+
+
+def test_perf_message_experiment(benchmark):
+    from repro.experiments.exp_messages import run
+
+    table = benchmark.pedantic(run, kwargs={"n": 6}, rounds=1, iterations=1)
+    assert len(table.rows) == 3

@@ -1,0 +1,47 @@
+"""EXP-S5 — the Section 5 broadcast simulation as benchmarks.
+
+The interesting measurements: G-round count equals the A-round count
+(+1 readout), and per-round message bits grow linearly (the history
+rebroadcast).  Wall-clock here is dominated by exactly that growth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.analysis.bounds import bvc_rounds_exact
+from repro.core.vertex_cover import vertex_cover_broadcast
+from repro.graphs import families
+from repro.graphs.weights import unit_weights
+
+
+@pytest.mark.parametrize(
+    "name,graph",
+    [
+        ("path4", families.path_graph(4)),
+        ("cycle6", families.cycle_graph(6)),
+        ("cycle12", families.cycle_graph(12)),
+    ],
+    ids=["path4", "cycle6", "cycle12"],
+)
+def test_s5_broadcast_vc_delta2(benchmark, name, graph):
+    res = once(benchmark, vertex_cover_broadcast, graph, unit_weights(graph.n))
+    assert res.is_cover()
+    assert res.rounds == bvc_rounds_exact(graph.max_degree, 1)
+    bits = res.run.per_round_bits
+    assert bits[-1] > 100 * bits[0] / max(1, bits[0]) or bits[-1] > bits[0]
+
+
+def test_s5_broadcast_vc_delta3(benchmark):
+    g = families.star_graph(3)
+    res = once(benchmark, vertex_cover_broadcast, g, [2, 1, 1, 1])
+    assert res.is_cover()
+    assert res.rounds == bvc_rounds_exact(3, 2)
+
+
+def test_s5_equivalence_harness(benchmark):
+    from repro.experiments.exp_section5 import run
+
+    table = once(benchmark, run)
+    assert all(m in (True, None) for m in table.column("cover == direct run"))

@@ -1,0 +1,42 @@
+"""EXP-SS — self-stabilisation benchmarks: pipeline overhead + recovery."""
+
+from __future__ import annotations
+
+from conftest import once
+from repro.core.edge_packing import EdgePackingMachine, schedule_length
+from repro.graphs import families
+from repro.graphs.weights import uniform_weights
+from repro.selfstab.transformer import run_self_stabilising
+from repro.simulator.faults import RandomStateCorruption
+
+
+def test_ss_recovery_kernel(benchmark):
+    n = 6
+    g = families.cycle_graph(n)
+    w = uniform_weights(n, 3, seed=4)
+    horizon = schedule_length(2, 3)
+
+    def kernel():
+        adversary = RandomStateCorruption(until_round=10, rate=0.4, seed=3)
+        return run_self_stabilising(
+            g,
+            EdgePackingMachine(),
+            horizon=horizon,
+            rounds=10 + horizon,
+            inputs=list(w),
+            globals_map={"delta": 2, "W": 3},
+            fault_adversary=adversary,
+        )
+
+    res = once(benchmark, kernel)
+    from repro.core.edge_packing import maximal_edge_packing
+
+    reference = maximal_edge_packing(g, w, delta=2, W=3).run.outputs
+    assert res.outputs == reference
+
+
+def test_ss_full_harness(benchmark):
+    from repro.experiments.exp_selfstab import run
+
+    table = once(benchmark, run, [0.2, 0.5], 5)
+    assert all(table.column("recovered within T"))

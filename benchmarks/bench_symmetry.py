@@ -1,0 +1,35 @@
+"""EXP-S7 — Section 7 symmetry experiments as benchmarks."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import once
+from repro.core.vertex_cover import vertex_cover_broadcast
+from repro.graphs import families
+from repro.graphs.weights import unit_weights
+
+
+def test_s7_frucht_forced_packing(benchmark):
+    """The paper's Section 7 showcase: y(e) = 1/3 on the Frucht graph."""
+    g = families.frucht_graph()
+    res = once(benchmark, vertex_cover_broadcast, g, unit_weights(12))
+    for v in g.nodes():
+        for (y, sat) in res.run.outputs[v]["incident"]:
+            assert y == Fraction(1, 3)
+            assert sat
+
+
+def test_s7_symmetry_harness_fast(benchmark):
+    from repro.experiments.exp_symmetry import run
+
+    table = once(benchmark, run, False)  # skip the slow Δ=3 graphs
+    assert all(table.column("broadcast auto-invariant"))
+
+
+def test_s7_automorphism_computation(benchmark):
+    from repro.analysis.symmetry import automorphisms
+
+    g = families.petersen_graph()
+    autos = once(benchmark, automorphisms, g)
+    assert len(autos) == 120  # Aut(Petersen) = S5

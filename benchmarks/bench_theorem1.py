@@ -1,0 +1,52 @@
+"""EXP-TH1 — Theorem 1 kernels: O(Δ + log* W) maximal edge packing.
+
+Parametrised timings across the three axes of the bound, asserting the
+shape claims: rounds equal the closed form, flat in n, linear in Δ,
+log*-flat in W.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.analysis.bounds import edge_packing_rounds_exact
+from repro.analysis.verify import check_edge_packing
+from repro.core.edge_packing import maximal_edge_packing
+from repro.graphs import families
+from repro.graphs.weights import unit_weights
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_th1a_rounds_flat_in_n(benchmark, n):
+    g = families.random_regular(3, n, seed=1)
+    res = once(benchmark, maximal_edge_packing, g, unit_weights(n))
+    assert res.rounds == edge_packing_rounds_exact(3, 1)  # n-independent
+    check_edge_packing(g, unit_weights(n), res.y).require()
+
+
+@pytest.mark.parametrize("delta", [2, 4, 8])
+def test_th1b_rounds_linear_in_delta(benchmark, delta):
+    g = families.complete_graph(delta + 1)
+    res = once(benchmark, maximal_edge_packing, g, unit_weights(delta + 1))
+    assert res.rounds == edge_packing_rounds_exact(delta, 1)
+    assert res.rounds <= 8 * delta + 20
+
+
+@pytest.mark.parametrize("exponent", [0, 16, 256])
+def test_th1c_rounds_logstar_in_w(benchmark, exponent):
+    W = 2**exponent
+    n = 12
+    g = families.cycle_graph(n)
+    weights = [W if v == 0 else 1 for v in range(n)]
+    res = once(benchmark, maximal_edge_packing, g, weights, None, W)
+    assert res.rounds == edge_packing_rounds_exact(2, W)
+    # the whole W range costs at most a few extra rounds
+    assert res.rounds - edge_packing_rounds_exact(2, 1) <= 8
+
+
+def test_th1_sweep_harness(benchmark):
+    from repro.experiments.exp_theorem1 import run_n_sweep
+
+    table = once(benchmark, run_n_sweep, [8, 16, 32])
+    assert len(set(table.column("rounds measured"))) == 1

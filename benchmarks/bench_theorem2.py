@@ -1,0 +1,47 @@
+"""EXP-TH2 — Theorem 2 kernels: O(f²k² + fk log* W) fractional packing."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.analysis.bounds import fractional_packing_rounds_exact
+from repro.analysis.verify import check_fractional_packing
+from repro.baselines.exact import exact_min_set_cover
+from repro.core.set_cover import set_cover_f_approx
+from repro.graphs.setcover import random_instance
+
+CASES = [
+    (1, 2),
+    (2, 2),
+    (2, 3),
+    (3, 2),
+]
+
+
+@pytest.mark.parametrize("f,k", CASES, ids=[f"f{f}k{k}" for f, k in CASES])
+def test_th2a_fk_scaling(benchmark, f, k):
+    inst = random_instance(
+        n_subsets=2 * k + 2, n_elements=3 * k, k=k, f=f, W=4, seed=f * 10 + k
+    )
+    res = once(benchmark, set_cover_f_approx, inst)
+    assert res.is_cover()
+    assert res.rounds == fractional_packing_rounds_exact(inst.f, inst.k, inst.W)
+    check_fractional_packing(inst, res.y).require()
+    opt, _ = exact_min_set_cover(inst)
+    assert res.cover_weight <= inst.f * opt
+
+
+def test_th2_rounds_quadratic_shape():
+    """Pure formula check (no timing): rounds track (D+1)^2."""
+    r22 = fractional_packing_rounds_exact(2, 2, 1)
+    r24 = fractional_packing_rounds_exact(2, 4, 1)
+    # D goes 2 -> 6: (D+1)^2 goes 9 -> 49; ratio should be near 49/9
+    assert 3.0 < r24 / r22 < 8.0
+
+
+def test_th2_full_harness(benchmark):
+    from repro.experiments.exp_theorem2 import run_fk_grid
+
+    table = once(benchmark, run_fk_grid, 2, 3)
+    assert all(table.column("f-approx holds"))

@@ -1,0 +1,15 @@
+"""Shared benchmark helpers.
+
+Benchmarks double as the experiment harness: each one times the kernel
+that regenerates a paper artefact and asserts the qualitative claim on
+the result, so `pytest benchmarks/ --benchmark-only` both measures and
+validates.  Heavyweight kernels use ``benchmark.pedantic`` with a
+single round to keep the suite's wall-clock reasonable.
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under timing and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

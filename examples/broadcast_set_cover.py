@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scenario: service placement with single-channel radios (broadcast model).
+
+A fleet of candidate *servers* can each host a service for a bounded
+set of *clients* (at most k per server); each client is reachable by
+at most f servers; hosting has a per-server cost.  Every client must
+be served: a weighted set cover problem, laid out as the bipartite
+network of Section 1.2.
+
+The hardware twist: the radios are single-channel — a node can only
+broadcast one message to all neighbours and receives an unordered
+multiset of replies (the paper's broadcast model, strictly weaker than
+port numbering).  The Section 4 algorithm still computes an
+f-approximate cover deterministically, in O(f²k² + fk log* W) rounds,
+with no identifiers and no port numbers.
+
+Run:  python examples/broadcast_set_cover.py
+"""
+
+from repro import set_cover_f_approx
+from repro.analysis.verify import check_fractional_packing
+from repro.baselines.exact import exact_min_set_cover
+from repro.baselines.sequential import greedy_set_cover
+from repro.baselines.trivial import set_cover_k_approx_trivial
+from repro.graphs.setcover import random_instance
+
+
+def main() -> None:
+    instance = random_instance(
+        n_subsets=8, n_elements=14, k=3, f=2, W=9, seed=42
+    )
+    print(
+        f"servers={instance.n_subsets} clients={instance.n_elements} "
+        f"k={instance.k} f={instance.f} W={instance.W}"
+    )
+
+    # --- the paper's distributed f-approximation -----------------------
+    result = set_cover_f_approx(instance)
+    assert result.is_cover()
+    check_fractional_packing(instance, result.y).require()
+    print(f"\nSection 4 algorithm (broadcast model):")
+    print(f"  rounds:            {result.rounds}")
+    print(f"  servers selected:  {sorted(result.cover)}")
+    print(f"  total cost:        {result.cover_weight}")
+    print(f"  certificate:       {result.certificate_ratio} (<= 1 proves {instance.f}-approx)")
+
+    # --- reference points ----------------------------------------------
+    opt, opt_cover = exact_min_set_cover(instance)
+    greedy_w, _ = greedy_set_cover(instance)
+    trivial = set_cover_k_approx_trivial(instance)
+    print(f"\nreference points:")
+    print(f"  exact optimum:     {opt} (cover {sorted(opt_cover)})")
+    print(f"  centralised greedy:{greedy_w}")
+    print(f"  trivial k-approx:  {trivial.cover_weight} (2 rounds, needs ports)")
+    print(f"\nmeasured ratio:      {result.cover_weight / opt:.3f} "
+          f"(guarantee: f = {instance.f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""A tour of the Section 6 lower bounds — why f-approximation is optimal.
+
+Three stops:
+
+1. the symmetric K_{p,p} instance (Figure 3): deterministic anonymous
+   algorithms cannot beat ratio p = min{f, k}, and ours lands on it
+   exactly — the analysis is tight;
+2. the same instance with a *benign* port numbering: the trivial
+   k-approximation suddenly achieves ratio 1 — the hardness lives in
+   the symmetry of the ports;
+3. the cycle reduction (Figure 4): a too-good set cover algorithm
+   would yield a constant-time independent set algorithm on numbered
+   cycles, which Lemma 4 (Czygrinow et al., Lenzen–Wattenhofer)
+   forbids — demonstrated by the adversarial numbering that starves
+   the classic local-max rule.
+
+Run:  python examples/lower_bound_tour.py
+"""
+
+import random
+
+from repro.core.set_cover import set_cover_f_approx
+from repro.lowerbounds.cycle_reduction import (
+    adversarial_increasing_ids,
+    cycle_setcover_instance,
+    extract_independent_set,
+    local_max_independent_set,
+)
+from repro.lowerbounds.symmetric import (
+    symmetric_lower_bound_demo,
+    trivial_algorithm_port_sensitivity,
+)
+
+
+def main() -> None:
+    print("=== stop 1: the symmetric instance forces ratio p ===")
+    for p in (2, 3, 4):
+        demo = symmetric_lower_bound_demo(p)
+        print(
+            f"  K_{{{p},{p}}}: optimum 1, our f-approx picks "
+            f"{len(demo.cover)} subsets  ->  ratio {demo.ratio:.0f} = p"
+        )
+
+    print("\n=== stop 2: the hardness lives in the ports ===")
+    for p in (3, 5):
+        sizes = trivial_algorithm_port_sensitivity(p)
+        print(
+            f"  trivial k-approx on K_{{{p},{p}}}: canonical ports -> "
+            f"{sizes['canonical']} subset(s); symmetric ports -> {sizes['symmetric']}"
+        )
+
+    print("\n=== stop 3: the cycle reduction (Figure 4) ===")
+    n, p = 12, 3
+    inst = cycle_setcover_instance(n, p)
+    res = set_cover_f_approx(inst)
+    ratio = res.cover_weight / (n // p)
+    ind = extract_independent_set(n, p, res.cover)
+    print(f"  H({n},{p}): f=k={p}, optimum {n // p}")
+    print(f"  our anonymous algorithm: cover {len(res.cover)}, ratio {ratio:.0f} (= p)")
+    print(f"  extracted independent set: {sorted(ind)} (empty, as it must be)")
+
+    print("\n  and the reason no clever id-based local algorithm can do better:")
+    n = 60
+    rng = random.Random(1)
+    shuffled = list(range(1, n + 1))
+    rng.shuffle(shuffled)
+    for name, ids in (
+        ("random ids      ", shuffled),
+        ("adversarial ids ", adversarial_increasing_ids(n)),
+    ):
+        ind = local_max_independent_set(ids, radius=2)
+        print(f"    {name}: local-max IS on the {n}-cycle has size {len(ind)}")
+    print("  a constant-time rule that is great on random numberings returns")
+    print("  ONE node on the adversarial one — Lemma 4, hence the (p-ε) bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Self-stabilisation demo: surviving transient memory corruption.
+
+Section 1.5 of the paper observes that, being deterministic and
+strictly local, its algorithms convert into self-stabilising ones by
+standard techniques.  Here the Section 3 edge-packing machine is
+wrapped in the pipeline transformer of Lenzen–Suomela–Wattenhofer [23]
+and bombarded with random state corruption; once the faults stop, the
+network provably re-converges to a correct maximal edge packing within
+T rounds (T = the algorithm's schedule length).
+
+Run:  python examples/self_stabilization_demo.py
+"""
+
+from repro.analysis.verify import check_edge_packing
+from repro.core.edge_packing import (
+    EdgePackingMachine,
+    maximal_edge_packing,
+    schedule_length,
+)
+from repro.graphs import families
+from repro.graphs.weights import uniform_weights
+from repro.selfstab.transformer import run_self_stabilising
+from repro.simulator.faults import RandomStateCorruption
+
+
+def main() -> None:
+    n = 8
+    graph = families.cycle_graph(n)
+    weights = uniform_weights(n, 4, seed=11)
+    delta, W = 2, 4
+    horizon = schedule_length(delta, W)
+
+    reference = maximal_edge_packing(graph, weights, delta=delta, W=W)
+    print(f"{n}-cycle, weights {weights}")
+    print(f"wrapped algorithm schedule length T = {horizon} rounds")
+    print(f"fault-free cover: {sorted(reference.saturated)}\n")
+
+    for rate in (0.2, 0.5, 0.8):
+        faulty_rounds = 15
+        adversary = RandomStateCorruption(
+            until_round=faulty_rounds, rate=rate, seed=int(rate * 100)
+        )
+        result = run_self_stabilising(
+            graph,
+            EdgePackingMachine(),
+            horizon=horizon,
+            rounds=faulty_rounds + horizon,
+            inputs=list(weights),
+            globals_map={"delta": delta, "W": W},
+            fault_adversary=adversary,
+        )
+        recovered = result.outputs == reference.run.outputs
+
+        # independently verify the recovered packing
+        y = {}
+        for v in graph.nodes():
+            for p in range(graph.degree(v)):
+                y[graph.edge_of_port(v, p)] = result.outputs[v]["y"][p]
+        check = check_edge_packing(graph, weights, y)
+
+        print(
+            f"fault rate {rate:.1f}: {adversary.corruptions:3d} corruptions over "
+            f"{faulty_rounds} rounds -> after T more rounds: "
+            f"output == reference: {recovered}, "
+            f"packing feasible={check.feasible} maximal={check.maximal}"
+        )
+
+    print("\nthe price: every message carries the whole T-level pipeline —")
+    print("a factor-T blowup in message size, the standard cost of [23].")
+
+
+if __name__ == "__main__":
+    main()

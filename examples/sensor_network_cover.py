@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scenario: monitoring-node selection in an anonymous sensor network.
+
+A wireless sensor network is modelled as a random geometric graph:
+sensors scattered in the unit square, radio links between sensors
+within range.  Every *link* must be monitored by at least one of its
+endpoints (vertex cover); monitoring costs energy, and each sensor
+reports its battery-derived cost as its weight.
+
+The twist that motivates the paper: sensors are mass-produced
+identical devices with **no unique identifiers** — only locally
+numbered radio interfaces (the port-numbering model).  Classical
+matching-based 2-approximations need ids; the Section 3 algorithm does
+not, and its round count depends only on the maximum radio degree Δ
+and the cost precision W, not on the size of the deployment.
+
+Run:  python examples/sensor_network_cover.py
+"""
+
+import math
+import random
+
+from repro import vertex_cover_2approx
+from repro.analysis.bounds import edge_packing_rounds_exact
+from repro.baselines.lp import vertex_cover_lp_bound
+from repro.graphs.topology import PortNumberedGraph
+
+
+def random_geometric_graph(n: int, radius: float, seed: int) -> PortNumberedGraph:
+    """Sensors in the unit square; links within `radius`."""
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if math.dist(points[i], points[j]) <= radius
+    ]
+    return PortNumberedGraph.from_edges(n, edges)
+
+
+def main() -> None:
+    W = 16  # battery cost precision (per the paper, even W = 2^64 is fine)
+    for n in (50, 100, 200):
+        graph = random_geometric_graph(n, radius=0.18, seed=7)
+        rng = random.Random(f"costs:{n}")
+        costs = [rng.randint(1, W) for _ in range(n)]
+
+        result = vertex_cover_2approx(graph, costs, W=W)
+        assert result.is_cover()
+
+        lp = vertex_cover_lp_bound(graph, costs)
+        predicted = edge_packing_rounds_exact(graph.max_degree, W)
+        print(
+            f"n={n:4d}  links={graph.m:4d}  Δ={graph.max_degree:2d}  "
+            f"rounds={result.rounds:3d} (= formula {predicted})  "
+            f"monitors={len(result.cover):3d}  cost={result.cover_weight:4d}  "
+            f"<= 2·LP={2 * lp:7.1f}"
+        )
+
+    print()
+    print("note: rounds grew only because the densest deployment has a")
+    print("larger Δ — at equal Δ the round count is identical for any n,")
+    print("so the protocol scales to arbitrarily large sensor fields.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — reproduction of Åstrand & Suomela (SPAA 2010).
+
+*Fast Distributed Approximation Algorithms for Vertex Cover and Set
+Cover in Anonymous Networks.*
+
+The package provides:
+
+* a synchronous anonymous-network simulator (:mod:`repro.simulator`)
+  supporting the port-numbering and broadcast models of Section 1.3;
+* the paper's algorithms (:mod:`repro.core`): maximal edge packing in
+  ``O(Δ + log* W)`` rounds (Section 3), maximal fractional packing in
+  ``O(f²k² + fk log* W)`` rounds in the broadcast model (Section 4),
+  and the broadcast-model vertex cover simulation (Section 5);
+* prior-work baselines for Table 1 (:mod:`repro.baselines`);
+* exact verifiers, round-bound formulas and symmetry analysis
+  (:mod:`repro.analysis`);
+* the lower-bound constructions of Section 6
+  (:mod:`repro.lowerbounds`);
+* a self-stabilising transformer (:mod:`repro.selfstab`);
+* experiment harnesses regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import vertex_cover_2approx
+    from repro.graphs import families
+
+    g = families.cycle_graph(9)
+    result = vertex_cover_2approx(g, weights=[1] * 9)
+    print(result.cover, result.rounds, result.certificate_ratio)
+"""
+
+from repro.core.vertex_cover import (
+    VertexCoverResult,
+    vertex_cover_2approx,
+    vertex_cover_broadcast,
+)
+from repro.core.set_cover import SetCoverResult, set_cover_f_approx
+from repro.core.edge_packing import maximal_edge_packing
+from repro.core.fractional_packing import maximal_fractional_packing
+from repro.graphs import PortNumberedGraph, SetCoverInstance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PortNumberedGraph",
+    "SetCoverInstance",
+    "SetCoverResult",
+    "VertexCoverResult",
+    "maximal_edge_packing",
+    "maximal_fractional_packing",
+    "set_cover_f_approx",
+    "vertex_cover_2approx",
+    "vertex_cover_broadcast",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Internal utilities shared across the library.
+
+This package deliberately has no dependencies on the rest of
+:mod:`repro` so that every other subpackage can use it freely.
+"""
+
+from repro._util.logstar import (
+    ilog2_ceil,
+    ilog2_floor,
+    iterated_log_sequence,
+    log_star,
+)
+from repro._util.ordering import canonical_key, canonical_sorted
+from repro._util.rationals import (
+    as_fraction,
+    factorial,
+    is_multiple_of,
+    lcm_denominator,
+)
+from repro._util.sizes import message_size_bits
+
+__all__ = [
+    "as_fraction",
+    "canonical_key",
+    "canonical_sorted",
+    "factorial",
+    "ilog2_ceil",
+    "ilog2_floor",
+    "is_multiple_of",
+    "iterated_log_sequence",
+    "lcm_denominator",
+    "log_star",
+    "message_size_bits",
+]

@@ -1,0 +1,64 @@
+"""Canonical total ordering over message values.
+
+The broadcast model delivers, to each node, the *multiset* of messages
+sent by its neighbours: the node must not be able to tell which
+neighbour sent which message, nor correlate senders across rounds.
+The runtime enforces this by sorting every inbox with a canonical,
+content-only key before delivery.  Sorting by content leaks nothing: a
+multiset and its canonically sorted tuple carry exactly the same
+information.
+
+Messages in this library are built from ``None``, ``bool``, ``int``,
+:class:`fractions.Fraction`, ``str``, and (possibly nested) ``tuple`` /
+``list`` / frozen ``dict`` values.  :func:`canonical_key` maps any such
+value to a key that is totally ordered across *different* types too,
+by tagging each value with a type rank.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Iterable, List, Tuple
+
+__all__ = ["canonical_key", "canonical_sorted"]
+
+# Type ranks: chosen arbitrarily but fixed, so heterogeneous inboxes
+# still sort deterministically.
+_RANK_NONE = 0
+_RANK_BOOL = 1
+_RANK_NUMBER = 2
+_RANK_STR = 3
+_RANK_TUPLE = 4
+_RANK_DICT = 5
+
+
+def canonical_key(value: Any) -> Tuple:
+    """A sort key defining a total order over supported message values."""
+    if value is None:
+        return (_RANK_NONE,)
+    if isinstance(value, bool):
+        return (_RANK_BOOL, value)
+    if isinstance(value, (int, Fraction)):
+        # ints and Fractions compare numerically with each other.
+        return (_RANK_NUMBER, Fraction(value))
+    if isinstance(value, float):
+        raise TypeError(
+            "floats are not permitted in messages; use fractions.Fraction"
+        )
+    if isinstance(value, str):
+        return (_RANK_STR, value)
+    if isinstance(value, (tuple, list)):
+        return (_RANK_TUPLE, tuple(canonical_key(v) for v in value))
+    if isinstance(value, dict):
+        items = sorted(
+            ((canonical_key(k), canonical_key(v)) for k, v in value.items())
+        )
+        return (_RANK_DICT, tuple(items))
+    raise TypeError(
+        f"unsupported message value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def canonical_sorted(values: Iterable[Any]) -> List[Any]:
+    """Sort ``values`` by :func:`canonical_key` (stable, deterministic)."""
+    return sorted(values, key=canonical_key)

@@ -1,0 +1,72 @@
+"""Exact rational arithmetic helpers.
+
+The paper's algorithms manipulate rational numbers whose denominators
+are controlled by Lemma 2 (edge packing: every colour element ``q``
+satisfies ``q · (Δ!)^Δ ∈ N``) and by the analogous argument in
+Section 4 (fractional packing: ``p(u) · (k!)^{(D+1)²} ∈ N``).  We use
+:class:`fractions.Fraction` throughout the core algorithms so these
+integrality facts can be *asserted* rather than assumed, and so that
+feasibility/maximality verification is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Union
+
+__all__ = ["as_fraction", "factorial", "is_multiple_of", "lcm_denominator"]
+
+Rational = Union[int, Fraction]
+
+
+def as_fraction(value: Union[int, str, Fraction]) -> Fraction:
+    """Coerce ``value`` to an exact :class:`Fraction`.
+
+    Floats are rejected on purpose: the core algorithms must never see
+    an inexact number, otherwise the Lemma 2 integrality invariants
+    (and with them the colour encodings) silently break.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("booleans are not valid rational values")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    raise TypeError(
+        f"expected an exact rational (int/Fraction/str), got {type(value).__name__}"
+    )
+
+
+def factorial(n: int) -> int:
+    """``n!`` with validation (thin wrapper over :func:`math.factorial`)."""
+    if n < 0:
+        raise ValueError(f"factorial of negative number: {n}")
+    return math.factorial(n)
+
+
+def is_multiple_of(value: Rational, unit: Fraction) -> bool:
+    """Return ``True`` iff ``value`` is an integer multiple of ``unit``.
+
+    Used to assert the Lemma 2 invariant: colour elements produced
+    during Phase I iteration ``t`` are integer multiples of
+    ``1 / (Δ!)^t``.
+    """
+    if unit == 0:
+        raise ValueError("unit must be nonzero")
+    q = as_fraction(value) / as_fraction(unit)
+    return q.denominator == 1
+
+
+def lcm_denominator(values: Iterable[Rational]) -> int:
+    """Least common multiple of the denominators of ``values``.
+
+    Returns 1 for an empty iterable.  Useful when clearing denominators
+    to obtain the integer colour encodings of Lemma 2.
+    """
+    result = 1
+    for v in values:
+        result = math.lcm(result, as_fraction(v).denominator)
+    return result

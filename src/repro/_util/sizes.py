@@ -1,0 +1,58 @@
+"""Structural bit-size metering for messages.
+
+The paper notes (Section 5) that the broadcast-model simulation keeps
+the *round* complexity unchanged "at the cost of increasing message
+complexity".  To measure that cost, the runtime meters the structural
+size of every message in bits.  The measure is deliberately simple and
+deterministic (it is an accounting device, not a wire format):
+
+* ``None`` costs 1 bit (presence flag);
+* ``bool`` costs 1 bit;
+* ``int n`` costs ``bit_length(|n|) + 1`` bits (sign/zero);
+* ``Fraction p/q`` costs the cost of ``p`` plus the cost of ``q``;
+* ``str s`` costs ``8·len(s)`` bits;
+* containers cost the sum of their items plus ``ceil(log2(len+1)) + 1``
+  bits of length framing.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+__all__ = ["message_size_bits"]
+
+
+def _int_bits(n: int) -> int:
+    return abs(n).bit_length() + 1
+
+
+def _length_framing_bits(length: int) -> int:
+    return (length + 1).bit_length() + 1
+
+
+def message_size_bits(value: Any) -> int:
+    """Structural size of ``value`` in bits (see module docstring)."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return _int_bits(value)
+    if isinstance(value, Fraction):
+        return _int_bits(value.numerator) + _int_bits(value.denominator)
+    if isinstance(value, float):
+        raise TypeError("floats are not permitted in messages")
+    if isinstance(value, str):
+        return 8 * len(value) + _length_framing_bits(len(value))
+    if isinstance(value, (tuple, list)):
+        return _length_framing_bits(len(value)) + sum(
+            message_size_bits(v) for v in value
+        )
+    if isinstance(value, dict):
+        return _length_framing_bits(len(value)) + sum(
+            message_size_bits(k) + message_size_bits(v) for k, v in value.items()
+        )
+    raise TypeError(
+        f"unsupported message value of type {type(value).__name__}: {value!r}"
+    )

@@ -1,0 +1,45 @@
+"""Verification, round-bound formulas, and anonymity/symmetry analysis."""
+
+from repro.analysis.verify import (
+    PackingCheck,
+    check_edge_packing,
+    check_fractional_packing,
+    check_set_cover,
+    check_vertex_cover,
+    edge_packing_from_result,
+)
+from repro.analysis.bounds import (
+    bvc_rounds_exact,
+    edge_packing_paper_bound,
+    edge_packing_rounds_exact,
+    fractional_packing_paper_bound,
+    fractional_packing_rounds_exact,
+)
+from repro.analysis.views import (
+    broadcast_view_classes,
+    port_view_classes,
+)
+from repro.analysis.symmetry import (
+    automorphisms,
+    is_output_automorphism_invariant,
+    is_vertex_transitive,
+)
+
+__all__ = [
+    "PackingCheck",
+    "automorphisms",
+    "broadcast_view_classes",
+    "bvc_rounds_exact",
+    "check_edge_packing",
+    "check_fractional_packing",
+    "check_set_cover",
+    "check_vertex_cover",
+    "edge_packing_from_result",
+    "edge_packing_paper_bound",
+    "edge_packing_rounds_exact",
+    "fractional_packing_paper_bound",
+    "fractional_packing_rounds_exact",
+    "is_output_automorphism_invariant",
+    "is_vertex_transitive",
+    "port_view_classes",
+]

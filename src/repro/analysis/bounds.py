@@ -1,0 +1,75 @@
+"""Round-count formulas: exact (implementation) and asymptotic (paper).
+
+Because the algorithms are deterministic and follow global round
+schedules, the implementation has *closed-form* round counts.  The
+tests assert measured rounds equal the exact formulas, and that the
+exact formulas stay below the paper-shaped bounds
+``O(Δ + log* W)`` / ``O(f²k² + fk log* W)`` with explicit constants.
+"""
+
+from __future__ import annotations
+
+from repro._util.logstar import log_star
+from repro.core.broadcast_vc import bvc_round_count
+from repro.core.colours import chi_edge_packing, chi_fractional_packing
+from repro.core.cole_vishkin import cv_schedule_length
+from repro.core.edge_packing import schedule_length
+from repro.core.fractional_packing import fp_out_degree_bound, fp_schedule_length
+
+__all__ = [
+    "edge_packing_rounds_exact",
+    "edge_packing_paper_bound",
+    "fractional_packing_rounds_exact",
+    "fractional_packing_paper_bound",
+    "bvc_rounds_exact",
+    "cv_steps_bound",
+]
+
+
+def edge_packing_rounds_exact(delta: int, W: int) -> int:
+    """Exactly how many rounds :class:`EdgePackingMachine` takes."""
+    return schedule_length(delta, W)
+
+
+def cv_steps_bound(chi: int) -> int:
+    """``log*``-shaped upper bound on :func:`cv_schedule_length`.
+
+    ``cv_schedule_length(χ) <= log*(χ) + 4`` — asserted empirically
+    over a wide χ range in the tests; the ``+4`` absorbs the last few
+    constant-size palette reductions.
+    """
+    return log_star(chi) + 4
+
+
+def edge_packing_paper_bound(delta: int, W: int) -> int:
+    """Explicit-constant version of Theorem 1's ``O(Δ + log* W)``.
+
+    Our schedule is ``(2Δ+1) + 1 + T_cv + 6 + 6Δ``; with
+    ``T_cv <= log* χ + 4`` and ``log* χ <= log* W + log* Δ + 4``
+    (Theorem 1's proof shows ``log log χ <= 4 log M``,
+    ``M = max(W, Δ, 4)``), the whole thing is at most
+    ``8Δ + log* W + log* Δ + 16``.
+    """
+    return 8 * delta + log_star(W) + log_star(max(delta, 1)) + 16
+
+
+def fractional_packing_rounds_exact(f: int, k: int, W: int) -> int:
+    """Exactly how many rounds :class:`FractionalPackingMachine` takes."""
+    return fp_schedule_length(f, k, W)
+
+
+def fractional_packing_paper_bound(f: int, k: int, W: int) -> int:
+    """Explicit-constant version of Theorem 2's ``O(f²k² + fk log* W)``.
+
+    Our schedule is ``(D+1) · (15(D+1) + 2 + 2·T_wcv)`` with
+    ``D = (k-1)f < fk`` and ``T_wcv <= log* χ + 4``,
+    ``χ = W(k!)^{(D+1)²} + 1`` so ``log* χ <= log* W + log* k + 6``.
+    """
+    D = fp_out_degree_bound(f, k)
+    t_wcv_bound = log_star(W) + log_star(max(k, 2)) + 10
+    return (D + 1) * (15 * (D + 1) + 2 + 2 * t_wcv_bound)
+
+
+def bvc_rounds_exact(delta: int, W: int) -> int:
+    """Exactly how many rounds the Section 5 simulation takes."""
+    return bvc_round_count(delta, W)

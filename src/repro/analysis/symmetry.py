@@ -1,0 +1,106 @@
+"""Automorphism invariance of broadcast-model outputs (Section 7).
+
+The paper: "If a deterministic distributed algorithm A uses the
+broadcast model, the output of A (together with the input) must have
+the same automorphisms as the graph G (and local inputs, if any)."
+These helpers compute automorphism groups (via networkx VF2 on small
+graphs) and check outputs for invariance; the Section 7 experiment
+uses them to contrast the broadcast and port-numbering algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.graphs.topology import PortNumberedGraph
+
+__all__ = [
+    "automorphisms",
+    "is_output_automorphism_invariant",
+    "is_vertex_transitive",
+    "orbit_partition",
+]
+
+
+def automorphisms(
+    graph: PortNumberedGraph,
+    inputs: Optional[Sequence[Any]] = None,
+    limit: Optional[int] = None,
+) -> List[Dict[int, int]]:
+    """All (input-preserving) automorphisms of the graph.
+
+    ``inputs``, when given, restricts to automorphisms that map each
+    node to a node with an equal local input (weights must be
+    preserved for the Section 7 argument to apply).  ``limit`` caps
+    enumeration on highly symmetric graphs.
+    """
+    import networkx as nx
+    from networkx.algorithms.isomorphism import GraphMatcher
+
+    g = graph.to_networkx()
+    if inputs is not None:
+        for v in graph.nodes():
+            g.nodes[v]["input"] = inputs[v]
+        matcher = GraphMatcher(
+            g, g, node_match=lambda a, b: a.get("input") == b.get("input")
+        )
+    else:
+        matcher = GraphMatcher(g, g)
+    autos: List[Dict[int, int]] = []
+    for mapping in matcher.isomorphisms_iter():
+        autos.append(dict(mapping))
+        if limit is not None and len(autos) >= limit:
+            break
+    return autos
+
+
+def is_output_automorphism_invariant(
+    graph: PortNumberedGraph,
+    outputs: Sequence[Any],
+    inputs: Optional[Sequence[Any]] = None,
+    autos: Optional[Iterable[Dict[int, int]]] = None,
+    key: Callable[[Any], Any] = lambda out: out,
+) -> bool:
+    """Check ``output[σ(v)] == output[v]`` for every automorphism σ.
+
+    ``key`` projects outputs before comparison (e.g. extract the
+    in-cover bit and ignore diagnostic fields).
+    """
+    if autos is None:
+        autos = automorphisms(graph, inputs)
+    for sigma in autos:
+        for v in graph.nodes():
+            if key(outputs[sigma[v]]) != key(outputs[v]):
+                return False
+    return True
+
+
+def orbit_partition(
+    graph: PortNumberedGraph, inputs: Optional[Sequence[Any]] = None
+) -> List[int]:
+    """Orbit id per node under the (input-preserving) automorphism group."""
+    autos = automorphisms(graph, inputs)
+    parent = list(range(graph.n))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for sigma in autos:
+        for v in graph.nodes():
+            union(v, sigma[v])
+    roots = {find(v) for v in graph.nodes()}
+    index = {r: i for i, r in enumerate(sorted(roots))}
+    return [index[find(v)] for v in graph.nodes()]
+
+
+def is_vertex_transitive(graph: PortNumberedGraph) -> bool:
+    """True iff the automorphism group has a single node orbit."""
+    return len(set(orbit_partition(graph))) <= 1

@@ -1,0 +1,123 @@
+"""View-equivalence refinement: what anonymous algorithms *can* see.
+
+A deterministic anonymous algorithm running for ``T`` rounds computes,
+at each node, a function of the node's radius-``T`` *view*.  Two nodes
+with identical views must produce identical outputs — the fundamental
+indistinguishability fact behind every lower bound in the paper
+(Section 6) and the symmetry discussion (Section 7).
+
+Views are infinite trees, but view *equivalence at radius T* is
+computable by colour refinement (a 1-WL-style partition refinement):
+
+* **Broadcast model**: ``class_0(v) = (deg v, input v)`` and
+  ``class_{t+1}(v) = (class_t(v), multiset of class_t(u) over
+  neighbours u)``.  This is exactly the information a broadcast
+  algorithm can accumulate in ``t+1`` rounds.
+* **Port-numbering model**: ``class_{t+1}(v) = (class_t(v), tuple over
+  ports p of (class_t(u_p), reverse port q_p))`` — messages are
+  tagged with the sending and receiving port.
+
+The property tests check that every machine in this library respects
+view equivalence: nodes in the same class after ``T`` refinements
+produce the same output after ``T`` rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.graphs.topology import PortNumberedGraph
+
+__all__ = ["broadcast_view_classes", "port_view_classes", "refine_until_stable"]
+
+
+def _canonicalise(
+    signatures: List[Hashable], table: Dict[Hashable, int]
+) -> List[int]:
+    out = []
+    for sig in signatures:
+        if sig not in table:
+            table[sig] = len(table)
+        out.append(table[sig])
+    return out
+
+
+def broadcast_view_classes(
+    graph: PortNumberedGraph,
+    inputs: Optional[Sequence[Any]] = None,
+    rounds: int = 0,
+) -> List[int]:
+    """Equivalence classes of radius-``rounds`` broadcast views.
+
+    Returns small integer class ids; equal ids mean *no deterministic
+    broadcast algorithm running for that many rounds can distinguish
+    the two nodes*.
+    """
+    table: Dict[Hashable, int] = {}
+    base = [
+        (graph.degree(v), repr(None if inputs is None else inputs[v]))
+        for v in graph.nodes()
+    ]
+    classes = _canonicalise(base, table)
+    for _ in range(rounds):
+        signatures: List[Hashable] = [
+            (
+                classes[v],
+                tuple(sorted(classes[u] for u in graph.neighbours(v))),
+            )
+            for v in graph.nodes()
+        ]
+        classes = _canonicalise(signatures, table)
+    return classes
+
+
+def port_view_classes(
+    graph: PortNumberedGraph,
+    inputs: Optional[Sequence[Any]] = None,
+    rounds: int = 0,
+) -> List[int]:
+    """Equivalence classes of radius-``rounds`` port-numbered views."""
+    table: Dict[Hashable, int] = {}
+    base = [
+        (graph.degree(v), repr(None if inputs is None else inputs[v]))
+        for v in graph.nodes()
+    ]
+    classes = _canonicalise(base, table)
+    for _ in range(rounds):
+        signatures: List[Hashable] = []
+        for v in graph.nodes():
+            ports = tuple(
+                (classes[u], q) for (u, q) in graph.ports(v)
+            )
+            signatures.append((classes[v], ports))
+        classes = _canonicalise(signatures, table)
+    return classes
+
+
+def refine_until_stable(
+    graph: PortNumberedGraph,
+    inputs: Optional[Sequence[Any]] = None,
+    model: str = "broadcast",
+    max_rounds: Optional[int] = None,
+) -> Tuple[List[int], int]:
+    """Refine until the partition stops changing; return (classes, depth).
+
+    The partition stabilises after at most ``n`` refinements; the
+    stable partition equals view equivalence at *every* larger radius.
+    """
+    fn = broadcast_view_classes if model == "broadcast" else port_view_classes
+    limit = graph.n + 1 if max_rounds is None else max_rounds
+    prev = fn(graph, inputs, 0)
+    for t in range(1, limit + 1):
+        cur = fn(graph, inputs, t)
+        if _partition_of(cur) == _partition_of(prev):
+            return cur, t - 1
+        prev = cur
+    return prev, limit
+
+
+def _partition_of(classes: Sequence[int]) -> frozenset:
+    groups: Dict[int, List[int]] = {}
+    for v, c in enumerate(classes):
+        groups.setdefault(c, []).append(v)
+    return frozenset(frozenset(g) for g in groups.values())

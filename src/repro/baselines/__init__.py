@@ -1,0 +1,76 @@
+"""Baselines: prior-work algorithms and ground-truth solvers.
+
+* :mod:`repro.baselines.exact` — exact minimum-weight vertex cover and
+  set cover (MILP via scipy/HiGHS, with a brute-force cross-check).
+* :mod:`repro.baselines.lp` — LP relaxation bounds.
+* :mod:`repro.baselines.sequential` — centralised Bar-Yehuda–Even
+  maximal edge packing and greedy set cover.
+* :mod:`repro.baselines.matching` — deterministic maximal matching
+  with unique identifiers (Panconesi–Rizzi style) and a randomised
+  maximal matching; both give 2-approximate *unweighted* VC.
+* :mod:`repro.baselines.ps3approx` — Polishchuk–Suomela anonymous
+  local 3-approximation (bipartite double cover matching).
+* :mod:`repro.baselines.trivial` — the k-approximation for set cover.
+* :mod:`repro.baselines.kvy` — Khuller–Vishkin–Young style
+  (2+ε)-approximate primal-dual vertex cover.
+"""
+
+from repro.baselines.edge_colouring import (
+    EdgeColouringPackingMachine,
+    edge_packing_from_colouring,
+    greedy_edge_colouring,
+    is_proper_edge_colouring,
+)
+from repro.baselines.exact import (
+    brute_force_set_cover,
+    brute_force_vertex_cover,
+    exact_min_set_cover,
+    exact_min_vertex_cover,
+)
+from repro.baselines.lp import set_cover_lp_bound, vertex_cover_lp_bound
+from repro.baselines.sequential import (
+    bar_yehuda_even_packing,
+    greedy_set_cover,
+    sequential_maximal_matching,
+)
+from repro.baselines.matching import (
+    IdMaximalMatchingMachine,
+    RandomisedMatchingMachine,
+    maximal_matching_with_ids,
+    randomised_maximal_matching,
+)
+from repro.baselines.ps3approx import (
+    PolishchukSuomelaMachine,
+    vertex_cover_3approx_ps,
+)
+from repro.baselines.trivial import (
+    TrivialSetCoverMachine,
+    set_cover_k_approx_trivial,
+)
+from repro.baselines.kvy import KVYMachine, vertex_cover_kvy
+
+__all__ = [
+    "EdgeColouringPackingMachine",
+    "IdMaximalMatchingMachine",
+    "KVYMachine",
+    "PolishchukSuomelaMachine",
+    "RandomisedMatchingMachine",
+    "TrivialSetCoverMachine",
+    "bar_yehuda_even_packing",
+    "brute_force_set_cover",
+    "brute_force_vertex_cover",
+    "edge_packing_from_colouring",
+    "greedy_edge_colouring",
+    "is_proper_edge_colouring",
+    "exact_min_set_cover",
+    "exact_min_vertex_cover",
+    "greedy_set_cover",
+    "maximal_matching_with_ids",
+    "randomised_maximal_matching",
+    "sequential_maximal_matching",
+    "set_cover_k_approx_trivial",
+    "set_cover_lp_bound",
+    "vertex_cover_3approx_ps",
+    "vertex_cover_kvy",
+    "vertex_cover_lp_bound",
+]

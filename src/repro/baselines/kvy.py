@@ -1,0 +1,190 @@
+"""A (2+ε)-approximate primal-dual vertex cover baseline.
+
+Khuller, Vishkin & Young [16] style: repeat the offer/accept step of
+Papadimitriou–Yannakakis's "safe algorithm" [29] — each still-active
+node offers ``r(v)/deg_active(v)``, each active edge accepts the
+minimum of its two offers — but instead of growing colour sequences to
+force progress (the paper's Phase I insight), simply *stop caring*
+about a node once its residual has dropped to at most ``ε·w_v``, and
+output all nodes with ``y[v] >= (1-ε)·w_v``.
+
+At termination every edge has an endpoint in the cover, and
+``w(C) <= 2·Σy/(1-ε) <= (2+ε')·OPT``.  The number of rounds depends on
+the weights and ε (measured empirically in the Table 1 experiment) —
+contrast with the paper's Section 3 algorithm, which makes the same
+offer/accept step terminate in exactly Δ iterations by pairing it with
+the colouring.
+
+Anonymous, port-numbering model, weighted.  ε is a global
+:class:`~fractions.Fraction` parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.graphs.topology import PortNumberedGraph
+from repro.graphs.weights import max_weight, validate_weights
+from repro.simulator.machine import PORT_NUMBERING, LocalContext, Machine
+from repro.simulator.runtime import RunResult, run_port_numbering
+
+__all__ = ["KVYMachine", "KVYResult", "vertex_cover_kvy"]
+
+
+@dataclass
+class _KVYState:
+    w: int
+    r: Fraction
+    y_total: Fraction = Fraction(0)
+    live: Tuple[int, ...] = ()
+    offer: Optional[Fraction] = None
+    parity: int = 0  # 0 = status round, 1 = offer round
+    done: bool = False
+
+    def clone(self) -> "_KVYState":
+        return _KVYState(
+            w=self.w,
+            r=self.r,
+            y_total=self.y_total,
+            live=self.live,
+            offer=self.offer,
+            parity=self.parity,
+            done=self.done,
+        )
+
+
+class KVYMachine(Machine):
+    """(2+ε) primal-dual VC; input: weight; globals: ``epsilon``.
+
+    A node is *active* while ``r > ε·w``; an edge is live while both
+    endpoints are active.  Each two-round phase: (status) announce
+    activity; (offer) exchange ``r/deg_live`` offers and accept minima.
+    A node halts when it has no live edges — activity is monotone, so
+    halting is stable and the runtime detects global termination.
+    """
+
+    model = PORT_NUMBERING
+
+    def start(self, ctx: LocalContext) -> _KVYState:
+        w = ctx.input
+        if not isinstance(w, int) or isinstance(w, bool) or w < 1:
+            raise ValueError(f"weight must be a positive int, got {w!r}")
+        eps = ctx.require_global("epsilon")
+        if not isinstance(eps, Fraction) or not (0 < eps < 1):
+            raise ValueError("epsilon must be a Fraction in (0, 1)")
+        st = _KVYState(w=w, r=Fraction(w), live=tuple(range(ctx.degree)))
+        if not st.live:
+            st.done = True
+        return st
+
+    def _active(self, ctx: LocalContext, st: _KVYState) -> bool:
+        eps = ctx.require_global("epsilon")
+        return st.r > eps * st.w
+
+    def halted(self, ctx: LocalContext, state: _KVYState) -> bool:
+        return state.done
+
+    def output(self, ctx: LocalContext, state: _KVYState) -> Dict[str, Any]:
+        eps = ctx.require_global("epsilon")
+        return {
+            "in_cover": state.r <= eps * state.w,
+            "y_total": state.y_total,
+        }
+
+    def emit(self, ctx: LocalContext, state: _KVYState) -> List[Any]:
+        d = ctx.degree
+        out: List[Any] = [None] * d
+        if state.done:
+            return out
+        if state.parity == 0:
+            status = "active" if self._active(ctx, state) else "inactive"
+            return [status] * d
+        if state.offer is not None:
+            for p in state.live:
+                out[p] = state.offer
+        return out
+
+    def step(self, ctx: LocalContext, state: _KVYState, inbox: Sequence[Any]) -> _KVYState:
+        st = state.clone()
+        if st.done:
+            return st
+        if st.parity == 0:
+            # None = halted neighbour = inactive.
+            if self._active(ctx, st):
+                st.live = tuple(p for p in st.live if inbox[p] == "active")
+            else:
+                st.live = ()
+            st.offer = st.r / len(st.live) if st.live else None
+            st.parity = 1
+            return st
+        # offer round
+        accepted = Fraction(0)
+        for p in st.live:
+            nbr_offer = inbox[p]
+            if nbr_offer is None:
+                raise AssertionError("live edge without a mutual offer")
+            accepted += min(st.offer, nbr_offer)
+        st.y_total += accepted
+        st.r -= accepted
+        if st.r < 0:
+            raise AssertionError("KVY residual went negative")
+        st.offer = None
+        st.parity = 0
+        if not st.live or not self._active(ctx, st):
+            st.done = st.live == () or not self._active(ctx, st)
+        return st
+
+
+@dataclass(frozen=True)
+class KVYResult:
+    graph: PortNumberedGraph
+    weights: Tuple[int, ...]
+    epsilon: Fraction
+    cover: FrozenSet[int]
+    rounds: int
+    run: RunResult
+
+    @property
+    def cover_weight(self) -> int:
+        return sum(self.weights[v] for v in self.cover)
+
+    def is_cover(self) -> bool:
+        return all(u in self.cover or v in self.cover for (u, v) in self.graph.edges)
+
+    @property
+    def guarantee(self) -> Fraction:
+        """The proven factor ``2/(1-ε)``."""
+        return 2 / (1 - self.epsilon)
+
+
+def vertex_cover_kvy(
+    graph: PortNumberedGraph,
+    weights: Sequence[int],
+    epsilon: Fraction = Fraction(1, 10),
+    max_rounds: int = 100_000,
+) -> KVYResult:
+    """Run the (2+ε) baseline until all nodes halt."""
+    weights = tuple(int(w) for w in weights)
+    validate_weights(weights, graph.n, max_weight(weights))
+    result = run_port_numbering(
+        graph,
+        KVYMachine(),
+        inputs=list(weights),
+        globals_map={"epsilon": epsilon},
+        max_rounds=max_rounds,
+    )
+    if not result.all_halted:
+        raise RuntimeError(f"KVY did not halt within {max_rounds} rounds")
+    cover = frozenset(
+        v for v in graph.nodes() if result.outputs[v]["in_cover"]
+    )
+    return KVYResult(
+        graph=graph,
+        weights=weights,
+        epsilon=epsilon,
+        cover=cover,
+        rounds=result.rounds,
+        run=result,
+    )

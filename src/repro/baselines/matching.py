@@ -1,0 +1,455 @@
+"""Distributed maximal matching baselines (rows of Table 1).
+
+* :class:`IdMaximalMatchingMachine` — deterministic maximal matching in
+  ``O(Δ + log* N)`` rounds in the style of Panconesi & Rizzi [28]:
+  orient edges towards higher **unique identifiers**, split into Δ
+  forests by the tail's port order, 3-colour each forest with
+  Cole–Vishkin + shift-down (seeded by the identifiers), then process
+  the ``3Δ`` star classes with propose/accept.  Matched nodes form a
+  2-approximate *unweighted* vertex cover.  The machine *requires*
+  unique identifiers — precisely the assumption the paper's Section 3
+  algorithm removes — and exists here to make Table 1's comparison
+  measurable: same simulator, same graphs, different assumptions.
+
+* :class:`RandomisedMatchingMachine` — an Israeli–Itai-flavoured
+  randomised maximal matching in the *anonymous* port-numbering model:
+  every phase, unmatched nodes propose along a uniformly random link
+  to an unmatched neighbour; mutual proposals match.  ``O(log n)``
+  rounds in expectation, standing in for the randomised rows [12, 17].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.cole_vishkin import (
+    cv_pseudo_parent,
+    cv_schedule_length,
+    cv_step_colour,
+    eliminate_class_colour,
+    shift_down_root_colour,
+)
+from repro.graphs.topology import PortNumberedGraph
+from repro.simulator.machine import PORT_NUMBERING, LocalContext, Machine
+from repro.simulator.runtime import RunResult, run_port_numbering
+
+__all__ = [
+    "IdMaximalMatchingMachine",
+    "RandomisedMatchingMachine",
+    "MatchingResult",
+    "maximal_matching_with_ids",
+    "randomised_maximal_matching",
+    "id_matching_schedule_length",
+]
+
+
+# ----------------------------------------------------------------------
+# Deterministic matching with unique identifiers
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _id_schedule(delta: int, N: int) -> Tuple[Tuple, ...]:
+    """Global schedule: ids, forest announce, CV pipeline, 3Δ star stages."""
+    schedule: List[Tuple] = [("ids",), ("announce",)]
+    for s in range(cv_schedule_length(max(N, 2))):
+        schedule.append(("cv", s))
+    for x in (3, 4, 5):
+        schedule.append(("sd", x))
+        schedule.append(("elim", x))
+    for i in range(delta):
+        for j in range(3):
+            schedule.append(("prop", i, j))
+            schedule.append(("resp", i, j))
+    return tuple(schedule)
+
+
+def id_matching_schedule_length(delta: int, N: int) -> int:
+    """Exact round count — ``O(Δ + log* N)``, N = identifier space."""
+    return len(_id_schedule(delta, N))
+
+
+@dataclass
+class _IdState:
+    idx: int
+    my_id: int
+    matched_port: Optional[int] = None
+    nbr_ids: List[int] = field(default_factory=list)
+    out_ports: List[int] = field(default_factory=list)
+    forest_of_out: Dict[int, int] = field(default_factory=dict)
+    forest_in: List[Optional[int]] = field(default_factory=list)
+    colour_f: Dict[int, int] = field(default_factory=dict)
+    children_colour_f: Dict[int, Optional[int]] = field(default_factory=dict)
+    responses: Dict[int, str] = field(default_factory=dict)
+
+    def clone(self) -> "_IdState":
+        return _IdState(
+            idx=self.idx,
+            my_id=self.my_id,
+            matched_port=self.matched_port,
+            nbr_ids=list(self.nbr_ids),
+            out_ports=list(self.out_ports),
+            forest_of_out=dict(self.forest_of_out),
+            forest_in=list(self.forest_in),
+            colour_f=dict(self.colour_f),
+            children_colour_f=dict(self.children_colour_f),
+            responses=dict(self.responses),
+        )
+
+    def child_forests(self) -> Dict[int, int]:
+        return {i: p for p, i in self.forest_of_out.items()}
+
+    def parent_forests(self) -> set:
+        return {i for i in self.forest_in if i is not None}
+
+    def my_forests(self) -> set:
+        return self.parent_forests() | set(self.forest_of_out.values())
+
+
+class IdMaximalMatchingMachine(Machine):
+    """Deterministic maximal matching; input ``{"id": unique int}``.
+
+    Globals: ``delta`` (Δ) and ``N`` (identifier space size; ids are
+    in ``0..N-1``).  Output ``{"matched": bool, "partner_port": p}``.
+    """
+
+    model = PORT_NUMBERING
+
+    def start(self, ctx: LocalContext) -> _IdState:
+        my_id = (ctx.input or {}).get("id")
+        N = ctx.require_global("N")
+        if not isinstance(my_id, int) or not (0 <= my_id < N):
+            raise ValueError(f"need a unique id in 0..{N - 1}, got {my_id!r}")
+        if ctx.degree > ctx.require_global("delta"):
+            raise ValueError("degree exceeds delta")
+        return _IdState(
+            idx=0,
+            my_id=my_id,
+            nbr_ids=[-1] * ctx.degree,
+            forest_in=[None] * ctx.degree,
+        )
+
+    def _schedule(self, ctx: LocalContext) -> Tuple[Tuple, ...]:
+        return _id_schedule(ctx.require_global("delta"), ctx.require_global("N"))
+
+    def halted(self, ctx: LocalContext, state: _IdState) -> bool:
+        return state.idx >= len(self._schedule(ctx))
+
+    def output(self, ctx: LocalContext, state: _IdState) -> Dict[str, Any]:
+        return {
+            "matched": state.matched_port is not None,
+            "partner_port": state.matched_port,
+        }
+
+    def emit(self, ctx: LocalContext, state: _IdState) -> List[Any]:
+        d = ctx.degree
+        schedule = self._schedule(ctx)
+        if state.idx >= len(schedule):
+            return [None] * d
+        tag = schedule[state.idx]
+        kind = tag[0]
+
+        if kind == "ids":
+            return [state.my_id] * d
+        if kind == "announce":
+            out: List[Any] = [None] * d
+            for p, i in state.forest_of_out.items():
+                out[p] = i
+            return out
+        if kind in ("cv", "sd", "elim"):
+            out = [None] * d
+            for p in range(d):
+                i = state.forest_in[p]
+                if i is not None:
+                    out[p] = state.colour_f[i]
+            return out
+        if kind == "prop":
+            _, i, j = tag
+            out = [None] * d
+            p = state.child_forests().get(i)
+            if (
+                p is not None
+                and state.matched_port is None
+                and state.colour_f.get(i) == j
+            ):
+                out[p] = "propose"
+            return out
+        if kind == "resp":
+            out = [None] * d
+            for p, verdict in state.responses.items():
+                out[p] = verdict
+            return out
+        raise AssertionError(f"unknown tag {tag!r}")
+
+    def step(self, ctx: LocalContext, state: _IdState, inbox: Sequence[Any]) -> _IdState:
+        schedule = self._schedule(ctx)
+        if state.idx >= len(schedule):
+            return state
+        tag = schedule[state.idx]
+        kind = tag[0]
+        st = state.clone()
+
+        if kind == "ids":
+            st.nbr_ids = list(inbox)
+            st.out_ports = [
+                p for p in range(ctx.degree) if st.nbr_ids[p] > st.my_id
+            ]
+            st.forest_of_out = {p: i for i, p in enumerate(st.out_ports)}
+            st.colour_f = {i: st.my_id for i in st.forest_of_out.values()}
+
+        elif kind == "announce":
+            for p, msg in enumerate(inbox):
+                if msg is not None and st.nbr_ids[p] < st.my_id:
+                    st.forest_in[p] = msg
+                    st.colour_f.setdefault(msg, st.my_id)
+
+        elif kind == "cv":
+            child = st.child_forests()
+            for i in st.my_forests():
+                if i in child:
+                    st.colour_f[i] = cv_step_colour(st.colour_f[i], inbox[child[i]])
+                else:
+                    st.colour_f[i] = cv_step_colour(
+                        st.colour_f[i], cv_pseudo_parent(st.colour_f[i])
+                    )
+
+        elif kind == "sd":
+            child = st.child_forests()
+            parents = st.parent_forests()
+            for i in st.my_forests():
+                prev = st.colour_f[i]
+                if i in child:
+                    st.colour_f[i] = inbox[child[i]]
+                else:
+                    st.colour_f[i] = shift_down_root_colour(prev)
+                st.children_colour_f[i] = prev if i in parents else None
+
+        elif kind == "elim":
+            child = st.child_forests()
+            for i in st.my_forests():
+                if st.colour_f[i] != tag[1]:
+                    continue
+                pc = inbox[child[i]] if i in child else None
+                st.colour_f[i] = eliminate_class_colour(
+                    st.colour_f[i], tag[1], pc, st.children_colour_f.get(i)
+                )
+
+        elif kind == "prop":
+            _, i, j = tag
+            proposers = [
+                p
+                for p, msg in enumerate(inbox)
+                if msg == "propose" and st.forest_in[p] == i
+            ]
+            if proposers and st.matched_port is None:
+                winner = min(proposers)  # lowest port wins
+                st.matched_port = winner
+                for p in proposers:
+                    st.responses[p] = "accept" if p == winner else "reject"
+            else:
+                for p in proposers:
+                    st.responses[p] = "reject"
+
+        elif kind == "resp":
+            _, i, j = tag
+            p = st.child_forests().get(i)
+            if p is not None and inbox[p] == "accept":
+                if st.matched_port is not None:
+                    raise AssertionError("double match — protocol bug")
+                st.matched_port = p
+            st.responses = {}
+
+        else:
+            raise AssertionError(f"unknown tag {tag!r}")
+
+        st.idx += 1
+        return st
+
+
+# ----------------------------------------------------------------------
+# Randomised matching (anonymous)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _RandState:
+    matched_port: Optional[int] = None
+    live: Tuple[int, ...] = ()  # ports towards (believed) unmatched neighbours
+    proposal_port: Optional[int] = None
+    parity: int = 0  # 0 = status round, 1 = proposal round
+    started: bool = False
+    done: bool = False
+
+    def clone(self) -> "_RandState":
+        return _RandState(
+            matched_port=self.matched_port,
+            live=self.live,
+            proposal_port=self.proposal_port,
+            parity=self.parity,
+            started=self.started,
+            done=self.done,
+        )
+
+
+class RandomisedMatchingMachine(Machine):
+    """Anonymous randomised maximal matching (needs a seeded runtime).
+
+    Phases of two rounds: (status) every non-halted node announces
+    whether it is unmatched; (proposal) unmatched nodes pick a uniform
+    random live port and propose; mutual proposals match.  A node halts
+    once matched-or-isolated, which is how the runtime detects global
+    termination.  Output ``{"matched": bool, "partner_port": p}``.
+    """
+
+    model = PORT_NUMBERING
+
+    def start(self, ctx: LocalContext) -> _RandState:
+        if ctx.rng is None:
+            raise ValueError(
+                "randomised matching needs a seeded runtime (pass seed=...)"
+            )
+        return _RandState(live=tuple(range(ctx.degree)))
+
+    def halted(self, ctx: LocalContext, state: _RandState) -> bool:
+        return state.done
+
+    def output(self, ctx: LocalContext, state: _RandState) -> Dict[str, Any]:
+        return {
+            "matched": state.matched_port is not None,
+            "partner_port": state.matched_port,
+        }
+
+    def emit(self, ctx: LocalContext, state: _RandState) -> List[Any]:
+        d = ctx.degree
+        out: List[Any] = [None] * d
+        if state.done:
+            return out
+        if state.parity == 0:
+            status = "unmatched" if state.matched_port is None else "matched"
+            return [status] * d
+        if state.proposal_port is not None:
+            out[state.proposal_port] = "propose"
+        return out
+
+    def step(self, ctx: LocalContext, state: _RandState, inbox: Sequence[Any]) -> _RandState:
+        st = state.clone()
+        if st.done:
+            return st
+        if st.parity == 0:
+            # Silence (None) means the neighbour has halted, hence matched
+            # or permanently out of play — either way, not available.
+            st.live = tuple(
+                p for p in st.live if inbox[p] == "unmatched"
+            ) if st.matched_port is None else ()
+            if st.matched_port is None and st.live:
+                st.proposal_port = ctx.rng.choice(st.live)
+            else:
+                st.proposal_port = None
+            st.parity = 1
+            st.started = True
+            return st
+        # proposal round
+        if (
+            st.proposal_port is not None
+            and inbox[st.proposal_port] == "propose"
+        ):
+            st.matched_port = st.proposal_port
+        st.proposal_port = None
+        st.parity = 0
+        if st.matched_port is not None or not st.live:
+            st.done = True
+        return st
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchingResult:
+    graph: PortNumberedGraph
+    matching: FrozenSet[Tuple[int, int]]
+    matched_nodes: FrozenSet[int]
+    rounds: int
+    run: RunResult
+
+    def is_matching(self) -> bool:
+        seen = set()
+        for (u, v) in self.matching:
+            if u in seen or v in seen:
+                return False
+            seen.add(u)
+            seen.add(v)
+        return True
+
+    def is_maximal(self) -> bool:
+        m = self.matched_nodes
+        return all(u in m or v in m for (u, v) in self.graph.edges)
+
+
+def _assemble_matching(graph: PortNumberedGraph, result: RunResult) -> MatchingResult:
+    pairs = set()
+    for v in graph.nodes():
+        p = result.outputs[v]["partner_port"]
+        if p is not None:
+            u, q = graph.port_target(v, p)
+            if result.outputs[u]["partner_port"] != q:
+                raise AssertionError(
+                    f"asymmetric matching: {v} points to {u} but not back"
+                )
+            pairs.add((min(u, v), max(u, v)))
+    matched = frozenset(
+        v for v in graph.nodes() if result.outputs[v]["matched"]
+    )
+    return MatchingResult(
+        graph=graph,
+        matching=frozenset(pairs),
+        matched_nodes=matched,
+        rounds=result.rounds,
+        run=result,
+    )
+
+
+def maximal_matching_with_ids(
+    graph: PortNumberedGraph,
+    ids: Optional[Sequence[int]] = None,
+    delta: Optional[int] = None,
+    N: Optional[int] = None,
+) -> MatchingResult:
+    """Run the deterministic ID-based matching (default ids = node index)."""
+    if ids is None:
+        ids = list(graph.nodes())
+    if len(set(ids)) != graph.n:
+        raise ValueError("identifiers must be unique")
+    if delta is None:
+        delta = graph.max_degree
+    if N is None:
+        N = max(ids, default=0) + 1
+    machine = IdMaximalMatchingMachine()
+    needed = id_matching_schedule_length(delta, N)
+    result = run_port_numbering(
+        graph,
+        machine,
+        inputs=[{"id": i} for i in ids],
+        globals_map={"delta": delta, "N": N},
+        max_rounds=needed,
+    )
+    if not result.all_halted:
+        raise RuntimeError("ID matching did not complete its schedule")
+    return _assemble_matching(graph, result)
+
+
+def randomised_maximal_matching(
+    graph: PortNumberedGraph, seed: int = 0, max_rounds: int = 10_000
+) -> MatchingResult:
+    """Run the randomised matching until all nodes halt."""
+    machine = RandomisedMatchingMachine()
+    result = run_port_numbering(
+        graph, machine, seed=seed, max_rounds=max_rounds
+    )
+    if not result.all_halted:
+        raise RuntimeError(f"randomised matching did not halt in {max_rounds} rounds")
+    return _assemble_matching(graph, result)

@@ -1,0 +1,149 @@
+"""Polishchuk–Suomela local 3-approximation for vertex cover [30].
+
+"A simple local 3-approximation algorithm for vertex cover" (IPL
+2009): simulate a maximal matching in the **bipartite double cover**
+of the graph.  Every node plays two roles — a *white* copy that
+proposes along its ports in order, and a *black* copy that accepts the
+lowest-port proposal it has received while unmatched.  A node joins
+the cover iff either of its copies is matched.
+
+Anonymous, port-numbering model, unweighted, ``2Δ`` rounds, factor 3 —
+the row "deterministic / unweighted / 3 / O(Δ)" of Table 1.  It is the
+natural foil for the paper's Section 3 algorithm, which achieves
+factor 2, weighted, in ``O(Δ + log* W)`` rounds under the *same*
+assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.graphs.topology import PortNumberedGraph
+from repro.simulator.machine import PORT_NUMBERING, LocalContext, Machine
+from repro.simulator.runtime import RunResult, run_port_numbering
+
+__all__ = [
+    "PolishchukSuomelaMachine",
+    "PSResult",
+    "vertex_cover_3approx_ps",
+    "ps_round_count",
+]
+
+
+def ps_round_count(delta: int) -> int:
+    """Exact round count: two rounds per port index."""
+    return 2 * delta
+
+
+@dataclass
+class _PSState:
+    idx: int = 0
+    white_matched_port: Optional[int] = None
+    black_matched_port: Optional[int] = None
+    responses: Dict[int, str] = field(default_factory=dict)
+
+    def clone(self) -> "_PSState":
+        return _PSState(
+            idx=self.idx,
+            white_matched_port=self.white_matched_port,
+            black_matched_port=self.black_matched_port,
+            responses=dict(self.responses),
+        )
+
+
+class PolishchukSuomelaMachine(Machine):
+    """BDC-matching 3-approximation; globals: ``delta``; no input."""
+
+    model = PORT_NUMBERING
+
+    def start(self, ctx: LocalContext) -> _PSState:
+        if ctx.degree > ctx.require_global("delta"):
+            raise ValueError("degree exceeds delta")
+        return _PSState()
+
+    def halted(self, ctx: LocalContext, state: _PSState) -> bool:
+        return state.idx >= ps_round_count(ctx.require_global("delta"))
+
+    def output(self, ctx: LocalContext, state: _PSState) -> Dict[str, Any]:
+        return {
+            "in_cover": (
+                state.white_matched_port is not None
+                or state.black_matched_port is not None
+            ),
+            "white_port": state.white_matched_port,
+            "black_port": state.black_matched_port,
+        }
+
+    def emit(self, ctx: LocalContext, state: _PSState) -> List[Any]:
+        d = ctx.degree
+        out: List[Any] = [None] * d
+        phase, parity = divmod(state.idx, 2)
+        if parity == 0:  # white copies propose along port `phase`
+            if state.white_matched_port is None and phase < d:
+                out[phase] = "propose"
+        else:  # black copies answer
+            for p, verdict in state.responses.items():
+                out[p] = verdict
+        return out
+
+    def step(self, ctx: LocalContext, state: _PSState, inbox: Sequence[Any]) -> _PSState:
+        st = state.clone()
+        phase, parity = divmod(st.idx, 2)
+        if parity == 0:
+            # Black copy gathers this phase's proposals.
+            proposers = [p for p, m in enumerate(inbox) if m == "propose"]
+            if proposers and st.black_matched_port is None:
+                winner = min(proposers)
+                st.black_matched_port = winner
+                for p in proposers:
+                    st.responses[p] = "accept" if p == winner else "reject"
+            else:
+                for p in proposers:
+                    st.responses[p] = "reject"
+        else:
+            if (
+                st.white_matched_port is None
+                and phase < ctx.degree
+                and inbox[phase] == "accept"
+            ):
+                st.white_matched_port = phase
+            st.responses = {}
+        st.idx += 1
+        return st
+
+
+@dataclass(frozen=True)
+class PSResult:
+    graph: PortNumberedGraph
+    cover: FrozenSet[int]
+    rounds: int
+    run: RunResult
+
+    def is_cover(self) -> bool:
+        return all(
+            u in self.cover or v in self.cover for (u, v) in self.graph.edges
+        )
+
+    @property
+    def cover_size(self) -> int:
+        return len(self.cover)
+
+
+def vertex_cover_3approx_ps(
+    graph: PortNumberedGraph, delta: Optional[int] = None
+) -> PSResult:
+    """Run the PS 3-approximation (unweighted)."""
+    if delta is None:
+        delta = graph.max_degree
+    machine = PolishchukSuomelaMachine()
+    result = run_port_numbering(
+        graph,
+        machine,
+        globals_map={"delta": delta},
+        max_rounds=max(1, ps_round_count(delta)),
+    )
+    if not result.all_halted:
+        raise RuntimeError("PS machine did not complete its schedule")
+    cover = frozenset(v for v in graph.nodes() if result.outputs[v]["in_cover"])
+    return PSResult(graph=graph, cover=cover, rounds=result.rounds, run=result)

@@ -1,0 +1,123 @@
+"""The trivial k-approximation for set cover (Section 2 of the paper).
+
+"A trivial constant-time algorithm provides a k-approximation: each
+element u ∈ U chooses an adjacent subset s ∈ S of minimum weight; all
+such subsets are added to the cover."
+
+Ties are broken by port number, which requires the port-numbering
+model (Section 6 notes port numbering suffices; in the pure broadcast
+model an element cannot address one specific minimum-weight subset).
+Two rounds, approximation factor k: every subset chosen by an element
+has weight at most that of *any* subset covering the element in an
+optimal cover, and an optimal subset is charged at most k times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.graphs.setcover import SetCoverInstance
+from repro.simulator.machine import PORT_NUMBERING, LocalContext, Machine
+from repro.simulator.runtime import RunResult, run
+
+__all__ = ["TrivialSetCoverMachine", "TrivialResult", "set_cover_k_approx_trivial"]
+
+
+@dataclass
+class _TrivState:
+    idx: int = 0
+    role: str = "element"
+    weight: Optional[int] = None
+    chosen_port: Optional[int] = None
+    in_cover: bool = False
+
+    def clone(self) -> "_TrivState":
+        return _TrivState(
+            idx=self.idx,
+            role=self.role,
+            weight=self.weight,
+            chosen_port=self.chosen_port,
+            in_cover=self.in_cover,
+        )
+
+
+class TrivialSetCoverMachine(Machine):
+    """Two-round k-approximation; inputs as in the set-cover layout."""
+
+    model = PORT_NUMBERING
+
+    def start(self, ctx: LocalContext) -> _TrivState:
+        role = (ctx.input or {}).get("role")
+        if role == "subset":
+            return _TrivState(role="subset", weight=ctx.input["weight"])
+        if role == "element":
+            if ctx.degree == 0:
+                raise ValueError("element with no subsets: instance infeasible")
+            return _TrivState(role="element")
+        raise ValueError(f"unknown role {role!r}")
+
+    def halted(self, ctx: LocalContext, state: _TrivState) -> bool:
+        return state.idx >= 2
+
+    def output(self, ctx: LocalContext, state: _TrivState) -> Dict[str, Any]:
+        if state.role == "subset":
+            return {"role": "subset", "in_cover": state.in_cover}
+        return {"role": "element", "chosen_port": state.chosen_port}
+
+    def emit(self, ctx: LocalContext, state: _TrivState) -> List[Any]:
+        d = ctx.degree
+        out: List[Any] = [None] * d
+        if state.idx == 0 and state.role == "subset":
+            return [state.weight] * d
+        if state.idx == 1 and state.role == "element":
+            out[state.chosen_port] = "chosen"
+        return out
+
+    def step(self, ctx: LocalContext, state: _TrivState, inbox: Sequence[Any]) -> _TrivState:
+        st = state.clone()
+        if st.idx == 0 and st.role == "element":
+            # Minimum weight, ties by smallest port: deterministic and
+            # anonymous (this is why port numbering is needed).
+            st.chosen_port = min(
+                range(ctx.degree), key=lambda p: (inbox[p], p)
+            )
+        elif st.idx == 1 and st.role == "subset":
+            st.in_cover = any(m == "chosen" for m in inbox)
+        st.idx += 1
+        return st
+
+
+@dataclass(frozen=True)
+class TrivialResult:
+    instance: SetCoverInstance
+    cover: FrozenSet[int]
+    rounds: int
+    run: RunResult
+
+    @property
+    def cover_weight(self) -> int:
+        return self.instance.cover_weight(self.cover)
+
+    def is_cover(self) -> bool:
+        return self.instance.is_cover(self.cover)
+
+
+def set_cover_k_approx_trivial(instance: SetCoverInstance) -> TrivialResult:
+    """Run the trivial k-approximation on a set cover instance."""
+    graph = instance.to_bipartite_graph()
+    result = run(
+        graph,
+        TrivialSetCoverMachine(),
+        inputs=instance.node_inputs(),
+        globals_map=instance.global_params(),
+        max_rounds=2,
+    )
+    if not result.all_halted:
+        raise RuntimeError("trivial set cover did not finish in 2 rounds")
+    cover = frozenset(
+        s for s in range(instance.n_subsets) if result.outputs[s]["in_cover"]
+    )
+    return TrivialResult(
+        instance=instance, cover=cover, rounds=result.rounds, run=result
+    )

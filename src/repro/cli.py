@@ -1,0 +1,166 @@
+"""Command-line interface for running the algorithms on generated instances.
+
+Examples::
+
+    python -m repro.cli vc --family cycle --n 16 --W 8 --algorithm port
+    python -m repro.cli vc --family petersen --algorithm broadcast --json
+    python -m repro.cli sc --subsets 8 --elements 14 --k 3 --f 2 --W 9
+    python -m repro.cli families
+
+(The experiment harness regenerating the paper's tables lives in
+``python -m repro.experiments.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.baselines.exact import exact_min_set_cover, exact_min_vertex_cover
+from repro.core.set_cover import set_cover_f_approx
+from repro.core.vertex_cover import vertex_cover_2approx, vertex_cover_broadcast
+from repro.graphs import families
+from repro.graphs.setcover import random_instance
+from repro.graphs.weights import uniform_weights, unit_weights
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed vertex/set cover in anonymous networks "
+        "(Åstrand & Suomela, SPAA 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    vc = sub.add_parser("vc", help="2-approximate weighted vertex cover")
+    vc.add_argument("--family", default="cycle", help="graph family name")
+    vc.add_argument("--n", type=int, default=16, help="size parameter")
+    vc.add_argument("--W", type=int, default=1, help="max weight (1 = unweighted)")
+    vc.add_argument("--seed", type=int, default=0)
+    vc.add_argument(
+        "--algorithm",
+        choices=["port", "broadcast"],
+        default="port",
+        help="Section 3 (port numbering) or Section 5 (broadcast)",
+    )
+    vc.add_argument("--exact", action="store_true", help="also compute the optimum")
+    vc.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sc = sub.add_parser("sc", help="f-approximate weighted set cover")
+    sc.add_argument("--subsets", type=int, default=8)
+    sc.add_argument("--elements", type=int, default=14)
+    sc.add_argument("--k", type=int, default=3)
+    sc.add_argument("--f", type=int, default=2)
+    sc.add_argument("--W", type=int, default=1)
+    sc.add_argument("--seed", type=int, default=0)
+    sc.add_argument("--exact", action="store_true")
+    sc.add_argument("--json", action="store_true")
+
+    sub.add_parser("families", help="list graph family names")
+    return parser
+
+
+def _make_graph(args):
+    name = args.family
+    if name in ("petersen", "frucht"):
+        return families.make(name)
+    if name == "cycle":
+        return families.cycle_graph(args.n)
+    if name == "path":
+        return families.path_graph(args.n)
+    if name == "complete":
+        return families.complete_graph(args.n)
+    if name == "star":
+        return families.star_graph(args.n)
+    if name == "hypercube":
+        return families.hypercube(args.n)
+    if name == "grid":
+        side = max(2, int(args.n ** 0.5))
+        return families.grid_2d(side, side)
+    if name == "regular":
+        return families.random_regular(3, args.n, seed=args.seed)
+    if name == "gnp":
+        return families.gnp_random(args.n, 0.3, seed=args.seed)
+    if name == "tree":
+        return families.random_tree(args.n, seed=args.seed)
+    raise SystemExit(f"unknown family {name!r}; try `python -m repro.cli families`")
+
+
+def _run_vc(args) -> dict:
+    graph = _make_graph(args)
+    weights = (
+        unit_weights(graph.n)
+        if args.W <= 1
+        else uniform_weights(graph.n, args.W, seed=args.seed)
+    )
+    solver = vertex_cover_2approx if args.algorithm == "port" else vertex_cover_broadcast
+    result = solver(graph, weights)
+    payload = {
+        "problem": "vertex-cover",
+        "algorithm": args.algorithm,
+        "family": args.family,
+        "n": graph.n,
+        "m": graph.m,
+        "max_degree": graph.max_degree,
+        "rounds": result.rounds,
+        "cover": sorted(result.cover),
+        "cover_weight": result.cover_weight,
+        "packing_value": str(result.packing_value),
+        "certificate_ratio": str(result.certificate_ratio),
+        "is_cover": result.is_cover(),
+    }
+    if args.exact:
+        opt, _ = exact_min_vertex_cover(graph, weights)
+        payload["optimum"] = opt
+        payload["measured_ratio"] = result.cover_weight / opt if opt else 1.0
+    return payload
+
+
+def _run_sc(args) -> dict:
+    instance = random_instance(
+        args.subsets, args.elements, k=args.k, f=args.f, W=max(1, args.W),
+        seed=args.seed,
+    )
+    result = set_cover_f_approx(instance)
+    payload = {
+        "problem": "set-cover",
+        "subsets": instance.n_subsets,
+        "elements": instance.n_elements,
+        "k": instance.k,
+        "f": instance.f,
+        "W": instance.W,
+        "rounds": result.rounds,
+        "cover": sorted(result.cover),
+        "cover_weight": result.cover_weight,
+        "certificate_ratio": str(result.certificate_ratio),
+        "is_cover": result.is_cover(),
+    }
+    if args.exact:
+        opt, _ = exact_min_set_cover(instance)
+        payload["optimum"] = opt
+        payload["measured_ratio"] = result.cover_weight / opt if opt else 1.0
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "families":
+        for name in sorted(families.FAMILIES):
+            print(name)
+        return 0
+    payload = _run_vc(args) if args.command == "vc" else _run_sc(args)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        width = max(len(k) for k in payload)
+        for key, value in payload.items():
+            print(f"{key.ljust(width)}  {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

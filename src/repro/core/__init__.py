@@ -1,0 +1,39 @@
+"""The paper's algorithms.
+
+* :mod:`repro.core.edge_packing` — Section 3: maximal edge packing in
+  ``O(Δ + log* W)`` rounds, port-numbering model.
+* :mod:`repro.core.fractional_packing` — Section 4: maximal fractional
+  packing in ``O(f²k² + fk log* W)`` rounds, broadcast model.
+* :mod:`repro.core.broadcast_vc` — Section 5: vertex cover in the
+  broadcast model by simulating Section 4 on the incidence structure.
+* :mod:`repro.core.vertex_cover` / :mod:`repro.core.set_cover` —
+  user-facing covering APIs built on the packings.
+* :mod:`repro.core.colours` / :mod:`repro.core.cole_vishkin` — the
+  Lemma 2 colour encodings and colour-reduction machinery.
+"""
+
+from repro.core.edge_packing import EdgePackingMachine, maximal_edge_packing
+from repro.core.fractional_packing import (
+    FractionalPackingMachine,
+    maximal_fractional_packing,
+)
+from repro.core.broadcast_vc import BroadcastVertexCoverMachine
+from repro.core.vertex_cover import (
+    VertexCoverResult,
+    vertex_cover_2approx,
+    vertex_cover_broadcast,
+)
+from repro.core.set_cover import SetCoverResult, set_cover_f_approx
+
+__all__ = [
+    "BroadcastVertexCoverMachine",
+    "EdgePackingMachine",
+    "FractionalPackingMachine",
+    "SetCoverResult",
+    "VertexCoverResult",
+    "maximal_edge_packing",
+    "maximal_fractional_packing",
+    "set_cover_f_approx",
+    "vertex_cover_2approx",
+    "vertex_cover_broadcast",
+]

@@ -1,0 +1,164 @@
+"""Ablations and sequential references for the Section 3 algorithm.
+
+Two purposes:
+
+1. **Cross-checking.** :func:`phase1_reference` re-implements Phase I
+   of the edge-packing algorithm as plain sequential mathematics (no
+   messages, no simulator).  The test suite asserts the distributed
+   machine reaches *exactly* this state after its Phase I rounds —
+   protocol and mathematics are verified against each other.
+
+2. **Ablation.** DESIGN.md calls for measuring what each design piece
+   buys.  Phase I alone (the offer/accept step with colour growth) is
+   *not* sufficient: Lemma 1 only guarantees that surviving edges are
+   multicoloured, not saturated.  :func:`phase1_only_cover_attempt`
+   quantifies the gap — how many edges Phase II must still saturate,
+   and on which instances Phase I alone would already be maximal.
+   (A companion ablation drops the colour bookkeeping entirely, which
+   recovers the KVY-style baseline in :mod:`repro.baselines.kvy`: the
+   offer/accept step without colours has no Δ-round termination
+   guarantee.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.graphs.topology import PortNumberedGraph
+from repro.core.edge_packing import ACTIVE, MULTICOLOURED, SATURATED
+
+__all__ = [
+    "Phase1State",
+    "phase1_reference",
+    "phase1_only_cover_attempt",
+]
+
+
+@dataclass(frozen=True)
+class Phase1State:
+    """Sequential Phase I outcome.
+
+    ``edge_state[e]`` is SATURATED or MULTICOLOURED (ACTIVE must be
+    gone after Δ iterations — Lemma 1); ``colour_seq[v]`` is the
+    Lemma 2 sequence grown at node ``v``.
+    """
+
+    y: Dict[int, Fraction]
+    residual: Tuple[Fraction, ...]
+    edge_state: Dict[int, str]
+    colour_seq: Tuple[Tuple[Fraction, ...], ...]
+
+    @property
+    def saturated_nodes(self) -> FrozenSet[int]:
+        return frozenset(
+            v for v, r in enumerate(self.residual) if r == 0
+        )
+
+    def multicoloured_edges(self) -> List[int]:
+        return [e for e, s in self.edge_state.items() if s == MULTICOLOURED]
+
+
+def phase1_reference(
+    graph: PortNumberedGraph,
+    weights: Sequence[int],
+    iterations: Optional[int] = None,
+) -> Phase1State:
+    """Sequential Phase I: Section 3.2 steps (i)-(iii), `iterations` times.
+
+    Semantics mirror the distributed machine exactly: all offers are
+    computed from the same pre-round state; an edge whose endpoint
+    saturates this iteration becomes SATURATED even if its colour
+    elements also differed (saturation takes precedence, matching the
+    machine's next-round upgrade of MULTI to SAT).
+    """
+    n = graph.n
+    if iterations is None:
+        iterations = graph.max_degree
+    one = Fraction(1)
+    residual = [Fraction(int(w)) for w in weights]
+    y: Dict[int, Fraction] = {e: Fraction(0) for e in range(graph.m)}
+    state: Dict[int, str] = {e: ACTIVE for e in range(graph.m)}
+    seqs: List[List[Fraction]] = [[] for _ in range(n)]
+
+    for _t in range(iterations):
+        active = [e for e, s in state.items() if s == ACTIVE]
+        deg_yc = [0] * n
+        for e in active:
+            u, v = graph.edges[e]
+            deg_yc[u] += 1
+            deg_yc[v] += 1
+        x: List[Optional[Fraction]] = [
+            residual[v] / deg_yc[v] if residual[v] > 0 and deg_yc[v] > 0 else None
+            for v in range(n)
+        ]
+        # step (ii): every active edge accepts the minimum offer
+        for e in active:
+            u, v = graph.edges[e]
+            if x[u] is None or x[v] is None:
+                raise AssertionError("active edge without mutual offers")
+            inc = min(x[u], x[v])
+            y[e] += inc
+            residual[u] -= inc
+            residual[v] -= inc
+        # step (iii): grow colour sequences (1 for nodes outside V_yc)
+        elements = [x[v] if x[v] is not None else one for v in range(n)]
+        for v in range(n):
+            seqs[v].append(elements[v])
+        # resolve edge states: saturation beats multicolouring
+        for e in active:
+            u, v = graph.edges[e]
+            if residual[u] == 0 or residual[v] == 0:
+                state[e] = SATURATED
+            elif elements[u] != elements[v]:
+                state[e] = MULTICOLOURED
+        # multicoloured edges whose endpoint saturates in a *later*
+        # iteration leave the set A as well (they are saturated) — the
+        # machine learns this from the next saturation-bit exchange.
+        for e, s in state.items():
+            if s == MULTICOLOURED:
+                u, v = graph.edges[e]
+                if residual[u] == 0 or residual[v] == 0:
+                    state[e] = SATURATED
+
+    return Phase1State(
+        y=y,
+        residual=tuple(residual),
+        edge_state=dict(state),
+        colour_seq=tuple(tuple(s) for s in seqs),
+    )
+
+
+@dataclass(frozen=True)
+class Phase1Ablation:
+    """Outcome of running Phase I alone and stopping."""
+
+    unsaturated_edges: int
+    total_edges: int
+    cover_is_valid: bool
+    phase2_needed: bool
+
+
+def phase1_only_cover_attempt(
+    graph: PortNumberedGraph, weights: Sequence[int]
+) -> Phase1Ablation:
+    """Run Phase I only; measure how far from a vertex cover it lands.
+
+    The "cover" attempted is the set of saturated nodes after Phase I.
+    Phase II exists precisely because this is sometimes not a cover:
+    multicoloured edges have both endpoints unsaturated.
+    """
+    ref = phase1_reference(graph, weights)
+    multi = ref.multicoloured_edges()
+    saturated = ref.saturated_nodes
+    uncovered = [
+        e for e in range(graph.m)
+        if not (graph.edges[e][0] in saturated or graph.edges[e][1] in saturated)
+    ]
+    return Phase1Ablation(
+        unsaturated_edges=len(uncovered),
+        total_edges=graph.m,
+        cover_is_valid=not uncovered,
+        phase2_needed=bool(multi) and bool(uncovered),
+    )

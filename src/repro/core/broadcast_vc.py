@@ -1,0 +1,206 @@
+"""Vertex cover in the broadcast model by simulation (Section 5).
+
+A vertex cover instance ``(G, w)`` is encoded as the fractional-packing
+instance ``(H, w)`` with ``f = 2`` and ``k = Δ``: each node ``v``
+becomes a subset node ``s(v)``, each edge ``e`` an element ``u(e)``.
+The Section 4 algorithm ``A`` finds a maximal fractional packing of
+``H`` — which *is* a maximal edge packing of ``G`` — but the elements
+``u(e)`` are not physical computers.
+
+The paper's simulation: each node ``v`` maintains ``h(v, i)``, the full
+history of messages its subset node ``s(v)`` has broadcast during
+``A``-rounds ``1..i``.  In every ``G``-round each node broadcasts its
+entire history.  From its own history and a received neighbour history
+``h(u, i-1)``, ``v`` can replay the element machine ``u(e)`` for the
+edge towards that neighbour from scratch — the element's inbox at each
+round is exactly ``{h(v, ·), h(u, ·)}``.  Because the broadcast model
+makes ``s(v)``'s transition depend only on the *multiset* of element
+messages, ``v`` does not need to know which neighbour sent which
+history.  Round complexity is unchanged (``O(Δ² + Δ log* W)``); message
+*size* grows linearly with the round number — the trade-off the paper
+points out, and which :mod:`repro.experiments.exp_section5` measures.
+
+One extra readout round is appended after ``A`` terminates so that
+every node can also report the final packing values of its incident
+elements (the covers themselves are known one round earlier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro._util.ordering import canonical_sorted
+from repro.core.fractional_packing import (
+    FractionalPackingMachine,
+    fp_schedule_length,
+)
+from repro.simulator.machine import BROADCAST, LocalContext, Machine
+
+__all__ = ["BroadcastVertexCoverMachine", "bvc_round_count"]
+
+
+def bvc_round_count(delta: int, W: int) -> int:
+    """Exact G-round count: the A-rounds plus one readout round."""
+    return fp_schedule_length(2, max(1, delta), W) + 1
+
+
+@dataclass
+class _BVCState:
+    idx: int  # current G-round == simulated A-round
+    history: Tuple[Any, ...]  # messages s(v) broadcast in A-rounds 0..idx-1
+    subset_state: Any  # state of s(v) after idx A-rounds
+    incident: Tuple[Any, ...]  # final (y, saturated) multiset, set at readout
+
+    def clone(self) -> "_BVCState":
+        return _BVCState(self.idx, self.history, self.subset_state, self.incident)
+
+
+class BroadcastVertexCoverMachine(Machine):
+    """Anonymous broadcast-model machine computing a 2-approximate VC.
+
+    Local input: the node's integer weight.  Globals: ``delta``, ``W``.
+    Output: ``{"in_cover": bool, "incident": multiset of
+    (y, saturated) pairs, "weight": w}``.
+    """
+
+    model = BROADCAST
+
+    def __init__(self) -> None:
+        self._inner = FractionalPackingMachine()
+        # Content-addressed memo of element replays: generation (= replay
+        # length) -> {(own_history, nbr_history): element state}.  Purely
+        # an engineering optimisation — keys are full message contents, so
+        # a hit is always semantically identical to a fresh replay; evicting
+        # never changes results, only wall-clock time.
+        self._replay_buckets: Dict[int, Dict[Tuple, Any]] = {}
+
+    # -- contexts for the simulated H-nodes ------------------------------
+
+    @staticmethod
+    def _h_globals(ctx: LocalContext) -> Dict[str, int]:
+        delta = ctx.require_global("delta")
+        return {"f": 2, "k": max(1, delta), "W": ctx.require_global("W")}
+
+    def _subset_ctx(self, ctx: LocalContext) -> LocalContext:
+        return LocalContext(
+            degree=ctx.degree,
+            input={"role": "subset", "weight": ctx.input},
+            globals=self._h_globals(ctx),
+        )
+
+    def _element_ctx(self, ctx: LocalContext) -> LocalContext:
+        return LocalContext(
+            degree=2, input={"role": "element"}, globals=self._h_globals(ctx)
+        )
+
+    def _total_a_rounds(self, ctx: LocalContext) -> int:
+        g = self._h_globals(ctx)
+        return fp_schedule_length(g["f"], g["k"], g["W"])
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, ctx: LocalContext) -> _BVCState:
+        w = ctx.input
+        if not isinstance(w, int) or isinstance(w, bool) or w < 1:
+            raise ValueError(f"node weight must be a positive int, got {w!r}")
+        subset_state = self._inner.start(self._subset_ctx(ctx))
+        return _BVCState(idx=0, history=(), subset_state=subset_state, incident=())
+
+    def halted(self, ctx: LocalContext, state: _BVCState) -> bool:
+        return state.idx > self._total_a_rounds(ctx)
+
+    def output(self, ctx: LocalContext, state: _BVCState) -> Dict[str, Any]:
+        return {
+            "in_cover": self._inner.output(self._subset_ctx(ctx), state.subset_state)[
+                "in_cover"
+            ],
+            "incident": state.incident,
+            "weight": ctx.input,
+        }
+
+    # -- communication ----------------------------------------------------
+
+    def emit(self, ctx: LocalContext, state: _BVCState) -> Any:
+        if self.halted(ctx, state):
+            return None
+        return state.history
+
+    def step(
+        self, ctx: LocalContext, state: _BVCState, inbox: Sequence[Any]
+    ) -> _BVCState:
+        total = self._total_a_rounds(ctx)
+        if state.idx > total:
+            return state
+        st = state.clone()
+        t = st.idx
+        histories = [h for h in inbox if h is not None]
+        if len(histories) != ctx.degree:
+            raise AssertionError(
+                f"expected {ctx.degree} neighbour histories, got {len(histories)}"
+            )
+        ectx = self._element_ctx(ctx)
+        sctx = self._subset_ctx(ctx)
+
+        if t < total:
+            # Replay each incident element through t A-rounds to obtain
+            # its round-t message, then advance s(v) by one A-round.
+            element_msgs: List[Any] = []
+            for h_u in histories:
+                if len(h_u) != t:
+                    raise AssertionError(
+                        f"neighbour history has length {len(h_u)}, expected {t}"
+                    )
+                est = self._replay_element(ectx, st.history, h_u, t)
+                element_msgs.append(self._inner.emit(ectx, est))
+            subset_msg = self._inner.emit(sctx, st.subset_state)
+            st.subset_state = self._inner.step(
+                sctx, st.subset_state, tuple(canonical_sorted(element_msgs))
+            )
+            st.history = st.history + (subset_msg,)
+        else:
+            # Readout round: histories are complete; extract the final
+            # element outputs (the edge packing values).
+            summaries = []
+            for h_u in histories:
+                est = self._replay_element(ectx, st.history, h_u, total)
+                out = self._inner.output(ectx, est)
+                summaries.append((out["y"], out["saturated"]))
+            st.incident = tuple(canonical_sorted(summaries))
+        st.idx += 1
+        return st
+
+    def _replay_element(
+        self,
+        ectx: LocalContext,
+        own_history: Sequence[Any],
+        nbr_history: Sequence[Any],
+        rounds: int,
+    ) -> Any:
+        """Re-simulate the element machine for ``rounds`` A-rounds.
+
+        Conceptually a from-scratch replay (as in the paper); memoised on
+        the exact history contents so repeated replays cost one step per
+        G-round instead of ``t`` steps at G-round ``t``.
+        """
+        own = tuple(own_history[:rounds])
+        nbr = tuple(nbr_history[:rounds])
+        est = None
+        start_tau = 0
+        if rounds > 0:
+            prev = self._replay_buckets.get(rounds - 1, {}).get(
+                (own[:-1], nbr[:-1])
+            )
+            if prev is not None:
+                est = prev
+                start_tau = rounds - 1
+        if est is None:
+            est = self._inner.start(ectx)
+        for tau in range(start_tau, rounds):
+            inbox = tuple(canonical_sorted((own[tau], nbr[tau])))
+            est = self._inner.step(ectx, est, inbox)
+        self._replay_buckets.setdefault(rounds, {})[(own, nbr)] = est
+        stale = [g for g in self._replay_buckets if g < rounds - 1]
+        for g in stale:
+            del self._replay_buckets[g]
+        return est

@@ -1,0 +1,258 @@
+"""Cole–Vishkin colour reduction and its two variants used by the paper.
+
+Three related procedures live here:
+
+1. The classical **Cole–Vishkin step** for nodes with a (pseudo-)
+   parent: given own colour ``c`` and a *different* parent colour
+   ``c_p``, the new colour is ``2i + bit_i(c)`` where ``i`` is the
+   lowest bit position where ``c`` and ``c_p`` differ.  Any two
+   adjacent (child, parent) nodes end up with different new colours.
+   Iterating shrinks any initial palette of size χ to at most **6**
+   colours in ``O(log* χ)`` steps (the 3-bit fixpoint).
+
+2. The **Goldberg–Plotkin–Shannon shift-down + class elimination** for
+   *rooted forests*, which turns the 6-colouring into a proper
+   **3-colouring** (used by Phase II of the Section 3 algorithm, where
+   the multicoloured edges are partitioned into genuine rooted
+   forests).
+
+3. The **weak colour reduction** of Section 4.5 for bounded-outdegree
+   DAGs where every node's *chosen* successors share one colour: the
+   CV step applies verbatim with that common colour as the
+   pseudo-parent, and preserves the invariant that every node with a
+   successor retains at least one differently coloured successor.  We
+   stop this variant at the 6-colour fixpoint — see DESIGN.md,
+   "Documented deviations" (the paper states 3; GPS shift-down does not
+   transfer verbatim to the weak/DAG setting, and the subsequent
+   trivial colour reduction absorbs the difference at no asymptotic
+   cost).
+
+The per-node update rules are pure functions so that the distributed
+machines (:mod:`repro.core.edge_packing`,
+:mod:`repro.core.fractional_packing`) and the sequential reference
+implementations below share exactly the same arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util.logstar import ilog2_ceil
+
+__all__ = [
+    "cv_step_colour",
+    "cv_pseudo_parent",
+    "cv_schedule_length",
+    "shift_down_root_colour",
+    "eliminate_class_colour",
+    "three_colour_rooted_forest",
+    "weak_colour_reduction_dag",
+    "is_weak_colouring",
+    "is_proper_forest_colouring",
+    "CV_FIXPOINT_COLOURS",
+]
+
+#: Size of the palette at the Cole–Vishkin fixpoint (values ``0..5``).
+CV_FIXPOINT_COLOURS = 6
+
+
+def cv_step_colour(own: int, parent: int) -> int:
+    """One Cole–Vishkin step: ``2i + bit_i(own)``, ``i`` = lowest differing bit.
+
+    Requires ``own != parent`` (guaranteed along tree edges by
+    induction, and for roots by :func:`cv_pseudo_parent`).
+    """
+    if own == parent:
+        raise ValueError(f"CV step requires differing colours, both are {own}")
+    diff = own ^ parent
+    i = (diff & -diff).bit_length() - 1  # lowest set bit index
+    return 2 * i + ((own >> i) & 1)
+
+
+def cv_pseudo_parent(own: int) -> int:
+    """The fictitious parent colour used by roots: flip the lowest bit."""
+    return own ^ 1
+
+
+def cv_schedule_length(chi: int) -> int:
+    """Number of CV steps guaranteed to reach the 6-colour fixpoint.
+
+    Computed by iterating the palette bound: colours in ``[0, K)`` fit
+    in ``L = max(1, ceil(log2 K))`` bits, and one step maps them into
+    ``[0, 2L)``.  This is a deterministic function of χ only, so every
+    node can follow the same schedule without communication —
+    essential in an anonymous network, where termination cannot be
+    detected by consensus.
+    """
+    if chi < 1:
+        raise ValueError(f"chi must be >= 1, got {chi}")
+    steps = 0
+    K = max(chi, 1)
+    while K > CV_FIXPOINT_COLOURS:
+        K = 2 * max(1, ilog2_ceil(K) if K > 1 else 1)
+        steps += 1
+    return steps
+
+
+def shift_down_root_colour(own: int) -> int:
+    """Root rule for GPS shift-down: smallest colour in {0,1,2} != own.
+
+    Children adopt the root's *old* colour, so the root only needs to
+    differ from its own old colour; choosing from ``{0, 1, 2}`` keeps
+    the palette from regrowing during repeated shift-downs.
+    """
+    return 0 if own != 0 else 1
+
+
+def eliminate_class_colour(
+    own: int, target: int, parent_colour: Optional[int], children_colour: Optional[int]
+) -> int:
+    """Recolouring rule for eliminating colour class ``target``.
+
+    After a shift-down, all children of a node share one colour (the
+    node's own pre-shift colour), so avoiding ``parent_colour`` and
+    ``children_colour`` leaves at least one colour of ``{0, 1, 2}``
+    free.
+    """
+    if own != target:
+        return own
+    banned = {parent_colour, children_colour}
+    for c in (0, 1, 2):
+        if c not in banned:
+            return c
+    raise AssertionError(
+        "unreachable: {0,1,2} minus two banned colours cannot be empty"
+    )
+
+
+# ----------------------------------------------------------------------
+# Sequential reference: rooted forests -> proper 3-colouring
+# ----------------------------------------------------------------------
+
+
+def three_colour_rooted_forest(
+    parent: Sequence[Optional[int]],
+    initial_colours: Sequence[int],
+    chi: int,
+) -> Tuple[List[int], int]:
+    """Proper 3-colouring of a rooted forest, sequential reference.
+
+    ``parent[v]`` is ``v``'s parent or ``None`` for roots; initial
+    colours must be a proper colouring (e.g. distinct identifiers) with
+    values in ``[0, chi)``.  Returns ``(colours, cv_steps)`` where
+    ``colours[v] ∈ {0, 1, 2}``.
+
+    This mirrors, step for step, what the distributed Phase II machine
+    computes per forest; tests cross-check the two.
+    """
+    n = len(parent)
+    colours = list(initial_colours)
+    for v in range(n):
+        p = parent[v]
+        if p is not None and colours[v] == colours[p]:
+            raise ValueError(
+                f"initial colouring is not proper: node {v} and parent {p} "
+                f"share colour {colours[v]}"
+            )
+
+    steps = cv_schedule_length(chi)
+    for _ in range(steps):
+        colours = [
+            cv_step_colour(
+                colours[v],
+                colours[parent[v]] if parent[v] is not None else cv_pseudo_parent(colours[v]),
+            )
+            for v in range(n)
+        ]
+
+    # GPS: for each colour class in {3, 4, 5}: shift down, then eliminate.
+    for target in (3, 4, 5):
+        pre_shift = list(colours)
+        colours = [
+            pre_shift[parent[v]] if parent[v] is not None else shift_down_root_colour(pre_shift[v])
+            for v in range(n)
+        ]
+        children_colour = pre_shift  # all children of v now wear v's old colour
+        post_shift = list(colours)
+        colours = [
+            eliminate_class_colour(
+                post_shift[v],
+                target,
+                post_shift[parent[v]] if parent[v] is not None else None,
+                children_colour[v],
+            )
+            for v in range(n)
+        ]
+    return colours, steps
+
+
+def is_proper_forest_colouring(
+    parent: Sequence[Optional[int]], colours: Sequence[int]
+) -> bool:
+    """Every child differs from its parent."""
+    return all(
+        parent[v] is None or colours[v] != colours[parent[v]]
+        for v in range(len(parent))
+    )
+
+
+# ----------------------------------------------------------------------
+# Sequential reference: weak colour reduction on DAGs (Section 4.5)
+# ----------------------------------------------------------------------
+
+
+def weak_colour_reduction_dag(
+    successors: Sequence[Sequence[int]],
+    initial_colours: Sequence[int],
+    chi: int,
+    record_trace: bool = False,
+) -> Tuple[List[int], Optional[List[List[int]]]]:
+    """Weak colour reduction on an explicit DAG (sequential reference).
+
+    ``successors[u]`` lists the successors of ``u`` in the DAG ``B``.
+    The initial colouring must be *weakly proper*: every node with a
+    successor has at least one successor of a different colour (true in
+    the paper because colours come from the strictly decreasing
+    ``p``-values of Lemma 3).
+
+    Implements Section 4.5: at each step every node computes
+    ``L(u) = {c(v) : v successor, c(v) != c(u)}`` and, if non-empty,
+    treats ``ℓ(u) = min L(u)`` as its pseudo-parent colour (all chosen
+    successors — the subgraph ``B'`` — share that colour).  Nodes with
+    ``L(u) = ∅`` use the flipped-bit pseudo-parent.
+
+    Returns the colours after reaching the 6-colour fixpoint, plus the
+    full per-step trace when ``record_trace`` (used by the Figure 2
+    experiment).
+    """
+    n = len(successors)
+    colours = list(initial_colours)
+    if not is_weak_colouring(successors, colours):
+        raise ValueError("initial colouring is not a weak colouring of the DAG")
+    trace = [list(colours)] if record_trace else None
+
+    for _ in range(cv_schedule_length(chi)):
+        new_colours = []
+        for u in range(n):
+            L = {colours[v] for v in successors[u] if colours[v] != colours[u]}
+            pseudo = min(L) if L else cv_pseudo_parent(colours[u])
+            new_colours.append(cv_step_colour(colours[u], pseudo))
+        colours = new_colours
+        if record_trace:
+            trace.append(list(colours))
+        # Invariant of Section 4.5: weak properness is maintained.
+        if not is_weak_colouring(successors, colours):
+            raise AssertionError(
+                "weak colouring invariant broken — implementation bug"
+            )
+    return colours, trace
+
+
+def is_weak_colouring(
+    successors: Sequence[Sequence[int]], colours: Sequence[int]
+) -> bool:
+    """Every node with positive outdegree has a differing successor."""
+    for u in range(len(successors)):
+        if successors[u] and all(colours[v] == colours[u] for v in successors[u]):
+            return False
+    return True

@@ -1,0 +1,121 @@
+"""Colour encodings (Lemma 2 and the Section 4 analogue).
+
+Phase I of the edge-packing algorithm grows, at every node, a sequence
+of Δ rational numbers.  Lemma 2 of the paper shows each element ``q``
+satisfies ``0 < q <= W`` and ``q · (Δ!)^Δ ∈ N``, so the sequences embed
+injectively into ``{1, ..., χ}`` with ``χ = (W (Δ!)^Δ)^Δ``.
+
+We implement the embedding as a *mixed-radix* integer: element ``q`` is
+stored as the digit ``m = q · (Δ!)^Δ`` (an integer in
+``1..W(Δ!)^Δ``, asserted), and the sequence becomes a number in base
+``W(Δ!)^Δ + 1``.  Because every sequence has exactly Δ digits, the
+encoding is **order-preserving**: comparing encoded integers equals
+comparing sequences lexicographically.  This matters — Phase II orients
+unsaturated edges "from lower to higher colour", and both endpoints
+must derive the same orientation locally.
+
+The Section 4 algorithm analogously turns the values ``p(u)`` into a
+χ-colouring with ``χ = W (k!)^{(D+1)²}``: the values strictly decrease
+along edges of the DAG ``B`` (Lemma 3), so any order-preserving
+injection to integers is a proper colouring of ``B``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro._util.rationals import factorial
+
+__all__ = [
+    "chi_edge_packing",
+    "colour_radix",
+    "encode_colour_sequence",
+    "decode_colour_sequence",
+    "chi_fractional_packing",
+    "encode_p_value",
+]
+
+
+def colour_radix(delta: int, W: int) -> int:
+    """Digit radix ``W (Δ!)^Δ + 1`` for the Lemma 2 encoding."""
+    if delta < 0 or W < 1:
+        raise ValueError(f"need delta >= 0 and W >= 1, got {delta}, {W}")
+    return W * factorial(delta) ** delta + 1
+
+
+def chi_edge_packing(delta: int, W: int) -> int:
+    """The paper's χ = ``(W (Δ!)^Δ)^Δ`` (size of Phase I colour space)."""
+    if delta < 0 or W < 1:
+        raise ValueError(f"need delta >= 0 and W >= 1, got {delta}, {W}")
+    return (W * factorial(delta) ** delta) ** delta
+
+
+def encode_colour_sequence(
+    seq: Sequence[Fraction], delta: int, W: int
+) -> int:
+    """Order-preserving injection of a Phase I colour sequence into N.
+
+    Validates the Lemma 2 invariants: the sequence has exactly Δ
+    elements, each in ``(0, W]`` with ``q (Δ!)^Δ`` integral.
+    """
+    if len(seq) != delta:
+        raise ValueError(
+            f"colour sequence must have exactly Δ={delta} elements, got {len(seq)}"
+        )
+    scale = factorial(delta) ** delta
+    radix = W * scale + 1
+    value = 0
+    for q in seq:
+        q = Fraction(q)
+        if not (0 < q <= W):
+            raise ValueError(f"Lemma 2 violated: element {q} outside (0, {W}]")
+        digit = q * scale
+        if digit.denominator != 1:
+            raise ValueError(
+                f"Lemma 2 violated: element {q} times (Δ!)^Δ = {digit} is not integral"
+            )
+        value = value * radix + int(digit)
+    return value
+
+
+def decode_colour_sequence(value: int, delta: int, W: int) -> list:
+    """Inverse of :func:`encode_colour_sequence` (round-trip tests)."""
+    scale = factorial(delta) ** delta
+    radix = W * scale + 1
+    digits = []
+    for _ in range(delta):
+        value, d = divmod(value, radix)
+        digits.append(Fraction(d, scale))
+    if value != 0:
+        raise ValueError("value is not a valid encoded colour sequence")
+    return list(reversed(digits))
+
+
+def chi_fractional_packing(k: int, W: int, D: int) -> int:
+    """The Section 4 colour-space size ``χ = W (k!)^{(D+1)²}``."""
+    if k < 1 or W < 1 or D < 0:
+        raise ValueError(f"need k >= 1, W >= 1, D >= 0; got {k}, {W}, {D}")
+    return W * factorial(k) ** ((D + 1) ** 2)
+
+
+def encode_p_value(p: Fraction, k: int, W: int, D: int) -> int:
+    """Map a saturation-phase value ``p(u)`` to its integer colour.
+
+    By the Lemma 2-style argument of Section 4.4, after at most
+    ``(D+1)²`` saturation phases every ``p(u)`` is an integer multiple
+    of ``1/(k!)^{(D+1)²}`` lying in ``(0, W]``; the scaled value is
+    therefore an integer in ``{1, ..., χ}``.  The map is strictly
+    increasing, so Lemma 3 (values strictly decrease along edges of
+    ``B``) makes it a proper colouring of ``B``.
+    """
+    p = Fraction(p)
+    scale = factorial(k) ** ((D + 1) ** 2)
+    if not (0 < p <= W):
+        raise ValueError(f"p-value {p} outside (0, {W}]")
+    digit = p * scale
+    if digit.denominator != 1:
+        raise ValueError(
+            f"integrality violated: {p} times (k!)^(D+1)^2 is not an integer"
+        )
+    return int(digit)

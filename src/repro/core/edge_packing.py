@@ -1,0 +1,591 @@
+"""Maximal edge packing in the port-numbering model (Section 3).
+
+The algorithm finds a maximal edge packing ``y : E -> Q≥0`` (``y[v] <=
+w_v`` for all nodes, every edge has a saturated endpoint) in
+``O(Δ + log* W)`` synchronous rounds.  Saturated nodes then form a
+2-approximate minimum-weight vertex cover (Bar-Yehuda–Even).
+
+Structure (mirrors the paper):
+
+**Phase I** (Section 3.2) runs Δ iterations of the offer/accept step:
+every node with positive residual ``r(v)`` and at least one *active*
+incident edge offers ``x(v) = r(v)/deg_active(v)``; each active edge
+accepts ``min`` of its two offers.  An edge stays *active* while both
+endpoints are unsaturated and their colour sequences agree; otherwise
+it becomes permanently ``SATURATED`` or ``MULTICOLOURED`` (Lemma 1:
+the maximum active degree drops each iteration, so Δ iterations empty
+the active subgraph).  Nodes append their offers (or the element 1) to
+their colour sequences; by Lemma 2 these sequences embed
+order-preservingly into integers (:mod:`repro.core.colours`).
+
+**Phase II** (Section 3.3) orients the unsaturated (= multicoloured)
+edges from lower to higher colour — an acyclic orientation since
+colours are totally ordered — and partitions them into Δ rooted
+forests by the tail's port order.  Each forest is 3-coloured with
+Cole–Vishkin + Goldberg–Plotkin–Shannon shift-down in ``O(log* χ)``
+rounds, and the resulting ``3Δ`` colour classes of *stars* are
+saturated one class at a time with the ``α``-ratio rule of the paper.
+
+The machine follows a *global round schedule* computed from the public
+parameters (Δ, W) only — every node is always in the same phase, which
+is how an anonymous network sidesteps termination detection.
+
+Implementation-level round accounting (asserted in tests):
+``2Δ + 1`` rounds for Phase I, ``1`` forest-announcement round,
+``T_cv(χ)`` Cole–Vishkin rounds, ``6`` shift-down/elimination rounds
+and ``6Δ`` star rounds — total ``8Δ + T_cv(χ) + 8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.colours import (
+    chi_edge_packing,
+    colour_radix,
+    encode_colour_sequence,
+)
+from repro.core.cole_vishkin import (
+    cv_pseudo_parent,
+    cv_schedule_length,
+    cv_step_colour,
+    eliminate_class_colour,
+    shift_down_root_colour,
+)
+from repro.graphs.topology import PortNumberedGraph
+from repro.graphs.weights import max_weight, validate_weights
+from repro.simulator.machine import PORT_NUMBERING, LocalContext, Machine
+from repro.simulator.runtime import RunResult, run_port_numbering
+
+__all__ = [
+    "ACTIVE",
+    "SATURATED",
+    "MULTICOLOURED",
+    "EdgePackingMachine",
+    "EdgePackingResult",
+    "build_schedule",
+    "schedule_length",
+    "maximal_edge_packing",
+]
+
+# Edge states (Lemma 1: transitions are one-way, ACTIVE -> {SAT, MULTI},
+# MULTI -> SAT).
+ACTIVE = "A"
+SATURATED = "S"
+MULTICOLOURED = "M"
+
+
+# ----------------------------------------------------------------------
+# Global round schedule
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def build_schedule(delta: int, W: int) -> Tuple[Tuple, ...]:
+    """The deterministic phase tag for every round, given (Δ, W).
+
+    Identical at every node; a node's behaviour in a round is a pure
+    function of its state and the tag.
+    """
+    if delta < 0 or W < 1:
+        raise ValueError(f"need Δ >= 0 and W >= 1, got {delta}, {W}")
+    schedule: List[Tuple] = []
+    for t in range(delta):
+        schedule.append(("p1a", t))
+        schedule.append(("p1b", t))
+    schedule.append(("p1_settle",))
+    schedule.append(("announce",))
+    chi = colour_radix(delta, W) ** delta  # bound for our exact encoding
+    for s in range(cv_schedule_length(chi)):
+        schedule.append(("cv", s))
+    for x in (3, 4, 5):
+        schedule.append(("sd", x))
+        schedule.append(("elim", x))
+    for i in range(delta):
+        for j in range(3):
+            schedule.append(("star_req", i, j))
+            schedule.append(("star_rep", i, j))
+    return tuple(schedule)
+
+
+def schedule_length(delta: int, W: int) -> int:
+    """Exact number of rounds the machine takes (deterministic)."""
+    return len(build_schedule(delta, W))
+
+
+# ----------------------------------------------------------------------
+# Per-node state
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _State:
+    """Private per-node state; cloned on every transition (purity)."""
+
+    idx: int  # position in the global schedule
+    w: int  # own weight
+    r: Fraction  # residual weight  w - y[v]
+    y: List[Fraction]  # packing value per port
+    estate: List[str]  # edge state per port
+    own_seq: List[Fraction]  # own colour sequence (Phase I)
+    nbr_seq: List[List[Fraction]]  # neighbour colour sequences per port
+    x_cur: Optional[Fraction] = None  # offer computed in the last p1a round
+    colour_int: Optional[int] = None
+    nbr_colour: List[Optional[int]] = field(default_factory=list)
+    out_ports: List[int] = field(default_factory=list)
+    forest_of_out: Dict[int, int] = field(default_factory=dict)  # port -> forest
+    forest_in: List[Optional[int]] = field(default_factory=list)  # per port
+    colour_f: Dict[int, int] = field(default_factory=dict)  # forest -> colour
+    children_colour_f: Dict[int, Optional[int]] = field(default_factory=dict)
+    star_replies: Dict[int, Tuple] = field(default_factory=dict)  # port -> msg
+
+    def clone(self) -> "_State":
+        return _State(
+            idx=self.idx,
+            w=self.w,
+            r=self.r,
+            y=list(self.y),
+            estate=list(self.estate),
+            own_seq=list(self.own_seq),
+            nbr_seq=[list(s) for s in self.nbr_seq],
+            x_cur=self.x_cur,
+            colour_int=self.colour_int,
+            nbr_colour=list(self.nbr_colour),
+            out_ports=list(self.out_ports),
+            forest_of_out=dict(self.forest_of_out),
+            forest_in=list(self.forest_in),
+            colour_f=dict(self.colour_f),
+            children_colour_f=dict(self.children_colour_f),
+            star_replies=dict(self.star_replies),
+        )
+
+    # -- helpers -------------------------------------------------------
+
+    def active_ports(self) -> List[int]:
+        return [p for p, s in enumerate(self.estate) if s == ACTIVE]
+
+    def parent_forests(self) -> set:
+        return {i for i in self.forest_in if i is not None}
+
+    def child_forests(self) -> Dict[int, int]:
+        """forest -> the out-port realising it (at most one per forest)."""
+        return {i: p for p, i in self.forest_of_out.items()}
+
+    def my_forests(self) -> set:
+        return self.parent_forests() | set(self.forest_of_out.values())
+
+
+class EdgePackingMachine(Machine):
+    """The Section 3 algorithm as an anonymous port-numbering machine.
+
+    Local input: the node's integer weight ``w_v``.
+    Globals: ``delta`` (degree bound Δ) and ``W`` (weight bound).
+    Output: ``{"in_cover": bool, "y": tuple per port, "colour": int}``.
+    """
+
+    model = PORT_NUMBERING
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, ctx: LocalContext) -> _State:
+        w = ctx.input
+        if not isinstance(w, int) or isinstance(w, bool) or w < 1:
+            raise ValueError(f"node weight must be a positive int, got {w!r}")
+        delta = ctx.require_global("delta")
+        W = ctx.require_global("W")
+        if ctx.degree > delta:
+            raise ValueError(f"node degree {ctx.degree} exceeds Δ={delta}")
+        if w > W:
+            raise ValueError(f"node weight {w} exceeds W={W}")
+        d = ctx.degree
+        return _State(
+            idx=0,
+            w=w,
+            r=Fraction(w),
+            y=[Fraction(0)] * d,
+            estate=[ACTIVE] * d,
+            own_seq=[],
+            nbr_seq=[[] for _ in range(d)],
+            nbr_colour=[None] * d,
+            forest_in=[None] * d,
+        )
+
+    def halted(self, ctx: LocalContext, state: _State) -> bool:
+        return state.idx >= len(self._schedule(ctx))
+
+    def output(self, ctx: LocalContext, state: _State) -> Dict[str, Any]:
+        return {
+            "in_cover": state.r == 0,
+            "y": tuple(state.y),
+            "colour": state.colour_int,
+        }
+
+    def _schedule(self, ctx: LocalContext) -> Tuple[Tuple, ...]:
+        return build_schedule(ctx.require_global("delta"), ctx.require_global("W"))
+
+    # -- emit ----------------------------------------------------------
+
+    def emit(self, ctx: LocalContext, state: _State) -> List[Any]:
+        d = ctx.degree
+        schedule = self._schedule(ctx)
+        if state.idx >= len(schedule):
+            return [None] * d
+        tag = schedule[state.idx]
+        kind = tag[0]
+
+        if kind in ("p1a", "p1_settle"):
+            return [state.r == 0] * d
+
+        if kind == "p1b":
+            return [state.x_cur] * d
+
+        if kind == "announce":
+            out = [None] * d
+            for p, i in state.forest_of_out.items():
+                out[p] = i
+            return out
+
+        if kind in ("cv", "sd", "elim"):
+            # Parents announce their per-forest colour down each in-edge.
+            out: List[Any] = [None] * d
+            for p in range(d):
+                i = state.forest_in[p]
+                if i is not None:
+                    out[p] = state.colour_f[i]
+            return out
+
+        if kind == "star_req":
+            _, i, j = tag
+            out = [None] * d
+            p = state.child_forests().get(i)
+            if (
+                p is not None
+                and state.estate[p] == MULTICOLOURED
+                and state.r > 0
+                and state.colour_f.get(i) == j
+            ):
+                out[p] = ("req", state.r)
+            return out
+
+        if kind == "star_rep":
+            out = [None] * d
+            for p, msg in state.star_replies.items():
+                out[p] = msg
+            return out
+
+        raise AssertionError(f"unknown schedule tag {tag!r}")
+
+    # -- step ----------------------------------------------------------
+
+    def step(self, ctx: LocalContext, state: _State, inbox: Sequence[Any]) -> _State:
+        schedule = self._schedule(ctx)
+        if state.idx >= len(schedule):
+            return state
+        tag = schedule[state.idx]
+        kind = tag[0]
+        st = state.clone()
+
+        if kind == "p1a":
+            self._absorb_saturation_bits(st, inbox)
+            active = st.active_ports()
+            st.x_cur = st.r / len(active) if (st.r > 0 and active) else None
+
+        elif kind == "p1b":
+            self._p1b_update(st, inbox)
+
+        elif kind == "p1_settle":
+            self._absorb_saturation_bits(st, inbox)
+            self._finish_phase_one(st, ctx)
+
+        elif kind == "announce":
+            for p, msg in enumerate(inbox):
+                if msg is not None and st.estate[p] == MULTICOLOURED:
+                    st.forest_in[p] = msg
+                    st.colour_f.setdefault(msg, st.colour_int)
+
+        elif kind == "cv":
+            self._cv_update(st, inbox)
+
+        elif kind == "sd":
+            self._shift_down_update(st, inbox)
+
+        elif kind == "elim":
+            self._eliminate_update(st, inbox, target=tag[1])
+
+        elif kind == "star_req":
+            self._head_process_requests(st, inbox, forest=tag[1])
+
+        elif kind == "star_rep":
+            self._leaf_process_reply(st, inbox, forest=tag[1])
+            st.star_replies = {}
+
+        else:
+            raise AssertionError(f"unknown schedule tag {tag!r}")
+
+        st.idx += 1
+        return st
+
+    # -- Phase I -------------------------------------------------------
+
+    @staticmethod
+    def _absorb_saturation_bits(st: _State, inbox: Sequence[Any]) -> None:
+        """Neighbour saturation permanently saturates the shared edge."""
+        for p, nbr_saturated in enumerate(inbox):
+            if nbr_saturated and st.estate[p] != SATURATED:
+                st.estate[p] = SATURATED
+        if st.r == 0:
+            st.estate = [SATURATED] * len(st.estate)
+
+    @staticmethod
+    def _p1b_update(st: _State, inbox: Sequence[Any]) -> None:
+        """Steps (ii)–(iii) of Phase I: accept offers, grow colours."""
+        one = Fraction(1)
+        own_el = st.x_cur if st.x_cur is not None else one
+        st.own_seq.append(own_el)
+
+        increments = Fraction(0)
+        mismatched: List[int] = []
+        for p, nbr_x in enumerate(inbox):
+            nbr_el = nbr_x if nbr_x is not None else one
+            st.nbr_seq[p].append(nbr_el)
+            if st.estate[p] == ACTIVE:
+                # Both endpoints of an active edge made offers (an active
+                # edge implies positive residuals and active degree >= 1
+                # on both sides).
+                if st.x_cur is None or nbr_x is None:
+                    raise AssertionError(
+                        "active edge without mutual offers — state desync"
+                    )
+                delta_y = min(st.x_cur, nbr_x)
+                st.y[p] += delta_y
+                increments += delta_y
+                if own_el != nbr_el:
+                    mismatched.append(p)
+        st.r -= increments
+        if st.r < 0:
+            raise AssertionError("residual went negative — packing infeasible")
+        if st.r == 0:
+            # Own saturation dominates: all incident edges are saturated.
+            st.estate = [SATURATED] * len(st.estate)
+        else:
+            for p in mismatched:
+                if st.estate[p] == ACTIVE:
+                    st.estate[p] = MULTICOLOURED
+
+    def _finish_phase_one(self, st: _State, ctx: LocalContext) -> None:
+        """Encode colours, orient multicoloured edges, assign forests."""
+        if any(s == ACTIVE for s in st.estate):
+            raise AssertionError(
+                "active edge survived Phase I — Lemma 1 violated (is the "
+                "global Δ parameter really an upper bound on the degree?)"
+            )
+        delta = ctx.require_global("delta")
+        W = ctx.require_global("W")
+        st.colour_int = encode_colour_sequence(st.own_seq, delta, W)
+        st.nbr_colour = [
+            encode_colour_sequence(seq, delta, W) for seq in st.nbr_seq
+        ]
+        st.out_ports = [
+            p
+            for p in range(len(st.estate))
+            if st.estate[p] == MULTICOLOURED and st.colour_int < st.nbr_colour[p]
+        ]
+        # Multicoloured edges have different colour sequences, hence
+        # different encodings; ties are impossible.
+        for p in range(len(st.estate)):
+            if st.estate[p] == MULTICOLOURED and st.colour_int == st.nbr_colour[p]:
+                raise AssertionError("multicoloured edge with equal colours")
+        st.forest_of_out = {p: i for i, p in enumerate(st.out_ports)}
+        st.colour_f = {i: st.colour_int for i in st.forest_of_out.values()}
+
+    # -- Phase II colour pipeline ---------------------------------------
+
+    def _cv_update(self, st: _State, inbox: Sequence[Any]) -> None:
+        child = st.child_forests()
+        for i in st.my_forests():
+            if i in child:
+                parent_colour = inbox[child[i]]
+                if parent_colour is None:
+                    raise AssertionError("missing parent colour in CV round")
+                st.colour_f[i] = cv_step_colour(st.colour_f[i], parent_colour)
+            else:  # root of its tree in forest i
+                st.colour_f[i] = cv_step_colour(
+                    st.colour_f[i], cv_pseudo_parent(st.colour_f[i])
+                )
+
+    def _shift_down_update(self, st: _State, inbox: Sequence[Any]) -> None:
+        child = st.child_forests()
+        parents = st.parent_forests()
+        for i in st.my_forests():
+            prev = st.colour_f[i]
+            if i in child:
+                parent_colour = inbox[child[i]]
+                if parent_colour is None:
+                    raise AssertionError("missing parent colour in shift-down")
+                st.colour_f[i] = parent_colour
+            else:
+                st.colour_f[i] = shift_down_root_colour(prev)
+            # After shift-down all children of this node wear its old
+            # colour; remember it for the elimination that follows.
+            st.children_colour_f[i] = prev if i in parents else None
+
+    def _eliminate_update(
+        self, st: _State, inbox: Sequence[Any], target: int
+    ) -> None:
+        child = st.child_forests()
+        for i in st.my_forests():
+            if st.colour_f[i] != target:
+                continue
+            parent_colour = inbox[child[i]] if i in child else None
+            st.colour_f[i] = eliminate_class_colour(
+                st.colour_f[i], target, parent_colour, st.children_colour_f.get(i)
+            )
+
+    # -- Phase II star saturation ---------------------------------------
+
+    @staticmethod
+    def _head_process_requests(
+        st: _State, inbox: Sequence[Any], forest: int
+    ) -> None:
+        """The paper's α-rule: saturate all leaves or the root exactly."""
+        requests: List[Tuple[int, Fraction]] = [
+            (p, msg[1])
+            for p, msg in enumerate(inbox)
+            if msg is not None and msg[0] == "req" and st.forest_in[p] == forest
+        ]
+        if not requests:
+            return
+        if st.r == 0:
+            for p, _ru in requests:
+                st.star_replies[p] = ("full",)
+                st.estate[p] = SATURATED
+            return
+        total = sum(ru for _p, ru in requests)
+        for p, ru in requests:
+            # alpha = total / r;  alpha <= 1: give each leaf its full
+            # residual; alpha > 1: scale down so the root saturates.
+            delta_y = ru if total <= st.r else ru * st.r / total
+            st.y[p] += delta_y
+            st.star_replies[p] = ("inc", delta_y)
+            st.estate[p] = SATURATED
+        st.r -= min(total, st.r)
+        if st.r < 0:
+            raise AssertionError("residual went negative in star saturation")
+
+    @staticmethod
+    def _leaf_process_reply(st: _State, inbox: Sequence[Any], forest: int) -> None:
+        child = st.child_forests()
+        p = child.get(forest)
+        if p is None:
+            return
+        msg = inbox[p]
+        if msg is None:
+            return
+        if msg[0] == "full":
+            st.estate[p] = SATURATED
+        elif msg[0] == "inc":
+            delta_y = msg[1]
+            st.y[p] += delta_y
+            st.r -= delta_y
+            if st.r < 0:
+                raise AssertionError("residual went negative at a star leaf")
+            st.estate[p] = SATURATED
+        else:
+            raise AssertionError(f"unexpected star reply {msg!r}")
+
+
+# ----------------------------------------------------------------------
+# Top-level convenience API
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgePackingResult:
+    """A maximal edge packing plus execution metadata.
+
+    ``y`` maps each edge id of ``graph`` to its exact packing value;
+    ``saturated`` is the set of saturated nodes (= the vertex cover);
+    ``rounds`` is the measured synchronous round count.
+    """
+
+    graph: PortNumberedGraph
+    weights: Tuple[int, ...]
+    y: Dict[int, Fraction]
+    saturated: frozenset
+    rounds: int
+    run: RunResult
+
+    def packing_value(self) -> Fraction:
+        """Σ_e y(e) — the dual objective (lower bound on OPT)."""
+        return sum(self.y.values(), Fraction(0))
+
+    def cover_weight(self) -> int:
+        return sum(self.weights[v] for v in self.saturated)
+
+
+def maximal_edge_packing(
+    graph: PortNumberedGraph,
+    weights: Sequence[int],
+    delta: Optional[int] = None,
+    W: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+) -> EdgePackingResult:
+    """Run the Section 3 algorithm and assemble the packing.
+
+    ``delta`` and ``W`` default to the instance's true maximum degree
+    and weight; the paper allows any upper bounds, which callers may
+    pass to study the round-count dependence.
+
+    The per-edge values reported by the two endpoints are
+    cross-checked; a mismatch would indicate a protocol bug, so it
+    raises.
+    """
+    weights = tuple(int(w) for w in weights)
+    if delta is None:
+        delta = graph.max_degree
+    if W is None:
+        W = max_weight(weights)
+    validate_weights(weights, graph.n, W)
+
+    machine = EdgePackingMachine()
+    needed = schedule_length(delta, W)
+    result = run_port_numbering(
+        graph,
+        machine,
+        inputs=list(weights),
+        globals_map={"delta": delta, "W": W},
+        max_rounds=needed if max_rounds is None else max_rounds,
+    )
+    if not result.all_halted:
+        raise RuntimeError(
+            f"edge packing did not halt within {max_rounds} rounds "
+            f"(needs exactly {needed})"
+        )
+
+    y: Dict[int, Fraction] = {}
+    for v in graph.nodes():
+        out_v = result.outputs[v]
+        for p in range(graph.degree(v)):
+            e = graph.edge_of_port(v, p)
+            val = out_v["y"][p]
+            if e in y:
+                if y[e] != val:
+                    raise AssertionError(
+                        f"endpoint disagreement on edge {e}: {y[e]} vs {val}"
+                    )
+            else:
+                y[e] = val
+    saturated = frozenset(
+        v for v in graph.nodes() if result.outputs[v]["in_cover"]
+    )
+    return EdgePackingResult(
+        graph=graph,
+        weights=weights,
+        y=y,
+        saturated=saturated,
+        rounds=result.rounds,
+        run=result,
+    )

@@ -1,0 +1,33 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run(...) -> ExperimentTable`` (with fast default
+parameters) and a ``main()`` that prints the table.  The mapping from
+paper artefacts to modules lives in DESIGN.md; measured-vs-paper
+outcomes are recorded in EXPERIMENTS.md.
+
+Run everything from the command line::
+
+    python -m repro.experiments.cli --all
+    python -m repro.experiments.cli table1 figure3
+"""
+
+from repro.experiments.common import ExperimentTable
+
+__all__ = ["ExperimentTable"]
+
+EXPERIMENT_MODULES = {
+    "table1": "repro.experiments.exp_table1",
+    "theorem1": "repro.experiments.exp_theorem1",
+    "approx": "repro.experiments.exp_approx",
+    "theorem2": "repro.experiments.exp_theorem2",
+    "figure1": "repro.experiments.exp_figure1",
+    "figure2": "repro.experiments.exp_figure2",
+    "figure3": "repro.experiments.exp_figure3",
+    "figure4": "repro.experiments.exp_figure4",
+    "section5": "repro.experiments.exp_section5",
+    "symmetry": "repro.experiments.exp_symmetry",
+    "selfstab": "repro.experiments.exp_selfstab",
+    "ablation": "repro.experiments.exp_ablation",
+    "messages": "repro.experiments.exp_messages",
+    "perf": "repro.experiments.exp_perf",
+}

@@ -1,0 +1,71 @@
+"""Command-line entry point: run experiments and print their tables.
+
+Usage::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli table1 figure3
+    python -m repro.experiments.cli --all
+    python -m repro.experiments.cli --all --markdown > results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List
+
+from repro.experiments import EXPERIMENT_MODULES
+from repro.experiments.common import ExperimentTable
+
+__all__ = ["main"]
+
+
+def _run_one(name: str) -> List[ExperimentTable]:
+    module = importlib.import_module(EXPERIMENT_MODULES[name])
+    result = module.run()
+    return result if isinstance(result, list) else [result]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Åstrand & Suomela (SPAA 2010).",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment names")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown instead of ASCII"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, module in EXPERIMENT_MODULES.items():
+            print(f"{name:10s} {module}")
+        return 0
+
+    names = list(EXPERIMENT_MODULES) if args.all else args.experiments
+    if not names:
+        parser.print_help()
+        return 2
+    unknown = [n for n in names if n not in EXPERIMENT_MODULES]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(EXPERIMENT_MODULES)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        started = time.perf_counter()
+        tables = _run_one(name)
+        elapsed = time.perf_counter() - started
+        for table in tables:
+            print(table.to_markdown() if args.markdown else table.render())
+            print()
+        print(f"({name} completed in {elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""EXP-AB — ablation: what Phase II buys (and what the colours buy).
+
+DESIGN.md's ablation index.  Phase I of the Section 3 algorithm (the
+offer/accept step with colour growth) guarantees, after Δ iterations,
+that every edge is saturated *or multicoloured* — not that the
+saturated nodes form a cover.  This experiment measures, across an
+instance battery:
+
+* how often Phase I alone already yields a valid cover (it often
+  does — e.g. unit weights on regular graphs saturate in one step);
+* how many edges are left for Phase II on instances engineered to
+  defeat Phase I (unbalanced weights);
+* that the full algorithm then covers everything, always.
+
+The second ablation — dropping the colour bookkeeping entirely — is
+the KVY baseline of :mod:`repro.baselines.kvy`: same offer/accept
+core, but no Δ-round termination guarantee, and a (2+ε) factor instead
+of 2.  Its measured rounds appear in EXP-T1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.ablations import phase1_only_cover_attempt
+from repro.core.vertex_cover import vertex_cover_2approx
+from repro.experiments.common import ExperimentTable
+from repro.graphs import families
+from repro.graphs.topology import PortNumberedGraph
+from repro.graphs.weights import adversarial_weights, uniform_weights, unit_weights
+
+__all__ = ["run", "main", "phase2_witness_instance"]
+
+
+def phase2_witness_instance() -> Tuple[PortNumberedGraph, List[int]]:
+    """A minimal instance where Phase I alone fails to cover.
+
+    Star K_{1,3}: centre weight 4, leaf weights 1, 1, 5.  The first
+    iteration saturates the two light leaves; the centre (load 10/3)
+    and the heavy leaf (load 4/3) both stay unsaturated, and their
+    offers differ — the edge becomes multicoloured and survives
+    Phase I.  Phase II's star saturation finishes it.
+    """
+    return families.star_graph(3), [4, 1, 1, 5]
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="EXP-AB",
+        title="ablation: Phase I alone vs the full two-phase algorithm",
+        columns=[
+            "instance",
+            "edges",
+            "uncovered after Phase I",
+            "Phase I suffices",
+            "full algorithm covers",
+        ],
+    )
+    battery = [
+        ("cycle8/unit", families.cycle_graph(8), unit_weights(8)),
+        ("cycle8/uniform", families.cycle_graph(8), uniform_weights(8, 8, seed=1)),
+        ("star witness", *phase2_witness_instance()),
+        ("star8/adversarial", families.star_graph(8), adversarial_weights(9, 16)),
+        ("grid3x3/uniform", families.grid_2d(3, 3), uniform_weights(9, 8, seed=3)),
+        ("gnp12/uniform", families.gnp_random(12, 0.3, seed=2), uniform_weights(12, 8, seed=4)),
+        ("petersen/adversarial", families.petersen_graph(), adversarial_weights(10, 16)),
+    ]
+    for name, g, w in battery:
+        ablation = phase1_only_cover_attempt(g, w)
+        full = vertex_cover_2approx(g, w)
+        table.add_row(
+            instance=name,
+            edges=ablation.total_edges,
+            **{
+                "uncovered after Phase I": ablation.unsaturated_edges,
+                "Phase I suffices": ablation.cover_is_valid,
+                "full algorithm covers": full.is_cover(),
+            },
+        )
+    assert all(table.column("full algorithm covers"))
+    witness = [r for r in table.rows if r["instance"] == "star witness"][0]
+    assert not witness["Phase I suffices"], (
+        "the witness instance must defeat Phase I"
+    )
+    table.add_note(
+        "Phase I alone is often enough (symmetric/balanced instances "
+        "saturate immediately) but provably not always — the witness "
+        "leaves an uncovered multicoloured edge, which is exactly the "
+        "case Phase II's forest colouring + star saturation handles"
+    )
+    table.add_note(
+        "dropping the colours instead (keeping only offer/accept) is the "
+        "KVY (2+ε) baseline — measured separately in EXP-T1"
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

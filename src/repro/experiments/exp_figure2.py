@@ -1,0 +1,78 @@
+"""EXP-F2 — Figure 2: two iterations of weak colour reduction.
+
+Figure 2 shows the Section 4.5 reduction on a small DAG with initial
+colours 10, 20, ..., 90 and the invariant the paper highlights:
+"dotted edges are not properly coloured; nevertheless, each node with
+a positive outdegree has at least one successor with a different
+colour".
+
+This experiment runs the standalone weak reduction on that DAG,
+renders the per-step colour trace, and asserts the invariant at every
+step plus convergence to the Cole–Vishkin fixpoint palette.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.cole_vishkin import (
+    CV_FIXPOINT_COLOURS,
+    is_weak_colouring,
+    weak_colour_reduction_dag,
+)
+from repro.experiments.common import ExperimentTable
+
+__all__ = ["figure2_dag", "run", "main"]
+
+
+def figure2_dag():
+    """A 9-node DAG shaped like Figure 2 (values decrease along arrows)."""
+    successors = [
+        [],        # 0 (colour 10) — sink
+        [0],       # 1 (20)
+        [0, 1],    # 2 (30)
+        [1],       # 3 (40)
+        [2, 3],    # 4 (50)
+        [3],       # 5 (60)
+        [4],       # 6 (70)
+        [4, 5],    # 7 (80)
+        [6, 7],    # 8 (90)
+    ]
+    colours = [10, 20, 30, 40, 50, 60, 70, 80, 90]
+    return successors, colours
+
+
+def run() -> ExperimentTable:
+    successors, colours = figure2_dag()
+    final, trace = weak_colour_reduction_dag(
+        successors, colours, chi=91, record_trace=True
+    )
+    table = ExperimentTable(
+        experiment_id="EXP-F2",
+        title="Figure 2: weak colour reduction trace (9-node DAG, colours 10..90)",
+        columns=["step"] + [f"u{v}" for v in range(9)] + ["weak colouring"],
+    )
+    for step, cs in enumerate(trace):
+        row = {"step": step, "weak colouring": is_weak_colouring(successors, cs)}
+        row.update({f"u{v}": cs[v] for v in range(9)})
+        table.add_row(**row)
+
+    assert all(table.column("weak colouring")), "invariant broken at some step"
+    assert all(0 <= c < CV_FIXPOINT_COLOURS for c in final)
+    table.add_note(
+        "paper claim: each positive-outdegree node keeps a differing "
+        "successor at every step — HOLDS at all steps"
+    )
+    table.add_note(
+        f"palette reduced from 90+ to {CV_FIXPOINT_COLOURS} (CV fixpoint; "
+        "see DESIGN.md deviation note on 6 vs 3 colours)"
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""EXP-F3 — Figure 3: the symmetric K_{p,p} lower bound, measured.
+
+Two demonstrations per p:
+
+* the paper's (anonymous, broadcast) f-approximation selects **all p**
+  subsets on the fully symmetric instance — ratio exactly
+  ``p = min{f,k}``, matching the Section 6 lower bound, so the
+  analysis of the algorithm is tight;
+* the trivial k-approximation, which uses port numbers, achieves ratio
+  1 under a benign numbering but is forced to ratio p under the
+  symmetric numbering of Figure 3 — symmetry of the *ports* is the
+  obstruction, exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.common import ExperimentTable
+from repro.lowerbounds.symmetric import (
+    symmetric_lower_bound_demo,
+    trivial_algorithm_port_sensitivity,
+)
+
+__all__ = ["run", "main"]
+
+
+def run(ps: Optional[List[int]] = None) -> ExperimentTable:
+    ps = ps or [2, 3, 4, 5]
+    table = ExperimentTable(
+        experiment_id="EXP-F3",
+        title="Figure 3: symmetric K_{p,p} instances force ratio p = min{f,k}",
+        columns=[
+            "p",
+            "OPT",
+            "f-approx cover size",
+            "f-approx ratio",
+            "trivial, canonical ports",
+            "trivial, symmetric ports",
+            "lower bound tight",
+        ],
+    )
+    for p in ps:
+        demo = symmetric_lower_bound_demo(p)
+        trivial = trivial_algorithm_port_sensitivity(p)
+        table.add_row(
+            p=p,
+            OPT=demo.optimum,
+            **{
+                "f-approx cover size": len(demo.cover),
+                "f-approx ratio": demo.ratio,
+                "trivial, canonical ports": trivial["canonical"],
+                "trivial, symmetric ports": trivial["symmetric"],
+                "lower bound tight": demo.matches_lower_bound
+                and trivial["symmetric"] == p,
+            },
+        )
+    assert all(table.column("lower bound tight"))
+    table.add_note(
+        "paper claim: no deterministic anonymous algorithm beats p on the "
+        "symmetric instance; both algorithms hit exactly p — HOLDS"
+    )
+    table.add_note(
+        "the trivial algorithm's ratio collapses to 1 when the port "
+        "numbering happens to break the symmetry — the hardness lives in "
+        "the ports, not the set system"
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""EXP-F4 — Figure 4 / Lemma 4: the cycle reduction, measured.
+
+Builds the set cover instances H(n, p) from directed cycles, checks
+their optima, runs the paper's f-approximation through the reduction,
+and exercises the independent-set extraction of Section 6:
+
+* our anonymous algorithm lands at ratio exactly p on H(n, p) — it
+  *cannot* do better (Section 6), so the extraction hands back the
+  empty independent set, consistently;
+* the constant-time local-max independent set rule does well on a
+  random identifier assignment but collapses to a single node on the
+  adversarial increasing numbering — the phenomenon Lemma 4 turns into
+  the impossibility of local (p-ε)-approximation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.baselines.exact import exact_min_set_cover
+from repro.core.set_cover import set_cover_f_approx
+from repro.experiments.common import ExperimentTable
+from repro.lowerbounds.cycle_reduction import (
+    adversarial_increasing_ids,
+    cycle_setcover_instance,
+    extract_independent_set,
+    independent_set_size_guarantee,
+    is_independent_in_cycle,
+    local_max_independent_set,
+    optimal_cycle_cover_size,
+)
+
+__all__ = ["run_reduction", "run_lemma4", "run", "main"]
+
+
+def run_reduction(cases: Optional[List[Tuple[int, int]]] = None) -> ExperimentTable:
+    cases = cases or [(8, 2), (12, 3), (12, 4)]
+    table = ExperimentTable(
+        experiment_id="EXP-F4a",
+        title="Figure 4 reduction: set cover on H(n, p) built from directed cycles",
+        columns=[
+            "n", "p", "OPT = n/p", "f-approx cover", "ratio",
+            "extracted IS size", "IS valid", "size bound holds",
+        ],
+    )
+    for n, p in cases:
+        inst = cycle_setcover_instance(n, p)
+        assert inst.f == p and inst.k == p
+        opt, _ = exact_min_set_cover(inst)
+        assert opt == optimal_cycle_cover_size(n, p)
+        res = set_cover_f_approx(inst)
+        assert res.is_cover()
+        ind = extract_independent_set(n, p, res.cover)
+        table.add_row(
+            n=n,
+            p=p,
+            **{
+                "OPT = n/p": opt,
+                "f-approx cover": len(res.cover),
+                "ratio": res.cover_weight / opt,
+                "extracted IS size": len(ind),
+                "IS valid": is_independent_in_cycle(n, ind),
+                "size bound holds": len(ind)
+                >= independent_set_size_guarantee(n, p, len(res.cover)),
+            },
+        )
+    assert all(table.column("IS valid"))
+    assert all(table.column("size bound holds"))
+    table.add_note(
+        "anonymous algorithms cannot beat ratio p here (Section 6); the "
+        "measured ratio equals p exactly, so the extracted independent "
+        "set is empty — the reduction is internally consistent"
+    )
+    return table
+
+
+def run_lemma4(n: int = 60, radius: int = 1) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="EXP-F4b",
+        title=f"Lemma 4: constant-time IS on numbered {n}-cycles (radius {radius})",
+        columns=["numbering", "IS size", "fraction of n", "independent"],
+    )
+    rng = random.Random(17)
+    random_ids = list(range(1, n + 1))
+    rng.shuffle(random_ids)
+    for name, ids in [
+        ("random permutation", random_ids),
+        ("adversarial increasing", adversarial_increasing_ids(n)),
+    ]:
+        ind = local_max_independent_set(ids, radius=radius)
+        table.add_row(
+            numbering=name,
+            **{
+                "IS size": len(ind),
+                "fraction of n": len(ind) / n,
+                "independent": is_independent_in_cycle(n, ind),
+            },
+        )
+    sizes = table.column("IS size")
+    assert sizes[1] == 1, "adversarial numbering must defeat local-max"
+    table.add_note(
+        "a fixed-radius deterministic rule returns Θ(n) nodes on a random "
+        "numbering but a single node on the adversarial one — no constant-"
+        "time deterministic algorithm finds a large IS on every numbering "
+        "(Czygrinow et al. / Lenzen–Wattenhofer), which via the reduction "
+        "rules out local (p-ε)-approximation of set cover"
+    )
+    return table
+
+
+def run() -> List[ExperimentTable]:
+    return [run_reduction(), run_lemma4()]
+
+
+def main() -> None:
+    for t in run():
+        print(t.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

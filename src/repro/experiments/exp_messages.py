@@ -1,0 +1,111 @@
+"""EXP-MSG — message complexity across the three protocols.
+
+The paper trades message size for model weakness twice: the Section 5
+simulation keeps the *round* count of Section 4 "at the cost of
+increasing message complexity", and the self-stabilising transformer
+[23] multiplies message size by the horizon T.  This experiment puts
+the three protocols side by side on one instance and measures total
+messages, total bits, and peak per-round bits — making both trade-offs
+quantitative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.edge_packing import EdgePackingMachine, schedule_length
+from repro.core.vertex_cover import vertex_cover_2approx, vertex_cover_broadcast
+from repro.experiments.common import ExperimentTable
+from repro.graphs import families
+from repro.graphs.weights import unit_weights
+from repro.selfstab.transformer import run_self_stabilising
+
+__all__ = ["run", "main"]
+
+
+def run(n: int = 8) -> ExperimentTable:
+    g = families.cycle_graph(n)
+    w = unit_weights(n)
+    delta, W = 2, 1
+    table = ExperimentTable(
+        experiment_id="EXP-MSG",
+        title=f"message complexity on the {n}-cycle (Δ=2, W=1)",
+        columns=[
+            "protocol",
+            "model",
+            "rounds",
+            "messages",
+            "total kbits",
+            "peak round kbits",
+            "bits / (message)",
+        ],
+    )
+
+    port = vertex_cover_2approx(g, w)
+    table.add_row(
+        protocol="§3 edge packing",
+        model="port numbering",
+        rounds=port.rounds,
+        messages=port.run.messages_sent,
+        **{
+            "total kbits": port.run.message_bits / 1000,
+            "peak round kbits": port.run.max_round_bits / 1000,
+            "bits / (message)": port.run.message_bits / max(1, port.run.messages_sent),
+        },
+    )
+
+    broadcast = vertex_cover_broadcast(g, w)
+    table.add_row(
+        protocol="§5 history simulation",
+        model="broadcast",
+        rounds=broadcast.rounds,
+        messages=broadcast.run.messages_sent,
+        **{
+            "total kbits": broadcast.run.message_bits / 1000,
+            "peak round kbits": broadcast.run.max_round_bits / 1000,
+            "bits / (message)": broadcast.run.message_bits
+            / max(1, broadcast.run.messages_sent),
+        },
+    )
+
+    horizon = schedule_length(delta, W)
+    ss = run_self_stabilising(
+        g,
+        EdgePackingMachine(),
+        horizon=horizon,
+        rounds=horizon,  # one stabilisation window
+        inputs=list(w),
+        globals_map={"delta": delta, "W": W},
+    )
+    table.add_row(
+        protocol=f"self-stabilising §3 (T={horizon})",
+        model="port numbering",
+        rounds=ss.rounds,
+        messages=ss.messages_sent,
+        **{
+            "total kbits": ss.message_bits / 1000,
+            "peak round kbits": ss.max_round_bits / 1000,
+            "bits / (message)": ss.message_bits / max(1, ss.messages_sent),
+        },
+    )
+
+    base_bits = table.rows[0]["total kbits"]
+    table.add_note(
+        f"§5 pays ~{table.rows[1]['total kbits'] / base_bits:.0f}x the bits of "
+        "§3 for working in the strictly weaker broadcast model"
+    )
+    table.add_note(
+        f"the self-stabilising wrapper pays ~{table.rows[2]['total kbits'] / base_bits:.0f}x "
+        f"(the factor-T pipeline) for tolerating arbitrary transient faults"
+    )
+    assert table.rows[1]["total kbits"] > base_bits
+    assert table.rows[2]["total kbits"] > base_bits
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""EXP-PERF — engineering: simulator throughput and cost of exactness.
+
+Not a paper artefact; quantifies the substrate so the other
+experiments' wall-clock behaviour is interpretable:
+
+* node-rounds/second of the port-numbering runtime as n grows;
+* cost of the Section 3 machine per node-round (exact Fractions);
+* exact vs vectorised-float packing verification.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.analysis.verify import check_edge_packing, edge_packing_feasible_fast
+from repro.core.edge_packing import maximal_edge_packing
+from repro.experiments.common import ExperimentTable
+from repro.graphs import families
+from repro.graphs.weights import uniform_weights
+
+__all__ = ["run", "main"]
+
+
+def run(sizes: Optional[List[int]] = None, degree: int = 3) -> ExperimentTable:
+    sizes = sizes or [32, 128, 512]
+    table = ExperimentTable(
+        experiment_id="EXP-PERF",
+        title=f"simulator throughput, {degree}-regular graphs, W=8",
+        columns=[
+            "n",
+            "rounds",
+            "wall time (s)",
+            "node-rounds/s",
+            "exact verify (s)",
+            "float verify (s)",
+        ],
+    )
+    for n in sizes:
+        g = families.random_regular(degree, n, seed=0)
+        w = uniform_weights(n, 8, seed=1)
+        t0 = time.perf_counter()
+        res = maximal_edge_packing(g, w)
+        elapsed = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        check_edge_packing(g, w, res.y).require()
+        exact_s = time.perf_counter() - t1
+
+        y_float = [float(res.y[e]) for e in range(g.m)]
+        t2 = time.perf_counter()
+        assert edge_packing_feasible_fast(g, w, y_float)
+        float_s = time.perf_counter() - t2
+
+        table.add_row(
+            n=n,
+            rounds=res.rounds,
+            **{
+                "wall time (s)": elapsed,
+                "node-rounds/s": n * res.rounds / max(elapsed, 1e-9),
+                "exact verify (s)": exact_s,
+                "float verify (s)": float_s,
+            },
+        )
+    table.add_note(
+        "rounds stay constant as n grows (strict locality); wall time "
+        "scales ~linearly with n at fixed Δ"
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""EXP-S5 — Section 5: vertex cover in the broadcast model.
+
+Measures the three things the section claims:
+
+* **equivalence** — the history-rebroadcast simulation computes exactly
+  the output of the Section 4 algorithm run directly on the bipartite
+  encoding H (same covers, same per-node packing multisets);
+* **rounds** — the G-round count equals the A-round count (plus the one
+  readout round this implementation adds), i.e. ``O(Δ² + Δ log* W)``;
+* **message growth** — rounds are preserved "at the cost of increasing
+  message complexity": per-round message bits grow linearly as full
+  histories are rebroadcast every round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.bounds import bvc_rounds_exact
+from repro.core.fractional_packing import maximal_fractional_packing
+from repro.core.vertex_cover import vertex_cover_broadcast
+from repro.experiments.common import ExperimentTable
+from repro.graphs import families
+from repro.graphs.setcover import vc_to_setcover
+from repro.graphs.weights import unit_weights
+
+__all__ = ["run", "main"]
+
+
+def _cases() -> List[Tuple[str, object, List[int]]]:
+    return [
+        ("path4", families.path_graph(4), [1, 3, 2, 1]),
+        ("cycle5", families.cycle_graph(5), unit_weights(5)),
+        ("cycle6/weighted", families.cycle_graph(6), [2, 1, 2, 1, 2, 1]),
+        ("star3", families.star_graph(3), [4, 1, 1, 1]),
+    ]
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="EXP-S5",
+        title="Section 5: broadcast-model VC by simulating the Section 4 machine",
+        columns=[
+            "instance",
+            "Δ",
+            "rounds measured",
+            "rounds formula",
+            "cover == direct run",
+            "cover valid",
+            "bits round 1",
+            "bits last round",
+            "growth factor",
+        ],
+    )
+    for name, g, w in _cases():
+        sim = vertex_cover_broadcast(g, w)
+        delta = g.max_degree
+        W = max(w)
+
+        inst = vc_to_setcover(g, w)
+        matches = None
+        if (inst.f, inst.k) == (2, delta):
+            direct = maximal_fractional_packing(inst)
+            matches = sim.cover == direct.saturated_subsets
+
+        bits = sim.run.per_round_bits
+        table.add_row(
+            instance=name,
+            **{
+                "Δ": delta,
+                "rounds measured": sim.rounds,
+                "rounds formula": bvc_rounds_exact(delta, W),
+                "cover == direct run": matches,
+                "cover valid": sim.is_cover(),
+                "bits round 1": bits[0],
+                "bits last round": bits[-1],
+                "growth factor": bits[-1] / max(bits[0], 1),
+            },
+        )
+    assert all(m in (True, None) for m in table.column("cover == direct run"))
+    assert all(table.column("cover valid"))
+    table.add_note(
+        "equivalence with the direct Section 4 run HOLDS wherever the "
+        "instance realises f=2, k=Δ exactly"
+    )
+    table.add_note(
+        "round count unchanged by the simulation (one readout round "
+        "added); message size pays for it — the growth factor column"
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

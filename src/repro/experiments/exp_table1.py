@@ -1,0 +1,271 @@
+"""EXP-T1 — Table 1: comparison of fast distributed VC algorithms.
+
+The paper's Table 1 compares prior distributed vertex cover algorithms
+along four axes: deterministic?, weighted?, approximation factor, and
+running time (with its dependence on n).  Those are *claims from the
+literature*; this experiment re-measures them for every algorithm we
+implement, on a shared instance battery over the same simulator:
+
+* measured worst-case approximation ratio against the exact optimum;
+* measured rounds on a small and a large cycle (Δ fixed): equality
+  means the running time is independent of n — the paper's hallmark;
+* whether unique identifiers are required (anonymous column).
+
+The headline row to check: *this work* is deterministic, weighted,
+2-approximate, anonymous, and its round count does not move when n
+quadruples.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.exact import exact_min_vertex_cover
+from repro.baselines.kvy import vertex_cover_kvy
+from repro.baselines.matching import (
+    maximal_matching_with_ids,
+    randomised_maximal_matching,
+)
+from repro.baselines.ps3approx import vertex_cover_3approx_ps
+from repro.core.vertex_cover import vertex_cover_2approx, vertex_cover_broadcast
+from repro.experiments.common import ExperimentTable
+from repro.graphs import families
+from repro.graphs.weights import uniform_weights, unit_weights
+
+__all__ = ["run", "main"]
+
+
+def _battery() -> List[Tuple[str, object]]:
+    return [
+        ("path8", families.path_graph(8)),
+        ("cycle9", families.cycle_graph(9)),
+        ("star6", families.star_graph(6)),
+        ("petersen", families.petersen_graph()),
+        ("grid3x4", families.grid_2d(3, 4)),
+        ("gnp12", families.gnp_random(12, 0.3, seed=1)),
+    ]
+
+
+def _max_ratio(solve: Callable, weighted: bool) -> Fraction:
+    """Worst measured cover-weight / OPT over the battery."""
+    worst = Fraction(0)
+    for _name, g in _battery():
+        w = uniform_weights(g.n, 8, seed=3) if weighted else unit_weights(g.n)
+        cover_weight = solve(g, w)
+        opt, _ = exact_min_vertex_cover(g, w)
+        if opt == 0:
+            continue
+        worst = max(worst, Fraction(cover_weight, opt))
+    return worst
+
+
+def run(n_small: int = 16, n_large: int = 64) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="EXP-T1",
+        title="Table 1 re-measured: distributed vertex cover algorithms",
+        columns=[
+            "algorithm",
+            "deterministic",
+            "weighted",
+            "anonymous",
+            "guarantee",
+            "measured max ratio",
+            f"rounds cycle n={n_small}",
+            f"rounds cycle n={n_large}",
+            "rounds depend on n",
+        ],
+    )
+    small = families.cycle_graph(n_small)
+    large = families.cycle_graph(n_large)
+
+    # --- this work, Section 3 (port numbering) -------------------------
+    def solve_s3(g, w):
+        res = vertex_cover_2approx(g, w)
+        assert res.is_cover()
+        return res.cover_weight
+
+    r_small = vertex_cover_2approx(small, unit_weights(n_small)).rounds
+    r_large = vertex_cover_2approx(large, unit_weights(n_large)).rounds
+    table.add_row(
+        algorithm="this work §3 (edge packing)",
+        deterministic=True,
+        weighted=True,
+        anonymous=True,
+        guarantee="2",
+        **{
+            "measured max ratio": _max_ratio(solve_s3, weighted=True),
+            f"rounds cycle n={n_small}": r_small,
+            f"rounds cycle n={n_large}": r_large,
+            "rounds depend on n": r_small != r_large,
+        },
+    )
+
+    # --- this work, Section 5 (broadcast) ------------------------------
+    def solve_s5_cycles_only(g, w):
+        res = vertex_cover_broadcast(g, w)
+        assert res.is_cover()
+        return res.cover_weight
+
+    rb_small = vertex_cover_broadcast(small, unit_weights(n_small)).rounds
+    rb_large = vertex_cover_broadcast(large, unit_weights(n_large)).rounds
+    # ratio measured on the low-degree part of the battery (the broadcast
+    # simulation is faithful but slow on high-degree graphs)
+    worst_b = Fraction(0)
+    for name, g in _battery():
+        if g.max_degree > 3:
+            continue
+        w = uniform_weights(g.n, 8, seed=3)
+        cw = solve_s5_cycles_only(g, w)
+        opt, _ = exact_min_vertex_cover(g, w)
+        if opt:
+            worst_b = max(worst_b, Fraction(cw, opt))
+    table.add_row(
+        algorithm="this work §5 (broadcast sim.)",
+        deterministic=True,
+        weighted=True,
+        anonymous=True,
+        guarantee="2",
+        **{
+            "measured max ratio": worst_b,
+            f"rounds cycle n={n_small}": rb_small,
+            f"rounds cycle n={n_large}": rb_large,
+            "rounds depend on n": rb_small != rb_large,
+        },
+    )
+
+    # --- Polishchuk–Suomela 3-approx [30] -------------------------------
+    def solve_ps(g, w):
+        res = vertex_cover_3approx_ps(g)
+        assert res.is_cover()
+        return sum(w[v] for v in res.cover)
+
+    ps_small = vertex_cover_3approx_ps(small).rounds
+    ps_large = vertex_cover_3approx_ps(large).rounds
+    table.add_row(
+        algorithm="Polishchuk–Suomela [30]",
+        deterministic=True,
+        weighted=False,
+        anonymous=True,
+        guarantee="3",
+        **{
+            "measured max ratio": _max_ratio(solve_ps, weighted=False),
+            f"rounds cycle n={n_small}": ps_small,
+            f"rounds cycle n={n_large}": ps_large,
+            "rounds depend on n": ps_small != ps_large,
+        },
+    )
+
+    # --- Panconesi–Rizzi-style matching with unique ids [28] ------------
+    def solve_ids(g, w):
+        res = maximal_matching_with_ids(g)
+        assert res.is_maximal()
+        return sum(w[v] for v in res.matched_nodes)
+
+    id_small = maximal_matching_with_ids(small, N=n_small).rounds
+    id_large = maximal_matching_with_ids(large, N=n_large).rounds
+    table.add_row(
+        algorithm="matching w/ ids (PR [28] style)",
+        deterministic=True,
+        weighted=False,
+        anonymous=False,
+        guarantee="2",
+        **{
+            "measured max ratio": _max_ratio(solve_ids, weighted=False),
+            f"rounds cycle n={n_small}": id_small,
+            f"rounds cycle n={n_large}": id_large,
+            "rounds depend on n": "log* n (schedule)",
+        },
+    )
+
+    # --- randomised matching ([12, 17] stand-in) ------------------------
+    def solve_rand(g, w):
+        res = randomised_maximal_matching(g, seed=11)
+        assert res.is_maximal()
+        return sum(w[v] for v in res.matched_nodes)
+
+    rnd_small = randomised_maximal_matching(small, seed=11).rounds
+    rnd_large = randomised_maximal_matching(large, seed=11).rounds
+    table.add_row(
+        algorithm="randomised matching ([12,17]-style)",
+        deterministic=False,
+        weighted=False,
+        anonymous=True,
+        guarantee="2 (exp. O(log n) rounds)",
+        **{
+            "measured max ratio": _max_ratio(solve_rand, weighted=False),
+            f"rounds cycle n={n_small}": rnd_small,
+            f"rounds cycle n={n_large}": rnd_large,
+            "rounds depend on n": rnd_small != rnd_large,
+        },
+    )
+
+    # --- edge-colouring-based packing (Section 2 remark / [28]) ---------
+    from repro.baselines.edge_colouring import edge_packing_from_colouring
+
+    def solve_ec(g, w):
+        res = edge_packing_from_colouring(g, w)
+        assert res.is_cover()
+        return res.cover_weight()
+
+    ec_small = edge_packing_from_colouring(small, unit_weights(n_small)).rounds
+    ec_large = edge_packing_from_colouring(large, unit_weights(n_large)).rounds
+    table.add_row(
+        algorithm="edge-colouring packing (§2/[28])",
+        deterministic=True,
+        weighted=True,
+        anonymous=False,  # the colouring needs ids to compute distributively
+        guarantee="2 (given a colouring)",
+        **{
+            "measured max ratio": _max_ratio(solve_ec, weighted=True),
+            f"rounds cycle n={n_small}": ec_small,
+            f"rounds cycle n={n_large}": ec_large,
+            "rounds depend on n": "via colouring (log* n)",
+        },
+    )
+
+    # --- KVY (2 + eps) [16] ---------------------------------------------
+    eps = Fraction(1, 4)
+
+    def solve_kvy(g, w):
+        res = vertex_cover_kvy(g, w, epsilon=eps)
+        assert res.is_cover()
+        return res.cover_weight
+
+    kvy_small = vertex_cover_kvy(small, unit_weights(n_small), epsilon=eps).rounds
+    kvy_large = vertex_cover_kvy(large, unit_weights(n_large), epsilon=eps).rounds
+    table.add_row(
+        algorithm="KVY primal-dual (2+eps) [16]",
+        deterministic=True,
+        weighted=True,
+        anonymous=True,
+        guarantee="2/(1-eps) = 8/3",
+        **{
+            "measured max ratio": _max_ratio(solve_kvy, weighted=True),
+            f"rounds cycle n={n_small}": kvy_small,
+            f"rounds cycle n={n_large}": kvy_large,
+            "rounds depend on n": kvy_small != kvy_large,
+        },
+    )
+
+    # --- qualitative checks (the paper's claims) -------------------------
+    s3 = table.rows[0]
+    table.add_note(
+        "paper claim — this work: deterministic + weighted + 2-approx + "
+        f"n-independent rounds: ratio {float(s3['measured max ratio']):.3f} <= 2 "
+        f"and rounds {r_small} == {r_large}: "
+        + ("HOLDS" if s3["measured max ratio"] <= 2 and r_small == r_large else "FAILS")
+    )
+    table.add_note(
+        "unique-id matching needs identifiers (anonymous = no): its schedule "
+        "scales with log* of the id space, which must grow with n"
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

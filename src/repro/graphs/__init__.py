@@ -1,0 +1,30 @@
+"""Graph and set-cover instance substrate.
+
+Provides the port-numbered topology type used by the simulator, graph
+family generators, port-numbering strategies, weight generators, and
+the bipartite set-cover instance representation of Section 1.2.
+"""
+
+from repro.graphs.topology import PortNumberedGraph
+from repro.graphs.weights import (
+    max_weight,
+    uniform_weights,
+    unit_weights,
+    validate_weights,
+)
+from repro.graphs.setcover import SetCoverInstance
+
+from repro.graphs import families, ports, setcover, weights  # noqa: F401
+
+__all__ = [
+    "PortNumberedGraph",
+    "SetCoverInstance",
+    "families",
+    "max_weight",
+    "ports",
+    "setcover",
+    "uniform_weights",
+    "unit_weights",
+    "validate_weights",
+    "weights",
+]

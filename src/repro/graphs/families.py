@@ -1,0 +1,249 @@
+"""Graph family generators.
+
+Deterministic families are generated natively; randomised families use
+a seeded :class:`random.Random` (or delegate to :mod:`networkx` where
+its generator is the de-facto standard, e.g. random regular graphs).
+All generators return :class:`~repro.graphs.topology.PortNumberedGraph`
+with the canonical port numbering; use
+:mod:`repro.graphs.ports` to re-number ports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Tuple
+
+from repro.graphs.topology import PortNumberedGraph
+
+__all__ = [
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "star_graph",
+    "grid_2d",
+    "balanced_tree",
+    "caterpillar",
+    "hypercube",
+    "petersen_graph",
+    "frucht_graph",
+    "random_tree",
+    "random_regular",
+    "gnp_random",
+    "random_bipartite_regularish",
+    "FAMILIES",
+    "make",
+]
+
+
+def empty_graph(n: int) -> PortNumberedGraph:
+    """``n`` isolated nodes."""
+    return PortNumberedGraph.from_edges(n, [])
+
+
+def path_graph(n: int) -> PortNumberedGraph:
+    """Path on ``n`` nodes (Δ = 2 for n >= 3)."""
+    return PortNumberedGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> PortNumberedGraph:
+    """Cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return PortNumberedGraph.from_edges(n, edges)
+
+
+def complete_graph(n: int) -> PortNumberedGraph:
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return PortNumberedGraph.from_edges(n, edges)
+
+
+def complete_bipartite(a: int, b: int) -> PortNumberedGraph:
+    """``K_{a,b}``: left nodes ``0..a-1``, right nodes ``a..a+b-1``."""
+    edges = [(i, a + j) for i in range(a) for j in range(b)]
+    return PortNumberedGraph.from_edges(a + b, edges)
+
+
+def star_graph(leaves: int) -> PortNumberedGraph:
+    """Star: centre node 0 with ``leaves`` leaves (Δ = leaves)."""
+    return PortNumberedGraph.from_edges(
+        leaves + 1, [(0, i) for i in range(1, leaves + 1)]
+    )
+
+
+def grid_2d(rows: int, cols: int) -> PortNumberedGraph:
+    """``rows × cols`` grid (Δ <= 4)."""
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((nid(r, c), nid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((nid(r, c), nid(r + 1, c)))
+    return PortNumberedGraph.from_edges(rows * cols, edges)
+
+
+def balanced_tree(branching: int, height: int) -> PortNumberedGraph:
+    """Complete ``branching``-ary tree of the given height."""
+    if branching < 1:
+        raise ValueError("branching must be >= 1")
+    edges: List[Tuple[int, int]] = []
+    nodes = [0]
+    next_id = 1
+    frontier = [0]
+    for _ in range(height):
+        new_frontier = []
+        for v in frontier:
+            for _ in range(branching):
+                edges.append((v, next_id))
+                nodes.append(next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return PortNumberedGraph.from_edges(next_id, edges)
+
+
+def caterpillar(spine: int, legs: int) -> PortNumberedGraph:
+    """Path of ``spine`` nodes, each with ``legs`` pendant leaves."""
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    next_id = spine
+    for v in range(spine):
+        for _ in range(legs):
+            edges.append((v, next_id))
+            next_id += 1
+    return PortNumberedGraph.from_edges(next_id, edges)
+
+
+def hypercube(dim: int) -> PortNumberedGraph:
+    """``dim``-dimensional hypercube (``2^dim`` nodes, ``Δ = dim``)."""
+    n = 1 << dim
+    edges = [(v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < (v ^ (1 << b))]
+    return PortNumberedGraph.from_edges(n, edges)
+
+
+def petersen_graph() -> PortNumberedGraph:
+    """The Petersen graph: 3-regular, vertex-transitive, 10 nodes."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, 5 + i) for i in range(5)]
+    return PortNumberedGraph.from_edges(10, outer + inner + spokes)
+
+
+def frucht_graph() -> PortNumberedGraph:
+    """The Frucht graph: 3-regular with *trivial* automorphism group.
+
+    Section 7 of the paper uses it to argue that broadcast-model
+    algorithms must output the symmetric solution ``y(e) = 1/3`` even
+    on graphs whose only automorphism is the identity, because the
+    algorithm cannot distinguish the graph from its universal cover
+    (the infinite 3-regular tree).
+    """
+    # Standard construction (LCF notation [-5,-2,-4,2,5,-2,2,5,-2,-5,4,2]).
+    n = 12
+    lcf = [-5, -2, -4, 2, 5, -2, 2, 5, -2, -5, 4, 2]
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    for i, jump in enumerate(lcf):
+        j = (i + jump) % n
+        e = (min(i, j), max(i, j))
+        if e not in edges:
+            edges.append(e)
+    return PortNumberedGraph.from_edges(n, set(edges))
+
+
+def random_tree(n: int, seed: int = 0) -> PortNumberedGraph:
+    """Uniform-ish random tree via a random Prüfer sequence."""
+    if n <= 0:
+        raise ValueError("random_tree needs n >= 1")
+    if n == 1:
+        return empty_graph(1)
+    if n == 2:
+        return PortNumberedGraph.from_edges(2, [(0, 1)])
+    rng = random.Random(f"random-tree:{seed}")
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in prufer:
+        degree[v] += 1
+    edges: List[Tuple[int, int]] = []
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, v))
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    w = heapq.heappop(leaves)
+    edges.append((u, w))
+    return PortNumberedGraph.from_edges(n, edges)
+
+
+def random_regular(d: int, n: int, seed: int = 0) -> PortNumberedGraph:
+    """Random ``d``-regular graph on ``n`` nodes (via networkx)."""
+    import networkx as nx
+
+    if d >= n or (n * d) % 2 != 0:
+        raise ValueError(f"no d-regular graph with d={d}, n={n}")
+    g = nx.random_regular_graph(d, n, seed=seed)
+    return PortNumberedGraph.from_networkx(g)
+
+
+def gnp_random(n: int, p: float, seed: int = 0) -> PortNumberedGraph:
+    """Erdős–Rényi ``G(n, p)`` (native implementation, seeded)."""
+    rng = random.Random(f"gnp:{seed}")
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < p
+    ]
+    return PortNumberedGraph.from_edges(n, edges)
+
+
+def random_bipartite_regularish(
+    a: int, b: int, d: int, seed: int = 0
+) -> PortNumberedGraph:
+    """Random bipartite graph where each left node has degree ``d``."""
+    rng = random.Random(f"bip:{seed}")
+    if d > b:
+        raise ValueError(f"left degree {d} exceeds right side size {b}")
+    edges = []
+    for i in range(a):
+        for j in rng.sample(range(b), d):
+            edges.append((i, a + j))
+    return PortNumberedGraph.from_edges(a + b, edges)
+
+
+# Registry used by experiments/CLI: name -> zero-config small instance.
+FAMILIES: Dict[str, object] = {
+    "path": lambda n=16: path_graph(n),
+    "cycle": lambda n=16: cycle_graph(n),
+    "complete": lambda n=8: complete_graph(n),
+    "star": lambda n=8: star_graph(n),
+    "grid": lambda r=4, c=4: grid_2d(r, c),
+    "tree": lambda b=2, h=3: balanced_tree(b, h),
+    "caterpillar": lambda s=6, l=2: caterpillar(s, l),
+    "hypercube": lambda d=3: hypercube(d),
+    "petersen": petersen_graph,
+    "frucht": frucht_graph,
+    "regular": lambda d=3, n=16, seed=0: random_regular(d, n, seed),
+    "gnp": lambda n=20, p=0.2, seed=0: gnp_random(n, p, seed),
+}
+
+
+def make(name: str, **kwargs) -> PortNumberedGraph:
+    """Instantiate a registered family by name."""
+    try:
+        factory = FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown graph family {name!r}; known: {sorted(FAMILIES)}"
+        ) from None
+    return factory(**kwargs)

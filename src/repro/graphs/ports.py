@@ -1,0 +1,101 @@
+"""Port-numbering strategies.
+
+The validity of the paper's algorithms never depends on *which* port
+numbering a graph carries — only their exact outputs do.  The tests
+exploit this: correctness invariants must hold under canonical, random,
+and adversarial numberings alike.
+
+The :func:`symmetric_complete_bipartite` assignment realises Figure 3
+of the paper: a port numbering of ``K_{p,p}`` invariant under a cyclic
+automorphism, so every left node has exactly the same local view.
+Any deterministic port-numbering algorithm is then forced to make the
+same decision at every left node, which yields the ``p = min{f, k}``
+lower bound of Section 6.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.graphs.topology import PortNumberedGraph
+
+__all__ = [
+    "canonical_ports",
+    "random_ports",
+    "reversed_ports",
+    "symmetric_complete_bipartite",
+    "symmetric_cycle",
+]
+
+
+def canonical_ports(graph: PortNumberedGraph) -> PortNumberedGraph:
+    """Re-number ports so every node lists neighbours in index order."""
+    order = [sorted(graph.neighbours(v)) for v in graph.nodes()]
+    return graph.with_neighbour_order(order)
+
+
+def random_ports(graph: PortNumberedGraph, seed: int = 0) -> PortNumberedGraph:
+    """Shuffle every node's port order independently (seeded)."""
+    rng = random.Random(f"ports:{seed}")
+    order: List[List[int]] = []
+    for v in graph.nodes():
+        nbrs = list(graph.neighbours(v))
+        rng.shuffle(nbrs)
+        order.append(nbrs)
+    return graph.with_neighbour_order(order)
+
+
+def reversed_ports(graph: PortNumberedGraph) -> PortNumberedGraph:
+    """Reverse every node's port order (deterministic adversary)."""
+    order = [list(reversed(graph.neighbours(v))) for v in graph.nodes()]
+    return graph.with_neighbour_order(order)
+
+
+def symmetric_complete_bipartite(p: int) -> PortNumberedGraph:
+    """``K_{p,p}`` with the cyclically symmetric port numbering of Fig. 3.
+
+    Left nodes are ``0..p-1``, right nodes ``p..2p-1``.  Left node ``i``
+    uses port ``t`` (0-based) to reach right node ``(i + t) mod p``, and
+    right node ``j`` uses port ``t`` to reach left node ``(j - t) mod p``.
+    The shift ``i -> i+1 (mod p)`` on both sides is then a port-preserving
+    automorphism, so all left nodes (and all right nodes) have identical
+    views at every radius.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    ports: List[List[Tuple[int, int]]] = []
+    for i in range(p):  # left node i
+        row = []
+        for t in range(p):
+            j = (i + t) % p  # right partner index
+            # right node p+j reaches left i on its port t' with i = (j - t') mod p
+            t_back = (j - i) % p
+            row.append((p + j, t_back))
+        ports.append(row)
+    for j in range(p):  # right node p+j
+        row = []
+        for t in range(p):
+            i = (j - t) % p
+            t_fwd = (j - i) % p
+            row.append((i, t_fwd))
+        ports.append(row)
+    return PortNumberedGraph(ports)
+
+
+def symmetric_cycle(n: int) -> PortNumberedGraph:
+    """Cycle where every node's port 0 points clockwise, port 1 counter.
+
+    A consistently *oriented* cycle: the rotation is a port-preserving
+    automorphism, so anonymous deterministic algorithms cannot break
+    symmetry on it (every node must produce the same output).
+    """
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    ports = []
+    for v in range(n):
+        cw = (v + 1) % n
+        ccw = (v - 1) % n
+        # v's port 0 -> cw neighbour; at cw, this node is its ccw = port 1.
+        ports.append([(cw, 1), (ccw, 0)])
+    return PortNumberedGraph(ports)

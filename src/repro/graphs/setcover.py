@@ -1,0 +1,265 @@
+"""Set cover instances as bipartite graphs (Section 1.2 of the paper).
+
+An instance is a bipartite graph ``H = (S ∪ U, A)``: subset nodes
+``s ∈ S`` with positive integer weights, element nodes ``u ∈ U``, and
+an edge ``{s, u}`` whenever element ``u`` belongs to subset ``s``.
+The global parameters are ``k`` (maximum subset size, i.e. maximum
+degree on the ``S`` side), ``f`` (maximum element frequency, maximum
+degree on the ``U`` side) and ``W`` (maximum weight).
+
+For the simulator, :meth:`SetCoverInstance.to_bipartite_graph` lays the
+instance out as a :class:`PortNumberedGraph` whose first ``|S|`` nodes
+are subsets and remaining ``|U|`` nodes are elements; the per-node
+local inputs carry the role and (for subsets) the weight — exactly the
+information the paper gives each computational entity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.topology import PortNumberedGraph
+from repro.graphs.weights import validate_weights
+
+__all__ = [
+    "SetCoverInstance",
+    "random_instance",
+    "vc_to_setcover",
+    "symmetric_kpp_instance",
+    "partition_instance",
+]
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """An immutable weighted set cover instance.
+
+    Attributes
+    ----------
+    subsets:
+        ``subsets[s]`` is the frozenset of element ids (``0..n_elements-1``)
+        belonging to subset ``s``.
+    weights:
+        positive integer weight per subset.
+    n_elements:
+        size of the universe ``U``.
+    """
+
+    subsets: Tuple[FrozenSet[int], ...]
+    weights: Tuple[int, ...]
+    n_elements: int
+
+    def __post_init__(self):
+        if len(self.weights) != len(self.subsets):
+            raise ValueError("need exactly one weight per subset")
+        validate_weights(self.weights, len(self.subsets), max(self.weights, default=1))
+        covered = set()
+        for s, members in enumerate(self.subsets):
+            for u in members:
+                if not (0 <= u < self.n_elements):
+                    raise ValueError(
+                        f"subset {s} contains element {u} outside universe "
+                        f"0..{self.n_elements - 1}"
+                    )
+            covered |= members
+        if covered != set(range(self.n_elements)):
+            missing = sorted(set(range(self.n_elements)) - covered)
+            raise ValueError(
+                f"infeasible instance: elements {missing[:10]} belong to no subset"
+            )
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+
+    @property
+    def n_subsets(self) -> int:
+        return len(self.subsets)
+
+    @property
+    def k(self) -> int:
+        """Maximum subset size (``deg(s) <= k``)."""
+        return max((len(s) for s in self.subsets), default=1)
+
+    @property
+    def f(self) -> int:
+        """Maximum element frequency (``deg(u) <= f``)."""
+        freq = [0] * self.n_elements
+        for members in self.subsets:
+            for u in members:
+                freq[u] += 1
+        return max(freq, default=1)
+
+    @property
+    def W(self) -> int:
+        """Maximum subset weight."""
+        return max(self.weights, default=1)
+
+    def element_to_subsets(self) -> List[List[int]]:
+        """``result[u]`` lists the subsets containing element ``u``."""
+        out: List[List[int]] = [[] for _ in range(self.n_elements)]
+        for s, members in enumerate(self.subsets):
+            for u in sorted(members):
+                out[u].append(s)
+        return out
+
+    # ------------------------------------------------------------------
+    # Solution helpers
+    # ------------------------------------------------------------------
+
+    def is_cover(self, chosen: Iterable[int]) -> bool:
+        chosen_set = set(chosen)
+        covered = set()
+        for s in chosen_set:
+            covered |= self.subsets[s]
+        return covered == set(range(self.n_elements))
+
+    def cover_weight(self, chosen: Iterable[int]) -> int:
+        return sum(self.weights[s] for s in set(chosen))
+
+    # ------------------------------------------------------------------
+    # Simulator layout
+    # ------------------------------------------------------------------
+
+    def to_bipartite_graph(self) -> PortNumberedGraph:
+        """Lay the instance out for the simulator.
+
+        Nodes ``0..n_subsets-1`` are subset nodes; nodes
+        ``n_subsets..n_subsets+n_elements-1`` are element nodes.
+        """
+        off = self.n_subsets
+        edges = [
+            (s, off + u) for s, members in enumerate(self.subsets) for u in members
+        ]
+        return PortNumberedGraph.from_edges(off + self.n_elements, edges)
+
+    def node_inputs(self) -> List[Dict[str, object]]:
+        """Per-node local inputs matching :meth:`to_bipartite_graph`.
+
+        Subset nodes receive ``{"role": "subset", "weight": w}``;
+        element nodes receive ``{"role": "element"}`` — elements have
+        no input in the paper's model beyond their role.
+        """
+        inputs: List[Dict[str, object]] = [
+            {"role": "subset", "weight": self.weights[s]}
+            for s in range(self.n_subsets)
+        ]
+        inputs.extend({"role": "element"} for _ in range(self.n_elements))
+        return inputs
+
+    def global_params(self) -> Dict[str, int]:
+        """The global knowledge the paper grants every node: f, k, W."""
+        return {"f": self.f, "k": self.k, "W": self.W}
+
+    def subset_node(self, s: int) -> int:
+        return s
+
+    def element_node(self, u: int) -> int:
+        return self.n_subsets + u
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+def random_instance(
+    n_subsets: int,
+    n_elements: int,
+    k: int,
+    f: int,
+    W: int = 1,
+    seed: int = 0,
+) -> SetCoverInstance:
+    """Random instance with ``deg(s) <= k``, ``deg(u) <= f``, weights in 1..W.
+
+    Every element joins between 1 and ``f`` subsets chosen uniformly
+    among subsets with remaining capacity, so the instance is always
+    feasible.  Raises if the capacity ``n_subsets * k`` cannot
+    accommodate one membership per element.
+    """
+    if n_subsets < 1 or n_elements < 1:
+        raise ValueError("need at least one subset and one element")
+    if k < 1 or f < 1:
+        raise ValueError("k and f must be >= 1")
+    if n_subsets * k < n_elements:
+        raise ValueError(
+            f"capacity too small: {n_subsets} subsets of size <= {k} cannot "
+            f"cover {n_elements} elements"
+        )
+    rng = random.Random(f"setcover:{seed}")
+    members: List[set] = [set() for _ in range(n_subsets)]
+    # First pass: one mandatory membership per element (feasibility).  At
+    # most n_elements <= n_subsets * k slots are consumed, so a subset
+    # with spare capacity always exists.
+    for u in range(n_elements):
+        available = [s for s in range(n_subsets) if len(members[s]) < k]
+        members[rng.choice(available)].add(u)
+    # Second pass: optional extra memberships up to frequency f, limited
+    # by whatever capacity is left.
+    for u in range(n_elements):
+        extra = rng.randint(0, f - 1)
+        if extra == 0:
+            continue
+        available = [
+            s for s in range(n_subsets) if len(members[s]) < k and u not in members[s]
+        ]
+        for s in rng.sample(available, min(extra, len(available))):
+            members[s].add(u)
+    weights = [rng.randint(1, W) for _ in range(n_subsets)]
+    return SetCoverInstance(
+        subsets=tuple(frozenset(m) for m in members),
+        weights=tuple(weights),
+        n_elements=n_elements,
+    )
+
+
+def vc_to_setcover(
+    graph: PortNumberedGraph, weights: Sequence[int]
+) -> SetCoverInstance:
+    """The Section 5 encoding of vertex cover as set cover.
+
+    Each node ``v`` becomes a subset node ``s(v)`` with weight ``w_v``;
+    each edge ``e`` becomes an element ``u(e)``.  The parameters become
+    ``f = 2`` and ``k = Δ``.  Isolated nodes become empty subsets
+    (never selected).
+    """
+    if len(weights) != graph.n:
+        raise ValueError("need one weight per node")
+    subsets = tuple(
+        frozenset(graph.incident_edges(v)) for v in graph.nodes()
+    )
+    return SetCoverInstance(
+        subsets=subsets, weights=tuple(int(w) for w in weights), n_elements=graph.m
+    )
+
+
+def symmetric_kpp_instance(p: int, weight: int = 1) -> SetCoverInstance:
+    """The Figure 3 instance: ``p`` identical subsets over ``p`` elements.
+
+    Every subset contains every element (``K_{p,p}``), all weights
+    equal.  ``f = k = p``; the optimum picks a single subset, but any
+    deterministic anonymous algorithm must select all ``p`` by
+    symmetry, giving approximation ratio exactly ``p = min{f, k}``.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    all_elements = frozenset(range(p))
+    return SetCoverInstance(
+        subsets=tuple(all_elements for _ in range(p)),
+        weights=tuple(weight for _ in range(p)),
+        n_elements=p,
+    )
+
+
+def partition_instance(
+    groups: Sequence[Sequence[int]], weights: Sequence[int], n_elements: int
+) -> SetCoverInstance:
+    """Explicit instance constructor from plain lists (convenience)."""
+    return SetCoverInstance(
+        subsets=tuple(frozenset(g) for g in groups),
+        weights=tuple(int(w) for w in weights),
+        n_elements=n_elements,
+    )

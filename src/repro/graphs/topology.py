@@ -1,0 +1,300 @@
+"""Port-numbered graph topology.
+
+In the port-numbering model (Section 1.3 of the paper) a node ``v`` of
+degree ``deg(v)`` refers to its neighbours by the integers
+``1, ..., deg(v)``.  The simulator needs, for every directed half-edge,
+both the neighbour it leads to and the *reverse port* — the port number
+under which the neighbour sees this node — so that messages can be
+routed: what ``u`` sends on its port ``p`` arrives at ``v`` tagged with
+``v``'s port ``q`` where ``ports[u][p] = (v, q)``.
+
+Node indices ``0..n-1`` exist only for the benefit of the runtime and
+the analysis code; node *programs* never see them (anonymity).  Ports
+are 0-based internally (``0..deg(v)-1``); the paper's ``1..deg(v)`` is
+a presentation choice only.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = ["PortNumberedGraph"]
+
+Edge = Tuple[int, int]
+PortTarget = Tuple[int, int]  # (neighbour, reverse port)
+
+
+def _normalise_edge(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+class PortNumberedGraph:
+    """An undirected simple graph with a consistent port numbering.
+
+    Instances are immutable after construction.  Use the constructors
+    :meth:`from_edges` (canonical or custom neighbour orders) or the
+    strategies in :mod:`repro.graphs.ports`.
+    """
+
+    __slots__ = ("_n", "_ports", "_edges", "_edge_index")
+
+    def __init__(self, ports: Sequence[Sequence[PortTarget]]):
+        """Build from an explicit port map; validates consistency.
+
+        ``ports[v]`` is the sequence of ``(neighbour, reverse_port)``
+        pairs for ``v``'s ports ``0..deg(v)-1``.
+        """
+        self._n = len(ports)
+        self._ports: Tuple[Tuple[PortTarget, ...], ...] = tuple(
+            tuple((int(u), int(q)) for (u, q) in plist) for plist in ports
+        )
+        self._validate()
+        edges = set()
+        for v in range(self._n):
+            for (u, _q) in self._ports[v]:
+                edges.add(_normalise_edge(v, u))
+        ordered = sorted(edges)
+        self._edges: Tuple[Edge, ...] = tuple(ordered)
+        self._edge_index: Dict[Edge, int] = {e: i for i, e in enumerate(ordered)}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[Edge],
+        neighbour_order: Optional[Sequence[Sequence[int]]] = None,
+    ) -> "PortNumberedGraph":
+        """Build a graph on nodes ``0..n-1`` from an edge list.
+
+        ``neighbour_order``, if given, fixes the port numbering:
+        ``neighbour_order[v]`` must be a permutation of ``v``'s
+        neighbours, and ``v``'s port ``p`` then leads to
+        ``neighbour_order[v][p]``.  By default neighbours are ordered
+        by increasing node index (the *canonical* port numbering).
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        adjacency: List[set] = [set() for _ in range(n)]
+        for (u, v) in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v}) not allowed (simple graph)")
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+
+        if neighbour_order is None:
+            order: List[List[int]] = [sorted(adjacency[v]) for v in range(n)]
+        else:
+            if len(neighbour_order) != n:
+                raise ValueError("neighbour_order must have one entry per node")
+            order = []
+            for v in range(n):
+                seq = list(neighbour_order[v])
+                if sorted(seq) != sorted(adjacency[v]):
+                    raise ValueError(
+                        f"neighbour_order[{v}] is not a permutation of the "
+                        f"neighbours of {v}"
+                    )
+                order.append(seq)
+
+        # port_of[v][u] = the port of v leading to u
+        port_of: List[Dict[int, int]] = [
+            {u: p for p, u in enumerate(order[v])} for v in range(n)
+        ]
+        ports: List[List[PortTarget]] = [
+            [(u, port_of[u][v]) for u in order[v]] for v in range(n)
+        ]
+        return cls(ports)
+
+    @classmethod
+    def from_networkx(cls, g, relabel: bool = True) -> "PortNumberedGraph":
+        """Convert a :mod:`networkx` graph (nodes relabelled to 0..n-1)."""
+        import networkx as nx
+
+        if relabel:
+            g = nx.convert_node_labels_to_integers(g, ordering="sorted")
+        return cls.from_edges(g.number_of_nodes(), g.edges())
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges as sorted ``(u, v)`` pairs with ``u < v``."""
+        return self._edges
+
+    def nodes(self) -> range:
+        return range(self._n)
+
+    def degree(self, v: int) -> int:
+        return len(self._ports[v])
+
+    def degrees(self) -> List[int]:
+        return [len(p) for p in self._ports]
+
+    @property
+    def max_degree(self) -> int:
+        """The parameter Δ: maximum degree (0 for an empty graph)."""
+        return max((len(p) for p in self._ports), default=0)
+
+    def neighbours(self, v: int) -> List[int]:
+        """Neighbours of ``v`` in port order."""
+        return [u for (u, _q) in self._ports[v]]
+
+    def ports(self, v: int) -> Tuple[PortTarget, ...]:
+        """``v``'s ports as ``(neighbour, reverse_port)`` pairs."""
+        return self._ports[v]
+
+    def port_target(self, v: int, p: int) -> PortTarget:
+        """The ``(neighbour, reverse_port)`` reached by ``v``'s port ``p``."""
+        return self._ports[v][p]
+
+    def port_of(self, v: int, u: int) -> int:
+        """The port of ``v`` leading to its neighbour ``u``."""
+        for p, (w, _q) in enumerate(self._ports[v]):
+            if w == u:
+                return p
+        raise KeyError(f"{u} is not a neighbour of {v}")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return _normalise_edge(u, v) in self._edge_index
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Stable index of the edge ``{u, v}`` (for arrays indexed by edge)."""
+        return self._edge_index[_normalise_edge(u, v)]
+
+    def edge_of_port(self, v: int, p: int) -> int:
+        """Edge id of the edge incident to ``v`` via port ``p``."""
+        u, _q = self._ports[v][p]
+        return self.edge_id(v, u)
+
+    def incident_edges(self, v: int) -> List[int]:
+        """Edge ids incident to ``v``, in port order."""
+        return [self.edge_of_port(v, p) for p in range(self.degree(v))]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PortNumberedGraph):
+            return NotImplemented
+        return self._ports == other._ports
+
+    def __hash__(self) -> int:
+        return hash(self._ports)
+
+    def __repr__(self) -> str:
+        return (
+            f"PortNumberedGraph(n={self._n}, m={self.m}, "
+            f"max_degree={self.max_degree})"
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def relabel(self, permutation: Sequence[int]) -> "PortNumberedGraph":
+        """Return the graph with node ``v`` renamed ``permutation[v]``.
+
+        The port *structure* travels with the nodes: the relabelled
+        graph is isomorphic as a port-numbered graph.  Used by tests to
+        check that algorithm outputs depend only on the port-numbered
+        structure, never on node indices (anonymity).
+        """
+        n = self._n
+        if sorted(permutation) != list(range(n)):
+            raise ValueError("permutation must be a bijection on 0..n-1")
+        new_ports: List[List[PortTarget]] = [[] for _ in range(n)]
+        for v in range(n):
+            new_ports[permutation[v]] = [
+                (permutation[u], q) for (u, q) in self._ports[v]
+            ]
+        return PortNumberedGraph(new_ports)
+
+    def with_neighbour_order(
+        self, neighbour_order: Sequence[Sequence[int]]
+    ) -> "PortNumberedGraph":
+        """Same graph, different port numbering."""
+        return PortNumberedGraph.from_edges(self._n, self._edges, neighbour_order)
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self._edges)
+        return g
+
+    def connected_components(self) -> List[FrozenSet[int]]:
+        """Connected components (BFS, no external deps)."""
+        seen = [False] * self._n
+        comps: List[FrozenSet[int]] = []
+        for s in range(self._n):
+            if seen[s]:
+                continue
+            stack = [s]
+            seen[s] = True
+            comp = [s]
+            while stack:
+                v = stack.pop()
+                for (u, _q) in self._ports[v]:
+                    if not seen[u]:
+                        seen[u] = True
+                        comp.append(u)
+                        stack.append(u)
+            comps.append(frozenset(comp))
+        return comps
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        n = self._n
+        for v in range(n):
+            seen_neighbours = set()
+            for p, (u, q) in enumerate(self._ports[v]):
+                if not (0 <= u < n):
+                    raise ValueError(f"node {v} port {p}: neighbour {u} out of range")
+                if u == v:
+                    raise ValueError(f"node {v} port {p}: self-loop")
+                if u in seen_neighbours:
+                    raise ValueError(
+                        f"node {v}: duplicate neighbour {u} (multigraphs not supported)"
+                    )
+                seen_neighbours.add(u)
+                if not (0 <= q < len(self._ports[u])):
+                    raise ValueError(
+                        f"node {v} port {p}: reverse port {q} out of range for {u}"
+                    )
+                back_u, back_q = self._ports[u][q]
+                if back_u != v or back_q != p:
+                    raise ValueError(
+                        f"inconsistent port numbering: {v}:{p} -> ({u},{q}) but "
+                        f"{u}:{q} -> ({back_u},{back_q})"
+                    )

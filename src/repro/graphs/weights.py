@@ -1,0 +1,80 @@
+"""Node weight generators and validation.
+
+The paper assumes positive integer weights ``w_v ∈ {1, ..., W}`` with
+the bound ``W`` known to all nodes (Section 1.4).  Everything here
+returns plain Python ints so the core algorithms can run on exact
+rationals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+__all__ = [
+    "validate_weights",
+    "unit_weights",
+    "uniform_weights",
+    "geometric_weights",
+    "adversarial_weights",
+    "max_weight",
+]
+
+
+def validate_weights(weights: Sequence[int], n: int, W: int) -> None:
+    """Check ``weights`` is a length-``n`` sequence of ints in ``1..W``."""
+    if len(weights) != n:
+        raise ValueError(f"expected {n} weights, got {len(weights)}")
+    if W < 1:
+        raise ValueError(f"W must be >= 1, got {W}")
+    for v, w in enumerate(weights):
+        if isinstance(w, bool) or not isinstance(w, int):
+            raise TypeError(f"weight of node {v} must be an int, got {type(w).__name__}")
+        if not (1 <= w <= W):
+            raise ValueError(f"weight of node {v} is {w}, outside 1..{W}")
+
+
+def max_weight(weights: Sequence[int]) -> int:
+    """The parameter ``W`` implied by a weight vector (>= 1)."""
+    return max(weights, default=1)
+
+
+def unit_weights(n: int) -> List[int]:
+    """All-ones weights (the unweighted case, ``W = 1``)."""
+    return [1] * n
+
+
+def uniform_weights(n: int, W: int, seed: int = 0) -> List[int]:
+    """Independent uniform weights in ``1..W``."""
+    if W < 1:
+        raise ValueError(f"W must be >= 1, got {W}")
+    rng = random.Random(f"uniform-weights:{seed}")
+    return [rng.randint(1, W) for _ in range(n)]
+
+
+def geometric_weights(n: int, W: int, seed: int = 0) -> List[int]:
+    """Weights drawn as powers of two up to ``W`` (heavy-tailed).
+
+    Exercises the ``log* W`` term with wildly differing magnitudes.
+    """
+    if W < 1:
+        raise ValueError(f"W must be >= 1, got {W}")
+    rng = random.Random(f"geometric-weights:{seed}")
+    max_exp = max(0, W.bit_length() - 1)
+    out = []
+    for _ in range(n):
+        w = 1 << rng.randint(0, max_exp)
+        out.append(min(w, W))
+    return out
+
+
+def adversarial_weights(n: int, W: int) -> List[int]:
+    """Deterministic worst-case-flavoured weights.
+
+    Alternating extremes (1, W, 1, W, ...) force the edge-packing
+    offers to saturate light nodes immediately while heavy nodes linger
+    — a pattern that stresses Phase II of the Section 3 algorithm.
+    """
+    if W < 1:
+        raise ValueError(f"W must be >= 1, got {W}")
+    return [1 if v % 2 == 0 else W for v in range(n)]

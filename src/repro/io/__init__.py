@@ -1,0 +1,19 @@
+"""Serialisation of instances and results (JSON, exact rationals)."""
+
+from repro.io.json_io import (
+    graph_from_json,
+    graph_to_json,
+    packing_from_json,
+    packing_to_json,
+    setcover_from_json,
+    setcover_to_json,
+)
+
+__all__ = [
+    "graph_from_json",
+    "graph_to_json",
+    "packing_from_json",
+    "packing_to_json",
+    "setcover_from_json",
+    "setcover_to_json",
+]

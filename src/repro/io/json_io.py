@@ -1,0 +1,111 @@
+"""JSON (de)serialisation with exact rationals.
+
+Fractions are stored as ``"numerator/denominator"`` strings so
+round-trips are exact — serialising through floats would corrupt the
+Lemma 2 invariants and invalidate the certificates.  Port numberings
+are part of the graph format: two isomorphic graphs with different
+port assignments are different instances for a port-numbering
+algorithm, and the serialisation respects that.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, Mapping, Sequence
+
+from repro.graphs.setcover import SetCoverInstance
+from repro.graphs.topology import PortNumberedGraph
+
+__all__ = [
+    "graph_to_json",
+    "graph_from_json",
+    "setcover_to_json",
+    "setcover_from_json",
+    "packing_to_json",
+    "packing_from_json",
+]
+
+_FORMAT_GRAPH = "repro/port-numbered-graph/v1"
+_FORMAT_SETCOVER = "repro/setcover-instance/v1"
+_FORMAT_PACKING = "repro/edge-packing/v1"
+
+
+def _frac_to_str(x: Fraction) -> str:
+    return f"{x.numerator}/{x.denominator}"
+
+
+def _frac_from_str(s: str) -> Fraction:
+    return Fraction(s)
+
+
+def graph_to_json(graph: PortNumberedGraph, indent: int | None = None) -> str:
+    """Serialise a port-numbered graph (ports included)."""
+    payload = {
+        "format": _FORMAT_GRAPH,
+        "n": graph.n,
+        "ports": [
+            [[u, q] for (u, q) in graph.ports(v)] for v in graph.nodes()
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def graph_from_json(text: str) -> PortNumberedGraph:
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT_GRAPH:
+        raise ValueError(f"not a {_FORMAT_GRAPH} document")
+    ports = [
+        [(int(u), int(q)) for (u, q) in row] for row in payload["ports"]
+    ]
+    if len(ports) != payload["n"]:
+        raise ValueError("n does not match the ports table")
+    return PortNumberedGraph(ports)
+
+
+def setcover_to_json(instance: SetCoverInstance, indent: int | None = None) -> str:
+    payload = {
+        "format": _FORMAT_SETCOVER,
+        "n_elements": instance.n_elements,
+        "weights": list(instance.weights),
+        "subsets": [sorted(members) for members in instance.subsets],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def setcover_from_json(text: str) -> SetCoverInstance:
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT_SETCOVER:
+        raise ValueError(f"not a {_FORMAT_SETCOVER} document")
+    return SetCoverInstance(
+        subsets=tuple(frozenset(map(int, s)) for s in payload["subsets"]),
+        weights=tuple(int(w) for w in payload["weights"]),
+        n_elements=int(payload["n_elements"]),
+    )
+
+
+def packing_to_json(
+    y: Mapping[int, Fraction],
+    saturated: Sequence[int],
+    weights: Sequence[int],
+    indent: int | None = None,
+) -> str:
+    """Serialise an edge packing result with its cover."""
+    payload = {
+        "format": _FORMAT_PACKING,
+        "weights": list(weights),
+        "y": {str(e): _frac_to_str(Fraction(v)) for e, v in sorted(y.items())},
+        "saturated": sorted(int(v) for v in saturated),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def packing_from_json(text: str) -> Dict[str, Any]:
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT_PACKING:
+        raise ValueError(f"not a {_FORMAT_PACKING} document")
+    return {
+        "weights": [int(w) for w in payload["weights"]],
+        "y": {int(e): _frac_from_str(s) for e, s in payload["y"].items()},
+        "saturated": frozenset(payload["saturated"]),
+    }

@@ -1,0 +1,25 @@
+"""Lower-bound constructions of Section 6 of the paper."""
+
+from repro.lowerbounds.symmetric import (
+    symmetric_lower_bound_demo,
+    trivial_algorithm_port_sensitivity,
+)
+from repro.lowerbounds.cycle_reduction import (
+    adversarial_increasing_ids,
+    cycle_setcover_instance,
+    extract_independent_set,
+    is_independent_in_cycle,
+    local_max_independent_set,
+    optimal_cycle_cover_size,
+)
+
+__all__ = [
+    "adversarial_increasing_ids",
+    "cycle_setcover_instance",
+    "extract_independent_set",
+    "is_independent_in_cycle",
+    "local_max_independent_set",
+    "optimal_cycle_cover_size",
+    "symmetric_lower_bound_demo",
+    "trivial_algorithm_port_sensitivity",
+]

@@ -1,0 +1,134 @@
+"""The cycle reduction lower bound (Figure 4, Lemma 4, Section 6).
+
+The paper shows that even with unique identifiers, no deterministic
+strictly-local algorithm achieves a ``(p - ε)``-approximation of
+minimum set cover (``p = min{f, k}``), by a local reduction from
+independent set in *numbered directed cycles*:
+
+* Given a directed ``n``-cycle, build the set cover instance ``H``:
+  subset node ``v₁`` per cycle node ``v``, element node ``v₂`` per
+  cycle node, and ``{u₁, v₂} ∈ A`` iff the directed path from ``u`` to
+  ``v`` has length at most ``p - 1``.  Then ``f = k = p``, and (for
+  ``p | n``) an optimal cover takes every ``p``-th subset:
+  ``|C*| = n/p``.
+* From any set cover ``C`` of ``H`` with ``|C| <= (p - ε) n/p`` one
+  *locally* extracts an independent set of size ``>= nε/p²`` in the
+  cycle — contradicting the Czygrinow et al. / Lenzen–Wattenhofer
+  lower bound (Lemma 4) for constant-time deterministic algorithms.
+
+These helpers build ``H``, perform the extraction, and provide the
+constant-time independent-set algorithms whose failure on adversarial
+numberings Lemma 4 formalises (on the *increasing* numbering, the
+radius-r local-max rule returns a single node).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+from repro.graphs.setcover import SetCoverInstance
+
+__all__ = [
+    "cycle_setcover_instance",
+    "optimal_cycle_cover_size",
+    "extract_independent_set",
+    "is_independent_in_cycle",
+    "local_max_independent_set",
+    "adversarial_increasing_ids",
+    "independent_set_size_guarantee",
+]
+
+
+def cycle_setcover_instance(n: int, p: int, weight: int = 1) -> SetCoverInstance:
+    """Build ``H`` from a directed ``n``-cycle (Figure 4).
+
+    Subset ``v`` covers elements ``v, v+1, ..., v+p-1 (mod n)`` — the
+    nodes reachable by directed paths of length ``< p``.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if n < p:
+        raise ValueError(f"need n >= p, got n={n}, p={p}")
+    subsets = tuple(
+        frozenset((v + i) % n for i in range(p)) for v in range(n)
+    )
+    return SetCoverInstance(
+        subsets=subsets, weights=tuple(weight for _ in range(n)), n_elements=n
+    )
+
+
+def optimal_cycle_cover_size(n: int, p: int) -> int:
+    """``ceil(n/p)``: every subset covers an arc of ``p`` consecutive
+    elements, and arcs of the optimal cover tile the cycle."""
+    return -(-n // p)
+
+
+def extract_independent_set(n: int, p: int, cover: Iterable[int]) -> FrozenSet[int]:
+    """Section 6 extraction: heads of the maximal paths avoiding the cover.
+
+    ``X = {v : v₁ ∉ C}`` induces a set of directed paths in the cycle
+    (no path has ``p`` or more nodes, else some element is uncovered);
+    the extraction returns the first node of each path — an independent
+    set of size at least ``nε/p²`` when ``|C| <= (p-ε) n/p``.
+    """
+    chosen = set(cover)
+    x = [v for v in range(n) if v not in chosen]
+    xset = set(x)
+    if len(xset) == n:
+        raise ValueError("empty cover cannot cover the instance")
+    return frozenset(v for v in x if (v - 1) % n not in xset)
+
+
+def is_independent_in_cycle(n: int, nodes: Iterable[int]) -> bool:
+    """No two chosen nodes adjacent on the cycle."""
+    s = set(nodes)
+    return all((v + 1) % n not in s for v in s)
+
+
+def independent_set_size_guarantee(n: int, p: int, cover_size: int) -> int:
+    """The Section 6 accounting: |I| >= n·ε/p² with ε = p - p·|C|/(n/p)…
+
+    Concretely: ``|X| = n - |C|`` and — **provided C is a valid cover**
+    — each path in the subgraph induced by ``X`` has fewer than ``p``
+    nodes (a run of ``p`` uncovered subsets would leave an element
+    uncovered), so the number of paths — and hence the extracted
+    independent set — is at least ``ceil((n - cover_size) / p)``,
+    or 0 when ``X`` is empty.  (Setting ``cover_size = (p-ε)n/p``
+    recovers the paper's ``nε/p²`` bound.)
+    """
+    remaining = n - cover_size
+    if remaining <= 0:
+        return 0
+    return -(-remaining // p)
+
+
+def local_max_independent_set(ids: Sequence[int], radius: int = 1) -> FrozenSet[int]:
+    """The classic constant-time IS rule: join iff your id is the largest
+    within ``radius`` hops (both directions) on the cycle.
+
+    Always independent (radius >= 1).  Lemma 4 says *no* such
+    constant-time deterministic rule can guarantee a large independent
+    set on every numbering — see :func:`adversarial_increasing_ids`.
+    """
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+    n = len(ids)
+    if len(set(ids)) != n:
+        raise ValueError("identifiers must be unique")
+    chosen = []
+    for v in range(n):
+        window = [ids[(v + d) % n] for d in range(-radius, radius + 1) if d != 0]
+        if all(ids[v] > w for w in window):
+            chosen.append(v)
+    return frozenset(chosen)
+
+
+def adversarial_increasing_ids(n: int) -> List[int]:
+    """The numbering that defeats local-max: ids increase around the cycle.
+
+    Only the globally largest id is a local maximum, so the radius-r
+    rule outputs exactly one node out of ``n`` — vanishing fraction, as
+    Lemma 4 demands for *some* numbering.
+    """
+    return list(range(1, n + 1))

@@ -1,0 +1,95 @@
+"""The symmetric instance lower bound (Figure 3, Section 6).
+
+On the complete bipartite instance ``K_{p,p}`` with all weights equal
+and a cyclically symmetric port numbering, every subset node has the
+same local view at every radius.  A deterministic algorithm therefore
+makes the same decision at every subset node: the only valid decision
+is "join the cover" (choosing nothing covers nothing), so the computed
+cover has size ``p`` while the optimum is 1 — approximation ratio
+exactly ``p = min{f, k}``.  This matches the upper bounds (the paper's
+f-approximation and the trivial k-approximation), so the bound is
+tight.
+
+The demo functions below make the argument *measurable*:
+
+* the paper's broadcast-model f-approximation on the symmetric
+  instance returns all ``p`` subsets (it never sees ports at all);
+* the trivial k-approximation — which *does* use port numbers — picks
+  one subset per element: a single subset under the canonical
+  numbering (ratio 1!) but all ``p`` subsets under the symmetric
+  numbering.  Symmetry of the *port assignment* is exactly what makes
+  the instance hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from repro.core.set_cover import set_cover_f_approx
+from repro.graphs.ports import symmetric_complete_bipartite
+from repro.graphs.setcover import SetCoverInstance, symmetric_kpp_instance
+from repro.simulator.runtime import run
+from repro.baselines.trivial import TrivialSetCoverMachine
+
+__all__ = ["symmetric_lower_bound_demo", "trivial_algorithm_port_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SymmetricDemoResult:
+    p: int
+    cover: FrozenSet[int]
+    cover_weight: int
+    optimum: int
+    ratio: float
+
+    @property
+    def matches_lower_bound(self) -> bool:
+        """Ratio equals p = min{f, k} exactly."""
+        return self.cover_weight == self.p * self.optimum
+
+
+def symmetric_lower_bound_demo(p: int) -> SymmetricDemoResult:
+    """Run the paper's f-approximation on the Figure 3 instance."""
+    instance = symmetric_kpp_instance(p)
+    res = set_cover_f_approx(instance)
+    return SymmetricDemoResult(
+        p=p,
+        cover=res.cover,
+        cover_weight=res.cover_weight,
+        optimum=1,
+        ratio=res.cover_weight / 1,
+    )
+
+
+def trivial_algorithm_port_sensitivity(p: int) -> Dict[str, int]:
+    """The trivial k-approximation under two port numberings of K_{p,p}.
+
+    Returns cover sizes: ``{"canonical": ..., "symmetric": ...}``.
+    Under the canonical numbering every element's port 0 leads to
+    subset 0, so the cover has size 1.  Under the symmetric numbering
+    element ``j``'s port 0 leads to subset ``j``, so all ``p`` subsets
+    are chosen — the deterministic algorithm is forced to the lower
+    bound by symmetry alone.
+    """
+    instance = symmetric_kpp_instance(p)
+    sizes: Dict[str, int] = {}
+
+    canonical = instance.to_bipartite_graph()
+    symmetric = symmetric_complete_bipartite(p)
+
+    for name, graph in (("canonical", canonical), ("symmetric", symmetric)):
+        result = run(
+            graph,
+            TrivialSetCoverMachine(),
+            inputs=instance.node_inputs(),
+            globals_map=instance.global_params(),
+            max_rounds=2,
+        )
+        cover = {
+            s for s in range(instance.n_subsets) if result.outputs[s]["in_cover"]
+        }
+        if not instance.is_cover(cover):
+            raise AssertionError(f"trivial algorithm returned a non-cover ({name})")
+        sizes[name] = len(cover)
+    return sizes

@@ -1,0 +1,8 @@
+"""Self-stabilisation via the pipeline transformer of [23]."""
+
+from repro.selfstab.transformer import (
+    SelfStabilisingMachine,
+    run_self_stabilising,
+)
+
+__all__ = ["SelfStabilisingMachine", "run_self_stabilising"]

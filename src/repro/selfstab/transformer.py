@@ -1,0 +1,161 @@
+"""Self-stabilising transformer (Lenzen–Suomela–Wattenhofer [23]).
+
+Section 1.5 of the paper: "standard techniques [4, 5, 23] can be used
+to convert our algorithms into efficient self-stabilising algorithms".
+The technique of [23] applies to any deterministic synchronous
+algorithm with a running time ``T`` that is a function of global
+parameters only — exactly what the paper's machines provide:
+
+Every node stores the full *pipeline* of T+1 simulated states —
+``pipeline[i]`` claims to be the wrapped machine's state after ``i``
+rounds.  In every real round, every node
+
+1. sends, for each level ``i < T``, the message the wrapped machine
+   would send from ``pipeline[i]`` (one stacked message);
+2. recomputes the whole pipeline from scratch:
+   ``pipeline'[0] = start()`` and
+   ``pipeline'[i+1] = step(pipeline[i], level-i inbox)``.
+
+Level ``i`` is correct once the preceding ``i`` rounds were fault-free
+(induction on levels), so after ``T`` consecutive fault-free rounds
+the output — read from ``pipeline[T]`` — is correct *regardless of the
+initial or corrupted state*: that is self-stabilisation.  The price is
+a factor-``T`` blow-up in message size and local memory, and that the
+algorithm never terminates (it keeps re-verifying forever), both
+standard for the transformation.
+
+A corrupted level may contain structurally invalid data that makes the
+wrapped machine raise; the transformer treats any raising level as
+garbage and resets it to ``start()`` — a form of local checking in the
+spirit of Awerbuch–Varghese [5].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro._util.ordering import canonical_sorted
+from repro.simulator.machine import BROADCAST, PORT_NUMBERING, LocalContext, Machine
+from repro.simulator.runtime import RunResult, run
+
+__all__ = ["SelfStabilisingMachine", "run_self_stabilising"]
+
+
+@dataclass
+class _PipelineState:
+    pipeline: Tuple[Any, ...]  # T+1 levels
+
+    def clone(self) -> "_PipelineState":
+        return _PipelineState(self.pipeline)
+
+
+class SelfStabilisingMachine(Machine):
+    """Wrap a fixed-schedule machine into its self-stabilising version.
+
+    ``inner`` must be deterministic with a round count that equals
+    ``horizon`` on every execution (true for the paper's machines,
+    whose schedules depend only on the global parameters).
+    """
+
+    def __init__(self, inner: Machine, horizon: int):
+        if horizon < 0:
+            raise ValueError("horizon must be >= 0")
+        self.inner = inner
+        self.horizon = horizon
+        self.model = inner.model
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, ctx: LocalContext) -> _PipelineState:
+        # A legitimate initial state; faults may replace it arbitrarily.
+        levels: List[Any] = [self.inner.start(ctx)]
+        for _ in range(self.horizon):
+            levels.append(levels[-1])  # placeholder garbage, self-corrects
+        return _PipelineState(tuple(levels))
+
+    def halted(self, ctx: LocalContext, state: _PipelineState) -> bool:
+        return False  # self-stabilising algorithms run forever
+
+    def output(self, ctx: LocalContext, state: _PipelineState) -> Any:
+        return self.inner.output(ctx, state.pipeline[self.horizon])
+
+    # -- communication ----------------------------------------------------
+
+    def _level_emit(self, ctx: LocalContext, level_state: Any) -> Any:
+        try:
+            return self.inner.emit(ctx, level_state)
+        except Exception:
+            return self.inner.emit(ctx, self.inner.start(ctx))
+
+    def emit(self, ctx: LocalContext, state: _PipelineState) -> Any:
+        if self.model == BROADCAST:
+            return tuple(
+                self._level_emit(ctx, state.pipeline[i]) for i in range(self.horizon)
+            )
+        # port model: stack per-port messages into per-port tuples
+        stacked: List[List[Any]] = [[] for _ in range(ctx.degree)]
+        for i in range(self.horizon):
+            out = self._level_emit(ctx, state.pipeline[i])
+            if out is None:
+                out = [None] * ctx.degree
+            for p in range(ctx.degree):
+                stacked[p].append(out[p])
+        return [tuple(msgs) for msgs in stacked]
+
+    def step(
+        self, ctx: LocalContext, state: _PipelineState, inbox: Sequence[Any]
+    ) -> _PipelineState:
+        new_levels: List[Any] = [self.inner.start(ctx)]
+        for i in range(self.horizon):
+            level_inbox = self._project_level(ctx, inbox, i)
+            prev = state.pipeline[i]
+            try:
+                nxt = self.inner.step(ctx, prev, level_inbox)
+            except Exception:
+                # Corrupted level: reset it; correctness re-establishes
+                # itself level by level over the next rounds.
+                nxt = self.inner.start(ctx)
+            new_levels.append(nxt)
+        return _PipelineState(tuple(new_levels))
+
+    def _project_level(self, ctx: LocalContext, inbox: Sequence[Any], i: int) -> Any:
+        if self.model == BROADCAST:
+            level_msgs = []
+            for stacked in inbox:
+                if isinstance(stacked, tuple) and len(stacked) == self.horizon:
+                    level_msgs.append(stacked[i])
+                else:
+                    level_msgs.append(None)  # corrupted neighbour message
+            return tuple(canonical_sorted(level_msgs))
+        out = []
+        for p in range(ctx.degree):
+            stacked = inbox[p]
+            if isinstance(stacked, tuple) and len(stacked) == self.horizon:
+                out.append(stacked[i])
+            else:
+                out.append(None)
+        return out
+
+
+def run_self_stabilising(
+    graph,
+    inner: Machine,
+    horizon: int,
+    rounds: int,
+    inputs: Optional[Sequence[Any]] = None,
+    globals_map=None,
+    fault_adversary=None,
+    seed: Optional[int] = None,
+) -> RunResult:
+    """Run the transformed machine for a fixed number of real rounds."""
+    machine = SelfStabilisingMachine(inner, horizon)
+    return run(
+        graph,
+        machine,
+        inputs=inputs,
+        globals_map=globals_map,
+        max_rounds=rounds,
+        fault_adversary=fault_adversary,
+        seed=seed,
+    )

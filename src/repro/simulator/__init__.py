@@ -1,0 +1,39 @@
+"""Synchronous anonymous-network simulator.
+
+Implements the model of Section 1.3 of the paper: all nodes run the
+same deterministic program; in each synchronous round every node
+(i) computes, (ii) sends one message per neighbour (port-numbering
+model) or a single message to all neighbours (broadcast model),
+(iii) waits, and (iv) receives.  The runtime measures the number of
+rounds, messages, and message bits; node programs never see node
+identifiers.
+"""
+
+from repro.simulator.machine import (
+    BROADCAST,
+    PORT_NUMBERING,
+    LocalContext,
+    Machine,
+)
+from repro.simulator.runtime import (
+    RunResult,
+    run,
+    run_broadcast,
+    run_on_setcover,
+    run_port_numbering,
+)
+from repro.simulator.faults import FaultAdversary, RandomStateCorruption
+
+__all__ = [
+    "BROADCAST",
+    "FaultAdversary",
+    "LocalContext",
+    "Machine",
+    "PORT_NUMBERING",
+    "RandomStateCorruption",
+    "RunResult",
+    "run",
+    "run_broadcast",
+    "run_on_setcover",
+    "run_port_numbering",
+]

@@ -1,0 +1,86 @@
+"""Transient-fault adversaries for the self-stabilisation experiments.
+
+Section 1.5 of the paper notes that, being deterministic and strictly
+local, its algorithms convert into efficient self-stabilising
+algorithms via standard techniques ([4, 5, 23]).  The transformer in
+:mod:`repro.selfstab` implements the technique of [23]
+(Lenzen–Suomela–Wattenhofer): run the T-round algorithm as a pipeline
+of T+1 stored states, recomputed every round.  The adversaries here
+model the *transient faults* such an algorithm must survive: arbitrary
+corruption of node states that eventually stops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List
+
+from repro.graphs.topology import PortNumberedGraph
+
+__all__ = ["FaultAdversary", "RandomStateCorruption", "TargetedCorruption"]
+
+
+class FaultAdversary:
+    """Base class: ``corrupt`` may rewrite states before a round."""
+
+    def corrupt(
+        self, round_index: int, graph: PortNumberedGraph, states: List[Any]
+    ) -> List[Any]:
+        return states
+
+
+class RandomStateCorruption(FaultAdversary):
+    """Corrupt random nodes' states during rounds ``[0, until_round)``.
+
+    ``corruptor(rng, state)`` produces the corrupted state; by default
+    states are replaced by states of *other random nodes* (a harsh but
+    type-preserving corruption: the pipeline contents are plausible yet
+    wrong).
+    """
+
+    def __init__(
+        self,
+        until_round: int,
+        rate: float = 0.3,
+        seed: int = 0,
+        corruptor: Callable[[random.Random, Any], Any] | None = None,
+    ):
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.until_round = until_round
+        self.rate = rate
+        self.rng = random.Random(f"faults:{seed}")
+        self.corruptor = corruptor
+        self.corruptions = 0
+
+    def corrupt(self, round_index, graph, states):
+        if round_index >= self.until_round:
+            return states
+        states = list(states)
+        n = len(states)
+        for v in range(n):
+            if self.rng.random() < self.rate:
+                if self.corruptor is not None:
+                    states[v] = self.corruptor(self.rng, states[v])
+                else:
+                    states[v] = states[self.rng.randrange(n)]
+                self.corruptions += 1
+        return states
+
+
+class TargetedCorruption(FaultAdversary):
+    """Corrupt an explicit set of nodes at an explicit set of rounds."""
+
+    def __init__(self, plan: dict[int, dict[int, Any]]):
+        """``plan[round][node] = corrupted state``."""
+        self.plan = plan
+        self.corruptions = 0
+
+    def corrupt(self, round_index, graph, states):
+        if round_index not in self.plan:
+            return states
+        states = list(states)
+        for v, bad_state in self.plan[round_index].items():
+            states[v] = bad_state
+            self.corruptions += 1
+        return states

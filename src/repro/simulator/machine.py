@@ -1,0 +1,111 @@
+"""The node-program abstraction.
+
+A :class:`Machine` is a *pure* Mealy machine describing the behaviour
+of one node.  Keeping machines pure (all per-node data lives in an
+explicit state value, methods have no side effects) is not just a
+style choice: Section 5 of the paper *simulates* the Section 4
+machines inside another machine, re-running them from recorded message
+histories every round — which is only possible when transition
+functions are replayable.
+
+Anonymity is enforced structurally: a machine only ever receives a
+:class:`LocalContext` (degree, local input, global parameters, an
+optional seeded RNG) and its inbox.  Node identifiers exist solely in
+the runtime.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+__all__ = ["PORT_NUMBERING", "BROADCAST", "LocalContext", "Machine"]
+
+PORT_NUMBERING = "port-numbering"
+BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class LocalContext:
+    """Everything a node is allowed to know about itself.
+
+    Attributes
+    ----------
+    degree:
+        the node's degree (both models let a node count its ports /
+        incident links).
+    input:
+        the node's local input — e.g. its weight ``w_v`` for vertex
+        cover, or the role/weight dict for set cover instances.  May be
+        ``None``.
+    globals:
+        network-wide parameters every node knows (the paper's Δ, W or
+        f, k, W).  A read-only mapping.
+    rng:
+        a seeded per-node random generator, present only when the
+        runtime was given a seed.  Deterministic algorithms must not
+        use it; randomised baselines may.
+    """
+
+    degree: int
+    input: Any = None
+    globals: Mapping[str, Any] = field(default_factory=dict)
+    rng: Optional[random.Random] = None
+
+    def require_global(self, name: str) -> Any:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise KeyError(
+                f"machine requires global parameter {name!r}; provided: "
+                f"{sorted(self.globals)}"
+            ) from None
+
+
+class Machine:
+    """Base class for node programs.
+
+    Subclasses override the four hooks below.  ``model`` declares which
+    communication model the machine is written for; the runtime refuses
+    to run a machine under the wrong model.
+
+    Hook contract (all *pure* — no mutation of ``self`` or arguments):
+
+    ``start(ctx) -> state``
+        initial state, computed before the first round.
+    ``emit(ctx, state) -> message | Sequence[message]``
+        in the broadcast model: one message (any canonical value, see
+        :mod:`repro._util.ordering`); in the port-numbering model: a
+        sequence of ``ctx.degree`` messages, entry ``p`` travelling out
+        of port ``p``.  ``None`` entries mean "send nothing" (counted
+        as silence, not as a message).
+    ``step(ctx, state, inbox) -> state``
+        state transition after receiving.  In the port-numbering model
+        ``inbox[p]`` is the message that arrived through port ``p``; in
+        the broadcast model ``inbox`` is a canonically sorted tuple —
+        the multiset of neighbours' messages, stripped of any sender
+        information.
+    ``halted(ctx, state) -> bool``
+        whether this node has terminated.  Once a node halts its state
+        is frozen; the runtime stops when every node has halted.
+    ``output(ctx, state) -> Any``
+        the node's final (or current) output.
+    """
+
+    model: str = PORT_NUMBERING
+
+    def start(self, ctx: LocalContext) -> Any:
+        raise NotImplementedError
+
+    def emit(self, ctx: LocalContext, state: Any) -> Any:
+        raise NotImplementedError
+
+    def step(self, ctx: LocalContext, state: Any, inbox: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+    def halted(self, ctx: LocalContext, state: Any) -> bool:
+        raise NotImplementedError
+
+    def output(self, ctx: LocalContext, state: Any) -> Any:
+        raise NotImplementedError

@@ -1,0 +1,229 @@
+"""Tests for verifiers, view refinement, and symmetry analysis."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.symmetry import (
+    automorphisms,
+    is_output_automorphism_invariant,
+    is_vertex_transitive,
+    orbit_partition,
+)
+from repro.analysis.verify import (
+    check_edge_packing,
+    check_fractional_packing,
+    check_set_cover,
+    check_vertex_cover,
+    edge_packing_feasible_fast,
+)
+from repro.analysis.views import (
+    broadcast_view_classes,
+    port_view_classes,
+    refine_until_stable,
+)
+from repro.graphs import families, ports
+from repro.graphs.setcover import partition_instance
+from tests.conftest import gnp_graphs
+
+
+class TestEdgePackingVerifier:
+    def test_accepts_valid(self):
+        g = families.path_graph(3)
+        y = {0: Fraction(1, 2), 1: Fraction(0)}
+        chk = check_edge_packing(g, [1, 1, 1], y)
+        assert chk.feasible
+        assert not chk.maximal  # no node is saturated
+
+    def test_detects_infeasible(self):
+        g = families.path_graph(2)
+        chk = check_edge_packing(g, [1, 1], {0: Fraction(2)})
+        assert not chk.feasible
+        assert any("exceeds" in v for v in chk.violations)
+
+    def test_detects_negative(self):
+        g = families.path_graph(2)
+        chk = check_edge_packing(g, [1, 1], {0: Fraction(-1)})
+        assert not chk.feasible
+
+    def test_detects_missing_edges(self):
+        g = families.path_graph(3)
+        chk = check_edge_packing(g, [1, 1, 1], {0: Fraction(1)})
+        assert not chk.feasible
+
+    def test_maximal_packing_accepted(self):
+        g = families.cycle_graph(4)
+        y = {e: Fraction(1, 2) for e in range(4)}
+        chk = check_edge_packing(g, [1, 1, 1, 1], y)
+        assert chk.ok
+        chk.require()  # must not raise
+
+    def test_require_raises_with_details(self):
+        g = families.path_graph(3)
+        chk = check_edge_packing(g, [1, 1, 1], {0: Fraction(0), 1: Fraction(0)})
+        with pytest.raises(AssertionError, match="unsaturated"):
+            chk.require()
+
+    def test_exactness_no_tolerance(self):
+        """A violation of 1/10^30 must be caught — exact arithmetic."""
+        g = families.path_graph(2)
+        eps = Fraction(1, 10**30)
+        chk = check_edge_packing(g, [1, 1], {0: Fraction(1) + eps})
+        assert not chk.feasible
+
+    def test_fast_float_check_agrees_on_clean_data(self):
+        g = families.cycle_graph(6)
+        y = [0.5] * 6
+        assert edge_packing_feasible_fast(g, [1] * 6, y)
+        assert not edge_packing_feasible_fast(g, [1] * 6, [0.7] * 6)
+
+
+class TestCoverVerifiers:
+    def test_vertex_cover(self):
+        g = families.cycle_graph(4)
+        ok, unc = check_vertex_cover(g, [0, 2])
+        assert ok and unc == ()
+        ok, unc = check_vertex_cover(g, [0])
+        assert not ok and len(unc) == 2
+
+    def test_set_cover(self):
+        inst = partition_instance(
+            groups=[[0, 1], [1, 2]], weights=[1, 1], n_elements=3
+        )
+        ok, unc = check_set_cover(inst, [0, 1])
+        assert ok
+        ok, unc = check_set_cover(inst, [0])
+        assert not ok and unc == (2,)
+
+
+class TestFractionalPackingVerifier:
+    def test_accepts_valid_maximal(self):
+        inst = partition_instance(groups=[[0]], weights=[3], n_elements=1)
+        chk = check_fractional_packing(inst, [Fraction(3)])
+        assert chk.ok
+
+    def test_detects_overload(self):
+        inst = partition_instance(groups=[[0]], weights=[3], n_elements=1)
+        chk = check_fractional_packing(inst, [Fraction(4)])
+        assert not chk.feasible
+
+    def test_detects_nonmaximal(self):
+        inst = partition_instance(groups=[[0]], weights=[3], n_elements=1)
+        chk = check_fractional_packing(inst, [Fraction(1)])
+        assert chk.feasible and not chk.maximal
+
+
+class TestViewRefinement:
+    def test_cycle_all_equivalent(self):
+        g = families.cycle_graph(7)
+        for t in (0, 1, 3):
+            assert len(set(broadcast_view_classes(g, rounds=t))) == 1
+
+    def test_path_endpoint_distinction_spreads(self):
+        g = families.path_graph(5)
+        c0 = broadcast_view_classes(g, rounds=0)
+        assert c0[0] == c0[4] != c0[1]  # degree 1 vs degree 2
+        c2 = broadcast_view_classes(g, rounds=2)
+        # after 2 rounds the middle node is distinguishable from its nbrs
+        assert c2[2] != c2[1]
+
+    def test_inputs_refine_classes(self):
+        g = families.cycle_graph(4)
+        classes = broadcast_view_classes(g, inputs=[1, 2, 1, 2], rounds=1)
+        assert classes[0] == classes[2]
+        assert classes[0] != classes[1]
+
+    def test_port_classes_refine_broadcast(self):
+        """Port-numbered views are at least as fine as broadcast views."""
+        g = families.gnp_random(10, 0.3, seed=4)
+        for t in (1, 2):
+            b = broadcast_view_classes(g, rounds=t)
+            p = port_view_classes(g, rounds=t)
+            # same port class => same broadcast class
+            for u in g.nodes():
+                for v in g.nodes():
+                    if p[u] == p[v]:
+                        assert b[u] == b[v]
+
+    def test_stabilisation(self):
+        g = families.path_graph(6)
+        classes, depth = refine_until_stable(g)
+        assert depth <= g.n
+        # symmetric pairs of the path stay merged forever
+        assert classes[0] == classes[5]
+        assert classes[1] == classes[4]
+        assert classes[2] == classes[3]
+
+    @given(gnp_graphs(max_n=9))
+    @settings(max_examples=20, deadline=None)
+    def test_refinement_is_monotone(self, g):
+        """Classes only split over time, never merge."""
+        prev = broadcast_view_classes(g, rounds=0)
+        for t in (1, 2, 3):
+            cur = broadcast_view_classes(g, rounds=t)
+            for u in g.nodes():
+                for v in g.nodes():
+                    if cur[u] == cur[v]:
+                        assert prev[u] == prev[v]
+            prev = cur
+
+
+class TestViewEquivalencePredictsOutputs:
+    """The fundamental anonymity property: equal views => equal outputs."""
+
+    def test_broadcast_machine_respects_views(self):
+        from repro.core.vertex_cover import vertex_cover_broadcast
+
+        g = families.complete_bipartite(2, 3)
+        w = [3, 3, 2, 2, 2]
+        res = vertex_cover_broadcast(g, w)
+        classes, _ = refine_until_stable(g, inputs=w, model="broadcast")
+        for u in g.nodes():
+            for v in g.nodes():
+                if classes[u] == classes[v]:
+                    assert res.run.outputs[u]["in_cover"] == res.run.outputs[v]["in_cover"]
+
+    def test_port_machine_respects_views(self):
+        from repro.core.edge_packing import maximal_edge_packing
+
+        g = ports.symmetric_cycle(6)
+        res = maximal_edge_packing(g, [1] * 6)
+        classes, _ = refine_until_stable(g, inputs=[1] * 6, model="port")
+        assert len(set(classes)) == 1  # fully symmetric
+        outs = {res.run.outputs[v]["in_cover"] for v in g.nodes()}
+        assert len(outs) == 1  # all nodes must answer identically
+
+
+class TestSymmetry:
+    def test_cycle_automorphisms(self):
+        g = families.cycle_graph(5)
+        autos = automorphisms(g)
+        assert len(autos) == 10  # dihedral group D5
+
+    def test_weights_restrict_automorphisms(self):
+        g = families.cycle_graph(4)
+        autos = automorphisms(g, inputs=[1, 2, 1, 3])
+        # only automorphisms preserving the weight labelling survive
+        for sigma in autos:
+            for v in g.nodes():
+                assert [1, 2, 1, 3][sigma[v]] == [1, 2, 1, 3][v]
+
+    def test_vertex_transitive(self):
+        assert is_vertex_transitive(families.cycle_graph(6))
+        assert is_vertex_transitive(families.petersen_graph())
+        assert not is_vertex_transitive(families.path_graph(4))
+        assert not is_vertex_transitive(families.frucht_graph())
+
+    def test_orbit_partition_star(self):
+        g = families.star_graph(4)
+        orbits = orbit_partition(g)
+        assert orbits[1] == orbits[2] == orbits[3] == orbits[4]
+        assert orbits[0] != orbits[1]
+
+    def test_output_invariance_checker(self):
+        g = families.cycle_graph(4)
+        assert is_output_automorphism_invariant(g, [1, 1, 1, 1])
+        assert not is_output_automorphism_invariant(g, [1, 0, 0, 0])

@@ -1,0 +1,266 @@
+"""Tests for the baseline algorithms (Table 1 rows and ground truth)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+
+from repro.analysis.verify import check_edge_packing, check_vertex_cover
+from repro.baselines.exact import (
+    brute_force_set_cover,
+    brute_force_vertex_cover,
+    exact_min_set_cover,
+    exact_min_vertex_cover,
+)
+from repro.baselines.kvy import vertex_cover_kvy
+from repro.baselines.lp import set_cover_lp_bound, vertex_cover_lp_bound
+from repro.baselines.matching import (
+    id_matching_schedule_length,
+    maximal_matching_with_ids,
+    randomised_maximal_matching,
+)
+from repro.baselines.ps3approx import ps_round_count, vertex_cover_3approx_ps
+from repro.baselines.sequential import (
+    bar_yehuda_even_packing,
+    greedy_set_cover,
+    sequential_maximal_matching,
+)
+from repro.baselines.trivial import set_cover_k_approx_trivial
+from repro.graphs import families
+from repro.graphs.setcover import (
+    partition_instance,
+    random_instance,
+    symmetric_kpp_instance,
+)
+from repro.graphs.weights import uniform_weights, unit_weights
+from tests.conftest import small_graph_suite, gnp_graphs
+
+
+SMALL = [(n, g) for n, g in small_graph_suite() if g.n <= 12]
+
+
+class TestExactSolvers:
+    @pytest.mark.parametrize("name,graph", SMALL, ids=[n for n, _ in SMALL])
+    def test_milp_matches_brute_force_vc(self, name, graph):
+        w = uniform_weights(graph.n, 5, seed=2)
+        milp_w, milp_cover = exact_min_vertex_cover(graph, w)
+        bf_w, _ = brute_force_vertex_cover(graph, w)
+        assert milp_w == bf_w
+        ok, _ = check_vertex_cover(graph, milp_cover)
+        assert ok
+
+    def test_milp_matches_brute_force_sc(self):
+        for seed in range(4):
+            inst = random_instance(4, 6, k=3, f=2, W=5, seed=seed)
+            milp_w, milp_cover = exact_min_set_cover(inst)
+            bf_w, _ = brute_force_set_cover(inst)
+            assert milp_w == bf_w
+            assert inst.is_cover(milp_cover)
+
+    def test_known_optima(self):
+        assert exact_min_vertex_cover(families.path_graph(3), [1, 1, 1])[0] == 1
+        assert exact_min_vertex_cover(families.cycle_graph(5), [1] * 5)[0] == 3
+        assert exact_min_vertex_cover(families.complete_graph(4), [1] * 4)[0] == 3
+        assert exact_min_vertex_cover(families.star_graph(5), [1] * 6)[0] == 1
+
+    def test_empty_graph(self):
+        assert exact_min_vertex_cover(families.empty_graph(3), [1, 1, 1]) == (
+            0,
+            frozenset(),
+        )
+
+    def test_brute_force_guard(self):
+        with pytest.raises(ValueError, match="limited"):
+            brute_force_vertex_cover(families.cycle_graph(30), [1] * 30)
+
+
+class TestLpBounds:
+    @pytest.mark.parametrize("name,graph", SMALL, ids=[n for n, _ in SMALL])
+    def test_lp_below_opt(self, name, graph):
+        w = uniform_weights(graph.n, 5, seed=4)
+        lp = vertex_cover_lp_bound(graph, w)
+        opt, _ = exact_min_vertex_cover(graph, w)
+        assert lp <= opt + 1e-7
+
+    def test_lp_half_integral_cycle(self):
+        # odd cycle: LP optimum = n/2 (all x = 1/2)
+        lp = vertex_cover_lp_bound(families.cycle_graph(5), [1] * 5)
+        assert abs(lp - 2.5) < 1e-7
+
+    def test_sc_lp_below_opt(self):
+        inst = random_instance(5, 8, k=3, f=2, W=4, seed=5)
+        lp = set_cover_lp_bound(inst)
+        opt, _ = exact_min_set_cover(inst)
+        assert lp <= opt + 1e-7
+
+
+class TestSequentialBaselines:
+    @pytest.mark.parametrize("name,graph", SMALL, ids=[n for n, _ in SMALL])
+    def test_bye_produces_maximal_packing(self, name, graph):
+        w = uniform_weights(graph.n, 6, seed=1)
+        y, saturated = bar_yehuda_even_packing(graph, w)
+        check_edge_packing(graph, w, y).require()
+        ok, _ = check_vertex_cover(graph, saturated)
+        assert ok
+
+    def test_bye_respects_edge_order(self):
+        g = families.path_graph(3)
+        y1, _ = bar_yehuda_even_packing(g, [1, 1, 1], edge_order=[0, 1])
+        y2, _ = bar_yehuda_even_packing(g, [1, 1, 1], edge_order=[1, 0])
+        assert y1[0] == 1 and y2[1] == 1
+
+    def test_greedy_set_cover_valid(self):
+        for seed in range(3):
+            inst = random_instance(5, 9, k=3, f=3, W=5, seed=seed)
+            w, cover = greedy_set_cover(inst)
+            assert inst.is_cover(cover)
+            assert w == inst.cover_weight(cover)
+
+    def test_sequential_matching_maximal(self):
+        g = families.grid_2d(3, 3)
+        m = sequential_maximal_matching(g)
+        matched = {v for e in m for v in e}
+        assert all(u in matched or v in matched for (u, v) in g.edges)
+
+
+class TestIdMatching:
+    @pytest.mark.parametrize("name,graph", SMALL, ids=[n for n, _ in SMALL])
+    def test_maximal_matching(self, name, graph):
+        res = maximal_matching_with_ids(graph)
+        assert res.is_matching()
+        assert res.is_maximal()
+
+    def test_rounds_independent_of_n_at_fixed_id_space(self):
+        """With N fixed, rounds depend only on Δ — but N must grow with
+        n for ids to stay unique, which is precisely Linial's point."""
+        N = 1024
+        rounds = set()
+        for n in (8, 16, 64):
+            g = families.cycle_graph(n)
+            res = maximal_matching_with_ids(g, N=N)
+            rounds.add(res.rounds)
+        assert len(rounds) == 1
+        assert rounds.pop() == id_matching_schedule_length(2, N)
+
+    def test_rounds_grow_with_id_space(self):
+        # log* N growth: enormous id spaces cost a few more rounds
+        r_small = id_matching_schedule_length(2, 2**4)
+        r_large = id_matching_schedule_length(2, 2**(2**16))
+        assert r_small < r_large
+
+    def test_custom_ids(self):
+        g = families.cycle_graph(5)
+        res = maximal_matching_with_ids(g, ids=[9, 3, 7, 1, 5], N=10)
+        assert res.is_maximal()
+
+    def test_duplicate_ids_rejected(self):
+        g = families.path_graph(3)
+        with pytest.raises(ValueError, match="unique"):
+            maximal_matching_with_ids(g, ids=[1, 1, 2])
+
+    def test_cover_is_2_approx_unweighted(self):
+        for name, g in SMALL:
+            res = maximal_matching_with_ids(g)
+            ok, _ = check_vertex_cover(g, res.matched_nodes)
+            assert ok
+            opt, _ = exact_min_vertex_cover(g, unit_weights(g.n))
+            assert len(res.matched_nodes) <= 2 * opt
+
+
+class TestRandomisedMatching:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_maximal_matching(self, seed):
+        g = families.gnp_random(12, 0.3, seed=seed)
+        res = randomised_maximal_matching(g, seed=seed)
+        assert res.is_matching()
+        assert res.is_maximal()
+
+    def test_deterministic_given_seed(self):
+        g = families.grid_2d(3, 3)
+        a = randomised_maximal_matching(g, seed=7)
+        b = randomised_maximal_matching(g, seed=7)
+        assert a.matching == b.matching
+
+    def test_requires_seed(self):
+        from repro.simulator.runtime import run_port_numbering
+        from repro.baselines.matching import RandomisedMatchingMachine
+
+        with pytest.raises(ValueError, match="seed"):
+            run_port_numbering(
+                families.path_graph(2), RandomisedMatchingMachine()
+            )
+
+    def test_empty_and_single(self):
+        res = randomised_maximal_matching(families.empty_graph(3), seed=1)
+        assert res.matching == frozenset()
+
+
+class TestPolishchukSuomela:
+    @pytest.mark.parametrize("name,graph", SMALL, ids=[n for n, _ in SMALL])
+    def test_valid_cover_within_3x(self, name, graph):
+        res = vertex_cover_3approx_ps(graph)
+        assert res.is_cover()
+        opt, _ = exact_min_vertex_cover(graph, unit_weights(graph.n))
+        assert res.cover_size <= 3 * opt
+
+    def test_round_count(self):
+        g = families.grid_2d(3, 3)
+        res = vertex_cover_3approx_ps(g)
+        assert res.rounds == ps_round_count(g.max_degree) == 2 * 4
+
+    def test_anonymous_no_input_needed(self):
+        res = vertex_cover_3approx_ps(families.cycle_graph(7))
+        assert res.is_cover()
+
+
+class TestTrivialSetCover:
+    def test_valid_cover_within_kx(self):
+        for seed in range(4):
+            inst = random_instance(5, 8, k=3, f=3, W=6, seed=seed)
+            res = set_cover_k_approx_trivial(inst)
+            assert res.is_cover()
+            opt, _ = exact_min_set_cover(inst)
+            assert res.cover_weight <= inst.k * opt
+
+    def test_two_rounds(self):
+        inst = random_instance(4, 6, k=3, f=2, seed=1)
+        assert set_cover_k_approx_trivial(inst).rounds == 2
+
+    def test_picks_min_weight(self):
+        inst = partition_instance(
+            groups=[[0], [0]], weights=[5, 2], n_elements=1
+        )
+        res = set_cover_k_approx_trivial(inst)
+        assert res.cover == frozenset({1})
+
+    def test_symmetric_instance_picks_one_per_element(self):
+        # ports break the tie the broadcast model cannot break
+        inst = symmetric_kpp_instance(3)
+        res = set_cover_k_approx_trivial(inst)
+        assert res.is_cover()
+        assert len(res.cover) <= 3
+
+
+class TestKvy:
+    @pytest.mark.parametrize("name,graph", SMALL, ids=[n for n, _ in SMALL])
+    def test_valid_cover_within_guarantee(self, name, graph):
+        w = uniform_weights(graph.n, 6, seed=3)
+        res = vertex_cover_kvy(graph, w, epsilon=Fraction(1, 4))
+        assert res.is_cover()
+        opt, _ = exact_min_vertex_cover(graph, w)
+        assert res.cover_weight <= res.guarantee * opt
+
+    def test_tighter_epsilon_not_worse_guarantee(self):
+        g = families.gnp_random(10, 0.4, seed=2)
+        w = uniform_weights(10, 8, seed=2)
+        res_loose = vertex_cover_kvy(g, w, epsilon=Fraction(1, 2))
+        res_tight = vertex_cover_kvy(g, w, epsilon=Fraction(1, 100))
+        assert res_tight.guarantee < res_loose.guarantee
+        assert res_tight.is_cover() and res_loose.is_cover()
+
+    def test_terminates_and_rounds_reported(self):
+        g = families.complete_graph(6)
+        res = vertex_cover_kvy(g, unit_weights(6))
+        assert res.rounds >= 2

@@ -1,0 +1,140 @@
+"""Tests for the Section 5 broadcast-model vertex cover simulation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.bounds import bvc_rounds_exact
+from repro.core.fractional_packing import maximal_fractional_packing
+from repro.core.vertex_cover import vertex_cover_2approx, vertex_cover_broadcast
+from repro.graphs import families, ports
+from repro.graphs.setcover import vc_to_setcover
+from repro.graphs.weights import uniform_weights, unit_weights
+
+
+def _check(graph, weights):
+    res = vertex_cover_broadcast(graph, weights)
+    assert res.is_cover()
+    assert res.cover_weight <= 2 * res.packing_value
+    return res
+
+
+class TestBasics:
+    def test_single_edge(self):
+        g = families.path_graph(2)
+        res = _check(g, [1, 1])
+        # symmetric instance: both endpoints saturated, y = 1
+        assert res.cover == frozenset({0, 1})
+        assert res.packing_value == 1
+
+    def test_single_edge_weighted(self):
+        g = families.path_graph(2)
+        res = _check(g, [2, 7])
+        assert res.cover == frozenset({0})
+        assert res.packing_value == 2
+
+    def test_path3(self):
+        g = families.path_graph(3)
+        res = _check(g, [1, 1, 1])
+        assert 1 in res.cover
+
+    def test_isolated_nodes(self):
+        from repro.graphs.topology import PortNumberedGraph
+
+        g = PortNumberedGraph.from_edges(3, [(0, 1)])
+        res = _check(g, [1, 1, 5])
+        assert 2 not in res.cover
+
+    def test_rounds_formula(self):
+        g = families.cycle_graph(4)
+        res = _check(g, unit_weights(4))
+        assert res.rounds == bvc_rounds_exact(2, 1)
+
+
+class TestEquivalenceWithDirectRun:
+    """The simulation must produce exactly what the Section 4 algorithm
+    produces when run directly on the bipartite encoding H."""
+
+    @pytest.mark.parametrize(
+        "graph_factory,weights",
+        [
+            (lambda: families.path_graph(4), [1, 3, 2, 1]),
+            (lambda: families.cycle_graph(5), [1, 1, 1, 1, 1]),
+            (lambda: families.cycle_graph(6), [2, 1, 2, 1, 2, 1]),
+            (lambda: families.star_graph(3), [4, 1, 1, 1]),
+        ],
+    )
+    def test_cover_and_packing_match(self, graph_factory, weights):
+        g = graph_factory()
+        inst = vc_to_setcover(g, weights)
+        # Direct run needs identical global parameters to the simulation:
+        # the simulation hard-codes f=2, k=Δ even if the instance's true
+        # f/k are smaller, so run the direct algorithm at those parameters.
+        direct = maximal_fractional_packing(inst)
+        sim = vertex_cover_broadcast(g, weights)
+        if (inst.f, inst.k) == (2, g.max_degree):
+            # identical parameters: outputs must match exactly
+            assert sim.cover == direct.saturated_subsets
+            # per-node incident multisets match the direct element values
+            for v in g.nodes():
+                expected = sorted(
+                    (direct.y[e], True) for e in g.incident_edges(v)
+                )
+                got = sorted(sim.run.outputs[v]["incident"])
+                # direct "saturated" flag is per element; recompute:
+                expected = []
+                for e in g.incident_edges(v):
+                    u0, u1 = g.edges[e]
+                    expected.append((direct.y[e],
+                                     any(
+                                         sum((direct.y[e2] for e2 in g.incident_edges(x)), Fraction(0))
+                                         == weights[x]
+                                         for x in (u0, u1)
+                                     )))
+                assert sorted(got) == sorted(expected)
+        else:
+            # parameters differ: both still valid 2-approximations
+            assert sim.is_cover()
+
+
+class TestSymmetryForcing:
+    """Section 7: broadcast outputs on regular graphs are forced."""
+
+    def test_frucht_graph_one_third(self):
+        g = families.frucht_graph()
+        res = _check(g, unit_weights(12))
+        assert res.cover == frozenset(range(12))
+        for v in g.nodes():
+            for (y, sat) in res.run.outputs[v]["incident"]:
+                assert y == Fraction(1, 3)
+                assert sat
+
+    def test_cycle_one_half(self):
+        g = families.cycle_graph(5)
+        res = _check(g, unit_weights(5))
+        for v in g.nodes():
+            for (y, sat) in res.run.outputs[v]["incident"]:
+                assert y == Fraction(1, 2)
+
+    def test_port_numbering_invariance(self):
+        """Broadcast algorithms cannot see ports: output must not change."""
+        g = families.cycle_graph(4)
+        w = [2, 1, 2, 1]
+        a = vertex_cover_broadcast(g, w)
+        b = vertex_cover_broadcast(ports.reversed_ports(g), w)
+        assert a.cover == b.cover
+        assert a.packing_value == b.packing_value
+
+
+class TestMessageGrowth:
+    def test_history_bits_grow(self):
+        """The paper's trade-off: rounds unchanged, message size grows."""
+        g = families.path_graph(3)
+        res = vertex_cover_broadcast(g, [1, 1, 1])
+        bits = res.run.per_round_bits
+        # Late rounds carry far larger messages than early rounds.
+        assert bits[-1] > 10 * bits[1]
+        # Growth is monotone-ish: the total history only accumulates.
+        assert bits[-1] >= bits[len(bits) // 2] >= bits[1]

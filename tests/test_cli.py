@@ -1,0 +1,68 @@
+"""Tests for the library CLI (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVcCommand:
+    def test_default_run(self, capsys):
+        assert main(["vc", "--family", "cycle", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "vertex-cover" in out
+        assert "is_cover" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["vc", "--family", "petersen", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "vertex-cover"
+        assert payload["is_cover"] is True
+        assert payload["n"] == 10
+
+    def test_exact_flag(self, capsys):
+        assert main(["vc", "--family", "path", "--n", "6", "--exact", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cover_weight"] <= 2 * payload["optimum"]
+
+    def test_weighted_run(self, capsys):
+        assert main(["vc", "--family", "gnp", "--n", "10", "--W", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["is_cover"] is True
+
+    def test_broadcast_algorithm(self, capsys):
+        assert main(["vc", "--family", "cycle", "--n", "5",
+                     "--algorithm", "broadcast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "broadcast"
+        assert payload["is_cover"] is True
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["vc", "--family", "nope"])
+
+
+class TestScCommand:
+    def test_default_run(self, capsys):
+        assert main(["sc", "--subsets", "5", "--elements", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "set-cover"
+        assert payload["is_cover"] is True
+
+    def test_exact_ratio_within_f(self, capsys):
+        assert main(
+            ["sc", "--subsets", "5", "--elements", "8", "--k", "3", "--f", "2",
+             "--W", "4", "--exact", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cover_weight"] <= payload["f"] * payload["optimum"]
+
+
+class TestFamiliesCommand:
+    def test_lists_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "petersen" in out and "cycle" in out

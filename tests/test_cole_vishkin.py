@@ -1,0 +1,177 @@
+"""Tests for the Cole–Vishkin machinery (classic, GPS, and weak variants)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util.logstar import log_star
+from repro.core.cole_vishkin import (
+    CV_FIXPOINT_COLOURS,
+    cv_pseudo_parent,
+    cv_schedule_length,
+    cv_step_colour,
+    eliminate_class_colour,
+    is_proper_forest_colouring,
+    is_weak_colouring,
+    shift_down_root_colour,
+    three_colour_rooted_forest,
+    weak_colour_reduction_dag,
+)
+
+
+class TestCvStep:
+    def test_known_example(self):
+        # own = 0b0110, parent = 0b0100: lowest differing bit is 1,
+        # bit_1(own) = 1 -> new colour 2*1 + 1 = 3.
+        assert cv_step_colour(0b0110, 0b0100) == 3
+
+    def test_equal_colours_rejected(self):
+        with pytest.raises(ValueError):
+            cv_step_colour(5, 5)
+
+    @given(st.integers(0, 2**64), st.integers(0, 2**64))
+    @settings(max_examples=200)
+    def test_adjacent_nodes_stay_distinct(self, a, b):
+        """The CV guarantee: if c(u) != c(v) and v is u's parent, the new
+        colours differ regardless of v's own parent."""
+        if a == b:
+            return
+        new_a = cv_step_colour(a, b)  # u with parent v
+        for c in (a ^ 1, b ^ 1, 12345):  # several possible grandparents
+            if c == b:
+                continue
+            new_b = cv_step_colour(b, c)
+            assert new_a != new_b
+
+    @given(st.integers(0, 2**32))
+    def test_pseudo_parent_differs(self, c):
+        assert cv_pseudo_parent(c) != c
+
+
+class TestSchedule:
+    def test_small_values(self):
+        assert cv_schedule_length(1) == 0
+        assert cv_schedule_length(6) == 0
+        assert cv_schedule_length(7) == 1
+
+    def test_logstar_shape(self):
+        """Schedule length tracks log* up to an additive constant."""
+        for chi in (2, 10, 2**10, 2**100, 2**1000, 2**10000):
+            assert cv_schedule_length(chi) <= log_star(chi) + 4
+
+    def test_monotone(self):
+        values = [cv_schedule_length(2**k) for k in range(1, 40)]
+        assert all(a <= b for a, b in zip(values, values[1:], strict=False) if True) or True
+        assert values == sorted(values)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cv_schedule_length(0)
+
+
+class TestHelpers:
+    def test_shift_down_root_avoids_own(self):
+        for c in range(6):
+            assert shift_down_root_colour(c) != c
+            assert shift_down_root_colour(c) in (0, 1, 2)
+
+    def test_eliminate_class_picks_free_colour(self):
+        assert eliminate_class_colour(4, 4, 0, 1) == 2
+        assert eliminate_class_colour(4, 4, None, 0) in (1, 2)
+        assert eliminate_class_colour(2, 4, 0, 1) == 2  # not in class: unchanged
+
+
+def _random_forest(rng: random.Random, n: int):
+    """Random rooted forest as a parent array."""
+    parent = []
+    for v in range(n):
+        if v == 0 or rng.random() < 0.2:
+            parent.append(None)
+        else:
+            parent.append(rng.randrange(v))
+    return parent
+
+
+class TestThreeColourForest:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_proper_three_colouring(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 40)
+        parent = _random_forest(rng, n)
+        chi = 10**9
+        initial = rng.sample(range(chi), n)  # distinct colours (like ids)
+        colours, steps = three_colour_rooted_forest(parent, initial, chi)
+        assert all(c in (0, 1, 2) for c in colours)
+        assert is_proper_forest_colouring(parent, colours)
+        assert steps == cv_schedule_length(chi)
+
+    def test_single_node(self):
+        colours, _ = three_colour_rooted_forest([None], [42], 100)
+        assert colours[0] in (0, 1, 2)
+
+    def test_path_tree(self):
+        n = 20
+        parent = [None] + list(range(n - 1))
+        colours, _ = three_colour_rooted_forest(parent, list(range(n)), n)
+        assert is_proper_forest_colouring(parent, colours)
+        assert set(colours) <= {0, 1, 2}
+
+    def test_improper_initial_rejected(self):
+        with pytest.raises(ValueError, match="not proper"):
+            three_colour_rooted_forest([None, 0], [7, 7], 8)
+
+
+def _random_dag_with_decreasing_values(rng: random.Random, n: int):
+    """DAG whose colours strictly decrease along edges (like Lemma 3)."""
+    values = rng.sample(range(1, 10**6), n)
+    successors = [[] for _ in range(n)]
+    for u in range(n):
+        for v in range(n):
+            if values[v] < values[u] and rng.random() < 0.15:
+                successors[u].append(v)
+    return successors, values
+
+
+class TestWeakColourReduction:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_reaches_fixpoint_palette(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 30)
+        successors, values = _random_dag_with_decreasing_values(rng, n)
+        colours, _ = weak_colour_reduction_dag(successors, values, chi=10**6)
+        assert all(0 <= c < CV_FIXPOINT_COLOURS for c in colours)
+        assert is_weak_colouring(successors, colours)
+
+    def test_figure2_style_chain(self):
+        """A DAG shaped like Figure 2: values decrease along arrows."""
+        # 9 nodes, colours 10..90; edges from higher to lower initial colour
+        successors = [[], [0], [0, 1], [1], [2, 3], [3], [4], [4, 5], [6, 7]]
+        colours = [10, 20, 30, 40, 50, 60, 70, 80, 90]
+        out, trace = weak_colour_reduction_dag(
+            successors, colours, chi=91, record_trace=True
+        )
+        assert is_weak_colouring(successors, out)
+        assert all(0 <= c < 6 for c in out)
+        # invariant holds at every intermediate step too
+        for step_colours in trace:
+            assert is_weak_colouring(successors, step_colours)
+
+    def test_rejects_invalid_initial(self):
+        with pytest.raises(ValueError, match="weak colouring"):
+            weak_colour_reduction_dag([[1], []], [5, 5], chi=6)
+
+    def test_empty_dag(self):
+        colours, _ = weak_colour_reduction_dag([[], []], [100, 100], chi=101)
+        assert all(0 <= c < 6 for c in colours)
+
+    def test_common_successor_colour_semantics(self):
+        """All successors selected via l(u) share one colour: the CV step
+        treats them as a single parent and must separate u from each."""
+        successors = [[1, 2], [], []]
+        colours = [50, 7, 7]  # both successors same colour != own
+        out, _ = weak_colour_reduction_dag(successors, colours, chi=51)
+        assert out[0] != out[1] or out[0] != out[2] or is_weak_colouring(successors, out)
+        assert is_weak_colouring(successors, out)

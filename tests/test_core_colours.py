@@ -1,0 +1,130 @@
+"""Tests for the Lemma 2 colour encodings."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util.rationals import factorial
+from repro.core.colours import (
+    chi_edge_packing,
+    chi_fractional_packing,
+    colour_radix,
+    decode_colour_sequence,
+    encode_colour_sequence,
+    encode_p_value,
+)
+
+
+@st.composite
+def lemma2_sequences(draw, max_delta: int = 4, max_w: int = 6):
+    """Random valid Phase I colour sequences: q in (0, W], q(Δ!)^Δ ∈ N."""
+    delta = draw(st.integers(min_value=1, max_value=max_delta))
+    W = draw(st.integers(min_value=1, max_value=max_w))
+    scale = factorial(delta) ** delta
+    seq = [
+        Fraction(draw(st.integers(min_value=1, max_value=W * scale)), scale)
+        for _ in range(delta)
+    ]
+    return delta, W, seq
+
+
+class TestChi:
+    def test_paper_formula(self):
+        # χ = (W (Δ!)^Δ)^Δ
+        assert chi_edge_packing(2, 3) == (3 * 2**2) ** 2
+        assert chi_edge_packing(3, 1) == (6**3) ** 3
+        assert chi_edge_packing(0, 5) == 1
+
+    def test_chi_fractional(self):
+        # χ = W (k!)^{(D+1)^2}
+        assert chi_fractional_packing(2, 3, 1) == 3 * 2**4
+        assert chi_fractional_packing(1, 1, 0) == 1
+
+    def test_radix(self):
+        assert colour_radix(2, 3) == 3 * 4 + 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            chi_edge_packing(-1, 1)
+        with pytest.raises(ValueError):
+            chi_edge_packing(2, 0)
+
+
+class TestEncoding:
+    def test_simple_roundtrip(self):
+        seq = [Fraction(1), Fraction(1, 2), Fraction(3, 2)]
+        code = encode_colour_sequence(seq, delta=3, W=2)
+        assert decode_colour_sequence(code, delta=3, W=2) == seq
+
+    @given(lemma2_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        delta, W, seq = data
+        code = encode_colour_sequence(seq, delta, W)
+        assert decode_colour_sequence(code, delta, W) == seq
+
+    @given(lemma2_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_order_preserving(self, data):
+        """Integer order must equal lexicographic order on sequences."""
+        delta, W, seq_a = data
+        # construct a second sequence with the same parameters
+        scale = factorial(delta) ** delta
+        seq_b = list(reversed(seq_a))
+        code_a = encode_colour_sequence(seq_a, delta, W)
+        code_b = encode_colour_sequence(seq_b, delta, W)
+        assert (code_a < code_b) == (seq_a < seq_b)
+        assert (code_a == code_b) == (seq_a == seq_b)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="exactly"):
+            encode_colour_sequence([Fraction(1)], delta=2, W=1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            encode_colour_sequence([Fraction(5)], delta=1, W=2)
+        with pytest.raises(ValueError, match="outside"):
+            encode_colour_sequence([Fraction(0)], delta=1, W=2)
+
+    def test_non_lemma2_denominator_rejected(self):
+        # Δ=1: scale = 1, so 1/2 is not allowed
+        with pytest.raises(ValueError, match="integral"):
+            encode_colour_sequence([Fraction(1, 2)], delta=1, W=1)
+
+    def test_within_chi_bound(self):
+        # encoded values of Δ-length sequences stay below radix^Δ
+        delta, W = 3, 2
+        top = [Fraction(W)] * delta
+        code = encode_colour_sequence(top, delta, W)
+        assert code < colour_radix(delta, W) ** delta
+
+
+class TestPValueEncoding:
+    def test_strictly_increasing(self):
+        k, W, D = 2, 2, 1
+        scale = factorial(k) ** ((D + 1) ** 2)
+        values = [Fraction(i, scale) for i in range(1, 10)]
+        codes = [encode_p_value(p, k, W, D) for p in values]
+        assert codes == sorted(codes)
+        assert len(set(codes)) == len(codes)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            encode_p_value(Fraction(0), 2, 1, 1)
+        with pytest.raises(ValueError):
+            encode_p_value(Fraction(3), 2, 2, 1)
+
+    def test_integrality_checked(self):
+        # k=1: scale = 1, so any proper fraction violates integrality
+        with pytest.raises(ValueError, match="integrality"):
+            encode_p_value(Fraction(1, 3), 1, 1, 0)
+
+    def test_in_chi_range(self):
+        k, W, D = 3, 4, 2
+        chi = chi_fractional_packing(k, W, D)
+        assert encode_p_value(Fraction(W), k, W, D) == chi
+        scale = factorial(k) ** ((D + 1) ** 2)
+        assert encode_p_value(Fraction(1, scale), k, W, D) == 1

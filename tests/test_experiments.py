@@ -1,0 +1,204 @@
+"""Tests for the experiment harnesses (fast parameterisations).
+
+Each experiment module must (a) run, (b) return a well-formed table,
+(c) have its qualitative claim hold — the claims are asserted inside
+the experiments themselves, so a successful run *is* the check; these
+tests additionally pin the headline numbers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments.common import ExperimentTable, fmt
+
+
+class TestExperimentTable:
+    def test_add_and_render(self):
+        t = ExperimentTable("X", "demo", ["a", "b"])
+        t.add_row(a=1, b=True)
+        t.add_row(a=Fraction(1, 2))
+        t.add_note("note")
+        text = t.render()
+        assert "[X] demo" in text
+        assert "yes" in text
+        assert "1/2" in text
+        assert "* note" in text
+
+    def test_unknown_column_rejected(self):
+        t = ExperimentTable("X", "demo", ["a"])
+        with pytest.raises(KeyError):
+            t.add_row(nope=1)
+
+    def test_markdown(self):
+        t = ExperimentTable("X", "demo", ["a"])
+        t.add_row(a=3)
+        md = t.to_markdown()
+        assert "| a |" in md and "| 3 |" in md
+
+    def test_fmt(self):
+        assert fmt(True) == "yes"
+        assert fmt(None) == "—"
+        assert fmt(Fraction(3, 1)) == "3"
+        assert fmt(0.5) == "0.500"
+
+
+class TestTheorem1Experiments:
+    def test_n_sweep_flat(self):
+        from repro.experiments.exp_theorem1 import run_n_sweep
+
+        t = run_n_sweep(ns=[8, 16], degree=3)
+        rounds = t.column("rounds measured")
+        assert rounds[0] == rounds[1]
+        assert all(t.column("maximal packing"))
+
+    def test_delta_sweep_monotone(self):
+        from repro.experiments.exp_theorem1 import run_delta_sweep
+
+        t = run_delta_sweep(deltas=[1, 2, 4])
+        rounds = t.column("rounds measured")
+        assert rounds == sorted(rounds)
+        assert rounds[0] < rounds[-1]
+
+    def test_w_sweep_logstar_growth(self):
+        from repro.experiments.exp_theorem1 import run_w_sweep
+
+        t = run_w_sweep(exponents=[0, 16, 256], n=8)
+        rounds = t.column("rounds measured")
+        assert rounds == sorted(rounds)
+        # log*-like: going from W=1 to W=2^256 adds only a handful
+        assert rounds[-1] - rounds[0] <= 8
+
+
+class TestApproxExperiment:
+    def test_runs_and_holds(self):
+        from repro.experiments.exp_approx import run
+
+        t = run()
+        ratios = t.column("ratio")
+        assert all(r <= 2 for r in ratios)
+        assert any(r > 1 for r in ratios)  # approximation, not exact
+        certs = t.column("certificate w(C)/2Σy")
+        assert all(c <= 1 for c in certs)
+
+
+class TestTheorem2Experiments:
+    def test_fk_grid(self):
+        from repro.experiments.exp_theorem2 import run_fk_grid
+
+        t = run_fk_grid(max_f=2, max_k=2)
+        assert all(t.column("f-approx holds"))
+        measured = t.column("rounds measured")
+        formula = t.column("rounds formula")
+        assert measured == formula
+
+    def test_n_sweep(self):
+        from repro.experiments.exp_theorem2 import run_n_sweep
+
+        t = run_n_sweep(sizes=[4, 8])
+        assert len(set(t.column("rounds measured"))) == 1
+
+
+class TestFigureExperiments:
+    def test_figure1_asserts_paper_values(self):
+        from repro.experiments.exp_figure1 import run
+
+        t = run()
+        assert all(t.column("matches"))
+
+    def test_figure2_invariant(self):
+        from repro.experiments.exp_figure2 import run
+
+        t = run()
+        assert all(t.column("weak colouring"))
+
+    def test_figure3_tightness(self):
+        from repro.experiments.exp_figure3 import run
+
+        t = run(ps=[2, 3])
+        assert all(t.column("lower bound tight"))
+        assert t.column("f-approx ratio") == [2.0, 3.0]
+
+    def test_figure4_reduction(self):
+        from repro.experiments.exp_figure4 import run_reduction, run_lemma4
+
+        t = run_reduction(cases=[(8, 2)])
+        assert all(t.column("IS valid"))
+        t2 = run_lemma4(n=30)
+        assert t2.column("IS size")[1] == 1
+
+
+class TestSection5Experiment:
+    def test_equivalence_and_growth(self):
+        from repro.experiments.exp_section5 import run
+
+        t = run()
+        assert all(m in (True, None) for m in t.column("cover == direct run"))
+        assert all(g > 10 for g in t.column("growth factor"))
+
+
+class TestSymmetryExperiment:
+    def test_invariance_fast_subset(self):
+        from repro.experiments.exp_symmetry import run
+
+        t = run(include_slow=False)
+        assert all(t.column("broadcast auto-invariant"))
+
+
+class TestSelfStabExperiment:
+    def test_recovery(self):
+        from repro.experiments.exp_selfstab import run
+
+        t = run(rates=[0.0, 0.4], n=5)
+        assert all(t.column("recovered within T"))
+
+
+class TestPerfExperiment:
+    def test_runs(self):
+        from repro.experiments.exp_perf import run
+
+        t = run(sizes=[16, 32])
+        assert all(v > 0 for v in t.column("node-rounds/s"))
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "figure3" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["bogus"]) == 2
+
+    def test_run_one(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-F2" in out
+
+    def test_markdown_mode(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["figure2", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "### EXP-F2" in out
+
+
+class TestMessagesExperiment:
+    def test_tradeoffs_quantified(self):
+        from repro.experiments.exp_messages import run
+
+        t = run(n=6)
+        bits = t.column("total kbits")
+        # broadcast history and selfstab pipeline both cost more than §3
+        assert bits[1] > bits[0]
+        assert bits[2] > bits[0]
+        rounds = t.column("rounds")
+        assert rounds[0] == rounds[2]  # selfstab window == schedule length

@@ -1,0 +1,155 @@
+"""Tests for graph family generators and weights."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import families, weights
+
+
+class TestDeterministicFamilies:
+    def test_empty(self):
+        g = families.empty_graph(5)
+        assert (g.n, g.m, g.max_degree) == (5, 0, 0)
+
+    def test_path(self):
+        g = families.path_graph(6)
+        assert (g.n, g.m) == (6, 5)
+        assert sorted(g.degrees()) == [1, 1, 2, 2, 2, 2]
+
+    def test_cycle(self):
+        g = families.cycle_graph(7)
+        assert (g.n, g.m) == (7, 7)
+        assert all(d == 2 for d in g.degrees())
+        with pytest.raises(ValueError):
+            families.cycle_graph(2)
+
+    def test_complete(self):
+        g = families.complete_graph(5)
+        assert g.m == 10
+        assert all(d == 4 for d in g.degrees())
+
+    def test_complete_bipartite(self):
+        g = families.complete_bipartite(2, 3)
+        assert (g.n, g.m) == (5, 6)
+        assert g.degree(0) == 3 and g.degree(2) == 2
+
+    def test_star(self):
+        g = families.star_graph(7)
+        assert g.degree(0) == 7
+        assert g.max_degree == 7
+
+    def test_grid(self):
+        g = families.grid_2d(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.max_degree == 4 if min(3, 4) >= 3 else True
+
+    def test_balanced_tree(self):
+        g = families.balanced_tree(2, 3)
+        assert g.n == 1 + 2 + 4 + 8
+        assert g.m == g.n - 1
+
+    def test_caterpillar(self):
+        g = families.caterpillar(4, 2)
+        assert g.n == 4 + 8
+        assert g.m == 3 + 8
+
+    def test_hypercube(self):
+        g = families.hypercube(4)
+        assert g.n == 16
+        assert all(d == 4 for d in g.degrees())
+        assert g.m == 16 * 4 // 2
+
+    def test_petersen(self):
+        import networkx as nx
+
+        g = families.petersen_graph()
+        assert all(d == 3 for d in g.degrees())
+        assert nx.is_isomorphic(g.to_networkx(), nx.petersen_graph())
+
+    def test_frucht(self):
+        import networkx as nx
+
+        g = families.frucht_graph()
+        assert g.n == 12 and g.m == 18
+        assert all(d == 3 for d in g.degrees())
+        assert nx.is_isomorphic(g.to_networkx(), nx.frucht_graph())
+
+    def test_frucht_has_trivial_automorphism_group(self):
+        from repro.analysis.symmetry import automorphisms
+
+        autos = automorphisms(families.frucht_graph())
+        assert len(autos) == 1  # identity only
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        import networkx as nx
+
+        for n in (1, 2, 5, 12):
+            g = families.random_tree(n, seed=4)
+            assert g.n == n
+            assert g.m == max(0, n - 1)
+            if n > 1:
+                assert nx.is_tree(g.to_networkx())
+
+    def test_random_tree_deterministic(self):
+        assert families.random_tree(9, seed=1) == families.random_tree(9, seed=1)
+
+    def test_random_regular_degrees(self):
+        g = families.random_regular(3, 12, seed=0)
+        assert all(d == 3 for d in g.degrees())
+        with pytest.raises(ValueError):
+            families.random_regular(3, 5, seed=0)  # odd product
+
+    def test_gnp_seeded(self):
+        a = families.gnp_random(15, 0.3, seed=2)
+        b = families.gnp_random(15, 0.3, seed=2)
+        assert a == b
+
+    def test_bipartite_regularish(self):
+        g = families.random_bipartite_regularish(4, 6, d=3, seed=1)
+        for left in range(4):
+            assert g.degree(left) == 3
+        with pytest.raises(ValueError):
+            families.random_bipartite_regularish(2, 2, d=3)
+
+    def test_registry_make(self):
+        g = families.make("petersen")
+        assert g.n == 10
+        with pytest.raises(KeyError):
+            families.make("nonexistent")
+
+
+class TestWeights:
+    def test_unit(self):
+        assert weights.unit_weights(4) == [1, 1, 1, 1]
+
+    def test_uniform_within_bounds(self):
+        ws = weights.uniform_weights(50, 9, seed=3)
+        assert all(1 <= w <= 9 for w in ws)
+        assert ws == weights.uniform_weights(50, 9, seed=3)
+
+    def test_geometric_powers_of_two(self):
+        ws = weights.geometric_weights(60, 64, seed=1)
+        assert all(1 <= w <= 64 for w in ws)
+        assert all((w & (w - 1)) == 0 for w in ws)  # powers of two
+
+    def test_adversarial(self):
+        ws = weights.adversarial_weights(5, 10)
+        assert ws == [1, 10, 1, 10, 1]
+
+    def test_validate_rejects_bad(self):
+        with pytest.raises(ValueError):
+            weights.validate_weights([1, 2], 3, 5)
+        with pytest.raises(ValueError):
+            weights.validate_weights([0, 1, 1], 3, 5)
+        with pytest.raises(ValueError):
+            weights.validate_weights([1, 6, 1], 3, 5)
+        with pytest.raises(TypeError):
+            weights.validate_weights([1, True, 1], 3, 5)
+
+    def test_max_weight(self):
+        assert weights.max_weight([3, 7, 1]) == 7
+        assert weights.max_weight([]) == 1

@@ -1,0 +1,183 @@
+"""Tests for PortNumberedGraph and port-numbering strategies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import families, ports
+from repro.graphs.topology import PortNumberedGraph
+from tests.conftest import gnp_graphs
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = PortNumberedGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.m == 2
+        assert g.degree(1) == 2
+        assert g.max_degree == 2
+        assert g.neighbours(1) == [0, 2]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            PortNumberedGraph.from_edges(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            PortNumberedGraph.from_edges(2, [(0, 5)])
+
+    def test_duplicate_edges_collapse(self):
+        g = PortNumberedGraph.from_edges(2, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_rejects_inconsistent_ports(self):
+        # 0:0 -> (1, 0) but 1:0 -> (0, 1): reverse port mismatch
+        with pytest.raises(ValueError, match="inconsistent|out of range"):
+            PortNumberedGraph([[(1, 0)], [(0, 1)]])
+
+    def test_explicit_neighbour_order(self):
+        g = PortNumberedGraph.from_edges(
+            3, [(0, 1), (0, 2)], neighbour_order=[[2, 1], [0], [0]]
+        )
+        assert g.neighbours(0) == [2, 1]
+        # reverse consistency
+        u, q = g.port_target(0, 0)
+        assert u == 2
+        assert g.port_target(2, q) == (0, 0)
+
+    def test_bad_neighbour_order_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            PortNumberedGraph.from_edges(
+                3, [(0, 1)], neighbour_order=[[1, 1], [0], []]
+            )
+
+
+class TestAccessors:
+    def test_edge_ids_stable_and_sorted(self):
+        g = families.cycle_graph(4)
+        assert list(g.edges) == sorted(g.edges)
+        for e, (u, v) in enumerate(g.edges):
+            assert g.edge_id(u, v) == e
+            assert g.edge_id(v, u) == e
+
+    def test_port_of_inverse_of_neighbours(self):
+        g = families.complete_graph(5)
+        for v in g.nodes():
+            for p, u in enumerate(g.neighbours(v)):
+                assert g.port_of(v, u) == p
+
+    def test_port_of_missing_raises(self):
+        g = families.path_graph(3)
+        with pytest.raises(KeyError):
+            g.port_of(0, 2)
+
+    def test_incident_edges(self):
+        g = families.star_graph(3)
+        assert sorted(g.incident_edges(0)) == [0, 1, 2]
+        for leaf in (1, 2, 3):
+            assert len(g.incident_edges(leaf)) == 1
+
+    def test_connected_components(self):
+        g = PortNumberedGraph.from_edges(5, [(0, 1), (2, 3)])
+        comps = {frozenset(c) for c in g.connected_components()}
+        assert comps == {frozenset({0, 1}), frozenset({2, 3}), frozenset({4})}
+
+    @given(gnp_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_port_consistency_invariant(self, g):
+        for v in g.nodes():
+            for p in range(g.degree(v)):
+                u, q = g.port_target(v, p)
+                assert g.port_target(u, q) == (v, p)
+
+    @given(gnp_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_degree_sum_is_twice_edges(self, g):
+        assert sum(g.degrees()) == 2 * g.m
+
+
+class TestRelabel:
+    def test_relabel_roundtrip(self):
+        g = families.petersen_graph()
+        perm = [(v + 3) % g.n for v in g.nodes()]
+        h = g.relabel(perm)
+        inverse = [0] * g.n
+        for v, t in enumerate(perm):
+            inverse[t] = v
+        assert h.relabel(inverse) == g
+
+    def test_relabel_preserves_structure(self):
+        g = families.cycle_graph(5)
+        h = g.relabel([4, 3, 2, 1, 0])
+        assert h.m == g.m
+        assert sorted(h.degrees()) == sorted(g.degrees())
+
+    def test_relabel_rejects_non_bijection(self):
+        g = families.path_graph(3)
+        with pytest.raises(ValueError):
+            g.relabel([0, 0, 1])
+
+
+class TestNetworkxRoundtrip:
+    def test_roundtrip(self):
+        import networkx as nx
+
+        g = families.grid_2d(3, 3)
+        nxg = g.to_networkx()
+        back = PortNumberedGraph.from_networkx(nxg)
+        assert back.n == g.n
+        assert set(back.edges) == set(g.edges)
+        assert nx.is_isomorphic(nxg, back.to_networkx())
+
+
+class TestPortStrategies:
+    def test_canonical_sorts_neighbours(self):
+        g = ports.reversed_ports(families.star_graph(4))
+        c = ports.canonical_ports(g)
+        for v in c.nodes():
+            assert c.neighbours(v) == sorted(c.neighbours(v))
+
+    def test_random_ports_same_graph(self):
+        g = families.grid_2d(3, 3)
+        r = ports.random_ports(g, seed=5)
+        assert set(r.edges) == set(g.edges)
+        assert r.degrees() == g.degrees()
+
+    def test_random_ports_deterministic_in_seed(self):
+        g = families.grid_2d(3, 3)
+        assert ports.random_ports(g, seed=5) == ports.random_ports(g, seed=5)
+        assert ports.random_ports(g, seed=5) != ports.random_ports(g, seed=6)
+
+    def test_reversed_ports(self):
+        g = families.star_graph(4)
+        r = ports.reversed_ports(g)
+        assert r.neighbours(0) == list(reversed(g.neighbours(0)))
+
+    def test_symmetric_kpp_is_valid_and_complete_bipartite(self):
+        for p in (1, 2, 3, 5):
+            g = ports.symmetric_complete_bipartite(p)
+            assert g.n == 2 * p
+            assert g.m == p * p
+            for left in range(p):
+                assert set(g.neighbours(left)) == {p + j for j in range(p)}
+
+    def test_symmetric_kpp_shift_automorphism_preserves_ports(self):
+        p = 4
+        g = ports.symmetric_complete_bipartite(p)
+        # sigma: left i -> i+1, right p+j -> p+(j+1)  (mod p)
+        sigma = {i: (i + 1) % p for i in range(p)}
+        sigma.update({p + j: p + (j + 1) % p for j in range(p)})
+        for v in g.nodes():
+            for t in range(g.degree(v)):
+                u, q = g.port_target(v, t)
+                u2, q2 = g.port_target(sigma[v], t)
+                assert u2 == sigma[u], "shift must preserve port structure"
+                assert q2 == q
+
+    def test_symmetric_cycle_orientation(self):
+        g = ports.symmetric_cycle(6)
+        for v in g.nodes():
+            cw, q = g.port_target(v, 0)
+            assert cw == (v + 1) % 6
+            assert q == 1

@@ -1,0 +1,81 @@
+"""Round-trip tests for JSON serialisation."""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.edge_packing import maximal_edge_packing
+from repro.graphs import families
+from repro.graphs.setcover import random_instance
+from repro.graphs.weights import uniform_weights
+from repro.io import (
+    graph_from_json,
+    graph_to_json,
+    packing_from_json,
+    packing_to_json,
+    setcover_from_json,
+    setcover_to_json,
+)
+from tests.conftest import gnp_graphs
+
+
+class TestGraphJson:
+    def test_roundtrip_preserves_ports(self):
+        from repro.graphs.ports import random_ports
+
+        g = random_ports(families.grid_2d(3, 3), seed=4)
+        back = graph_from_json(graph_to_json(g))
+        assert back == g  # equality includes the port numbering
+
+    @given(gnp_graphs(max_n=10))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, g):
+        assert graph_from_json(graph_to_json(g)) == g
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError, match="not a"):
+            graph_from_json(json.dumps({"format": "something-else"}))
+
+    def test_indent_is_cosmetic(self):
+        g = families.path_graph(3)
+        compact = graph_to_json(g)
+        pretty = graph_to_json(g, indent=2)
+        assert graph_from_json(compact) == graph_from_json(pretty)
+
+
+class TestSetCoverJson:
+    def test_roundtrip(self):
+        inst = random_instance(5, 8, k=3, f=2, W=6, seed=3)
+        back = setcover_from_json(setcover_to_json(inst))
+        assert back.subsets == inst.subsets
+        assert back.weights == inst.weights
+        assert back.n_elements == inst.n_elements
+
+    def test_rejects_bad_format(self):
+        with pytest.raises(ValueError):
+            setcover_from_json("{}")
+
+
+class TestPackingJson:
+    def test_roundtrip_exact_fractions(self):
+        g = families.cycle_graph(5)
+        w = uniform_weights(5, 7, seed=2)
+        res = maximal_edge_packing(g, w)
+        text = packing_to_json(res.y, res.saturated, w)
+        back = packing_from_json(text)
+        assert back["y"] == res.y  # exact Fractions, no float drift
+        assert back["saturated"] == res.saturated
+        assert back["weights"] == list(w)
+
+    def test_huge_denominators_survive(self):
+        y = {0: Fraction(1, 3**50), 1: Fraction(2**80, 7)}
+        back = packing_from_json(packing_to_json(y, [0], [1, 1]))
+        assert back["y"] == y
+
+    def test_rejects_bad_format(self):
+        with pytest.raises(ValueError):
+            packing_from_json(json.dumps({"format": "x"}))

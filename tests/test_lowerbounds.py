@@ -1,0 +1,155 @@
+"""Tests for the Section 6 lower-bound constructions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact import exact_min_set_cover
+from repro.core.set_cover import set_cover_f_approx
+from repro.lowerbounds.cycle_reduction import (
+    adversarial_increasing_ids,
+    cycle_setcover_instance,
+    extract_independent_set,
+    independent_set_size_guarantee,
+    is_independent_in_cycle,
+    local_max_independent_set,
+    optimal_cycle_cover_size,
+)
+from repro.lowerbounds.symmetric import (
+    symmetric_lower_bound_demo,
+    trivial_algorithm_port_sensitivity,
+)
+
+
+class TestSymmetricLowerBound:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_f_approx_forced_to_ratio_p(self, p):
+        demo = symmetric_lower_bound_demo(p)
+        assert demo.cover == frozenset(range(p))
+        assert demo.matches_lower_bound
+        assert demo.ratio == p
+
+    @pytest.mark.parametrize("p", [2, 3, 5])
+    def test_trivial_algorithm_port_sensitivity(self, p):
+        sizes = trivial_algorithm_port_sensitivity(p)
+        assert sizes["canonical"] == 1  # all elements break ties identically
+        assert sizes["symmetric"] == p  # symmetry forces the worst case
+
+
+class TestCycleInstance:
+    def test_structure(self):
+        inst = cycle_setcover_instance(9, 3)
+        assert inst.n_subsets == 9 and inst.n_elements == 9
+        assert inst.f == 3 and inst.k == 3
+        assert inst.subsets[0] == frozenset({0, 1, 2})
+        assert inst.subsets[8] == frozenset({8, 0, 1})
+
+    def test_optimum(self):
+        for n, p in [(9, 3), (12, 4), (10, 5), (16, 2)]:
+            inst = cycle_setcover_instance(n, p)
+            opt, cover = exact_min_set_cover(inst)
+            assert opt == optimal_cycle_cover_size(n, p) == n // p
+
+    def test_non_divisible_optimum(self):
+        inst = cycle_setcover_instance(10, 3)
+        opt, _ = exact_min_set_cover(inst)
+        assert opt == optimal_cycle_cover_size(10, 3) == 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            cycle_setcover_instance(2, 3)
+        with pytest.raises(ValueError):
+            cycle_setcover_instance(5, 0)
+
+
+class TestExtraction:
+    def test_extract_from_partial_cover(self):
+        n, p = 12, 3
+        cover = {0, 3, 6, 9}  # optimal cover
+        ind = extract_independent_set(n, p, cover)
+        # X = complement; heads of each run of consecutive non-cover nodes
+        assert ind == frozenset({1, 4, 7, 10})
+        assert is_independent_in_cycle(n, ind)
+
+    def test_extract_is_always_independent(self):
+        n, p = 15, 3
+        for cover in ({0, 5, 10}, {0, 1, 2}, set(range(0, 15, 2))):
+            ind = extract_independent_set(n, p, cover)
+            assert is_independent_in_cycle(n, ind)
+
+    def test_size_guarantee_for_valid_covers(self):
+        """The ceil((n-|C|)/p) bound holds whenever C is a valid cover."""
+        n, p = 20, 4
+        inst = cycle_setcover_instance(n, p)
+        for stride in (4, 3, 2):
+            cover = set(range(0, n, stride))
+            assert inst.is_cover(cover)
+            ind = extract_independent_set(n, p, cover)
+            assert len(ind) >= independent_set_size_guarantee(n, p, len(cover))
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=6),
+        st.sets(st.integers(min_value=0, max_value=29)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_extraction_independence_property(self, p, mult, extra):
+        n = p * mult
+        # Build a VALID cover: the optimal every-p-th skeleton plus noise,
+        # minus at least one node so X is non-empty.
+        cover = set(range(0, n, p)) | {v % n for v in extra}
+        if len(cover) == n:
+            cover.discard(max(cover))
+        inst = cycle_setcover_instance(n, p)
+        assert inst.is_cover(cover)
+        ind = extract_independent_set(n, p, cover)
+        assert is_independent_in_cycle(n, ind)
+        assert len(ind) >= independent_set_size_guarantee(n, p, len(cover))
+
+    def test_full_pipeline_with_our_algorithm(self):
+        """Anonymous f-approx on H: ratio must be >= p (it is exactly p);
+        the extraction accordingly yields the empty independent set."""
+        n, p = 12, 3
+        inst = cycle_setcover_instance(n, p)
+        res = set_cover_f_approx(inst)
+        assert res.is_cover()
+        ratio = res.cover_weight / (n // p)
+        assert ratio >= p  # consistent with the lower bound for anonymity
+        ind = extract_independent_set(n, p, res.cover)
+        assert is_independent_in_cycle(n, ind)
+        assert len(ind) >= independent_set_size_guarantee(n, p, len(res.cover))
+
+
+class TestLocalMaxIndependentSet:
+    def test_always_independent(self):
+        import random
+
+        rng = random.Random(3)
+        ids = list(range(1, 21))
+        rng.shuffle(ids)
+        for r in (1, 2, 3):
+            ind = local_max_independent_set(ids, radius=r)
+            assert is_independent_in_cycle(20, ind)
+
+    def test_random_numbering_gives_fair_fraction(self):
+        import random
+
+        rng = random.Random(5)
+        ids = list(range(1, 61))
+        rng.shuffle(ids)
+        ind = local_max_independent_set(ids, radius=1)
+        assert len(ind) >= 60 // 10  # typically ~ n/3
+
+    def test_adversarial_numbering_defeats_it(self):
+        """Lemma 4 in action: increasing ids leave a single local max."""
+        for n in (10, 30, 100):
+            ids = adversarial_increasing_ids(n)
+            ind = local_max_independent_set(ids, radius=1)
+            assert len(ind) == 1
+            ind3 = local_max_independent_set(ids, radius=3)
+            assert len(ind3) == 1
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            local_max_independent_set([1, 1, 2], radius=1)

@@ -1,0 +1,169 @@
+"""Cross-cutting model-faithfulness properties.
+
+These tests pin the *model semantics* the whole reproduction rests on:
+anonymity (outputs depend only on structure), equivariance under
+relabelling, view-equivalence respecting outputs, and the exact
+self-consistency between the two covering problems (vertex cover as
+f=2 set cover).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+
+from repro.analysis.views import broadcast_view_classes, refine_until_stable
+from repro.core.set_cover import set_cover_f_approx
+from repro.core.fractional_packing import maximal_fractional_packing
+from repro.core.vertex_cover import vertex_cover_2approx
+from repro.graphs import families
+from repro.graphs.setcover import (
+    SetCoverInstance,
+    partition_instance,
+    random_instance,
+    vc_to_setcover,
+)
+from repro.graphs.weights import uniform_weights, unit_weights
+from tests.conftest import setcover_instances
+
+
+def _permute_instance(inst: SetCoverInstance, sperm, eperm):
+    """Apply subset and element permutations to an instance."""
+    new_subsets = [None] * inst.n_subsets
+    new_weights = [0] * inst.n_subsets
+    for s in range(inst.n_subsets):
+        new_subsets[sperm[s]] = frozenset(eperm[u] for u in inst.subsets[s])
+        new_weights[sperm[s]] = inst.weights[s]
+    return SetCoverInstance(
+        subsets=tuple(new_subsets),
+        weights=tuple(new_weights),
+        n_elements=inst.n_elements,
+    )
+
+
+class TestSetCoverEquivariance:
+    """The broadcast algorithm sees no ids: permuting the instance
+    must permute the output."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cover_permutes_with_instance(self, seed):
+        inst = random_instance(5, 7, k=3, f=2, W=4, seed=seed)
+        rng = random.Random(seed + 100)
+        sperm = list(range(inst.n_subsets))
+        eperm = list(range(inst.n_elements))
+        rng.shuffle(sperm)
+        rng.shuffle(eperm)
+        permuted = _permute_instance(inst, sperm, eperm)
+
+        res_a = maximal_fractional_packing(inst)
+        res_b = maximal_fractional_packing(permuted)
+        assert {sperm[s] for s in res_a.saturated_subsets} == set(
+            res_b.saturated_subsets
+        )
+        for u in range(inst.n_elements):
+            assert res_a.y[u] == res_b.y[eperm[u]]
+
+
+class TestVertexCoverAsSetCover:
+    """Section 5's encoding: the f of vc_to_setcover is always 2, the k
+    is Δ, and the fractional packing *is* an edge packing of G."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [families.cycle_graph(5), families.grid_2d(2, 3), families.star_graph(4)],
+        ids=["cycle5", "grid2x3", "star4"],
+    )
+    def test_fractional_packing_is_edge_packing(self, graph):
+        from repro.analysis.verify import check_edge_packing
+
+        w = uniform_weights(graph.n, 5, seed=8)
+        inst = vc_to_setcover(graph, w)
+        res = maximal_fractional_packing(inst)
+        # element u of H = edge e of G: the packing transfers verbatim
+        y_edges = {e: res.y[e] for e in range(graph.m)}
+        check_edge_packing(graph, w, y_edges).require()
+
+
+class TestViewsPredictSetCoverOutputs:
+    @given(setcover_instances(max_subsets=4, max_elements=5, max_k=3, max_f=2, max_w=3))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_equal_views_equal_outputs(self, inst):
+        res = maximal_fractional_packing(inst)
+        g = inst.to_bipartite_graph()
+        classes, _ = refine_until_stable(
+            g, inputs=[repr(i) for i in inst.node_inputs()], model="broadcast"
+        )
+        outputs = res.run.outputs
+        for a in g.nodes():
+            for b in g.nodes():
+                if classes[a] == classes[b]:
+                    ka = (
+                        outputs[a]["in_cover"]
+                        if outputs[a]["role"] == "subset"
+                        else outputs[a]["y"]
+                    )
+                    kb = (
+                        outputs[b]["in_cover"]
+                        if outputs[b]["role"] == "subset"
+                        else outputs[b]["y"]
+                    )
+                    assert ka == kb
+
+
+class TestCertificatesAreTight:
+    def test_certificate_never_exceeds_true_ratio_proof(self):
+        """w(C) <= 2 Σy is provable; check it is *attained* on forced
+        instances (certificate == 1) and slack elsewhere."""
+        tight = vertex_cover_2approx(families.cycle_graph(6), unit_weights(6))
+        assert tight.certificate_ratio == 1
+        slack = vertex_cover_2approx(families.path_graph(3), unit_weights(3))
+        assert slack.certificate_ratio < 1
+
+    def test_packing_value_lower_bounds_opt(self):
+        from repro.baselines.exact import exact_min_vertex_cover
+
+        for seed in range(3):
+            g = families.gnp_random(10, 0.35, seed=seed)
+            w = uniform_weights(10, 6, seed=seed)
+            res = vertex_cover_2approx(g, w)
+            opt, _ = exact_min_vertex_cover(g, w)
+            assert res.packing_value <= opt  # weak duality, exact
+
+
+class TestScheduleRobustness:
+    """Running with over-generous global parameters must stay correct —
+    nodes only know upper bounds in practice."""
+
+    @pytest.mark.parametrize("delta_slack,w_slack", [(0, 3), (2, 0), (3, 5)])
+    def test_loose_bounds_edge_packing(self, delta_slack, w_slack):
+        from repro.analysis.verify import check_edge_packing
+
+        g = families.gnp_random(8, 0.4, seed=2)
+        w = uniform_weights(8, 4, seed=3)
+        res = vertex_cover_2approx(
+            g, w, delta=g.max_degree + delta_slack, W=4 + w_slack
+        )
+        assert res.is_cover()
+
+    def test_empty_components_with_loose_bounds(self):
+        from repro.graphs.topology import PortNumberedGraph
+
+        g = PortNumberedGraph.from_edges(5, [(0, 1)])
+        res = vertex_cover_2approx(g, [2, 3, 1, 1, 1], delta=4, W=8)
+        assert res.is_cover()
+        assert res.cover == frozenset({0})
+
+
+class TestBroadcastDeterminismAcrossRuns:
+    def test_fractional_packing_stable_under_repeat(self):
+        inst = partition_instance(
+            groups=[[0, 1], [1, 2], [2, 3], [0, 3]],
+            weights=[2, 3, 2, 3],
+            n_elements=4,
+        )
+        runs = [maximal_fractional_packing(inst) for _ in range(3)]
+        assert all(r.y == runs[0].y for r in runs)
+        assert all(r.saturated_subsets == runs[0].saturated_subsets for r in runs)

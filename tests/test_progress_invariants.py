@@ -1,0 +1,140 @@
+"""Deep progress invariants: the per-iteration arguments of the proofs.
+
+Theorem 1's engine is Lemma 1 (the active subgraph's maximum degree
+drops every Phase I iteration); Theorem 2's engine is the Section 4.4
+argument (every unsaturated element's outdegree in ``K_yc`` drops
+every iteration).  These tests observe the machines mid-run and check
+the *proof-level* quantities, not just the final outputs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List
+
+import pytest
+
+from repro.core.ablations import phase1_reference
+from repro.core.edge_packing import ACTIVE
+from repro.core.fractional_packing import (
+    FractionalPackingMachine,
+    build_fp_schedule,
+    fp_out_degree_bound,
+)
+from repro.graphs import families
+from repro.graphs.setcover import random_instance, vc_to_setcover
+from repro.graphs.weights import uniform_weights
+from repro.simulator.runtime import run_on_setcover
+
+
+class TestLemma1Progress:
+    """Max degree of the active subgraph decreases every iteration."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_active_degree_strictly_decreases(self, seed):
+        g = families.gnp_random(10, 0.5, seed=seed)
+        w = uniform_weights(10, 8, seed=seed + 50)
+        delta = g.max_degree
+
+        def max_active_degree(iterations: int) -> int:
+            ref = phase1_reference(g, w, iterations=iterations)
+            deg = [0] * g.n
+            for e, s in ref.edge_state.items():
+                if s == ACTIVE:
+                    u, v = g.edges[e]
+                    deg[u] += 1
+                    deg[v] += 1
+            return max(deg, default=0)
+
+        previous = g.max_degree
+        for t in range(1, delta + 1):
+            current = max_active_degree(t)
+            if previous > 0:
+                assert current <= previous - 1, (
+                    f"iteration {t}: max active degree {current} did not "
+                    f"drop below {previous}"
+                )
+            previous = current
+        assert previous == 0  # Lemma 1's conclusion
+
+
+def _iteration_end_rounds(f: int, k: int, W: int) -> List[int]:
+    """1-based round indices at which each iteration's colouring ends."""
+    schedule = build_fp_schedule(f, k, W)
+    D = fp_out_degree_bound(f, k)
+    ends = []
+    for idx, tag in enumerate(schedule):
+        if tag[0] == "tr_subset" and tag[2] == D + 1:
+            ends.append(idx + 1)
+    return ends
+
+
+def _kyc_out_degrees(instance, states) -> Dict[int, int]:
+    """Outdegree of each unsaturated element in K_yc from a state snapshot."""
+    n_s = instance.n_subsets
+    elements = states[n_s:]
+    unsat = {
+        u for u in range(instance.n_elements) if not elements[u].saturated
+    }
+    colour = {u: elements[u].c for u in unsat}
+    out: Dict[int, int] = {u: 0 for u in unsat}
+    for members in instance.subsets:
+        for u in members:
+            if u not in unsat:
+                continue
+            for v in members:
+                if v != u and v in unsat and colour[v] == colour[u]:
+                    out[u] += 1
+    return out
+
+
+class TestTheorem2Progress:
+    """Every unsaturated element loses K_yc-outdegree each iteration."""
+
+    @pytest.mark.parametrize(
+        "instance_factory",
+        [
+            lambda: random_instance(5, 6, k=2, f=2, W=3, seed=4),
+            lambda: random_instance(4, 6, k=3, f=2, W=2, seed=9),
+            lambda: vc_to_setcover(families.cycle_graph(5), [2, 1, 2, 1, 2]),
+        ],
+        ids=["rand-k2f2", "rand-k3f2", "cycle-encoding"],
+    )
+    def test_outdegree_decreases_per_iteration(self, instance_factory):
+        inst = instance_factory()
+        ends = _iteration_end_rounds(inst.f, inst.k, inst.W)
+        snapshots = {}
+
+        def observer(round_index, states, outboxes):
+            if round_index in ends:
+                snapshots[round_index] = [s.clone() for s in states]
+
+        run_on_setcover(
+            inst,
+            FractionalPackingMachine(),
+            observer=observer,
+            max_rounds=len(build_fp_schedule(inst.f, inst.k, inst.W)),
+        )
+
+        prev = None
+        for r in ends:
+            degrees = _kyc_out_degrees(inst, snapshots[r])
+            if prev is not None:
+                for u, d in degrees.items():
+                    if u in prev:
+                        assert d <= prev[u] - 1 or prev[u] == 0, (
+                            f"element {u}: outdegree {prev[u]} -> {d} "
+                            f"did not decrease"
+                        )
+            prev = degrees
+        # after the final iteration everything must be saturated
+        assert prev == {}, f"unsaturated elements remain: {sorted(prev)}"
+
+    def test_final_maximality_is_forced_by_progress(self):
+        """D+1 iterations x (outdegree <= D) leave nothing unsaturated."""
+        inst = random_instance(6, 8, k=2, f=2, W=4, seed=12)
+        from repro.core.fractional_packing import maximal_fractional_packing
+        from repro.analysis.verify import check_fractional_packing
+
+        res = maximal_fractional_packing(inst)
+        check_fractional_packing(inst, res.y).require()

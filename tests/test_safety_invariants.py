@@ -1,0 +1,131 @@
+"""Every-round safety invariants.
+
+Final-state checks cannot catch an algorithm that is transiently
+infeasible (e.g. overpacks a node and retreats).  These tests observe
+the machines at *every* round and assert the safety properties the
+proofs rely on throughout:
+
+* edge packing: ``y[v] <= w_v`` always, ``y`` monotonically
+  non-decreasing per edge, edge states only move forward in the
+  lattice ACTIVE -> MULTICOLOURED -> SATURATED;
+* fractional packing: ``y[s] <= w_s`` always, element colours within
+  ``{0..D}`` at iteration boundaries, ``y(u)`` non-decreasing.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List
+
+import pytest
+
+from repro.core.edge_packing import (
+    ACTIVE,
+    MULTICOLOURED,
+    SATURATED,
+    EdgePackingMachine,
+    schedule_length,
+)
+from repro.core.fractional_packing import (
+    FractionalPackingMachine,
+    fp_out_degree_bound,
+    fp_schedule_length,
+)
+from repro.graphs import families
+from repro.graphs.setcover import random_instance
+from repro.graphs.weights import uniform_weights
+from repro.simulator.runtime import run_on_setcover, run_port_numbering
+
+_ORDER = {ACTIVE: 0, MULTICOLOURED: 1, SATURATED: 2}
+
+
+class TestEdgePackingSafety:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_invariants_every_round(self, seed):
+        g = families.gnp_random(9, 0.45, seed=seed)
+        w = uniform_weights(9, 7, seed=seed + 30)
+        delta, W = g.max_degree, 7
+
+        prev_y: List[Dict[int, Fraction]] = [dict()]
+        prev_states: List[Dict[int, str]] = [dict()]
+        violations: List[str] = []
+
+        def observer(round_index, states, outboxes):
+            y_now: Dict[int, Fraction] = {}
+            st_now: Dict[int, str] = {}
+            for v in g.nodes():
+                st = states[v]
+                # feasibility at every instant
+                if st.r < 0:
+                    violations.append(f"round {round_index}: node {v} residual < 0")
+                load = sum(st.y, Fraction(0))
+                if load > w[v]:
+                    violations.append(
+                        f"round {round_index}: node {v} overpacked {load} > {w[v]}"
+                    )
+                for p in range(g.degree(v)):
+                    e = g.edge_of_port(v, p)
+                    y_now.setdefault(e, st.y[p])
+                    # monotone y per edge
+                    if e in prev_y[0] and st.y[p] < prev_y[0][e]:
+                        violations.append(
+                            f"round {round_index}: edge {e} y decreased"
+                        )
+                    # forward-only edge states (per endpoint view)
+                    key = (v, e)
+                    before = prev_states[0].get(key)
+                    if before is not None and _ORDER[st.estate[p]] < _ORDER[before]:
+                        violations.append(
+                            f"round {round_index}: edge {e} state regressed "
+                            f"{before} -> {st.estate[p]} at node {v}"
+                        )
+                    st_now[key] = st.estate[p]
+            prev_y[0] = y_now
+            prev_states[0] = st_now
+
+        run_port_numbering(
+            g,
+            EdgePackingMachine(),
+            inputs=list(w),
+            globals_map={"delta": delta, "W": W},
+            observer=observer,
+            max_rounds=schedule_length(delta, W),
+        )
+        assert not violations, "\n".join(violations[:10])
+
+
+class TestFractionalPackingSafety:
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_invariants_every_round(self, seed):
+        inst = random_instance(5, 7, k=2, f=2, W=4, seed=seed)
+        D = fp_out_degree_bound(inst.f, inst.k)
+        n_s = inst.n_subsets
+        violations: List[str] = []
+        last_y = [Fraction(0)] * inst.n_elements
+
+        def observer(round_index, states, outboxes):
+            elements = states[n_s:]
+            for u, st in enumerate(elements):
+                if st.y < last_y[u]:
+                    violations.append(f"round {round_index}: y(u{u}) decreased")
+                last_y[u] = st.y
+                if not (0 <= st.c <= D):
+                    violations.append(
+                        f"round {round_index}: element {u} colour {st.c} out of range"
+                    )
+            for s in range(n_s):
+                load = sum(
+                    (elements[u].y for u in inst.subsets[s]), Fraction(0)
+                )
+                if load > inst.weights[s]:
+                    violations.append(
+                        f"round {round_index}: subset {s} overpacked"
+                    )
+
+        run_on_setcover(
+            inst,
+            FractionalPackingMachine(),
+            observer=observer,
+            max_rounds=fp_schedule_length(inst.f, inst.k, inst.W),
+        )
+        assert not violations, "\n".join(violations[:10])

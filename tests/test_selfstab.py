@@ -1,0 +1,145 @@
+"""Tests for the self-stabilising transformer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify import check_edge_packing, check_vertex_cover
+from repro.core.edge_packing import EdgePackingMachine, schedule_length
+from repro.graphs import families
+from repro.graphs.weights import uniform_weights, unit_weights
+from repro.selfstab.transformer import SelfStabilisingMachine, run_self_stabilising
+from repro.simulator.faults import RandomStateCorruption
+
+
+def _reference_outputs(graph, weights, delta, W):
+    from repro.core.edge_packing import maximal_edge_packing
+
+    res = maximal_edge_packing(graph, weights, delta=delta, W=W)
+    return res.run.outputs, res
+
+
+def _selfstab_outputs(graph, weights, delta, W, rounds, adversary=None):
+    horizon = schedule_length(delta, W)
+    result = run_self_stabilising(
+        graph,
+        EdgePackingMachine(),
+        horizon=horizon,
+        rounds=rounds,
+        inputs=list(weights),
+        globals_map={"delta": delta, "W": W},
+        fault_adversary=adversary,
+    )
+    return result
+
+
+class TestFaultFreeConvergence:
+    def test_converges_to_reference_within_horizon(self):
+        g = families.cycle_graph(5)
+        w = unit_weights(5)
+        delta, W = 2, 1
+        horizon = schedule_length(delta, W)
+        ref, _ = _reference_outputs(g, w, delta, W)
+        res = _selfstab_outputs(g, w, delta, W, rounds=horizon)
+        assert res.outputs == ref
+
+    def test_output_stable_after_convergence(self):
+        g = families.path_graph(4)
+        w = [2, 1, 1, 2]
+        delta, W = 2, 2
+        horizon = schedule_length(delta, W)
+        ref, _ = _reference_outputs(g, w, delta, W)
+        res = _selfstab_outputs(g, w, delta, W, rounds=horizon + 10)
+        assert res.outputs == ref
+
+
+class TestFaultRecovery:
+    @pytest.mark.parametrize("rate", [0.1, 0.4])
+    def test_recovers_after_random_corruption(self, rate):
+        g = families.cycle_graph(6)
+        w = uniform_weights(6, 3, seed=2)
+        delta, W = 2, 3
+        horizon = schedule_length(delta, W)
+        faulty_rounds = 12
+        adversary = RandomStateCorruption(
+            until_round=faulty_rounds, rate=rate, seed=5
+        )
+        ref, _ = _reference_outputs(g, w, delta, W)
+        res = _selfstab_outputs(
+            g, w, delta, W,
+            rounds=faulty_rounds + horizon,
+            adversary=adversary,
+        )
+        assert adversary.corruptions > 0, "adversary must actually corrupt"
+        assert res.outputs == ref
+
+    def test_output_valid_packing_after_recovery(self):
+        g = families.grid_2d(2, 3)
+        w = uniform_weights(6, 4, seed=7)
+        delta, W = g.max_degree, 4
+        horizon = schedule_length(delta, W)
+        adversary = RandomStateCorruption(until_round=8, rate=0.5, seed=9)
+        res = _selfstab_outputs(
+            g, w, delta, W, rounds=8 + horizon, adversary=adversary
+        )
+        # assemble the packing from outputs and verify exactly
+        y = {}
+        for v in g.nodes():
+            for p in range(g.degree(v)):
+                e = g.edge_of_port(v, p)
+                val = res.outputs[v]["y"][p]
+                assert y.setdefault(e, val) == val, "endpoint disagreement"
+        check_edge_packing(g, w, y).require()
+        cover = [v for v in g.nodes() if res.outputs[v]["in_cover"]]
+        ok, _ = check_vertex_cover(g, cover)
+        assert ok
+
+    def test_corruption_during_run_visible_before_horizon(self):
+        """Sanity: the adversary really perturbs the pipeline (the run
+        differs from the reference if we stop before re-convergence)."""
+        g = families.cycle_graph(6)
+        w = unit_weights(6)
+        delta, W = 2, 1
+        adversary = RandomStateCorruption(until_round=6, rate=0.9, seed=1)
+        res = _selfstab_outputs(g, w, delta, W, rounds=6, adversary=adversary)
+        # no assertion on equality here — only that the run completes and
+        # produces *some* outputs without crashing
+        assert len(res.outputs) == 6
+
+
+class TestTransformerMechanics:
+    def test_never_halts(self):
+        g = families.path_graph(2)
+        machine = SelfStabilisingMachine(EdgePackingMachine(), horizon=5)
+        from repro.simulator.runtime import run
+
+        res = run(
+            g,
+            machine,
+            inputs=[1, 1],
+            globals_map={"delta": 1, "W": 1},
+            max_rounds=7,
+        )
+        assert not res.all_halted
+        assert res.rounds == 7
+
+    def test_message_size_scales_with_horizon(self):
+        g = families.path_graph(2)
+        from repro.simulator.runtime import run
+
+        sizes = []
+        for horizon in (4, 16):
+            machine = SelfStabilisingMachine(EdgePackingMachine(), horizon=horizon)
+            res = run(
+                g,
+                machine,
+                inputs=[1, 1],
+                globals_map={"delta": 1, "W": 1},
+                max_rounds=3,
+            )
+            sizes.append(res.message_bits)
+        assert sizes[1] > sizes[0]
+
+    def test_rejects_negative_horizon(self):
+        with pytest.raises(ValueError):
+            SelfStabilisingMachine(EdgePackingMachine(), horizon=-1)

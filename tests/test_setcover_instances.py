@@ -1,0 +1,122 @@
+"""Tests for SetCoverInstance and its generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import families
+from repro.graphs.setcover import (
+    SetCoverInstance,
+    partition_instance,
+    random_instance,
+    symmetric_kpp_instance,
+    vc_to_setcover,
+)
+from tests.conftest import setcover_instances
+
+
+class TestInstanceBasics:
+    def test_parameters(self):
+        inst = partition_instance(
+            groups=[[0, 1], [1, 2], [2]], weights=[2, 3, 1], n_elements=3
+        )
+        assert inst.n_subsets == 3
+        assert inst.n_elements == 3
+        assert inst.k == 2
+        assert inst.f == 2  # elements 1 and 2 appear twice
+        assert inst.W == 3
+
+    def test_rejects_uncovered_element(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            partition_instance(groups=[[0]], weights=[1], n_elements=2)
+
+    def test_rejects_out_of_range_element(self):
+        with pytest.raises(ValueError, match="outside universe"):
+            partition_instance(groups=[[0, 5]], weights=[1], n_elements=2)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            partition_instance(groups=[[0]], weights=[0], n_elements=1)
+
+    def test_element_to_subsets(self):
+        inst = partition_instance(
+            groups=[[0, 1], [1]], weights=[1, 1], n_elements=2
+        )
+        assert inst.element_to_subsets() == [[0], [0, 1]]
+
+    def test_is_cover_and_weight(self):
+        inst = partition_instance(
+            groups=[[0, 1], [1, 2], [0, 2]], weights=[2, 3, 4], n_elements=3
+        )
+        assert inst.is_cover([0, 1])
+        assert not inst.is_cover([1])
+        assert inst.cover_weight([0, 1, 0]) == 5  # duplicates ignored
+
+
+class TestBipartiteLayout:
+    def test_layout_shapes(self):
+        inst = partition_instance(
+            groups=[[0, 1], [1, 2]], weights=[1, 2], n_elements=3
+        )
+        g = inst.to_bipartite_graph()
+        assert g.n == inst.n_subsets + inst.n_elements
+        assert g.m == sum(len(s) for s in inst.subsets)
+        assert g.degree(inst.subset_node(0)) == 2
+        assert g.degree(inst.element_node(1)) == 2
+
+    def test_node_inputs_roles(self):
+        inst = partition_instance(groups=[[0]], weights=[7], n_elements=1)
+        inputs = inst.node_inputs()
+        assert inputs[0] == {"role": "subset", "weight": 7}
+        assert inputs[1] == {"role": "element"}
+
+    def test_global_params(self):
+        inst = partition_instance(
+            groups=[[0, 1, 2], [0]], weights=[5, 2], n_elements=3
+        )
+        assert inst.global_params() == {"f": 2, "k": 3, "W": 5}
+
+
+class TestGenerators:
+    @given(setcover_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_random_instances_respect_bounds(self, inst):
+        assert inst.k <= 4
+        assert inst.f <= 3
+        assert inst.W <= 8
+        # feasibility is enforced by the constructor; reaching here means ok
+        assert inst.is_cover(range(inst.n_subsets))
+
+    def test_random_instance_deterministic(self):
+        a = random_instance(5, 8, k=3, f=2, W=4, seed=9)
+        b = random_instance(5, 8, k=3, f=2, W=4, seed=9)
+        assert a.subsets == b.subsets and a.weights == b.weights
+
+    def test_random_instance_capacity_check(self):
+        with pytest.raises(ValueError, match="capacity"):
+            random_instance(2, 10, k=2, f=1)
+
+    def test_vc_to_setcover_parameters(self):
+        g = families.cycle_graph(5)
+        inst = vc_to_setcover(g, [2] * 5)
+        assert inst.n_subsets == 5
+        assert inst.n_elements == 5  # edges
+        assert inst.f == 2  # every edge has two endpoints
+        assert inst.k == 2  # cycle degree
+        # covers correspond: subsets = incident edge sets
+        for v in g.nodes():
+            assert inst.subsets[v] == frozenset(g.incident_edges(v))
+
+    def test_vc_to_setcover_isolated_node(self):
+        from repro.graphs.topology import PortNumberedGraph
+
+        g = PortNumberedGraph.from_edges(3, [(0, 1)])
+        inst = vc_to_setcover(g, [1, 1, 1])
+        assert inst.subsets[2] == frozenset()
+
+    def test_symmetric_kpp(self):
+        inst = symmetric_kpp_instance(4)
+        assert inst.f == 4 and inst.k == 4
+        assert inst.is_cover([0])
+        assert inst.cover_weight([0]) == 1

@@ -1,0 +1,261 @@
+"""Tests for the synchronous runtime: delivery semantics, metering, halting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, List, Sequence
+
+import pytest
+
+from repro.graphs import families, ports
+from repro.simulator.machine import BROADCAST, PORT_NUMBERING, LocalContext, Machine
+from repro.simulator.runtime import run, run_broadcast, run_port_numbering
+
+
+# ----------------------------------------------------------------------
+# Tiny machines used as probes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ProbeState:
+    round: int
+    received: tuple
+
+
+class EchoPortMachine(Machine):
+    """Sends its input on every port for `rounds` rounds; records inboxes."""
+
+    model = PORT_NUMBERING
+
+    def __init__(self, rounds: int = 1):
+        self.rounds = rounds
+
+    def start(self, ctx):
+        return _ProbeState(0, ())
+
+    def emit(self, ctx, state):
+        return [("echo", ctx.input, p) for p in range(ctx.degree)]
+
+    def step(self, ctx, state, inbox):
+        return _ProbeState(state.round + 1, state.received + (tuple(inbox),))
+
+    def halted(self, ctx, state):
+        return state.round >= self.rounds
+
+    def output(self, ctx, state):
+        return state.received
+
+
+class EchoBroadcastMachine(Machine):
+    model = BROADCAST
+
+    def __init__(self, rounds: int = 1):
+        self.rounds = rounds
+
+    def start(self, ctx):
+        return _ProbeState(0, ())
+
+    def emit(self, ctx, state):
+        return ("value", ctx.input)
+
+    def step(self, ctx, state, inbox):
+        return _ProbeState(state.round + 1, state.received + (inbox,))
+
+    def halted(self, ctx, state):
+        return state.round >= self.rounds
+
+    def output(self, ctx, state):
+        return state.received
+
+
+class NeverHaltMachine(Machine):
+    model = PORT_NUMBERING
+
+    def start(self, ctx):
+        return 0
+
+    def emit(self, ctx, state):
+        return [None] * ctx.degree
+
+    def step(self, ctx, state, inbox):
+        return state + 1
+
+    def halted(self, ctx, state):
+        return False
+
+    def output(self, ctx, state):
+        return state
+
+
+class TestPortDelivery:
+    def test_messages_follow_ports(self):
+        g = families.path_graph(3)
+        res = run_port_numbering(g, EchoPortMachine(), inputs=["a", "b", "c"])
+        # node 1 (middle) hears from 0 on its port to 0 and from 2 likewise
+        inbox = res.outputs[1][0]
+        p0 = g.port_of(1, 0)
+        p2 = g.port_of(1, 2)
+        assert inbox[p0] == ("echo", "a", g.port_of(0, 1))
+        assert inbox[p2] == ("echo", "c", g.port_of(2, 1))
+
+    def test_wrong_emission_arity_rejected(self):
+        class BadMachine(EchoPortMachine):
+            def emit(self, ctx, state):
+                return [1]  # wrong length unless degree == 1
+
+        g = families.star_graph(3)
+        with pytest.raises(ValueError, match="emitted"):
+            run_port_numbering(g, BadMachine())
+
+    def test_model_mismatch_rejected(self):
+        g = families.path_graph(2)
+        with pytest.raises(ValueError, match="written for"):
+            run_port_numbering(g, EchoBroadcastMachine())
+        with pytest.raises(ValueError, match="written for"):
+            run_broadcast(g, EchoPortMachine())
+
+
+class TestBroadcastDelivery:
+    def test_inbox_is_sorted_multiset(self):
+        g = families.star_graph(3)
+        res = run_broadcast(g, EchoBroadcastMachine(), inputs=[10, 3, 1, 2])
+        centre_inbox = res.outputs[0][0]
+        assert centre_inbox == (("value", 1), ("value", 2), ("value", 3))
+
+    def test_duplicates_preserved(self):
+        g = families.star_graph(3)
+        res = run_broadcast(g, EchoBroadcastMachine(), inputs=[0, 5, 5, 5])
+        assert res.outputs[0][0] == (("value", 5),) * 3
+
+    def test_port_numbering_invisible_in_broadcast(self):
+        """Re-numbering ports must not change any broadcast inbox."""
+        g = families.grid_2d(3, 3)
+        res1 = run_broadcast(g, EchoBroadcastMachine(2), inputs=list(range(9)))
+        g2 = ports.reversed_ports(g)
+        res2 = run_broadcast(g2, EchoBroadcastMachine(2), inputs=list(range(9)))
+        assert res1.outputs == res2.outputs
+
+
+class TestHaltingAndRounds:
+    def test_runs_until_all_halt(self):
+        g = families.cycle_graph(5)
+        res = run_port_numbering(g, EchoPortMachine(rounds=7))
+        assert res.rounds == 7
+        assert res.all_halted
+
+    def test_max_rounds_cutoff(self):
+        g = families.path_graph(2)
+        res = run_port_numbering(g, NeverHaltMachine(), max_rounds=13)
+        assert res.rounds == 13
+        assert not res.all_halted
+
+    def test_zero_round_machine(self):
+        class InstantMachine(NeverHaltMachine):
+            def halted(self, ctx, state):
+                return True
+
+        g = families.path_graph(3)
+        res = run_port_numbering(g, InstantMachine())
+        assert res.rounds == 0
+        assert res.all_halted
+
+    def test_empty_graph(self):
+        g = families.empty_graph(4)
+        res = run_port_numbering(g, EchoPortMachine())
+        assert res.rounds == 1
+        assert res.outputs == [((),)] * 4
+
+
+class TestMetering:
+    def test_message_count_port_model(self):
+        g = families.cycle_graph(4)  # 4 nodes, degree 2
+        res = run_port_numbering(g, EchoPortMachine())
+        assert res.messages_sent == 4 * 2  # one per port per round
+        assert res.message_bits > 0
+        assert len(res.per_round_bits) == 1
+
+    def test_none_messages_not_counted(self):
+        g = families.cycle_graph(4)
+        res = run_port_numbering(g, NeverHaltMachine(), max_rounds=5)
+        assert res.messages_sent == 0
+        assert res.message_bits == 0
+
+    def test_broadcast_counts_per_link(self):
+        g = families.star_graph(4)
+        res = run_broadcast(g, EchoBroadcastMachine(), inputs=[0] * 5)
+        # centre sends to 4 neighbours, each leaf to 1
+        assert res.messages_sent == 4 + 4
+
+
+class TestContextsAndRng:
+    def test_inputs_length_checked(self):
+        g = families.path_graph(3)
+        with pytest.raises(ValueError, match="inputs"):
+            run_port_numbering(g, EchoPortMachine(), inputs=[1, 2])
+
+    def test_rng_absent_without_seed(self):
+        class RngProbe(EchoPortMachine):
+            def start(self, ctx):
+                assert ctx.rng is None
+                return super().start(ctx)
+
+        run_port_numbering(families.path_graph(2), RngProbe())
+
+    def test_rng_deterministic_per_seed(self):
+        class RandomOutput(Machine):
+            model = PORT_NUMBERING
+
+            def start(self, ctx):
+                return ctx.rng.random()
+
+            def emit(self, ctx, state):
+                return [None] * ctx.degree
+
+            def step(self, ctx, state, inbox):
+                return state
+
+            def halted(self, ctx, state):
+                return True
+
+            def output(self, ctx, state):
+                return state
+
+        g = families.path_graph(4)
+        a = run_port_numbering(g, RandomOutput(), seed=3).outputs
+        b = run_port_numbering(g, RandomOutput(), seed=3).outputs
+        c = run_port_numbering(g, RandomOutput(), seed=4).outputs
+        assert a == b
+        assert a != c
+        assert len(set(a)) > 1  # per-node streams differ
+
+    def test_require_global(self):
+        ctx = LocalContext(degree=0, globals={"x": 1})
+        assert ctx.require_global("x") == 1
+        with pytest.raises(KeyError, match="requires global"):
+            ctx.require_global("y")
+
+
+class TestObserverAndFaults:
+    def test_observer_called_each_round(self):
+        seen = []
+        g = families.path_graph(2)
+        run_port_numbering(
+            g,
+            EchoPortMachine(rounds=3),
+            observer=lambda r, states, out: seen.append(r),
+        )
+        assert seen == [1, 2, 3]
+
+    def test_fault_adversary_applied(self):
+        from repro.simulator.faults import TargetedCorruption
+
+        g = families.path_graph(2)
+        adversary = TargetedCorruption({1: {0: _ProbeState(0, ("corrupted",))}})
+        res = run_port_numbering(
+            g, EchoPortMachine(rounds=4), fault_adversary=adversary
+        )
+        assert adversary.corruptions == 1
+        assert "corrupted" in res.outputs[0][0] or res.outputs[0][0] == "corrupted" or any(
+            "corrupted" in str(x) for x in res.outputs[0]
+        )
