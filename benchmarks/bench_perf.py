@@ -4,6 +4,11 @@ These are *repeated-timing* benchmarks (pytest-benchmark auto-tunes
 rounds): they profile the hot paths of the simulator and the exactness
 machinery, the knobs that decide how large an instance the library can
 handle.
+
+``BENCH_perf.json`` (next to this file) is the checked-in baseline;
+``compare.py`` fails a run that regresses a hot path by more than 25%
+against it.  See ``README.md`` here for the metering modes and how the
+engine benchmarks relate.
 """
 
 from __future__ import annotations
@@ -17,9 +22,10 @@ from repro.analysis.verify import (
     edge_packing_feasible_fast,
 )
 from repro.core.colours import encode_colour_sequence
-from repro.core.edge_packing import maximal_edge_packing
+from repro.core.edge_packing import EdgePackingMachine, maximal_edge_packing
 from repro.graphs import families
 from repro.graphs.weights import uniform_weights
+from repro.simulator.runtime import run, run_reference, sweep
 from repro._util.ordering import canonical_sorted
 from repro._util.sizes import message_size_bits
 
@@ -33,12 +39,81 @@ def medium_instance():
 
 
 def test_perf_edge_packing_n128(benchmark):
+    """Headline: full Section 3 run, metering on (the seed's default)."""
     g = families.random_regular(4, 128, seed=0)
     w = uniform_weights(128, 8, seed=1)
     res = benchmark.pedantic(
-        maximal_edge_packing, args=(g, w), rounds=1, iterations=1
+        maximal_edge_packing, args=(g, w), rounds=5, iterations=1
     )
     assert res.rounds > 0
+
+
+def test_perf_edge_packing_n128_nometer(benchmark):
+    """Headline: same run with metering off — the pure simulation cost."""
+    g = families.random_regular(4, 128, seed=0)
+    w = uniform_weights(128, 8, seed=1)
+    res = benchmark.pedantic(
+        lambda: maximal_edge_packing(g, w, metering="none"),
+        rounds=5,
+        iterations=1,
+    )
+    assert res.rounds > 0
+
+
+def test_perf_fast_engine_n128(benchmark):
+    """Bare fast engine (no packing assembly/cross-check) — the
+    numerator workload of the engine-level speedup headline."""
+    g = families.random_regular(4, 128, seed=0)
+    w = uniform_weights(128, 8, seed=1)
+    res = benchmark.pedantic(
+        lambda: run(
+            g,
+            EdgePackingMachine(),
+            inputs=list(w),
+            globals_map={"delta": 4, "W": 8},
+            metering="none",
+        ),
+        rounds=5,
+        iterations=1,
+    )
+    assert res.all_halted
+
+
+def test_perf_reference_engine_n128(benchmark):
+    """The executable-specification engine on the same instance — the
+    denominator of the engine-level speedup."""
+    g = families.random_regular(4, 128, seed=0)
+    w = uniform_weights(128, 8, seed=1)
+    res = benchmark.pedantic(
+        lambda: run_reference(
+            g,
+            EdgePackingMachine(),
+            inputs=list(w),
+            globals_map={"delta": 4, "W": 8},
+            metering="none",  # engine-vs-engine headline: meter neither side
+        ),
+        rounds=5,
+        iterations=1,
+    )
+    assert res.all_halted
+
+
+def test_perf_sweep_batched_n64(benchmark):
+    """Batched multi-instance execution through the sweep() API."""
+    instances = []
+    machine = EdgePackingMachine()
+    for s in range(4):
+        g = families.random_regular(4, 64, seed=s)
+        w = uniform_weights(64, 8, seed=s)
+        instances.append(
+            {"graph": g, "inputs": list(w), "globals_map": {"delta": 4, "W": 8}}
+        )
+    results = benchmark.pedantic(
+        lambda: sweep(instances, machine, metering="none"),
+        rounds=3,
+        iterations=1,
+    )
+    assert all(r.all_halted for r in results)
 
 
 def test_perf_exact_verification(benchmark, medium_instance):
@@ -81,5 +156,5 @@ def test_perf_message_size_metering(benchmark):
 def test_perf_message_experiment(benchmark):
     from repro.experiments.exp_messages import run
 
-    table = benchmark.pedantic(run, kwargs={"n": 6}, rounds=1, iterations=1)
+    table = benchmark.pedantic(run, kwargs={"n": 6}, rounds=3, iterations=1)
     assert len(table.rows) == 3

@@ -1,0 +1,59 @@
+"""Identity-keyed memoisation.
+
+The hot paths memoise derived values (schedules, canonical keys,
+structural sizes) for objects that are reused across calls — the
+shared per-run globals mapping, repeated payload tuples.  Hashing the
+object would cost as much as recomputing, so the memo keys on
+``id(object)`` instead, which is only sound with two guards that every
+call site must share:
+
+* the entry *pins* the key object (a strong reference), so its id
+  cannot be recycled while the entry exists;
+* a hit re-checks ``entry is obj``, so a stale entry can never be
+  served for a different object.
+
+Cached values must describe state the object cannot change (immutable
+contents, or fields fixed at construction).  When the memo grows past
+its bound it is dropped wholesale — a miss recomputes, it never
+mis-answers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["IdentityMemo"]
+
+
+class IdentityMemo:
+    """A bounded ``id(obj) -> value`` memo with object pinning.
+
+    ``get`` returns ``None`` on a miss, so values themselves must never
+    be ``None`` (true for every current use: schedule tuples, key
+    tuples, bit counts).
+    """
+
+    __slots__ = ("_entries", "limit")
+
+    def __init__(self, limit: int = 64):
+        self._entries: Dict[int, Tuple[Any, Any]] = {}
+        self.limit = limit
+
+    def get(self, obj: Any) -> Optional[Any]:
+        entry = self._entries.get(id(obj))
+        if entry is not None and entry[0] is obj:
+            return entry[1]
+        return None
+
+    def put(self, obj: Any, value: Any) -> Any:
+        entries = self._entries
+        if len(entries) >= self.limit:
+            entries.clear()
+        entries[id(obj)] = (obj, value)
+        return value
+
+    def get_or_compute(self, obj: Any, factory: Callable[[], Any]) -> Any:
+        value = self.get(obj)
+        if value is None:
+            value = self.put(obj, factory())
+        return value

@@ -13,12 +13,20 @@ Messages in this library are built from ``None``, ``bool``, ``int``,
 ``list`` / frozen ``dict`` values.  :func:`canonical_key` maps any such
 value to a key that is totally ordered across *different* types too,
 by tagging each value with a type rank.
+
+Keys for deeply immutable tuples are memoised via
+:class:`repro._util.identity.IdentityMemo`.  Broadcast payloads repeat
+heavily — the Section 5 history machine re-sends a growing tuple whose
+elements are the previous rounds' tuples — so a round's key costs
+O(new elements) instead of O(total history).
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 from typing import Any, Iterable, List, Tuple
+
+from repro._util.identity import IdentityMemo
 
 __all__ = ["canonical_key", "canonical_sorted"]
 
@@ -31,29 +39,51 @@ _RANK_STR = 3
 _RANK_TUPLE = 4
 _RANK_DICT = 5
 
+# Only deeply immutable tuples are stored.
+_KEY_MEMO = IdentityMemo(limit=1 << 16)
+
 
 def canonical_key(value: Any) -> Tuple:
     """A sort key defining a total order over supported message values."""
+    return _key(value)[0]
+
+
+def _key(value: Any) -> Tuple[Tuple, bool]:
+    """``(canonical key, deeply-immutable?)`` — the flag gates memoisation."""
     if value is None:
-        return (_RANK_NONE,)
+        return (_RANK_NONE,), True
     if isinstance(value, bool):
-        return (_RANK_BOOL, value)
+        return (_RANK_BOOL, value), True
     if isinstance(value, (int, Fraction)):
         # ints and Fractions compare numerically with each other.
-        return (_RANK_NUMBER, Fraction(value))
+        return (_RANK_NUMBER, Fraction(value)), True
     if isinstance(value, float):
         raise TypeError(
             "floats are not permitted in messages; use fractions.Fraction"
         )
     if isinstance(value, str):
-        return (_RANK_STR, value)
-    if isinstance(value, (tuple, list)):
-        return (_RANK_TUPLE, tuple(canonical_key(v) for v in value))
+        return (_RANK_STR, value), True
+    if isinstance(value, tuple):
+        cached = _KEY_MEMO.get(value)
+        if cached is not None:
+            return cached, True
+        parts = []
+        frozen = True
+        for v in value:
+            k, f = _key(v)
+            parts.append(k)
+            frozen &= f
+        key = (_RANK_TUPLE, tuple(parts))
+        if frozen:
+            _KEY_MEMO.put(value, key)
+        return key, frozen
+    if isinstance(value, list):
+        return (_RANK_TUPLE, tuple(canonical_key(v) for v in value)), False
     if isinstance(value, dict):
         items = sorted(
             ((canonical_key(k), canonical_key(v)) for k, v in value.items())
         )
-        return (_RANK_DICT, tuple(items))
+        return (_RANK_DICT, tuple(items)), False
     raise TypeError(
         f"unsupported message value of type {type(value).__name__}: {value!r}"
     )

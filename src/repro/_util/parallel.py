@@ -1,0 +1,29 @@
+"""Order-preserving serial/thread-pooled mapping.
+
+The shared seam under the batched execution APIs
+(:func:`repro.simulator.runtime.run_many` / ``sweep``) and the
+experiment drivers' :func:`repro.experiments.common.parallel_map`.
+``n_workers`` of ``None``/``0``/``1`` runs serially (no pool overhead,
+fully deterministic scheduling).  Threads share the GIL, so
+pure-Python workloads gain mostly when they block or on free-threaded
+builds; the API seam is what matters — callers amortise setup across
+jobs and can flip on workers without restructuring.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["map_jobs"]
+
+
+def map_jobs(
+    fn: Callable[[Any], Any], jobs: Sequence[Any], n_workers: Optional[int]
+) -> List[Any]:
+    """Map ``fn`` over ``jobs``, returning results in job order."""
+    jobs = list(jobs)
+    if n_workers is None or n_workers <= 1 or len(jobs) <= 1:
+        return [fn(j) for j in jobs]
+    with ThreadPoolExecutor(max_workers=min(n_workers, len(jobs))) as pool:
+        return list(pool.map(fn, jobs))

@@ -13,11 +13,25 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
+from functools import reduce
 from typing import Iterable, Union
 
-__all__ = ["as_fraction", "factorial", "is_multiple_of", "lcm_denominator"]
+__all__ = [
+    "FRACTION_ZERO",
+    "FRACTION_ONE",
+    "as_fraction",
+    "factorial",
+    "is_multiple_of",
+    "lcm_denominator",
+]
 
 Rational = Union[int, Fraction]
+
+# Shared constants: Fraction construction is surprisingly costly, and
+# hot paths compare against 0/1 constantly.  Fractions are immutable,
+# so sharing is safe.
+FRACTION_ZERO = Fraction(0)
+FRACTION_ONE = Fraction(1)
 
 
 def as_fraction(value: Union[int, str, Fraction]) -> Fraction:
@@ -66,7 +80,6 @@ def lcm_denominator(values: Iterable[Rational]) -> int:
     Returns 1 for an empty iterable.  Useful when clearing denominators
     to obtain the integer colour encodings of Lemma 2.
     """
-    result = 1
-    for v in values:
-        result = math.lcm(result, as_fraction(v).denominator)
-    return result
+    return reduce(
+        math.lcm, (as_fraction(v).denominator for v in values), 1
+    )

@@ -11,16 +11,30 @@ deterministic (it is an accounting device, not a wire format):
 * ``int n`` costs ``bit_length(|n|) + 1`` bits (sign/zero);
 * ``Fraction p/q`` costs the cost of ``p`` plus the cost of ``q``;
 * ``str s`` costs ``8·len(s)`` bits;
-* containers cost the sum of their items plus ``ceil(log2(len+1)) + 1``
-  bits of length framing.
+* containers (``tuple`` / ``list`` / ``dict``) cost the sum of their
+  items plus ``ceil(log2(len+1)) + 1`` bits of length framing; a dict
+  item costs its key plus its value.
+
+Every type :func:`repro._util.ordering.canonical_key` accepts is
+meterable, and vice versa (cross-checked in the tests).
+
+Sizes of deeply immutable tuples are memoised via
+:class:`repro._util.identity.IdentityMemo`.  Payloads repeat heavily
+across nodes and rounds — colour sequences, growing history tuples —
+so re-metering costs O(new elements), not O(payload).
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Any
+from typing import Any, Tuple
+
+from repro._util.identity import IdentityMemo
 
 __all__ = ["message_size_bits"]
+
+# Only deeply immutable tuples are stored.
+_SIZE_MEMO = IdentityMemo(limit=1 << 16)
 
 
 def _int_bits(n: int) -> int:
@@ -33,25 +47,50 @@ def _length_framing_bits(length: int) -> int:
 
 def message_size_bits(value: Any) -> int:
     """Structural size of ``value`` in bits (see module docstring)."""
+    return _size(value)[0]
+
+
+def _size(value: Any) -> Tuple[int, bool]:
+    """``(bits, deeply-immutable?)`` — the flag gates memoisation."""
     if value is None:
-        return 1
+        return 1, True
     if isinstance(value, bool):
-        return 1
+        return 1, True
     if isinstance(value, int):
-        return _int_bits(value)
+        return _int_bits(value), True
     if isinstance(value, Fraction):
-        return _int_bits(value.numerator) + _int_bits(value.denominator)
+        return _int_bits(value.numerator) + _int_bits(value.denominator), True
     if isinstance(value, float):
         raise TypeError("floats are not permitted in messages")
     if isinstance(value, str):
-        return 8 * len(value) + _length_framing_bits(len(value))
-    if isinstance(value, (tuple, list)):
-        return _length_framing_bits(len(value)) + sum(
-            message_size_bits(v) for v in value
+        return 8 * len(value) + _length_framing_bits(len(value)), True
+    if isinstance(value, tuple):
+        cached = _SIZE_MEMO.get(value)
+        if cached is not None:
+            return cached, True
+        bits = _length_framing_bits(len(value))
+        frozen = True
+        for v in value:
+            b, f = _size(v)
+            bits += b
+            frozen &= f
+        if frozen:
+            _SIZE_MEMO.put(value, bits)
+        return bits, frozen
+    if isinstance(value, list):
+        return (
+            _length_framing_bits(len(value))
+            + sum(message_size_bits(v) for v in value),
+            False,
         )
     if isinstance(value, dict):
-        return _length_framing_bits(len(value)) + sum(
-            message_size_bits(k) + message_size_bits(v) for k, v in value.items()
+        return (
+            _length_framing_bits(len(value))
+            + sum(
+                message_size_bits(k) + message_size_bits(v)
+                for k, v in value.items()
+            ),
+            False,
         )
     raise TypeError(
         f"unsupported message value of type {type(value).__name__}: {value!r}"

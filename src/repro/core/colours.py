@@ -23,7 +23,8 @@ injection to integers is a proper colouring of ``B``.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Sequence
+from functools import lru_cache
+from typing import Sequence, Tuple
 
 from repro._util.rationals import factorial
 
@@ -58,24 +59,48 @@ def encode_colour_sequence(
 
     Validates the Lemma 2 invariants: the sequence has exactly Δ
     elements, each in ``(0, W]`` with ``q (Δ!)^Δ`` integral.
+
+    Results are memoised: distinct colour sequences are few (that is
+    the whole point of colours), while every node encodes its own and
+    all of its neighbours' sequences, so repeats dominate at scale.
+    The cache key uses raw ``(numerator, denominator)`` pairs because
+    hashing a ``Fraction`` is far costlier than hashing two ints.
     """
-    if len(seq) != delta:
+    key = tuple(
+        (q.numerator, q.denominator)
+        if type(q) is Fraction
+        else _as_pair(q)
+        for q in seq
+    )
+    return _encode_cached(key, delta, W)
+
+
+def _as_pair(q) -> Tuple[int, int]:
+    f = Fraction(q)
+    return (f.numerator, f.denominator)
+
+
+@lru_cache(maxsize=65536)
+def _encode_cached(pairs: Tuple[Tuple[int, int], ...], delta: int, W: int) -> int:
+    if len(pairs) != delta:
         raise ValueError(
-            f"colour sequence must have exactly Δ={delta} elements, got {len(seq)}"
+            f"colour sequence must have exactly Δ={delta} elements, got {len(pairs)}"
         )
     scale = factorial(delta) ** delta
     radix = W * scale + 1
     value = 0
-    for q in seq:
-        q = Fraction(q)
-        if not (0 < q <= W):
-            raise ValueError(f"Lemma 2 violated: element {q} outside (0, {W}]")
-        digit = q * scale
-        if digit.denominator != 1:
+    for num, den in pairs:
+        if not (0 < num <= W * den):  # 0 < q <= W, with den > 0 normalised
             raise ValueError(
-                f"Lemma 2 violated: element {q} times (Δ!)^Δ = {digit} is not integral"
+                f"Lemma 2 violated: element {Fraction(num, den)} outside (0, {W}]"
             )
-        value = value * radix + int(digit)
+        digit, rem = divmod(num * scale, den)
+        if rem:
+            raise ValueError(
+                f"Lemma 2 violated: element {Fraction(num, den)} times (Δ!)^Δ "
+                f"= {Fraction(num * scale, den)} is not integral"
+            )
+        value = value * radix + digit
     return value
 
 

@@ -55,6 +55,8 @@ from repro.core.cole_vishkin import (
     eliminate_class_colour,
     shift_down_root_colour,
 )
+from repro._util.identity import IdentityMemo
+from repro._util.rationals import FRACTION_ONE, FRACTION_ZERO
 from repro.graphs.topology import PortNumberedGraph
 from repro.graphs.weights import max_weight, validate_weights
 from repro.simulator.machine import PORT_NUMBERING, LocalContext, Machine
@@ -123,15 +125,24 @@ def schedule_length(delta: int, W: int) -> int:
 
 @dataclass
 class _State:
-    """Private per-node state; cloned on every transition (purity)."""
+    """Private per-node state; never mutated after a transition (purity).
+
+    Transitions are copy-on-write: every ``step`` returns a *new*
+    ``_State`` and only the containers it rewrites are fresh — the rest
+    are shared with the predecessor.  Colour sequences are tuples
+    precisely so sharing them is free.  The discipline that makes this
+    safe: a shared container is never mutated in place; in-place
+    mutation happens only on copies made by :meth:`clone` (or explicit
+    ``dict``/``list`` copies) inside the same transition.
+    """
 
     idx: int  # position in the global schedule
     w: int  # own weight
     r: Fraction  # residual weight  w - y[v]
     y: List[Fraction]  # packing value per port
     estate: List[str]  # edge state per port
-    own_seq: List[Fraction]  # own colour sequence (Phase I)
-    nbr_seq: List[List[Fraction]]  # neighbour colour sequences per port
+    own_seq: Tuple[Fraction, ...]  # own colour sequence (Phase I)
+    nbr_seq: Tuple[Tuple[Fraction, ...], ...]  # neighbour sequences per port
     x_cur: Optional[Fraction] = None  # offer computed in the last p1a round
     colour_int: Optional[int] = None
     nbr_colour: List[Optional[int]] = field(default_factory=list)
@@ -141,16 +152,28 @@ class _State:
     colour_f: Dict[int, int] = field(default_factory=dict)  # forest -> colour
     children_colour_f: Dict[int, Optional[int]] = field(default_factory=dict)
     star_replies: Dict[int, Tuple] = field(default_factory=dict)  # port -> msg
+    # Derived caches.  ``sched``/``sched_len`` are stamped by start()
+    # (the shared schedule tuple — every hook needs it, and an attribute
+    # read beats re-deriving it from the globals).  ``forests`` and
+    # ``down_ports`` freeze once Phase II topology is known (the
+    # announce round): the forests this node belongs to, and the ports
+    # with a ``forest_in`` entry — the down-edges along which this
+    # node, as a parent, announces colours.
+    sched: Optional[Tuple[Tuple, ...]] = None
+    sched_len: int = 0
+    forests: Tuple[int, ...] = ()
+    down_ports: Tuple[int, ...] = ()
 
     def clone(self) -> "_State":
+        """Full copy whose mutable containers are safe to mutate."""
         return _State(
             idx=self.idx,
             w=self.w,
             r=self.r,
             y=list(self.y),
             estate=list(self.estate),
-            own_seq=list(self.own_seq),
-            nbr_seq=[list(s) for s in self.nbr_seq],
+            own_seq=self.own_seq,
+            nbr_seq=self.nbr_seq,
             x_cur=self.x_cur,
             colour_int=self.colour_int,
             nbr_colour=list(self.nbr_colour),
@@ -160,7 +183,24 @@ class _State:
             colour_f=dict(self.colour_f),
             children_colour_f=dict(self.children_colour_f),
             star_replies=dict(self.star_replies),
+            sched=self.sched,
+            sched_len=self.sched_len,
+            forests=self.forests,
+            down_ports=self.down_ports,
         )
+
+    def evolve(self, idx: int) -> "_State":
+        """Shallow successor at schedule position ``idx``.
+
+        Shares every container with ``self``; the caller must *assign*
+        fresh containers for whatever it changes, never mutate shared
+        ones.
+        """
+        new = _State.__new__(_State)
+        d = self.__dict__.copy()
+        d["idx"] = idx
+        new.__dict__ = d
+        return new
 
     # -- helpers -------------------------------------------------------
 
@@ -188,6 +228,11 @@ class EdgePackingMachine(Machine):
 
     model = PORT_NUMBERING
 
+    def __init__(self) -> None:
+        # Schedule lookup is on the hot path of every hook; key the
+        # memo by the identity of the shared per-run globals mapping.
+        self._sched_cache = IdentityMemo()
+
     # -- lifecycle -----------------------------------------------------
 
     def start(self, ctx: LocalContext) -> _State:
@@ -201,20 +246,25 @@ class EdgePackingMachine(Machine):
         if w > W:
             raise ValueError(f"node weight {w} exceeds W={W}")
         d = ctx.degree
+        sched, sched_len = self._sched(ctx)
         return _State(
             idx=0,
             w=w,
             r=Fraction(w),
-            y=[Fraction(0)] * d,
+            y=[FRACTION_ZERO] * d,
             estate=[ACTIVE] * d,
-            own_seq=[],
-            nbr_seq=[[] for _ in range(d)],
+            own_seq=(),
+            nbr_seq=((),) * d,
             nbr_colour=[None] * d,
             forest_in=[None] * d,
+            sched=sched,
+            sched_len=sched_len,
         )
 
     def halted(self, ctx: LocalContext, state: _State) -> bool:
-        return state.idx >= len(self._schedule(ctx))
+        # sched_len is stamped by start(); 0 means a hand-built state
+        # (tests, fault injection) — fall back to the schedule.
+        return state.idx >= (state.sched_len or self._sched(ctx)[1])
 
     def output(self, ctx: LocalContext, state: _State) -> Dict[str, Any]:
         return {
@@ -224,109 +274,173 @@ class EdgePackingMachine(Machine):
         }
 
     def _schedule(self, ctx: LocalContext) -> Tuple[Tuple, ...]:
-        return build_schedule(ctx.require_global("delta"), ctx.require_global("W"))
+        return self._sched(ctx)[0]
+
+    def _sched(self, ctx: LocalContext) -> Tuple[Tuple[Tuple, ...], int]:
+        def build() -> Tuple[Tuple[Tuple, ...], int]:
+            sched = build_schedule(
+                ctx.require_global("delta"), ctx.require_global("W")
+            )
+            return sched, len(sched)
+
+        return self._sched_cache.get_or_compute(ctx.globals, build)
 
     # -- emit ----------------------------------------------------------
 
-    def emit(self, ctx: LocalContext, state: _State) -> List[Any]:
+    def emit(self, ctx: LocalContext, state: _State) -> Optional[List[Any]]:
+        # Returning None means "silence on every port" (the runtime
+        # expands it); the all-``None`` fast paths below keep the
+        # star/colour rounds allocation-free for non-participants.
         d = ctx.degree
-        schedule = self._schedule(ctx)
+        schedule = state.sched
+        if schedule is None:  # hand-built state: recover the schedule
+            schedule = self._sched(ctx)[0]
         if state.idx >= len(schedule):
-            return [None] * d
+            return None
         tag = schedule[state.idx]
         kind = tag[0]
 
-        if kind in ("p1a", "p1_settle"):
-            return [state.r == 0] * d
-
-        if kind == "p1b":
-            return [state.x_cur] * d
-
-        if kind == "announce":
-            out = [None] * d
-            for p, i in state.forest_of_out.items():
-                out[p] = i
-            return out
-
-        if kind in ("cv", "sd", "elim"):
-            # Parents announce their per-forest colour down each in-edge.
-            out: List[Any] = [None] * d
-            for p in range(d):
-                i = state.forest_in[p]
-                if i is not None:
-                    out[p] = state.colour_f[i]
-            return out
-
         if kind == "star_req":
             _, i, j = tag
-            out = [None] * d
-            p = state.child_forests().get(i)
+            p = self._port_of_forest(state, i)
             if (
                 p is not None
                 and state.estate[p] == MULTICOLOURED
-                and state.r > 0
+                and state.r.numerator > 0
                 and state.colour_f.get(i) == j
             ):
+                out: List[Any] = [None] * d
                 out[p] = ("req", state.r)
-            return out
+                return out
+            return None
 
         if kind == "star_rep":
+            if not state.star_replies:
+                return None
             out = [None] * d
             for p, msg in state.star_replies.items():
                 out[p] = msg
             return out
 
+        if kind in ("cv", "sd", "elim"):
+            # Parents announce their per-forest colour down each in-edge.
+            if not state.down_ports:
+                return None
+            out = [None] * d
+            forest_in = state.forest_in
+            colour_f = state.colour_f
+            for p in state.down_ports:
+                out[p] = colour_f[forest_in[p]]
+            return out
+
+        if kind in ("p1a", "p1_settle"):
+            return [state.r.numerator == 0] * d
+
+        if kind == "p1b":
+            return [state.x_cur] * d
+
+        if kind == "announce":
+            if not state.forest_of_out:
+                return None
+            out = [None] * d
+            for p, i in state.forest_of_out.items():
+                out[p] = i
+            return out
+
         raise AssertionError(f"unknown schedule tag {tag!r}")
+
+    @staticmethod
+    def _port_of_forest(state: _State, forest: int) -> Optional[int]:
+        """The out-port realising ``forest``, i.e. ``child_forests().get``.
+
+        Inlined scan (last match wins, like the dict comprehension it
+        replaces) — building the inverse dict per hook call dominated
+        the star rounds.
+        """
+        p = None
+        for port, i in state.forest_of_out.items():
+            if i == forest:
+                p = port
+        return p
 
     # -- step ----------------------------------------------------------
 
     def step(self, ctx: LocalContext, state: _State, inbox: Sequence[Any]) -> _State:
-        schedule = self._schedule(ctx)
-        if state.idx >= len(schedule):
+        schedule = state.sched
+        if schedule is None:  # hand-built state: recover the schedule
+            schedule = self._sched(ctx)[0]
+        idx = state.idx
+        if idx >= len(schedule):
             return state
-        tag = schedule[state.idx]
+        tag = schedule[idx]
         kind = tag[0]
-        st = state.clone()
+        nxt = idx + 1
+
+        # Dispatch ordered by round frequency: the 6Δ star rounds and
+        # the colour pipeline dominate the schedule.
+        if kind == "star_req":
+            return self._head_process_requests(state, inbox, nxt, forest=tag[1])
+
+        if kind == "star_rep":
+            st = self._leaf_process_reply(state, inbox, nxt, forest=tag[1])
+            if st.star_replies:
+                st.star_replies = {}
+            return st
+
+        if kind == "cv":
+            return self._cv_update(state, inbox, nxt)
+
+        # Phase I rounds rewrite y/estate and the colour sequences;
+        # everything else is shared with the predecessor state.
+        if kind == "p1b":
+            st = state.evolve(nxt)
+            st.y = list(state.y)
+            st.estate = list(state.estate)
+            self._p1b_update(st, inbox)
+            return st
 
         if kind == "p1a":
+            st = state.evolve(nxt)
+            st.estate = list(state.estate)
             self._absorb_saturation_bits(st, inbox)
-            active = st.active_ports()
-            st.x_cur = st.r / len(active) if (st.r > 0 and active) else None
+            n_active = st.estate.count(ACTIVE)
+            st.x_cur = (
+                st.r / n_active if (st.r.numerator > 0 and n_active) else None
+            )
+            return st
 
-        elif kind == "p1b":
-            self._p1b_update(st, inbox)
+        if kind == "sd":
+            return self._shift_down_update(state, inbox, nxt)
 
-        elif kind == "p1_settle":
+        if kind == "elim":
+            return self._eliminate_update(state, inbox, nxt, target=tag[1])
+
+        if kind == "p1_settle":
+            st = state.evolve(nxt)
+            st.estate = list(state.estate)
             self._absorb_saturation_bits(st, inbox)
             self._finish_phase_one(st, ctx)
+            return st
 
-        elif kind == "announce":
+        if kind == "announce":
+            st = state.evolve(nxt)
+            forest_in = None
             for p, msg in enumerate(inbox):
-                if msg is not None and st.estate[p] == MULTICOLOURED:
-                    st.forest_in[p] = msg
-                    st.colour_f.setdefault(msg, st.colour_int)
+                if msg is not None and state.estate[p] == MULTICOLOURED:
+                    if forest_in is None:
+                        forest_in = list(state.forest_in)
+                        st.forest_in = forest_in
+                        st.colour_f = dict(state.colour_f)
+                    forest_in[p] = msg
+                    st.colour_f.setdefault(msg, state.colour_int)
+            # Phase II topology is now final: freeze the derived caches.
+            st.down_ports = tuple(
+                p for p, i in enumerate(st.forest_in) if i is not None
+            )
+            st.forests = tuple(st.my_forests())
+            return st
 
-        elif kind == "cv":
-            self._cv_update(st, inbox)
-
-        elif kind == "sd":
-            self._shift_down_update(st, inbox)
-
-        elif kind == "elim":
-            self._eliminate_update(st, inbox, target=tag[1])
-
-        elif kind == "star_req":
-            self._head_process_requests(st, inbox, forest=tag[1])
-
-        elif kind == "star_rep":
-            self._leaf_process_reply(st, inbox, forest=tag[1])
-            st.star_replies = {}
-
-        else:
-            raise AssertionError(f"unknown schedule tag {tag!r}")
-
-        st.idx += 1
-        return st
+        raise AssertionError(f"unknown schedule tag {tag!r}")
 
     # -- Phase I -------------------------------------------------------
 
@@ -336,21 +450,22 @@ class EdgePackingMachine(Machine):
         for p, nbr_saturated in enumerate(inbox):
             if nbr_saturated and st.estate[p] != SATURATED:
                 st.estate[p] = SATURATED
-        if st.r == 0:
+        if st.r.numerator == 0:
             st.estate = [SATURATED] * len(st.estate)
 
     @staticmethod
     def _p1b_update(st: _State, inbox: Sequence[Any]) -> None:
         """Steps (ii)–(iii) of Phase I: accept offers, grow colours."""
-        one = Fraction(1)
+        one = FRACTION_ONE
         own_el = st.x_cur if st.x_cur is not None else one
-        st.own_seq.append(own_el)
+        st.own_seq = st.own_seq + (own_el,)
 
-        increments = Fraction(0)
+        increments = FRACTION_ZERO
         mismatched: List[int] = []
+        nbr_seq = list(st.nbr_seq)
         for p, nbr_x in enumerate(inbox):
             nbr_el = nbr_x if nbr_x is not None else one
-            st.nbr_seq[p].append(nbr_el)
+            nbr_seq[p] = nbr_seq[p] + (nbr_el,)
             if st.estate[p] == ACTIVE:
                 # Both endpoints of an active edge made offers (an active
                 # edge implies positive residuals and active degree >= 1
@@ -364,10 +479,11 @@ class EdgePackingMachine(Machine):
                 increments += delta_y
                 if own_el != nbr_el:
                     mismatched.append(p)
+        st.nbr_seq = tuple(nbr_seq)
         st.r -= increments
-        if st.r < 0:
+        if st.r.numerator < 0:
             raise AssertionError("residual went negative — packing infeasible")
-        if st.r == 0:
+        if st.r.numerator == 0:
             # Own saturation dominates: all incident edges are saturated.
             st.estate = [SATURATED] * len(st.estate)
         else:
@@ -403,66 +519,96 @@ class EdgePackingMachine(Machine):
 
     # -- Phase II colour pipeline ---------------------------------------
 
-    def _cv_update(self, st: _State, inbox: Sequence[Any]) -> None:
-        child = st.child_forests()
-        for i in st.my_forests():
+    def _cv_update(self, state: _State, inbox: Sequence[Any], nxt: int) -> _State:
+        st = state.evolve(nxt)
+        forests = state.forests
+        if not forests:
+            return st
+        child = state.child_forests()
+        colour_f = dict(state.colour_f)
+        st.colour_f = colour_f
+        for i in forests:
             if i in child:
                 parent_colour = inbox[child[i]]
                 if parent_colour is None:
                     raise AssertionError("missing parent colour in CV round")
-                st.colour_f[i] = cv_step_colour(st.colour_f[i], parent_colour)
+                colour_f[i] = cv_step_colour(colour_f[i], parent_colour)
             else:  # root of its tree in forest i
-                st.colour_f[i] = cv_step_colour(
-                    st.colour_f[i], cv_pseudo_parent(st.colour_f[i])
+                colour_f[i] = cv_step_colour(
+                    colour_f[i], cv_pseudo_parent(colour_f[i])
                 )
+        return st
 
-    def _shift_down_update(self, st: _State, inbox: Sequence[Any]) -> None:
-        child = st.child_forests()
-        parents = st.parent_forests()
-        for i in st.my_forests():
-            prev = st.colour_f[i]
+    def _shift_down_update(
+        self, state: _State, inbox: Sequence[Any], nxt: int
+    ) -> _State:
+        st = state.evolve(nxt)
+        forests = state.forests
+        if not forests:
+            return st
+        child = state.child_forests()
+        parents = state.parent_forests()
+        colour_f = dict(state.colour_f)
+        children_colour_f = dict(state.children_colour_f)
+        st.colour_f = colour_f
+        st.children_colour_f = children_colour_f
+        for i in forests:
+            prev = colour_f[i]
             if i in child:
                 parent_colour = inbox[child[i]]
                 if parent_colour is None:
                     raise AssertionError("missing parent colour in shift-down")
-                st.colour_f[i] = parent_colour
+                colour_f[i] = parent_colour
             else:
-                st.colour_f[i] = shift_down_root_colour(prev)
+                colour_f[i] = shift_down_root_colour(prev)
             # After shift-down all children of this node wear its old
             # colour; remember it for the elimination that follows.
-            st.children_colour_f[i] = prev if i in parents else None
+            children_colour_f[i] = prev if i in parents else None
+        return st
 
     def _eliminate_update(
-        self, st: _State, inbox: Sequence[Any], target: int
-    ) -> None:
-        child = st.child_forests()
-        for i in st.my_forests():
-            if st.colour_f[i] != target:
-                continue
+        self, state: _State, inbox: Sequence[Any], nxt: int, target: int
+    ) -> _State:
+        st = state.evolve(nxt)
+        hit = [i for i in state.forests if state.colour_f[i] == target]
+        if not hit:
+            return st
+        child = state.child_forests()
+        colour_f = dict(state.colour_f)
+        st.colour_f = colour_f
+        for i in hit:
             parent_colour = inbox[child[i]] if i in child else None
-            st.colour_f[i] = eliminate_class_colour(
-                st.colour_f[i], target, parent_colour, st.children_colour_f.get(i)
+            colour_f[i] = eliminate_class_colour(
+                colour_f[i], target, parent_colour,
+                state.children_colour_f.get(i),
             )
+        return st
 
     # -- Phase II star saturation ---------------------------------------
 
     @staticmethod
     def _head_process_requests(
-        st: _State, inbox: Sequence[Any], forest: int
-    ) -> None:
+        state: _State, inbox: Sequence[Any], nxt: int, forest: int
+    ) -> _State:
         """The paper's α-rule: saturate all leaves or the root exactly."""
-        requests: List[Tuple[int, Fraction]] = [
-            (p, msg[1])
-            for p, msg in enumerate(inbox)
-            if msg is not None and msg[0] == "req" and st.forest_in[p] == forest
-        ]
-        if not requests:
-            return
-        if st.r == 0:
+        st = state.evolve(nxt)
+        forest_in = state.forest_in
+        requests: Optional[List[Tuple[int, Fraction]]] = None
+        for p, msg in enumerate(inbox):
+            if msg is not None and forest_in[p] == forest and msg[0] == "req":
+                if requests is None:
+                    requests = []
+                requests.append((p, msg[1]))
+        if requests is None:
+            return st
+        st.y = list(state.y)
+        st.estate = list(state.estate)
+        st.star_replies = dict(state.star_replies)
+        if st.r.numerator == 0:
             for p, _ru in requests:
                 st.star_replies[p] = ("full",)
                 st.estate[p] = SATURATED
-            return
+            return st
         total = sum(ru for _p, ru in requests)
         for p, ru in requests:
             # alpha = total / r;  alpha <= 1: give each leaf its full
@@ -472,29 +618,35 @@ class EdgePackingMachine(Machine):
             st.star_replies[p] = ("inc", delta_y)
             st.estate[p] = SATURATED
         st.r -= min(total, st.r)
-        if st.r < 0:
+        if st.r.numerator < 0:
             raise AssertionError("residual went negative in star saturation")
+        return st
 
     @staticmethod
-    def _leaf_process_reply(st: _State, inbox: Sequence[Any], forest: int) -> None:
-        child = st.child_forests()
-        p = child.get(forest)
+    def _leaf_process_reply(
+        state: _State, inbox: Sequence[Any], nxt: int, forest: int
+    ) -> _State:
+        st = state.evolve(nxt)
+        p = EdgePackingMachine._port_of_forest(state, forest)
         if p is None:
-            return
+            return st
         msg = inbox[p]
         if msg is None:
-            return
+            return st
+        st.estate = list(state.estate)
         if msg[0] == "full":
             st.estate[p] = SATURATED
         elif msg[0] == "inc":
             delta_y = msg[1]
+            st.y = list(state.y)
             st.y[p] += delta_y
             st.r -= delta_y
-            if st.r < 0:
+            if st.r.numerator < 0:
                 raise AssertionError("residual went negative at a star leaf")
             st.estate[p] = SATURATED
         else:
             raise AssertionError(f"unexpected star reply {msg!r}")
+        return st
 
 
 # ----------------------------------------------------------------------
@@ -532,12 +684,16 @@ def maximal_edge_packing(
     delta: Optional[int] = None,
     W: Optional[int] = None,
     max_rounds: Optional[int] = None,
+    metering: Any = "bits",
 ) -> EdgePackingResult:
     """Run the Section 3 algorithm and assemble the packing.
 
     ``delta`` and ``W`` default to the instance's true maximum degree
     and weight; the paper allows any upper bounds, which callers may
-    pass to study the round-count dependence.
+    pass to study the round-count dependence.  ``metering`` is passed
+    through to the runtime (see
+    :class:`repro.simulator.runtime.Metering`); pass ``"none"`` for
+    large perf runs where only the packing matters.
 
     The per-edge values reported by the two endpoints are
     cross-checked; a mismatch would indicate a protocol bug, so it
@@ -558,6 +714,7 @@ def maximal_edge_packing(
         inputs=list(weights),
         globals_map={"delta": delta, "W": W},
         max_rounds=needed if max_rounds is None else max_rounds,
+        metering=metering,
     )
     if not result.all_halted:
         raise RuntimeError(

@@ -43,6 +43,7 @@ from fractions import Fraction
 from functools import lru_cache
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro._util.identity import IdentityMemo
 from repro.core.colours import chi_fractional_packing, encode_p_value
 from repro.core.cole_vishkin import (
     cv_pseudo_parent,
@@ -164,6 +165,11 @@ class FractionalPackingMachine(Machine):
 
     model = BROADCAST
 
+    def __init__(self) -> None:
+        # Schedule lookup is on the hot path of every hook; key the
+        # memo by the identity of the shared per-run globals mapping.
+        self._sched_cache = IdentityMemo()
+
     # -- lifecycle -----------------------------------------------------
 
     def start(self, ctx: LocalContext):
@@ -186,10 +192,13 @@ class FractionalPackingMachine(Machine):
         raise ValueError(f"node input must declare role subset/element, got {role!r}")
 
     def _schedule(self, ctx: LocalContext) -> Tuple[Tuple, ...]:
-        return build_fp_schedule(
-            ctx.require_global("f"),
-            ctx.require_global("k"),
-            ctx.require_global("W"),
+        return self._sched_cache.get_or_compute(
+            ctx.globals,
+            lambda: build_fp_schedule(
+                ctx.require_global("f"),
+                ctx.require_global("k"),
+                ctx.require_global("W"),
+            ),
         )
 
     def _params(self, ctx: LocalContext) -> Tuple[int, int, int, int]:

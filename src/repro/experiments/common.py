@@ -1,12 +1,33 @@
-"""Shared experiment scaffolding: typed tables with ASCII rendering."""
+"""Shared experiment scaffolding: typed tables, ASCII rendering, and
+batched execution over instance/seed sweeps."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Dict, List, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["ExperimentTable", "fmt"]
+from repro._util.parallel import map_jobs
+
+__all__ = ["ExperimentTable", "fmt", "parallel_map"]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    n_workers: Optional[int] = None,
+) -> List[Any]:
+    """Order-preserving map over experiment configurations.
+
+    The experiment-side face of the batched execution API (see
+    :func:`repro.simulator.runtime.run_many` / ``sweep``): drivers map
+    a per-configuration kernel over their sweep values and get results
+    in input order, serially by default, on a thread pool when
+    ``n_workers > 1``.  Deterministic results are identical either
+    way; kernels that *time themselves* must run serially, since
+    concurrent kernels contend for the GIL and inflate wall clocks.
+    """
+    return map_jobs(fn, list(items), n_workers)
 
 
 def fmt(value: Any) -> str:

@@ -3,9 +3,16 @@
 Not a paper artefact; quantifies the substrate so the other
 experiments' wall-clock behaviour is interpretable:
 
-* node-rounds/second of the port-numbering runtime as n grows;
+* node-rounds/second of the port-numbering runtime as n grows, for the
+  fast engine (with and without metering) and the reference engine —
+  the engine-level speedup the CSR/halted-skip/metering work buys;
 * cost of the Section 3 machine per node-round (exact Fractions);
 * exact vs vectorised-float packing verification.
+
+The sweep itself runs through :func:`repro.experiments.common.
+parallel_map`, the experiment-side face of the batched execution API —
+but always serially: the kernels time themselves with wall clocks, and
+concurrent kernels contending for the GIL would inflate every number.
 """
 
 from __future__ import annotations
@@ -14,15 +21,20 @@ import time
 from typing import List, Optional
 
 from repro.analysis.verify import check_edge_packing, edge_packing_feasible_fast
-from repro.core.edge_packing import maximal_edge_packing
-from repro.experiments.common import ExperimentTable
+from repro.core.edge_packing import EdgePackingMachine, maximal_edge_packing
+from repro.experiments.common import ExperimentTable, parallel_map
 from repro.graphs import families
 from repro.graphs.weights import uniform_weights
+from repro.simulator.runtime import run as run_fast_engine
+from repro.simulator.runtime import run_reference
 
 __all__ = ["run", "main"]
 
 
-def run(sizes: Optional[List[int]] = None, degree: int = 3) -> ExperimentTable:
+def run(
+    sizes: Optional[List[int]] = None,
+    degree: int = 3,
+) -> ExperimentTable:
     sizes = sizes or [32, 128, 512]
     table = ExperimentTable(
         experiment_id="EXP-PERF",
@@ -32,16 +44,44 @@ def run(sizes: Optional[List[int]] = None, degree: int = 3) -> ExperimentTable:
             "rounds",
             "wall time (s)",
             "node-rounds/s",
+            "no-meter (s)",
+            "reference (s)",
+            "engine speedup",
             "exact verify (s)",
             "float verify (s)",
         ],
     )
-    for n in sizes:
+
+    def one(n: int) -> dict:
         g = families.random_regular(degree, n, seed=0)
         w = uniform_weights(n, 8, seed=1)
+        # Pin Δ and W explicitly so all three timed runs execute the
+        # exact same schedule (W defaults to max(w), which can fall
+        # short of 8 on small n and shorten the schedule).
+        delta, W = g.max_degree, 8
         t0 = time.perf_counter()
-        res = maximal_edge_packing(g, w)
+        res = maximal_edge_packing(g, w, delta=delta, W=W)
         elapsed = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        maximal_edge_packing(g, w, delta=delta, W=W, metering="none")
+        nometer_s = time.perf_counter() - t0
+
+        # Engine speedup compares the bare engines — same machine,
+        # same instance, metering off on both sides, no packing
+        # assembly/cross-check in either numerator or denominator.
+        engine_kwargs = dict(
+            inputs=list(w),
+            globals_map={"delta": delta, "W": W},
+            metering="none",
+        )
+        t0 = time.perf_counter()
+        run_fast_engine(g, EdgePackingMachine(), **engine_kwargs)
+        fast_engine_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        run_reference(g, EdgePackingMachine(), **engine_kwargs)
+        reference_s = time.perf_counter() - t0
 
         t1 = time.perf_counter()
         check_edge_packing(g, w, res.y).require()
@@ -52,19 +92,29 @@ def run(sizes: Optional[List[int]] = None, degree: int = 3) -> ExperimentTable:
         assert edge_packing_feasible_fast(g, w, y_float)
         float_s = time.perf_counter() - t2
 
-        table.add_row(
-            n=n,
-            rounds=res.rounds,
-            **{
-                "wall time (s)": elapsed,
-                "node-rounds/s": n * res.rounds / max(elapsed, 1e-9),
-                "exact verify (s)": exact_s,
-                "float verify (s)": float_s,
-            },
-        )
+        return {
+            "n": n,
+            "rounds": res.rounds,
+            "wall time (s)": elapsed,
+            "node-rounds/s": n * res.rounds / max(elapsed, 1e-9),
+            "no-meter (s)": nometer_s,
+            "reference (s)": reference_s,
+            "engine speedup": reference_s / max(fast_engine_s, 1e-9),
+            "exact verify (s)": exact_s,
+            "float verify (s)": float_s,
+        }
+
+    # Serial on purpose: each kernel measures wall time (see module
+    # docstring), so worker overlap would corrupt the columns.
+    for row in parallel_map(one, sizes):
+        table.add_row(**row)
     table.add_note(
         "rounds stay constant as n grows (strict locality); wall time "
         "scales ~linearly with n at fixed Δ"
+    )
+    table.add_note(
+        "'engine speedup' = reference engine / fast engine (metering off), "
+        "same machine and instance"
     )
     return table
 

@@ -21,7 +21,7 @@ from repro._util.logstar import log_star
 from repro.analysis.bounds import edge_packing_rounds_exact
 from repro.analysis.verify import check_edge_packing
 from repro.core.edge_packing import maximal_edge_packing
-from repro.experiments.common import ExperimentTable
+from repro.experiments.common import ExperimentTable, parallel_map
 from repro.graphs import families
 from repro.graphs.weights import unit_weights
 
@@ -29,7 +29,9 @@ __all__ = ["run_n_sweep", "run_delta_sweep", "run_w_sweep", "run", "main"]
 
 
 def run_n_sweep(
-    ns: Optional[List[int]] = None, degree: int = 3
+    ns: Optional[List[int]] = None,
+    degree: int = 3,
+    n_workers: Optional[int] = None,
 ) -> ExperimentTable:
     ns = ns or [8, 16, 32, 64]
     table = ExperimentTable(
@@ -37,10 +39,14 @@ def run_n_sweep(
         title=f"rounds vs n on {degree}-regular graphs (Δ={degree}, W=1)",
         columns=["n", "rounds measured", "rounds formula", "maximal packing"],
     )
-    for n in ns:
+
+    def one(n: int):
         g = families.random_regular(degree, n, seed=1)
         res = maximal_edge_packing(g, unit_weights(n))
         chk = check_edge_packing(g, unit_weights(n), res.y)
+        return n, res, chk
+
+    for n, res, chk in parallel_map(one, ns, n_workers):
         table.add_row(
             n=n,
             **{

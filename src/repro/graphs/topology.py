@@ -45,7 +45,7 @@ class PortNumberedGraph:
     strategies in :mod:`repro.graphs.ports`.
     """
 
-    __slots__ = ("_n", "_ports", "_edges", "_edge_index")
+    __slots__ = ("_n", "_ports", "_edges", "_edge_index", "_csr", "_degrees")
 
     def __init__(self, ports: Sequence[Sequence[PortTarget]]):
         """Build from an explicit port map; validates consistency.
@@ -57,6 +57,8 @@ class PortNumberedGraph:
         self._ports: Tuple[Tuple[PortTarget, ...], ...] = tuple(
             tuple((int(u), int(q)) for (u, q) in plist) for plist in ports
         )
+        self._csr: Optional[Tuple[List[int], List[int], List[int]]] = None
+        self._degrees: Optional[Tuple[int, ...]] = None
         self._validate()
         edges = set()
         for v in range(self._n):
@@ -155,7 +157,14 @@ class PortNumberedGraph:
         return len(self._ports[v])
 
     def degrees(self) -> List[int]:
-        return [len(p) for p in self._ports]
+        return list(self.degree_array)
+
+    @property
+    def degree_array(self) -> Tuple[int, ...]:
+        """Per-node degrees as a cached tuple (index = node id)."""
+        if self._degrees is None:
+            self._degrees = tuple(len(p) for p in self._ports)
+        return self._degrees
 
     @property
     def max_degree(self) -> int:
@@ -196,6 +205,52 @@ class PortNumberedGraph:
     def incident_edges(self, v: int) -> List[int]:
         """Edge ids incident to ``v``, in port order."""
         return [self.edge_of_port(v, p) for p in range(self.degree(v))]
+
+    # ------------------------------------------------------------------
+    # CSR (flat half-edge) view
+    # ------------------------------------------------------------------
+
+    def csr(self) -> Tuple[List[int], List[int], List[int]]:
+        """Flat-array adjacency: ``(offsets, flat_targets, flat_reverse_ports)``.
+
+        Half-edge ``i = offsets[v] + p`` is node ``v``'s port ``p``;
+        ``flat_targets[i]`` is the neighbour it leads to and
+        ``flat_reverse_ports[i]`` the port under which that neighbour
+        sees ``v``.  ``offsets`` has ``n + 1`` entries, so the half-edges
+        of ``v`` occupy ``offsets[v]:offsets[v + 1]`` and the total
+        half-edge count is ``offsets[n] == 2m``.
+
+        Built lazily on first use and cached (the graph is immutable);
+        the simulator's delivery hot path indexes these flat lists
+        instead of chasing per-node tuples.  Callers must not mutate the
+        returned lists.
+        """
+        if self._csr is None:
+            offsets = [0] * (self._n + 1)
+            flat_targets: List[int] = []
+            flat_reverse_ports: List[int] = []
+            for v, plist in enumerate(self._ports):
+                offsets[v + 1] = offsets[v] + len(plist)
+                for (u, q) in plist:
+                    flat_targets.append(u)
+                    flat_reverse_ports.append(q)
+            self._csr = (offsets, flat_targets, flat_reverse_ports)
+        return self._csr
+
+    @property
+    def offsets(self) -> List[int]:
+        """CSR row offsets (see :meth:`csr`)."""
+        return self.csr()[0]
+
+    @property
+    def flat_targets(self) -> List[int]:
+        """CSR neighbour per half-edge (see :meth:`csr`)."""
+        return self.csr()[1]
+
+    @property
+    def flat_reverse_ports(self) -> List[int]:
+        """CSR reverse port per half-edge (see :meth:`csr`)."""
+        return self.csr()[2]
 
     def __iter__(self) -> Iterator[int]:
         return iter(range(self._n))

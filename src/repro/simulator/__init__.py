@@ -16,11 +16,15 @@ from repro.simulator.machine import (
     Machine,
 )
 from repro.simulator.runtime import (
+    Metering,
     RunResult,
     run,
     run_broadcast,
+    run_many,
     run_on_setcover,
     run_port_numbering,
+    run_reference,
+    sweep,
 )
 from repro.simulator.faults import FaultAdversary, RandomStateCorruption
 
@@ -29,11 +33,15 @@ __all__ = [
     "FaultAdversary",
     "LocalContext",
     "Machine",
+    "Metering",
     "PORT_NUMBERING",
     "RandomStateCorruption",
     "RunResult",
     "run",
     "run_broadcast",
+    "run_many",
     "run_on_setcover",
     "run_port_numbering",
+    "run_reference",
+    "sweep",
 ]

@@ -21,12 +21,31 @@ __all__ = ["FaultAdversary", "RandomStateCorruption", "TargetedCorruption"]
 
 
 class FaultAdversary:
-    """Base class: ``corrupt`` may rewrite states before a round."""
+    """Base class: ``corrupt`` may rewrite states before a round.
+
+    Contract: corruption must *replace* entries (``states[v] = bad``),
+    never mutate a state object in place — the fast runtime detects
+    corruption by entry identity and only re-evaluates ``halted`` for
+    replaced entries.  (Machine states are treated as immutable values
+    everywhere else, so this is the natural style anyway; both
+    adversaries below comply.)
+    """
 
     def corrupt(
         self, round_index: int, graph: PortNumberedGraph, states: List[Any]
     ) -> List[Any]:
         return states
+
+    def is_active(self, round_index: int) -> bool:
+        """Whether ``corrupt`` could touch any state this round.
+
+        A conservative ``True`` is always sound; returning ``False``
+        lets the fast runtime skip the corruption pass (and its
+        halted-node re-checks) entirely for that round.  Overrides must
+        guarantee ``corrupt`` is a no-op — including on any internal
+        RNG — whenever this returns ``False``.
+        """
+        return True
 
 
 class RandomStateCorruption(FaultAdversary):
@@ -53,6 +72,9 @@ class RandomStateCorruption(FaultAdversary):
         self.corruptor = corruptor
         self.corruptions = 0
 
+    def is_active(self, round_index):
+        return round_index < self.until_round
+
     def corrupt(self, round_index, graph, states):
         if round_index >= self.until_round:
             return states
@@ -75,6 +97,9 @@ class TargetedCorruption(FaultAdversary):
         """``plan[round][node] = corrupted state``."""
         self.plan = plan
         self.corruptions = 0
+
+    def is_active(self, round_index):
+        return round_index in self.plan
 
     def corrupt(self, round_index, graph, states):
         if round_index not in self.plan:

@@ -85,10 +85,14 @@ class Machine:
         ``inbox[p]`` is the message that arrived through port ``p``; in
         the broadcast model ``inbox`` is a canonically sorted tuple —
         the multiset of neighbours' messages, stripped of any sender
-        information.
+        information.  The port-model inbox is a runtime-owned buffer
+        reused between rounds: copy it if the state must retain it
+        (purity already forbids aliasing mutable arguments).
     ``halted(ctx, state) -> bool``
         whether this node has terminated.  Once a node halts its state
-        is frozen; the runtime stops when every node has halted.
+        is frozen and the node is *silent*: the runtime stops calling
+        ``emit`` and its neighbours read ``None`` on the shared links.
+        The runtime stops when every node has halted.
     ``output(ctx, state) -> Any``
         the node's final (or current) output.
     """

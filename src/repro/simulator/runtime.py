@@ -3,17 +3,53 @@
 The runtime is the only component that sees node identifiers; machines
 receive exactly the local information the model permits.  Rounds are
 counted by the runtime (never self-reported by machines), and message
-counts / structural bit sizes are metered for the message-complexity
+counts / structural bit sizes are metered — when the chosen
+:class:`Metering` policy asks for it — for the message-complexity
 experiments of Section 5.
+
+Two engines implement the same semantics:
+
+* :func:`run` — the fast engine: CSR flat-array delivery over
+  preallocated, reused inbox buffers; halted nodes are skipped
+  entirely; per-round method lookups hoisted out of the loop.
+* :func:`run_reference` — the executable specification: a plain
+  per-node, per-round loop with fresh allocations and no caches.
+  ``tests/test_runtime_equivalence.py`` proves the two produce
+  identical :class:`RunResult` fields on randomised instances.
+
+**Model semantics (both engines).**  A node that has halted is silent:
+the runtime neither calls its ``emit`` hook nor delivers anything on
+its behalf — its neighbours see ``None`` on the corresponding ports
+(port-numbering model) or a ``None`` entry in their multiset
+(broadcast model).  Silence costs no messages and no bits.  A halted
+node's state is frozen (``step`` is never called) until a fault
+adversary corrupts it back into a non-halted state, after which it
+participates again.  Machine hooks must be pure; in particular the
+fast engine re-evaluates ``halted`` only when a node's state *object*
+changes, which is only correct for pure hooks and for adversaries
+that replace corrupted entries rather than mutating state objects in
+place (see :class:`repro.simulator.faults.FaultAdversary`).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro._util.ordering import canonical_sorted
+from repro._util.ordering import canonical_key
+from repro._util.parallel import map_jobs
 from repro._util.sizes import message_size_bits
 from repro.graphs.topology import PortNumberedGraph
 from repro.simulator.machine import (
@@ -24,14 +60,74 @@ from repro.simulator.machine import (
 )
 
 __all__ = [
+    "Metering",
     "RunResult",
     "run",
+    "run_reference",
+    "run_many",
+    "sweep",
     "run_port_numbering",
     "run_broadcast",
     "run_on_setcover",
 ]
 
 Observer = Callable[[int, List[Any], List[Any]], None]
+
+_NONE_KEY = canonical_key(None)
+
+
+@dataclass(frozen=True)
+class Metering:
+    """Opt-in metering policy for a run.
+
+    Modes
+    -----
+    ``"bits"`` (default)
+        count every non-``None`` message and meter its structural size
+        via :func:`repro._util.sizes.message_size_bits`; fills
+        ``messages_sent``, ``message_bits`` and ``per_round_bits``.
+    ``"counts"``
+        count messages only; ``message_bits`` is 0 and
+        ``per_round_bits`` empty.  Skips the (comparatively expensive)
+        size recursion.
+    ``"none"``
+        no metering at all; all three fields are zero/empty.  This is
+        the fastest mode — use it for large-instance perf runs where
+        only outputs and round counts matter.
+
+    Anywhere a run accepts ``metering=``, a mode string, a ``Metering``
+    instance, or ``None`` (meaning ``"none"``) is accepted.
+    """
+
+    NONE = "none"
+    COUNTS = "counts"
+    BITS = "bits"
+
+    mode: str = BITS
+
+    def __post_init__(self) -> None:
+        if self.mode not in (self.NONE, self.COUNTS, self.BITS):
+            raise ValueError(
+                f"unknown metering mode {self.mode!r}; "
+                f"expected 'none', 'counts' or 'bits'"
+            )
+
+    @classmethod
+    def of(cls, spec: Union["Metering", str, None]) -> "Metering":
+        """Coerce a run's ``metering=`` argument to a policy."""
+        if spec is None:
+            return cls(cls.NONE)
+        if isinstance(spec, cls):
+            return spec
+        return cls(spec)
+
+    @property
+    def counts_messages(self) -> bool:
+        return self.mode != self.NONE
+
+    @property
+    def meters_bits(self) -> bool:
+        return self.mode == self.BITS
 
 
 @dataclass
@@ -47,12 +143,15 @@ class RunResult:
     all_halted:
         whether every node halted (vs. hitting ``max_rounds``).
     messages_sent:
-        total count of non-``None`` messages placed on links.
+        total count of non-``None`` messages placed on links (0 when
+        metering mode is ``"none"``).
     message_bits:
         total structural size of those messages (see
-        :func:`repro._util.sizes.message_size_bits`).
+        :func:`repro._util.sizes.message_size_bits`); 0 unless the
+        metering mode is ``"bits"``.
     per_round_bits:
-        message bits per round, for growth curves.
+        message bits per round, for growth curves; empty unless the
+        metering mode is ``"bits"``.
     states:
         final per-node states (useful for analysis/tests; not part of
         the distributed output).
@@ -94,6 +193,13 @@ def _make_contexts(
     return ctxs
 
 
+def _bad_arity(degree: int, emitted: int) -> ValueError:
+    return ValueError(
+        f"node of degree {degree} emitted "
+        f"{emitted} messages (port-numbering model needs one per port)"
+    )
+
+
 def run(
     graph: PortNumberedGraph,
     machine: Machine,
@@ -103,15 +209,311 @@ def run(
     seed: Optional[int] = None,
     observer: Optional[Observer] = None,
     fault_adversary: Optional[Any] = None,
+    metering: Union[Metering, str, None] = Metering.BITS,
 ) -> RunResult:
     """Run ``machine`` on every node of ``graph`` until all halt.
 
     Dispatches on ``machine.model``.  ``observer(round, states,
-    outboxes)`` is called after each round for tracing.  A
-    ``fault_adversary`` (see :mod:`repro.simulator.faults`) may corrupt
-    states *between* rounds — used by the self-stabilisation
-    experiments.
+    outboxes)`` is called after each round for tracing (a halted node's
+    outbox entry is ``None``).  A ``fault_adversary`` (see
+    :mod:`repro.simulator.faults`) may corrupt states *between* rounds
+    — used by the self-stabilisation experiments.  ``metering``
+    selects what is measured (see :class:`Metering`).
+
+    Semantics: **halted nodes emit nothing** — their ``emit`` hook is
+    not called and their neighbours read ``None``/silence on the shared
+    links; halted-node messages are never counted or metered.  A halted
+    node rejoins only if a fault adversary corrupts its state into a
+    non-halted one.
+
+    This is the fast engine.  Port-numbering inboxes are preallocated
+    buffers *reused across rounds*: a machine that wants to retain its
+    inbox beyond the current ``step`` call must copy it (pure machines
+    already do).  :func:`run_reference` is the allocation-per-round
+    executable specification with identical observable behaviour.
     """
+    meter = Metering.of(metering)
+    if machine.model == PORT_NUMBERING:
+        engine = _run_fast_port
+    elif machine.model == BROADCAST:
+        engine = _run_fast_broadcast
+    else:
+        raise ValueError(f"unknown model {machine.model!r}")
+
+    ctxs = _make_contexts(graph, inputs, globals_map, seed)
+    states: List[Any] = [machine.start(ctxs[v]) for v in graph.nodes()]
+    halted: List[bool] = [machine.halted(ctxs[v], states[v]) for v in graph.nodes()]
+    return engine(
+        graph, machine, ctxs, states, halted,
+        max_rounds, observer, fault_adversary, meter,
+    )
+
+
+def _run_fast_port(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    ctxs: List[LocalContext],
+    states: List[Any],
+    halted: List[bool],
+    max_rounds: int,
+    observer: Optional[Observer],
+    adversary: Optional[Any],
+    meter: Metering,
+) -> RunResult:
+    n = graph.n
+    degrees = graph.degree_array
+    offsets, flat_targets, flat_rev = graph.csr()
+
+    # Preallocated inboxes, reused across rounds; scatter[v] lists, for
+    # each of v's ports in order, the (neighbour inbox, slot) it feeds.
+    inboxes: List[List[Any]] = [[None] * degrees[v] for v in range(n)]
+    scatter: List[List[Tuple[List[Any], int]]] = []
+    for v in range(n):
+        s, e = offsets[v], offsets[v + 1]
+        scatter.append(
+            [(inboxes[u], q) for u, q in zip(flat_targets[s:e], flat_rev[s:e])]
+        )
+
+    emit = machine.emit
+    step = machine.step
+    halted_fn = machine.halted
+    size_of = message_size_bits
+    count_msgs = meter.counts_messages
+    meter_bits = meter.meters_bits
+
+    rounds = 0
+    n_halted = sum(halted)
+    messages_sent = 0
+    message_bits = 0
+    per_round_bits: List[int] = []
+    live = [v for v in range(n) if not halted[v]]
+    # silent[v] == 1 means every slot v feeds already holds None, so a
+    # silent round needs no writes at all (inboxes start out all-None).
+    silent = bytearray([1]) * n
+
+    while rounds < max_rounds and n_halted < n:
+        if adversary is not None and adversary.is_active(rounds):
+            prev = states
+            # Hand corrupt() a copy: an adversary that assigns into the
+            # list it was given (and returns it) must not alias `prev`,
+            # or the identity check below would miss every corruption.
+            states = list(adversary.corrupt(rounds, graph, list(prev)))
+            for v in range(n):
+                if states[v] is not prev[v] and halted[v] != (
+                    now := halted_fn(ctxs[v], states[v])
+                ):
+                    halted[v] = now
+                    if now:
+                        n_halted += 1
+                        for dst, q in scatter[v]:
+                            dst[q] = None
+                        silent[v] = 1
+                    else:
+                        n_halted -= 1
+            live = [v for v in range(n) if not halted[v]]
+
+        outboxes: Optional[List[Any]] = [None] * n if observer is not None else None
+        round_bits = 0
+        for v in live:
+            out = emit(ctxs[v], states[v])
+            if out is None:
+                if outboxes is not None:
+                    # Observer parity with the reference engine: a live
+                    # node's silence shows as an all-None row; only
+                    # halted nodes show as None.
+                    outboxes[v] = [None] * degrees[v]
+                if not silent[v]:
+                    for dst, q in scatter[v]:
+                        dst[q] = None
+                    silent[v] = 1
+                continue
+            silent[v] = 0
+            d = degrees[v]
+            if type(out) is not list and type(out) is not tuple:
+                out = list(out)
+            if len(out) != d:
+                raise _bad_arity(d, len(out))
+            if outboxes is not None:
+                outboxes[v] = out
+            for (dst, q), m in zip(scatter[v], out):
+                dst[q] = m
+            if count_msgs:
+                if meter_bits:
+                    for m in out:
+                        if m is not None:
+                            messages_sent += 1
+                            round_bits += size_of(m)
+                else:
+                    for m in out:
+                        if m is not None:
+                            messages_sent += 1
+
+        next_live: List[int] = []
+        just_halted: List[int] = []
+        for v in live:
+            st = step(ctxs[v], states[v], inboxes[v])
+            states[v] = st
+            if halted_fn(ctxs[v], st):
+                halted[v] = True
+                n_halted += 1
+                just_halted.append(v)
+            else:
+                next_live.append(v)
+        # Silence newly halted nodes only after every step has read its
+        # inbox — their final-round messages were still deliverable.
+        for v in just_halted:
+            for dst, q in scatter[v]:
+                dst[q] = None
+            silent[v] = 1
+        live = next_live
+        rounds += 1
+        if meter_bits:
+            message_bits += round_bits
+            per_round_bits.append(round_bits)
+        if observer is not None:
+            observer(rounds, states, outboxes)
+
+    outputs = [machine.output(ctxs[v], states[v]) for v in range(n)]
+    return RunResult(
+        outputs=outputs,
+        rounds=rounds,
+        all_halted=n_halted == n,
+        messages_sent=messages_sent,
+        message_bits=message_bits,
+        per_round_bits=per_round_bits,
+        states=states,
+    )
+
+
+def _run_fast_broadcast(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    ctxs: List[LocalContext],
+    states: List[Any],
+    halted: List[bool],
+    max_rounds: int,
+    observer: Optional[Observer],
+    adversary: Optional[Any],
+    meter: Metering,
+) -> RunResult:
+    n = graph.n
+    degrees = graph.degree_array
+    nbrs = [graph.neighbours(v) for v in range(n)]
+
+    emit = machine.emit
+    step = machine.step
+    halted_fn = machine.halted
+    size_of = message_size_bits
+    count_msgs = meter.counts_messages
+    meter_bits = meter.meters_bits
+
+    rounds = 0
+    n_halted = sum(halted)
+    messages_sent = 0
+    message_bits = 0
+    per_round_bits: List[int] = []
+    live = [v for v in range(n) if not halted[v]]
+    payloads: List[Any] = [None] * n
+    keys: List[Any] = [_NONE_KEY] * n
+
+    while rounds < max_rounds and n_halted < n:
+        if adversary is not None and adversary.is_active(rounds):
+            prev = states
+            # Hand corrupt() a copy: an adversary that assigns into the
+            # list it was given (and returns it) must not alias `prev`,
+            # or the identity check below would miss every corruption.
+            states = list(adversary.corrupt(rounds, graph, list(prev)))
+            for v in range(n):
+                if states[v] is not prev[v] and halted[v] != (
+                    now := halted_fn(ctxs[v], states[v])
+                ):
+                    halted[v] = now
+                    if now:
+                        n_halted += 1
+                        payloads[v] = None
+                        keys[v] = _NONE_KEY
+                    else:
+                        n_halted -= 1
+            live = [v for v in range(n) if not halted[v]]
+
+        round_bits = 0
+        for v in live:
+            p = emit(ctxs[v], states[v])
+            payloads[v] = p
+            keys[v] = canonical_key(p)
+            if p is not None and count_msgs:
+                # One broadcast payload, delivered along every link.
+                d = degrees[v]
+                messages_sent += d
+                if meter_bits:
+                    round_bits += d * size_of(p)
+
+        key_of = keys.__getitem__
+        next_live: List[int] = []
+        just_halted: List[int] = []
+        for v in live:
+            # inbox = canonically sorted multiset of neighbours'
+            # payloads; sorting by content (never by sender) enforces
+            # the broadcast model's anonymity.
+            inbox = tuple(
+                payloads[u] for u in sorted(nbrs[v], key=key_of)
+            )
+            st = step(ctxs[v], states[v], inbox)
+            states[v] = st
+            if halted_fn(ctxs[v], st):
+                halted[v] = True
+                n_halted += 1
+                just_halted.append(v)
+            else:
+                next_live.append(v)
+        live = next_live
+        rounds += 1
+        if meter_bits:
+            message_bits += round_bits
+            per_round_bits.append(round_bits)
+        if observer is not None:
+            observer(rounds, states, list(payloads))
+        for v in just_halted:
+            payloads[v] = None
+            keys[v] = _NONE_KEY
+
+    outputs = [machine.output(ctxs[v], states[v]) for v in range(n)]
+    return RunResult(
+        outputs=outputs,
+        rounds=rounds,
+        all_halted=n_halted == n,
+        messages_sent=messages_sent,
+        message_bits=message_bits,
+        per_round_bits=per_round_bits,
+        states=states,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reference engine (executable specification)
+# ----------------------------------------------------------------------
+
+
+def run_reference(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    inputs: Optional[Sequence[Any]] = None,
+    globals_map: Optional[Mapping[str, Any]] = None,
+    max_rounds: int = 10_000,
+    seed: Optional[int] = None,
+    observer: Optional[Observer] = None,
+    fault_adversary: Optional[Any] = None,
+    metering: Union[Metering, str, None] = Metering.BITS,
+) -> RunResult:
+    """The executable specification of :func:`run`.
+
+    A deliberately plain per-node, per-round loop — fresh inboxes every
+    round, no flat arrays, no skip lists, no memo caches — implementing
+    the same semantics (halted nodes emit nothing; see :func:`run`).
+    The equivalence suite asserts :func:`run` matches this engine
+    field-for-field; keep this loop easy to audit.
+    """
+    meter = Metering.of(metering)
     if machine.model == PORT_NUMBERING:
         deliver = _deliver_port_numbering
     elif machine.model == BROADCAST:
@@ -135,35 +537,41 @@ def run(
 
         outboxes: List[Any] = []
         for v in graph.nodes():
-            out = machine.emit(ctxs[v], states[v])
-            if machine.model == PORT_NUMBERING:
-                if out is None:
-                    out = [None] * graph.degree(v)
-                out = list(out)
-                if len(out) != graph.degree(v):
-                    raise ValueError(
-                        f"node of degree {graph.degree(v)} emitted "
-                        f"{len(out)} messages (port-numbering model needs one per port)"
-                    )
+            if halted[v]:
+                out = None  # halted nodes are silent
+            else:
+                out = machine.emit(ctxs[v], states[v])
+                if machine.model == PORT_NUMBERING:
+                    if out is None:
+                        out = [None] * graph.degree(v)
+                    out = list(out)
+                    if len(out) != graph.degree(v):
+                        raise _bad_arity(graph.degree(v), len(out))
             outboxes.append(out)
 
         inboxes = deliver(graph, outboxes)
 
         # Metering: count each non-None message once per link direction.
-        round_bits = 0
-        for v in graph.nodes():
-            if machine.model == PORT_NUMBERING:
-                sent = [m for m in outboxes[v] if m is not None]
-                messages_sent += len(sent)
-                for m in sent:
-                    round_bits += message_size_bits(m)
-            elif outboxes[v] is not None:
-                # One broadcast payload, delivered along every link.
-                d = graph.degree(v)
-                messages_sent += d
-                round_bits += d * message_size_bits(outboxes[v])
-        message_bits += round_bits
-        per_round_bits.append(round_bits)
+        if meter.counts_messages:
+            round_bits = 0
+            for v in graph.nodes():
+                if machine.model == PORT_NUMBERING:
+                    if outboxes[v] is None:
+                        continue
+                    sent = [m for m in outboxes[v] if m is not None]
+                    messages_sent += len(sent)
+                    if meter.meters_bits:
+                        for m in sent:
+                            round_bits += message_size_bits(m)
+                elif outboxes[v] is not None:
+                    # One broadcast payload, delivered along every link.
+                    d = graph.degree(v)
+                    messages_sent += d
+                    if meter.meters_bits:
+                        round_bits += d * message_size_bits(outboxes[v])
+            if meter.meters_bits:
+                message_bits += round_bits
+                per_round_bits.append(round_bits)
 
         for v in graph.nodes():
             if not halted[v]:
@@ -194,9 +602,12 @@ def _deliver_port_numbering(
         [None] * graph.degree(v) for v in graph.nodes()
     ]
     for v in graph.nodes():
+        out = outboxes[v]
+        if out is None:
+            continue  # silent (halted) sender: slots stay None
         for p in range(graph.degree(v)):
             u, q = graph.port_target(v, p)
-            inboxes[u][q] = outboxes[v][p]
+            inboxes[u][q] = out[p]
     return inboxes
 
 
@@ -210,8 +621,6 @@ def _deliver_broadcast(
     correlate senders across rounds.  Sort keys are computed once per
     sender per round — the same payload is delivered along every link.
     """
-    from repro._util.ordering import canonical_key
-
     keys = [canonical_key(out) for out in outboxes]
     return [
         tuple(
@@ -220,6 +629,80 @@ def _deliver_broadcast(
         )
         for v in graph.nodes()
     ]
+
+
+# ----------------------------------------------------------------------
+# Batched execution
+# ----------------------------------------------------------------------
+
+
+def run_many(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    seeds: Iterable[Optional[int]],
+    inputs: Optional[Sequence[Any]] = None,
+    globals_map: Optional[Mapping[str, Any]] = None,
+    n_workers: Optional[int] = None,
+    **kwargs: Any,
+) -> List[RunResult]:
+    """One :func:`run` per seed on a fixed graph/machine, in seed order.
+
+    Amortises context/topology setup across repetitions of a randomised
+    experiment.  Extra ``kwargs`` (``max_rounds``, ``metering``, ...)
+    are forwarded to every run.  With ``n_workers > 1`` the runs execute
+    on a thread pool; machine hooks must then be thread-safe (pure
+    machines are).  Results are in the same order as ``seeds``.
+    """
+
+    def one(s: Optional[int]) -> RunResult:
+        return run(
+            graph, machine, inputs=inputs, globals_map=globals_map,
+            seed=s, **kwargs,
+        )
+
+    return map_jobs(one, list(seeds), n_workers)
+
+
+def sweep(
+    instances: Iterable[Any],
+    machine: Machine,
+    n_workers: Optional[int] = None,
+    **kwargs: Any,
+) -> List[RunResult]:
+    """One :func:`run` per instance, in instance order.
+
+    Each instance may be a :class:`PortNumberedGraph`, a ``(graph,
+    inputs)`` pair, a mapping of :func:`run` keyword arguments (must
+    contain ``"graph"``), or a set-cover instance (anything with a
+    ``to_bipartite_graph`` method — routed via :func:`run_on_setcover`).
+    Extra ``kwargs`` are forwarded to every run; per-instance mappings
+    override them, including a per-instance ``"machine"``.
+    """
+
+    def one(inst: Any) -> RunResult:
+        if hasattr(inst, "to_bipartite_graph"):
+            return run_on_setcover(inst, machine, **kwargs)
+        if isinstance(inst, PortNumberedGraph):
+            return run(inst, machine, **kwargs)
+        if isinstance(inst, Mapping):
+            merged: Dict[str, Any] = {**kwargs, **inst}
+            return run(machine=merged.pop("machine", machine), **merged)
+        try:
+            graph, inputs = inst
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"sweep instance must be a graph, a (graph, inputs) pair, "
+                f"a mapping of run() kwargs, or a set-cover instance; "
+                f"got {inst!r:.80}"
+            ) from None
+        return run(graph, machine, inputs=inputs, **kwargs)
+
+    return map_jobs(one, list(instances), n_workers)
+
+
+# ----------------------------------------------------------------------
+# Model-checked entry points
+# ----------------------------------------------------------------------
 
 
 def run_port_numbering(graph, machine, **kwargs) -> RunResult:

@@ -181,3 +181,49 @@ class TestPortStrategies:
             cw, q = g.port_target(v, 0)
             assert cw == (v + 1) % 6
             assert q == 1
+
+
+class TestCSRView:
+    def test_csr_matches_port_map(self):
+        from repro.graphs import families
+
+        for g in (
+            families.path_graph(5),
+            families.star_graph(4),
+            families.grid_2d(3, 3),
+            families.petersen_graph(),
+            families.empty_graph(3),
+        ):
+            offsets, targets, rev = g.csr()
+            assert len(offsets) == g.n + 1
+            assert offsets[0] == 0
+            assert offsets[g.n] == len(targets) == len(rev) == 2 * g.m
+            for v in g.nodes():
+                assert offsets[v + 1] - offsets[v] == g.degree(v)
+                for p in range(g.degree(v)):
+                    u, q = g.port_target(v, p)
+                    i = offsets[v] + p
+                    assert targets[i] == u
+                    assert rev[i] == q
+                    # CSR consistency: the reverse half-edge points back.
+                    assert targets[offsets[u] + q] == v
+
+    def test_csr_is_cached(self):
+        from repro.graphs import families
+
+        g = families.cycle_graph(4)
+        assert g.csr() is g.csr()
+        assert g.flat_targets is g.csr()[1]
+        assert g.offsets is g.csr()[0]
+        assert g.flat_reverse_ports is g.csr()[2]
+
+    def test_degree_array_cached_and_degrees_copy(self):
+        from repro.graphs import families
+
+        g = families.star_graph(3)
+        assert g.degree_array == (3, 1, 1, 1)
+        assert g.degree_array is g.degree_array
+        d = g.degrees()
+        d[0] = 99  # mutating the copy must not poison the cache
+        assert g.degree_array == (3, 1, 1, 1)
+        assert g.degrees() == [3, 1, 1, 1]

@@ -1,0 +1,247 @@
+"""Fast engine ≡ reference engine, field for field.
+
+The fast engine (:func:`repro.simulator.runtime.run`) reorganises the
+round loop aggressively — CSR scatter over reused inbox buffers,
+halted-node skipping, silence tracking, memoised metering — while
+:func:`run_reference` stays a plain, auditable loop.  This suite is the
+contract between them: on randomised instances (both models, staggered
+halting, fault adversaries, every metering mode) the two engines must
+produce identical :class:`RunResult` fields, including exact message
+and bit counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.edge_packing import EdgePackingMachine, schedule_length
+from repro.core.fractional_packing import FractionalPackingMachine
+from repro.graphs import families
+from repro.graphs.setcover import random_instance
+from repro.graphs.topology import PortNumberedGraph
+from repro.graphs.weights import uniform_weights
+from repro.simulator.faults import RandomStateCorruption, TargetedCorruption
+from repro.simulator.machine import BROADCAST, PORT_NUMBERING, Machine
+from repro.simulator.runtime import Metering, run, run_reference
+from repro.selfstab.transformer import SelfStabilisingMachine
+
+
+def assert_equivalent(graph, machine, seeds=(None,), **kwargs):
+    """Run both engines for every seed and compare every RunResult field."""
+    pair = None
+    for seed in seeds:
+        fast = run(graph, machine, seed=seed, **kwargs)
+        ref = run_reference(graph, machine, seed=seed, **kwargs)
+        assert fast.outputs == ref.outputs
+        assert fast.rounds == ref.rounds
+        assert fast.all_halted == ref.all_halted
+        assert fast.messages_sent == ref.messages_sent
+        assert fast.message_bits == ref.message_bits
+        assert fast.per_round_bits == ref.per_round_bits
+        assert fast.states == ref.states
+        pair = (fast, ref)
+    return pair
+
+
+def random_weighted_graph(seed: int, max_n: int = 14):
+    rng = random.Random(f"equiv:{seed}")
+    n = rng.randint(2, max_n)
+    density = rng.choice([0.2, 0.35, 0.5, 0.8])
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < density
+    ]
+    g = PortNumberedGraph.from_edges(n, edges)
+    W = rng.choice([1, 3, 8])
+    weights = [rng.randint(1, W) for _ in range(n)]
+    return g, weights, W
+
+
+# ----------------------------------------------------------------------
+# The paper's machines on randomised instances
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_edge_packing_equivalence(seed):
+    g, weights, W = random_weighted_graph(seed)
+    machine = EdgePackingMachine()
+    assert_equivalent(
+        g,
+        machine,
+        inputs=weights,
+        globals_map={"delta": g.max_degree, "W": W},
+        max_rounds=schedule_length(g.max_degree, W),
+    )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_fractional_packing_equivalence(seed):
+    rng = random.Random(f"equiv-sc:{seed}")
+    n_subsets = rng.randint(1, 6)
+    k = rng.randint(2, 4)
+    inst = random_instance(
+        n_subsets=n_subsets,
+        n_elements=rng.randint(1, min(6, n_subsets * k)),
+        k=k,
+        f=rng.randint(2, 3),
+        W=rng.choice([1, 4, 8]),
+        seed=seed,
+    )
+    machine = FractionalPackingMachine()
+    assert_equivalent(
+        inst.to_bipartite_graph(),
+        machine,
+        inputs=inst.node_inputs(),
+        globals_map=inst.global_params(),
+    )
+
+
+@pytest.mark.parametrize("mode", [Metering.BITS, Metering.COUNTS, Metering.NONE])
+def test_metering_modes_agree(mode):
+    g, weights, W = random_weighted_graph(3)
+    machine = EdgePackingMachine()
+    kwargs = dict(
+        inputs=weights, globals_map={"delta": g.max_degree, "W": W}
+    )
+    fast, ref = assert_equivalent(g, machine, metering=mode, **kwargs)
+    # Metering must never change the computation itself.
+    full = run(g, machine, metering=Metering.BITS, **kwargs)
+    assert fast.outputs == full.outputs
+    assert fast.rounds == full.rounds
+    if mode == Metering.COUNTS:
+        assert fast.messages_sent == full.messages_sent
+        assert fast.message_bits == 0 and fast.per_round_bits == []
+    if mode == Metering.NONE:
+        assert fast.messages_sent == 0
+        assert fast.message_bits == 0 and fast.per_round_bits == []
+
+
+# ----------------------------------------------------------------------
+# Fault adversaries (state corruption between rounds)
+# ----------------------------------------------------------------------
+
+
+def test_selfstab_edge_packing_under_random_faults():
+    g = families.cycle_graph(6)
+    w = uniform_weights(6, 3, seed=2)
+    horizon = schedule_length(2, 3)
+    for seed in range(3):
+        machine = SelfStabilisingMachine(EdgePackingMachine(), horizon=horizon)
+        kwargs = dict(
+            inputs=list(w),
+            globals_map={"delta": 2, "W": 3},
+            max_rounds=2 * horizon,
+        )
+        fast = run(
+            g, machine,
+            fault_adversary=RandomStateCorruption(horizon, rate=0.3, seed=seed),
+            **kwargs,
+        )
+        ref = run_reference(
+            g, machine,
+            fault_adversary=RandomStateCorruption(horizon, rate=0.3, seed=seed),
+            **kwargs,
+        )
+        assert fast.outputs == ref.outputs
+        assert fast.rounds == ref.rounds
+        assert fast.messages_sent == ref.messages_sent
+        assert fast.message_bits == ref.message_bits
+        assert fast.per_round_bits == ref.per_round_bits
+
+
+@dataclass(frozen=True)
+class _TickState:
+    ticks: int
+    heard: tuple
+
+
+class StaggeredPortMachine(Machine):
+    """Halts after ``input`` rounds — nodes drop out at different times."""
+
+    model = PORT_NUMBERING
+
+    def start(self, ctx):
+        return _TickState(0, ())
+
+    def emit(self, ctx, state):
+        return [("tick", state.ticks)] * ctx.degree
+
+    def step(self, ctx, state, inbox):
+        return _TickState(state.ticks + 1, state.heard + (tuple(inbox),))
+
+    def halted(self, ctx, state):
+        return state.ticks >= ctx.input
+
+    def output(self, ctx, state):
+        return state.heard
+
+
+class StaggeredBroadcastMachine(StaggeredPortMachine):
+    model = BROADCAST
+
+    def emit(self, ctx, state):
+        return ("tick", state.ticks)
+
+    def step(self, ctx, state, inbox):
+        return _TickState(state.ticks + 1, state.heard + (inbox,))
+
+
+@pytest.mark.parametrize("machine_cls", [StaggeredPortMachine, StaggeredBroadcastMachine])
+def test_staggered_halting_equivalence(machine_cls):
+    """Nodes halting at different rounds: silence must match exactly."""
+    g = families.grid_2d(3, 3)
+    lifetimes = [1, 4, 2, 3, 1, 5, 2, 1, 3]
+    assert_equivalent(g, machine_cls(), inputs=lifetimes)
+
+
+@pytest.mark.parametrize("machine_cls", [StaggeredPortMachine, StaggeredBroadcastMachine])
+def test_corruption_resurrects_halted_node(machine_cls):
+    """A fault adversary can un-halt a node; both engines must agree."""
+    g = families.cycle_graph(5)
+    lifetimes = [2, 2, 3, 2, 4]
+    adversary = lambda: TargetedCorruption(  # noqa: E731 — fresh per engine
+        {3: {0: _TickState(0, ("reset",))}, 4: {1: _TickState(1, ())}}
+    )
+    fast = run(g, machine_cls(), inputs=lifetimes, fault_adversary=adversary())
+    ref = run_reference(
+        g, machine_cls(), inputs=lifetimes, fault_adversary=adversary()
+    )
+    assert fast.outputs == ref.outputs
+    assert fast.rounds == ref.rounds
+    assert fast.messages_sent == ref.messages_sent
+    assert fast.message_bits == ref.message_bits
+    assert fast.states == ref.states
+    # The corrupted node really was resurrected (ran past its lifetime).
+    assert fast.rounds > max(lifetimes)
+
+
+@pytest.mark.parametrize("machine_cls", [StaggeredPortMachine, StaggeredBroadcastMachine])
+def test_adversary_assigning_into_given_list(machine_cls):
+    """An adversary that writes into the list it was handed (and
+    returns it) must still be detected by the fast engine."""
+    from repro.simulator.faults import FaultAdversary
+
+    class InPlaceAssign(FaultAdversary):
+        def is_active(self, round_index):
+            return round_index == 3
+
+        def corrupt(self, round_index, graph, states):
+            if round_index == 3:
+                states[0] = _TickState(0, ("reset",))  # no copy on purpose
+            return states
+
+    g = families.cycle_graph(5)
+    lifetimes = [2, 2, 3, 2, 4]
+    fast = run(g, machine_cls(), inputs=lifetimes, fault_adversary=InPlaceAssign())
+    ref = run_reference(
+        g, machine_cls(), inputs=lifetimes, fault_adversary=InPlaceAssign()
+    )
+    assert fast.outputs == ref.outputs
+    assert fast.rounds == ref.rounds
+    assert fast.rounds > max(lifetimes)  # node 0 really was resurrected

@@ -259,3 +259,124 @@ class TestObserverAndFaults:
         assert "corrupted" in res.outputs[0][0] or res.outputs[0][0] == "corrupted" or any(
             "corrupted" in str(x) for x in res.outputs[0]
         )
+
+
+class TestMeteringPolicy:
+    def test_modes_coerce(self):
+        from repro.simulator.runtime import Metering
+
+        assert Metering.of(None).mode == Metering.NONE
+        assert Metering.of("counts").mode == Metering.COUNTS
+        assert Metering.of(Metering("bits")).mode == Metering.BITS
+        with pytest.raises(ValueError, match="unknown metering mode"):
+            Metering.of("verbose")
+
+    def test_counts_mode_counts_without_bits(self):
+        g = families.cycle_graph(4)
+        res = run_port_numbering(g, EchoPortMachine(), metering="counts")
+        assert res.messages_sent == 8
+        assert res.message_bits == 0
+        assert res.per_round_bits == []
+
+    def test_none_mode_measures_nothing_but_computes_everything(self):
+        g = families.cycle_graph(4)
+        off = run_port_numbering(g, EchoPortMachine(), metering="none")
+        on = run_port_numbering(g, EchoPortMachine(), metering="bits")
+        assert off.messages_sent == 0 and off.message_bits == 0
+        assert off.outputs == on.outputs
+        assert off.rounds == on.rounds
+
+    def test_broadcast_counts_mode(self):
+        g = families.star_graph(4)
+        res = run_broadcast(g, EchoBroadcastMachine(), inputs=[0] * 5,
+                            metering="counts")
+        assert res.messages_sent == 4 + 4
+        assert res.message_bits == 0
+
+
+class TestHaltedSilence:
+    def test_halted_nodes_are_silent(self):
+        """A node that halts stops being heard, even if its emit hook
+        would still produce messages (the runtime never asks)."""
+
+        class Mixed(EchoPortMachine):
+            def halted(self, ctx, state):
+                return ctx.input == 0 or state.round >= 3
+
+        g = families.path_graph(2)
+        res = run_port_numbering(g, Mixed(rounds=3), inputs=[0, 1])
+        # node 1 heard only silence from the instantly-halted node 0
+        assert all(inbox == (None,) for inbox in res.outputs[1])
+        # and node 0's messages were never metered
+        assert res.messages_sent == 3  # node 1's one message per round
+
+
+class TestBatchedRuns:
+    def test_run_many_matches_individual_runs(self):
+        from repro.simulator.runtime import run, run_many
+
+        class RandomOutput(Machine):
+            model = PORT_NUMBERING
+
+            def start(self, ctx):
+                return ctx.rng.random()
+
+            def emit(self, ctx, state):
+                return None
+
+            def step(self, ctx, state, inbox):
+                return state
+
+            def halted(self, ctx, state):
+                return True
+
+            def output(self, ctx, state):
+                return state
+
+        g = families.cycle_graph(5)
+        seeds = [1, 2, 3, 4]
+        batch = run_many(g, RandomOutput(), seeds=seeds)
+        assert len(batch) == len(seeds)
+        for s, res in zip(seeds, batch):
+            assert res.outputs == run(g, RandomOutput(), seed=s).outputs
+
+    def test_run_many_with_workers_is_deterministic(self):
+        from repro.simulator.runtime import run_many
+
+        g = families.grid_2d(3, 3)
+        serial = run_many(g, EchoPortMachine(2), seeds=[None] * 4,
+                          inputs=list(range(9)))
+        pooled = run_many(g, EchoPortMachine(2), seeds=[None] * 4,
+                          inputs=list(range(9)), n_workers=3)
+        assert [r.outputs for r in serial] == [r.outputs for r in pooled]
+        assert [r.message_bits for r in serial] == [r.message_bits for r in pooled]
+
+    def test_sweep_accepts_mixed_instance_forms(self):
+        from repro.simulator.runtime import run, sweep
+
+        g1 = families.path_graph(3)
+        g2 = families.cycle_graph(4)
+        results = sweep(
+            [
+                g1,  # bare graph
+                (g2, [1, 2, 3, 4]),  # (graph, inputs) pair
+                {"graph": g1, "inputs": ["a", "b", "c"]},  # kwargs mapping
+            ],
+            EchoPortMachine(),
+        )
+        assert len(results) == 3
+        assert results[1].outputs == run(g2, EchoPortMachine(),
+                                         inputs=[1, 2, 3, 4]).outputs
+        assert results[2].outputs == run(g1, EchoPortMachine(),
+                                         inputs=["a", "b", "c"]).outputs
+
+    def test_sweep_routes_setcover_instances(self):
+        from repro.graphs.setcover import random_instance
+        from repro.simulator.runtime import run_on_setcover, sweep
+        from repro.core.fractional_packing import FractionalPackingMachine
+
+        inst = random_instance(3, 4, k=2, f=2, W=4, seed=0)
+        swept = sweep([inst], FractionalPackingMachine())
+        direct = run_on_setcover(inst, FractionalPackingMachine())
+        assert swept[0].outputs == direct.outputs
+        assert swept[0].message_bits == direct.message_bits

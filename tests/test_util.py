@@ -203,3 +203,76 @@ class TestMessageSizeBits:
     def test_monotone_in_extension(self, values):
         t = tuple(values)
         assert message_size_bits(t + (7,)) > message_size_bits(t)
+
+
+class TestOrderingSizesCrossCheck:
+    """Every canonical_key-supported type must also be meterable, and
+    the identity memo caches must never return stale answers."""
+
+    SAMPLES = [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        2**40,
+        Fraction(3, 4),
+        Fraction(-5, 7),
+        "",
+        "héllo",
+        (),
+        (1, "a", None),
+        [Fraction(1, 2), (True,)],
+        {"k": 1, ("t", 2): [3]},
+        ((1, (2, "x")), {True: None}),
+    ]
+
+    def test_every_canonical_value_is_meterable(self):
+        from repro._util.ordering import canonical_key
+        from repro._util.sizes import message_size_bits
+
+        for value in self.SAMPLES:
+            canonical_key(value)  # must not raise
+            assert message_size_bits(value) >= 1
+
+    def test_both_reject_the_same_unsupported_types(self):
+        from repro._util.ordering import canonical_key
+        from repro._util.sizes import message_size_bits
+
+        for bad in (1.5, {1, 2}, object()):
+            with pytest.raises(TypeError):
+                canonical_key(bad)
+            with pytest.raises(TypeError):
+                message_size_bits(bad)
+
+    def test_dict_payloads_metered_structurally(self):
+        from repro._util.sizes import message_size_bits
+
+        assert message_size_bits({"a": 1}) > message_size_bits("a") + message_size_bits(1)
+        assert message_size_bits({}) == message_size_bits(())
+
+    def test_memo_repeated_and_mutable_payloads(self):
+        from repro._util.ordering import canonical_key
+        from repro._util.sizes import message_size_bits
+
+        frozen = (Fraction(1, 2), ("wcv", 3), "s")
+        first = message_size_bits(frozen)
+        assert message_size_bits(frozen) == first  # memo hit
+        assert canonical_key(frozen) == canonical_key(frozen)
+
+        # A tuple holding a *mutable* list must never be served stale.
+        inner = [1]
+        mixed = (inner, 5)
+        before_bits = message_size_bits(mixed)
+        before_key = canonical_key(mixed)
+        inner.append(2**30)
+        assert message_size_bits(mixed) > before_bits
+        assert canonical_key(mixed) != before_key
+
+    def test_memo_distinguishes_equal_but_differently_typed_values(self):
+        from repro._util.sizes import message_size_bits
+
+        # True == 1 and Fraction(1) == 1, but their structural sizes
+        # differ; the caches must not conflate them.
+        assert message_size_bits((True,)) != message_size_bits((1,))
+        assert message_size_bits((Fraction(1),)) != message_size_bits((1,))
