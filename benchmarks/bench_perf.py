@@ -49,11 +49,27 @@ def test_perf_edge_packing_n128(benchmark):
 
 
 def test_perf_edge_packing_n128_nometer(benchmark):
-    """Headline: same run with metering off — the pure simulation cost."""
+    """Headline: same run with metering off — the pure simulation cost
+    (scaled-integer arithmetic, the default)."""
     g = families.random_regular(4, 128, seed=0)
     w = uniform_weights(128, 8, seed=1)
     res = benchmark.pedantic(
         lambda: maximal_edge_packing(g, w, metering="none"),
+        rounds=5,
+        iterations=1,
+    )
+    assert res.rounds > 0
+
+
+def test_perf_edge_packing_n128_fraction_mode(benchmark):
+    """The same run on all-Fraction transitions (arithmetic="fraction")
+    — the denominator of the scaled-vs-fraction headline."""
+    g = families.random_regular(4, 128, seed=0)
+    w = uniform_weights(128, 8, seed=1)
+    res = benchmark.pedantic(
+        lambda: maximal_edge_packing(
+            g, w, metering="none", arithmetic="fraction"
+        ),
         rounds=5,
         iterations=1,
     )

@@ -46,6 +46,14 @@ HEADLINES = {
         ("benchmarks", "test_perf_reference_engine_n128"),
         ("benchmarks", "test_perf_fast_engine_n128"),
     ),
+    "scaled_vs_fraction_arithmetic": (
+        ("benchmarks", "test_perf_edge_packing_n128_fraction_mode"),
+        ("benchmarks", "test_perf_edge_packing_n128_nometer"),
+    ),
+    "edge_packing_n128_vs_pr1_metering_off": (
+        ("pr1", "test_perf_edge_packing_n128_nometer"),
+        ("benchmarks", "test_perf_edge_packing_n128_nometer"),
+    ),
 }
 
 

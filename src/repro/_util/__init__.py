@@ -12,6 +12,7 @@ from repro._util.logstar import (
 )
 from repro._util.ordering import canonical_key, canonical_sorted
 from repro._util.rationals import (
+    ScaledInt,
     as_fraction,
     factorial,
     is_multiple_of,
@@ -20,6 +21,7 @@ from repro._util.rationals import (
 from repro._util.sizes import message_size_bits
 
 __all__ = [
+    "ScaledInt",
     "as_fraction",
     "canonical_key",
     "canonical_sorted",

@@ -27,6 +27,7 @@ from fractions import Fraction
 from typing import Any, Iterable, List, Tuple
 
 from repro._util.identity import IdentityMemo
+from repro._util.rationals import ScaledInt
 
 __all__ = ["canonical_key", "canonical_sorted"]
 
@@ -57,6 +58,10 @@ def _key(value: Any) -> Tuple[Tuple, bool]:
     if isinstance(value, (int, Fraction)):
         # ints and Fractions compare numerically with each other.
         return (_RANK_NUMBER, Fraction(value)), True
+    if type(value) is ScaledInt:
+        # Keyed on the reduced value: a ScaledInt sorts exactly where
+        # the Fraction it stands for would.
+        return (_RANK_NUMBER, value.as_fraction()), True
     if isinstance(value, float):
         raise TypeError(
             "floats are not permitted in messages; use fractions.Fraction"

@@ -30,6 +30,7 @@ from fractions import Fraction
 from typing import Any, Tuple
 
 from repro._util.identity import IdentityMemo
+from repro._util.rationals import ScaledInt
 
 __all__ = ["message_size_bits"]
 
@@ -60,6 +61,12 @@ def _size(value: Any) -> Tuple[int, bool]:
         return _int_bits(value), True
     if isinstance(value, Fraction):
         return _int_bits(value.numerator) + _int_bits(value.denominator), True
+    if type(value) is ScaledInt:
+        # Metered on the reduced value, so the scaled-integer fast path
+        # is bit-for-bit indistinguishable from the Fraction it stands
+        # for (the differential suite pins this).
+        f = value.as_fraction()
+        return _int_bits(f.numerator) + _int_bits(f.denominator), True
     if isinstance(value, float):
         raise TypeError("floats are not permitted in messages")
     if isinstance(value, str):

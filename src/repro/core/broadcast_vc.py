@@ -66,8 +66,11 @@ class BroadcastVertexCoverMachine(Machine):
 
     model = BROADCAST
 
-    def __init__(self) -> None:
-        self._inner = FractionalPackingMachine()
+    def __init__(self, arithmetic: str = "scaled") -> None:
+        # The simulated Section 4 machine inherits the arithmetic mode;
+        # replayed element machines therefore use it too.
+        self._inner = FractionalPackingMachine(arithmetic=arithmetic)
+        self.arithmetic = self._inner.arithmetic
         # Content-addressed memo of element replays: generation (= replay
         # length) -> {(own_history, nbr_history): element state}.  Purely
         # an engineering optimisation — keys are full message contents, so

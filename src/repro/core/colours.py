@@ -26,7 +26,7 @@ from fractions import Fraction
 from functools import lru_cache
 from typing import Sequence, Tuple
 
-from repro._util.rationals import factorial
+from repro._util.rationals import ScaledInt, factorial
 
 __all__ = [
     "chi_edge_packing",
@@ -65,9 +65,14 @@ def encode_colour_sequence(
     all of its neighbours' sequences, so repeats dominate at scale.
     The cache key uses raw ``(numerator, denominator)`` pairs because
     hashing a ``Fraction`` is far costlier than hashing two ints.
+    :class:`ScaledInt` elements contribute their unreduced pair — the
+    digit computation below is reduction-invariant, so the encoding is
+    identical either way (the differential suite pins this).
     """
     key = tuple(
-        (q.numerator, q.denominator)
+        (q.num, q.den)
+        if type(q) is ScaledInt
+        else (q.numerator, q.denominator)
         if type(q) is Fraction
         else _as_pair(q)
         for q in seq
@@ -134,7 +139,7 @@ def encode_p_value(p: Fraction, k: int, W: int, D: int) -> int:
     increasing, so Lemma 3 (values strictly decrease along edges of
     ``B``) makes it a proper colouring of ``B``.
     """
-    p = Fraction(p)
+    p = p.as_fraction() if type(p) is ScaledInt else Fraction(p)
     scale = factorial(k) ** ((D + 1) ** 2)
     if not (0 < p <= W):
         raise ValueError(f"p-value {p} outside (0, {W}]")

@@ -30,6 +30,19 @@ The machine follows a *global round schedule* computed from the public
 parameters (Δ, W) only — every node is always in the same phase, which
 is how an anonymous network sidesteps termination detection.
 
+**Arithmetic modes.**  By Lemma 2 every Phase I quantity lies on the
+``1/(Δ!)^Δ`` grid, so the default ``arithmetic="scaled"`` mode runs
+Phase I offers, residual updates and colour-sequence growth on
+:class:`repro._util.rationals.ScaledInt` — integer numerators against
+the shared denominator ``(Δ!)^Δ``, no gcd normalisation — and falls
+back to exact :class:`~fractions.Fraction` values only in the Phase II
+star rounds (whose ``α``-ratio scaling leaves the grid) or if a value
+ever left the Lemma 2 grid (asserted, never silent).
+``arithmetic="fraction"`` keeps everything on ``Fraction``; the two
+modes are observably identical — same outputs, same colour encodings,
+same metered message bits — which ``tests/test_scaled_arithmetic.py``
+pins differentially.
+
 Implementation-level round accounting (asserted in tests):
 ``2Δ + 1`` rounds for Phase I, ``1`` forest-announcement round,
 ``T_cv(χ)`` Cole–Vishkin rounds, ``6`` shift-down/elimination rounds
@@ -56,7 +69,12 @@ from repro.core.cole_vishkin import (
     shift_down_root_colour,
 )
 from repro._util.identity import IdentityMemo
-from repro._util.rationals import FRACTION_ONE, FRACTION_ZERO
+from repro._util.rationals import (
+    FRACTION_ONE,
+    FRACTION_ZERO,
+    ScaledInt,
+    factorial,
+)
 from repro.graphs.topology import PortNumberedGraph
 from repro.graphs.weights import max_weight, validate_weights
 from repro.simulator.machine import PORT_NUMBERING, LocalContext, Machine
@@ -70,6 +88,8 @@ __all__ = [
     "EdgePackingResult",
     "build_schedule",
     "schedule_length",
+    "edge_packing_job",
+    "edge_packing_from_run",
     "maximal_edge_packing",
 ]
 
@@ -78,6 +98,31 @@ __all__ = [
 ACTIVE = "A"
 SATURATED = "S"
 MULTICOLOURED = "M"
+
+
+def _colour_digit(el: Any, scale: int, radix: int) -> int:
+    """The Lemma 2 mixed-radix digit ``el · (Δ!)^Δ`` of a colour element.
+
+    Validates the lemma's invariants (``0 < el <= W``, ``el·scale``
+    integral) exactly as :func:`repro.core.colours.encode_colour_sequence`
+    does per element, so accumulating digits round by round yields the
+    identical encoding.
+    """
+    if type(el) is ScaledInt and el.den == scale:
+        digit = el.num
+    else:
+        f = el.as_fraction() if type(el) is ScaledInt else el
+        digit, rem = divmod(f.numerator * scale, f.denominator)
+        if rem:
+            raise ValueError(
+                f"Lemma 2 violated: element {f} times (Δ!)^Δ is not integral"
+            )
+    if not 0 < digit < radix:
+        raise ValueError(
+            f"Lemma 2 violated: colour element outside (0, W] "
+            f"(digit {digit}, radix {radix})"
+        )
+    return digit
 
 
 # ----------------------------------------------------------------------
@@ -138,12 +183,31 @@ class _State:
 
     idx: int  # position in the global schedule
     w: int  # own weight
-    r: Fraction  # residual weight  w - y[v]
-    y: List[Fraction]  # packing value per port
+    r: Any  # residual weight  w - y[v] (ScaledInt or Fraction)
+    y: List[Any]  # packing value per port (ScaledInt or Fraction)
     estate: List[str]  # edge state per port
-    own_seq: Tuple[Fraction, ...]  # own colour sequence (Phase I)
-    nbr_seq: Tuple[Tuple[Fraction, ...], ...]  # neighbour sequences per port
-    x_cur: Optional[Fraction] = None  # offer computed in the last p1a round
+    own_seq: Tuple[Any, ...]  # own colour sequence (Phase I)
+    # Colour bookkeeping comes in two observably identical flavours,
+    # chosen once per run (``digit_mode``, stamped by start):
+    #
+    # * **digit mode** (small ``radix``): encodings are accumulated
+    #   digit-by-digit as the sequences grow (one mixed-radix Lemma 2
+    #   digit per p1b round) — own_acc/nbr_acc *are* the encoded
+    #   prefixes, identical integers to encode_colour_sequence on the
+    #   full sequences, and _finish_phase_one has no encoding pass.
+    # * **sequence mode** (large Δ/W, where every digit is a bignum and
+    #   per-port Horner accumulation would be quadratic): neighbour
+    #   sequences are retained as tuples and encoded lazily at the end
+    #   of Phase I — memoised, and only for ports that actually ended
+    #   multicoloured (the only colours Phase II reads).
+    digit_mode: bool = True
+    own_acc: int = 0
+    nbr_acc: Tuple[int, ...] = ()
+    nbr_seq: Tuple[Tuple[Any, ...], ...] = ()  # per-port sequences (seq mode)
+    scale: int = 1  # (Δ!)^Δ — the Lemma 2 denominator
+    radix: int = 2  # W·(Δ!)^Δ + 1 — the colour digit radix
+    x_cur: Optional[Any] = None  # offer computed in the last p1a round
+    unit: Any = FRACTION_ONE  # the colour element "1" in this run's arithmetic
     colour_int: Optional[int] = None
     nbr_colour: List[Optional[int]] = field(default_factory=list)
     out_ports: List[int] = field(default_factory=list)
@@ -158,11 +222,17 @@ class _State:
     # ``down_ports`` freeze once Phase II topology is known (the
     # announce round): the forests this node belongs to, and the ports
     # with a ``forest_in`` entry — the down-edges along which this
-    # node, as a parent, announces colours.
+    # node, as a parent, announces colours.  ``coasting`` marks a node
+    # that provably does nothing for the rest of the schedule (no
+    # forests, no multicoloured edges, no pending replies): its emit is
+    # ``None`` and its step only advances ``idx``, so both hooks can
+    # short-circuit — pure wall-clock, the node still runs every round
+    # as the anonymous model requires.
     sched: Optional[Tuple[Tuple, ...]] = None
     sched_len: int = 0
     forests: Tuple[int, ...] = ()
     down_ports: Tuple[int, ...] = ()
+    coasting: bool = False
 
     def clone(self) -> "_State":
         """Full copy whose mutable containers are safe to mutate."""
@@ -173,8 +243,14 @@ class _State:
             y=list(self.y),
             estate=list(self.estate),
             own_seq=self.own_seq,
+            digit_mode=self.digit_mode,
+            own_acc=self.own_acc,
+            nbr_acc=self.nbr_acc,
             nbr_seq=self.nbr_seq,
+            scale=self.scale,
+            radix=self.radix,
             x_cur=self.x_cur,
+            unit=self.unit,
             colour_int=self.colour_int,
             nbr_colour=list(self.nbr_colour),
             out_ports=list(self.out_ports),
@@ -187,6 +263,7 @@ class _State:
             sched_len=self.sched_len,
             forests=self.forests,
             down_ports=self.down_ports,
+            coasting=self.coasting,
         )
 
     def evolve(self, idx: int) -> "_State":
@@ -224,14 +301,31 @@ class EdgePackingMachine(Machine):
     Local input: the node's integer weight ``w_v``.
     Globals: ``delta`` (degree bound Δ) and ``W`` (weight bound).
     Output: ``{"in_cover": bool, "y": tuple per port, "colour": int}``.
+
+    ``arithmetic`` selects the exact number representation:
+    ``"scaled"`` (default) runs Phase I on the Lemma 2
+    fixed-denominator integer grid, ``"fraction"`` keeps the original
+    all-``Fraction`` transitions.  Both are exact and observably
+    identical; outputs always report plain ``Fraction`` values.
     """
 
     model = PORT_NUMBERING
 
-    def __init__(self) -> None:
+    ARITHMETIC_MODES = ("scaled", "fraction")
+
+    def __init__(self, arithmetic: str = "scaled") -> None:
+        if arithmetic not in self.ARITHMETIC_MODES:
+            raise ValueError(
+                f"arithmetic must be one of {self.ARITHMETIC_MODES}, "
+                f"got {arithmetic!r}"
+            )
+        self.arithmetic = arithmetic
         # Schedule lookup is on the hot path of every hook; key the
         # memo by the identity of the shared per-run globals mapping.
         self._sched_cache = IdentityMemo()
+        # Per-run scaled constants (denominator, zero, one) shared by
+        # every node so same-denominator fast paths hit on `is`.
+        self._arith_cache = IdentityMemo()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -247,34 +341,103 @@ class EdgePackingMachine(Machine):
             raise ValueError(f"node weight {w} exceeds W={W}")
         d = ctx.degree
         sched, sched_len = self._sched(ctx)
-        return _State(
-            idx=0,
-            w=w,
-            r=Fraction(w),
-            y=[FRACTION_ZERO] * d,
-            estate=[ACTIVE] * d,
-            own_seq=(),
-            nbr_seq=((),) * d,
-            nbr_colour=[None] * d,
-            forest_in=[None] * d,
-            sched=sched,
-            sched_len=sched_len,
-        )
+        den, zero, one = self._scaled_constants(ctx)
+        radix = W * den + 1
+        digit_mode = radix.bit_length() <= 64
+        # The scaled grid only pays while (Δ!)^Δ fits a machine word —
+        # beyond that, fixed-denominator numerators are bignums where
+        # reduced Fractions stay small, so the documented fallback to
+        # Fraction applies to the whole run.
+        if self.arithmetic == "scaled" and digit_mode:
+            r: Any = ScaledInt(w * den, den, den)
+            y0: Any = zero
+            unit: Any = one
+        else:
+            r = Fraction(w)
+            y0 = FRACTION_ZERO
+            unit = FRACTION_ONE
+        # Built via __new__ + a dict literal: the 20+-parameter
+        # dataclass __init__ is measurable at n nodes per run.  Every
+        # _State field must appear here (clone() is the cross-check).
+        st = _State.__new__(_State)
+        st.__dict__ = {
+            "idx": 0,
+            "w": w,
+            "r": r,
+            "y": [y0] * d,
+            "estate": [ACTIVE] * d,
+            "own_seq": (),
+            "digit_mode": digit_mode,
+            "own_acc": 0,
+            "nbr_acc": (0,) * d,
+            "nbr_seq": ((),) * d,
+            "scale": den,
+            "radix": radix,
+            "x_cur": None,
+            "unit": unit,
+            "colour_int": None,
+            "nbr_colour": [None] * d,
+            "out_ports": [],
+            "forest_of_out": {},
+            "forest_in": [None] * d,
+            "colour_f": {},
+            "children_colour_f": {},
+            "star_replies": {},
+            "sched": sched,
+            "sched_len": sched_len,
+            "forests": (),
+            "down_ports": (),
+            "coasting": False,
+        }
+        return st
 
     def halted(self, ctx: LocalContext, state: _State) -> bool:
         # sched_len is stamped by start(); 0 means a hand-built state
         # (tests, fault injection) — fall back to the schedule.
         return state.idx >= (state.sched_len or self._sched(ctx)[1])
 
+    # Quiescence protocol (see Machine): a coasting node is silent and
+    # inbox-independent until the schedule runs out, so the fast engine
+    # may park it and fast-forward its index in one go.
+
+    def quiescent(self, ctx: LocalContext, state: _State) -> bool:
+        return state.coasting and state.sched_len > 0
+
+    def fast_forward(
+        self, ctx: LocalContext, state: _State, max_elapsed: int
+    ) -> Tuple[_State, int]:
+        elapsed = min(max_elapsed, state.sched_len - state.idx)
+        if elapsed <= 0:
+            return state, 0
+        return state.evolve(state.idx + elapsed), elapsed
+
     def output(self, ctx: LocalContext, state: _State) -> Dict[str, Any]:
+        # Outputs are the external contract: always plain Fractions,
+        # whichever internal arithmetic produced them.
         return {
-            "in_cover": state.r == 0,
-            "y": tuple(state.y),
+            "in_cover": not state.r,
+            "y": tuple(
+                v.as_fraction() if type(v) is ScaledInt else v
+                for v in state.y
+            ),
             "colour": state.colour_int,
         }
 
     def _schedule(self, ctx: LocalContext) -> Tuple[Tuple, ...]:
         return self._sched(ctx)[0]
+
+    def _scaled_constants(
+        self, ctx: LocalContext
+    ) -> Tuple[int, ScaledInt, ScaledInt]:
+        """``(den, zero, one)`` with ``den = (Δ!)^Δ``, shared per run."""
+
+        def build() -> Tuple[int, ScaledInt, ScaledInt]:
+            den = factorial(ctx.require_global("delta")) ** ctx.require_global(
+                "delta"
+            )
+            return den, ScaledInt(0, den, den), ScaledInt(den, den, den)
+
+        return self._arith_cache.get_or_compute(ctx.globals, build)
 
     def _sched(self, ctx: LocalContext) -> Tuple[Tuple[Tuple, ...], int]:
         def build() -> Tuple[Tuple[Tuple, ...], int]:
@@ -291,13 +454,16 @@ class EdgePackingMachine(Machine):
         # Returning None means "silence on every port" (the runtime
         # expands it); the all-``None`` fast paths below keep the
         # star/colour rounds allocation-free for non-participants.
+        if state.coasting:
+            return None
         d = ctx.degree
         schedule = state.sched
         if schedule is None:  # hand-built state: recover the schedule
             schedule = self._sched(ctx)[0]
-        if state.idx >= len(schedule):
+        idx = state.idx
+        if idx >= (state.sched_len or len(schedule)):
             return None
-        tag = schedule[state.idx]
+        tag = schedule[idx]
         kind = tag[0]
 
         if kind == "star_req":
@@ -306,7 +472,7 @@ class EdgePackingMachine(Machine):
             if (
                 p is not None
                 and state.estate[p] == MULTICOLOURED
-                and state.r.numerator > 0
+                and state.r
                 and state.colour_f.get(i) == j
             ):
                 out: List[Any] = [None] * d
@@ -334,7 +500,7 @@ class EdgePackingMachine(Machine):
             return out
 
         if kind in ("p1a", "p1_settle"):
-            return [state.r.numerator == 0] * d
+            return [not state.r] * d
 
         if kind == "p1b":
             return [state.x_cur] * d
@@ -366,11 +532,16 @@ class EdgePackingMachine(Machine):
     # -- step ----------------------------------------------------------
 
     def step(self, ctx: LocalContext, state: _State, inbox: Sequence[Any]) -> _State:
+        idx = state.idx
+        if state.coasting:
+            # Spectator for the rest of the schedule: only idx advances.
+            if idx >= state.sched_len:
+                return state
+            return state.evolve(idx + 1)
         schedule = state.sched
         if schedule is None:  # hand-built state: recover the schedule
             schedule = self._sched(ctx)[0]
-        idx = state.idx
-        if idx >= len(schedule):
+        if idx >= (state.sched_len or len(schedule)):
             return state
         tag = schedule[idx]
         kind = tag[0]
@@ -385,28 +556,39 @@ class EdgePackingMachine(Machine):
             st = self._leaf_process_reply(state, inbox, nxt, forest=tag[1])
             if st.star_replies:
                 st.star_replies = {}
+            # All star business settled?  Nothing can reach this node in
+            # the remaining rounds: requests only arrive over its
+            # multicoloured edges, and it has no replies left to send.
+            if MULTICOLOURED not in st.estate:
+                st.coasting = True
             return st
 
         if kind == "cv":
             return self._cv_update(state, inbox, nxt)
 
-        # Phase I rounds rewrite y/estate and the colour sequences;
-        # everything else is shared with the predecessor state.
+        # Phase I rounds rewrite y/estate and the colour sequences
+        # copy-on-write; everything untouched is shared with the
+        # predecessor state.
         if kind == "p1b":
             st = state.evolve(nxt)
-            st.y = list(state.y)
-            st.estate = list(state.estate)
             self._p1b_update(st, inbox)
             return st
 
         if kind == "p1a":
             st = state.evolve(nxt)
-            st.estate = list(state.estate)
             self._absorb_saturation_bits(st, inbox)
-            n_active = st.estate.count(ACTIVE)
-            st.x_cur = (
-                st.r / n_active if (st.r.numerator > 0 and n_active) else None
-            )
+            r = st.r
+            n_active = st.estate.count(ACTIVE) if r else 0
+            if r and n_active:
+                # Lemma 2: the residual stays on the (Δ!)^Δ grid under
+                # division by the active degree — div_exact asserts it.
+                st.x_cur = (
+                    r.div_exact(n_active)
+                    if type(r) is ScaledInt
+                    else r / n_active
+                )
+            else:
+                st.x_cur = None
             return st
 
         if kind == "sd":
@@ -417,7 +599,6 @@ class EdgePackingMachine(Machine):
 
         if kind == "p1_settle":
             st = state.evolve(nxt)
-            st.estate = list(state.estate)
             self._absorb_saturation_bits(st, inbox)
             self._finish_phase_one(st, ctx)
             return st
@@ -438,6 +619,10 @@ class EdgePackingMachine(Machine):
                 p for p, i in enumerate(st.forest_in) if i is not None
             )
             st.forests = tuple(st.my_forests())
+            # No forests means no role in any remaining round: neither
+            # the colour pipeline nor any star can involve this node.
+            if not st.forests:
+                st.coasting = True
             return st
 
         raise AssertionError(f"unknown schedule tag {tag!r}")
@@ -446,64 +631,139 @@ class EdgePackingMachine(Machine):
 
     @staticmethod
     def _absorb_saturation_bits(st: _State, inbox: Sequence[Any]) -> None:
-        """Neighbour saturation permanently saturates the shared edge."""
+        """Neighbour saturation permanently saturates the shared edge.
+
+        Copy-on-write: ``st.estate`` (shared with the predecessor) is
+        replaced only if something actually changes.
+        """
+        estate = st.estate
+        if not st.r:
+            # Own saturation dominates: everything saturated.
+            for s in estate:
+                if s is not SATURATED and s != SATURATED:
+                    st.estate = [SATURATED] * len(estate)
+                    return
+            return
+        fresh: Optional[List[str]] = None
         for p, nbr_saturated in enumerate(inbox):
-            if nbr_saturated and st.estate[p] != SATURATED:
-                st.estate[p] = SATURATED
-        if st.r.numerator == 0:
-            st.estate = [SATURATED] * len(st.estate)
+            if nbr_saturated and estate[p] != SATURATED:
+                if fresh is None:
+                    fresh = list(estate)
+                    st.estate = fresh
+                fresh[p] = SATURATED
 
     @staticmethod
     def _p1b_update(st: _State, inbox: Sequence[Any]) -> None:
         """Steps (ii)–(iii) of Phase I: accept offers, grow colours."""
-        one = FRACTION_ONE
-        own_el = st.x_cur if st.x_cur is not None else one
+        x_cur = st.x_cur
+        own_el = x_cur if x_cur is not None else st.unit
         st.own_seq = st.own_seq + (own_el,)
+        digit_mode = st.digit_mode
+        if digit_mode:
+            scale = st.scale
+            radix = st.radix
+            if x_cur is None:
+                own_digit = scale
+            elif type(x_cur) is ScaledInt and x_cur.den == scale:
+                own_digit = x_cur.num  # the common case, inlined
+                if not 0 < own_digit < radix:
+                    raise ValueError(
+                        f"Lemma 2 violated: colour element outside (0, W] "
+                        f"(digit {own_digit}, radix {radix})"
+                    )
+            else:
+                own_digit = _colour_digit(x_cur, scale, radix)
+            st.own_acc = st.own_acc * radix + own_digit
+            nbr_track: List[Any] = list(st.nbr_acc)
+        else:
+            nbr_track = list(st.nbr_seq)
 
-        increments = FRACTION_ZERO
+        increments: Any = 0
         mismatched: List[int] = []
-        nbr_seq = list(st.nbr_seq)
+        estate = st.estate
+        fresh_y: Optional[List[Any]] = None  # copy-on-write view of st.y
         for p, nbr_x in enumerate(inbox):
-            nbr_el = nbr_x if nbr_x is not None else one
-            nbr_seq[p] = nbr_seq[p] + (nbr_el,)
-            if st.estate[p] == ACTIVE:
+            nbr_el = nbr_x if nbr_x is not None else st.unit
+            if digit_mode:
+                if nbr_x is None:
+                    nbr_digit = scale
+                elif type(nbr_x) is ScaledInt and nbr_x.den == scale:
+                    nbr_digit = nbr_x.num  # the common case, inlined
+                    if not 0 < nbr_digit < radix:
+                        raise ValueError(
+                            f"Lemma 2 violated: colour element outside "
+                            f"(0, W] (digit {nbr_digit}, radix {radix})"
+                        )
+                else:
+                    nbr_digit = _colour_digit(nbr_x, scale, radix)
+                nbr_track[p] = nbr_track[p] * radix + nbr_digit
+                mismatch = own_digit != nbr_digit
+            else:
+                nbr_track[p] = nbr_track[p] + (nbr_el,)
+                mismatch = None  # decided only where it matters (ACTIVE)
+            if estate[p] == ACTIVE:
                 # Both endpoints of an active edge made offers (an active
                 # edge implies positive residuals and active degree >= 1
                 # on both sides).
-                if st.x_cur is None or nbr_x is None:
+                if x_cur is None or nbr_x is None:
                     raise AssertionError(
                         "active edge without mutual offers — state desync"
                     )
-                delta_y = min(st.x_cur, nbr_x)
-                st.y[p] += delta_y
+                delta_y = min(x_cur, nbr_x)
+                if fresh_y is None:
+                    fresh_y = list(st.y)
+                    st.y = fresh_y
+                fresh_y[p] += delta_y
                 increments += delta_y
-                if own_el != nbr_el:
+                if mismatch is None:
+                    mismatch = own_el != nbr_el
+                if mismatch:
                     mismatched.append(p)
-        st.nbr_seq = tuple(nbr_seq)
-        st.r -= increments
-        if st.r.numerator < 0:
-            raise AssertionError("residual went negative — packing infeasible")
-        if st.r.numerator == 0:
-            # Own saturation dominates: all incident edges are saturated.
-            st.estate = [SATURATED] * len(st.estate)
+        if digit_mode:
+            st.nbr_acc = tuple(nbr_track)
         else:
+            st.nbr_seq = tuple(nbr_track)
+        if increments:
+            st.r = st.r - increments
+        if st.r < 0:
+            raise AssertionError("residual went negative — packing infeasible")
+        if not st.r:
+            # Own saturation dominates: all incident edges are saturated.
+            for s in estate:
+                if s is not SATURATED and s != SATURATED:
+                    st.estate = [SATURATED] * len(estate)
+                    break
+        elif mismatched:
+            fresh = list(estate)
+            st.estate = fresh
             for p in mismatched:
-                if st.estate[p] == ACTIVE:
-                    st.estate[p] = MULTICOLOURED
+                if fresh[p] == ACTIVE:
+                    fresh[p] = MULTICOLOURED
 
     def _finish_phase_one(self, st: _State, ctx: LocalContext) -> None:
-        """Encode colours, orient multicoloured edges, assign forests."""
+        """Read off colours, orient multicoloured edges, assign forests."""
         if any(s == ACTIVE for s in st.estate):
             raise AssertionError(
                 "active edge survived Phase I — Lemma 1 violated (is the "
                 "global Δ parameter really an upper bound on the degree?)"
             )
-        delta = ctx.require_global("delta")
-        W = ctx.require_global("W")
-        st.colour_int = encode_colour_sequence(st.own_seq, delta, W)
-        st.nbr_colour = [
-            encode_colour_sequence(seq, delta, W) for seq in st.nbr_seq
-        ]
+        if st.digit_mode:
+            # The accumulators hold exactly encode_colour_sequence of
+            # the grown sequences (same digits, same radix, same order).
+            st.colour_int = st.own_acc
+            st.nbr_colour = list(st.nbr_acc)
+        else:
+            delta = ctx.require_global("delta")
+            W = ctx.require_global("W")
+            st.colour_int = encode_colour_sequence(st.own_seq, delta, W)
+            # Phase II only ever reads the colours of multicoloured
+            # edges; skipping the rest avoids bignum encodes at scale.
+            st.nbr_colour = [
+                encode_colour_sequence(seq, delta, W)
+                if st.estate[p] == MULTICOLOURED
+                else None
+                for p, seq in enumerate(st.nbr_seq)
+            ]
         st.out_ports = [
             p
             for p in range(len(st.estate))
@@ -516,6 +776,11 @@ class EdgePackingMachine(Machine):
                 raise AssertionError("multicoloured edge with equal colours")
         st.forest_of_out = {p: i for i, p in enumerate(st.out_ports)}
         st.colour_f = {i: st.colour_int for i in st.forest_of_out.values()}
+        # A node with no multicoloured edges is out of the game one
+        # round before announce can tell it so: nothing will ever be
+        # addressed to it again.
+        if MULTICOLOURED not in st.estate:
+            st.coasting = True
 
     # -- Phase II colour pipeline ---------------------------------------
 
@@ -593,7 +858,7 @@ class EdgePackingMachine(Machine):
         """The paper's α-rule: saturate all leaves or the root exactly."""
         st = state.evolve(nxt)
         forest_in = state.forest_in
-        requests: Optional[List[Tuple[int, Fraction]]] = None
+        requests: Optional[List[Tuple[int, Any]]] = None
         for p, msg in enumerate(inbox):
             if msg is not None and forest_in[p] == forest and msg[0] == "req":
                 if requests is None:
@@ -604,21 +869,24 @@ class EdgePackingMachine(Machine):
         st.y = list(state.y)
         st.estate = list(state.estate)
         st.star_replies = dict(state.star_replies)
-        if st.r.numerator == 0:
+        if not st.r:
             for p, _ru in requests:
                 st.star_replies[p] = ("full",)
                 st.estate[p] = SATURATED
             return st
         total = sum(ru for _p, ru in requests)
+        scale_down = total > st.r
         for p, ru in requests:
             # alpha = total / r;  alpha <= 1: give each leaf its full
             # residual; alpha > 1: scale down so the root saturates.
-            delta_y = ru if total <= st.r else ru * st.r / total
+            # The scaled-down value leaves the Lemma 2 grid, so this is
+            # the documented fall-back to Fraction arithmetic.
+            delta_y = ru * st.r / total if scale_down else ru
             st.y[p] += delta_y
             st.star_replies[p] = ("inc", delta_y)
             st.estate[p] = SATURATED
-        st.r -= min(total, st.r)
-        if st.r.numerator < 0:
+        st.r = st.r - (st.r if scale_down else total)
+        if st.r < 0:
             raise AssertionError("residual went negative in star saturation")
         return st
 
@@ -640,8 +908,8 @@ class EdgePackingMachine(Machine):
             delta_y = msg[1]
             st.y = list(state.y)
             st.y[p] += delta_y
-            st.r -= delta_y
-            if st.r.numerator < 0:
+            st.r = st.r - delta_y
+            if st.r < 0:
                 raise AssertionError("residual went negative at a star leaf")
             st.estate[p] = SATURATED
         else:
@@ -678,26 +946,20 @@ class EdgePackingResult:
         return sum(self.weights[v] for v in self.saturated)
 
 
-def maximal_edge_packing(
+def edge_packing_job(
     graph: PortNumberedGraph,
     weights: Sequence[int],
     delta: Optional[int] = None,
     W: Optional[int] = None,
     max_rounds: Optional[int] = None,
     metering: Any = "bits",
-) -> EdgePackingResult:
-    """Run the Section 3 algorithm and assemble the packing.
+    arithmetic: str = "scaled",
+) -> Dict[str, Any]:
+    """A validated :func:`repro.simulator.runtime.run` kwargs mapping.
 
-    ``delta`` and ``W`` default to the instance's true maximum degree
-    and weight; the paper allows any upper bounds, which callers may
-    pass to study the round-count dependence.  ``metering`` is passed
-    through to the runtime (see
-    :class:`repro.simulator.runtime.Metering`); pass ``"none"`` for
-    large perf runs where only the packing matters.
-
-    The per-edge values reported by the two endpoints are
-    cross-checked; a mismatch would indicate a protocol bug, so it
-    raises.
+    Suitable as a :func:`repro.simulator.runtime.sweep` instance;
+    assemble the resulting :class:`RunResult` with
+    :func:`edge_packing_from_run`.
     """
     weights = tuple(int(w) for w in weights)
     if delta is None:
@@ -705,23 +967,33 @@ def maximal_edge_packing(
     if W is None:
         W = max_weight(weights)
     validate_weights(weights, graph.n, W)
-
-    machine = EdgePackingMachine()
     needed = schedule_length(delta, W)
-    result = run_port_numbering(
-        graph,
-        machine,
-        inputs=list(weights),
-        globals_map={"delta": delta, "W": W},
-        max_rounds=needed if max_rounds is None else max_rounds,
-        metering=metering,
-    )
+    return {
+        "graph": graph,
+        "machine": EdgePackingMachine(arithmetic=arithmetic),
+        "inputs": list(weights),
+        "globals_map": {"delta": delta, "W": W},
+        "max_rounds": needed if max_rounds is None else max_rounds,
+        "metering": metering,
+    }
+
+
+def edge_packing_from_run(
+    graph: PortNumberedGraph,
+    weights: Sequence[int],
+    result: RunResult,
+) -> EdgePackingResult:
+    """Assemble an :class:`EdgePackingResult` from a finished run.
+
+    The per-edge values reported by the two endpoints are
+    cross-checked; a mismatch would indicate a protocol bug, so it
+    raises.
+    """
+    weights = tuple(int(w) for w in weights)
     if not result.all_halted:
         raise RuntimeError(
-            f"edge packing did not halt within {max_rounds} rounds "
-            f"(needs exactly {needed})"
+            f"edge packing did not halt within {result.rounds} rounds"
         )
-
     y: Dict[int, Fraction] = {}
     for v in graph.nodes():
         out_v = result.outputs[v]
@@ -746,3 +1018,42 @@ def maximal_edge_packing(
         rounds=result.rounds,
         run=result,
     )
+
+
+def maximal_edge_packing(
+    graph: PortNumberedGraph,
+    weights: Sequence[int],
+    delta: Optional[int] = None,
+    W: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    metering: Any = "bits",
+    arithmetic: str = "scaled",
+) -> EdgePackingResult:
+    """Run the Section 3 algorithm and assemble the packing.
+
+    ``delta`` and ``W`` default to the instance's true maximum degree
+    and weight; the paper allows any upper bounds, which callers may
+    pass to study the round-count dependence.  ``metering`` is passed
+    through to the runtime (see
+    :class:`repro.simulator.runtime.Metering`); pass ``"none"`` for
+    large perf runs where only the packing matters.  ``arithmetic``
+    selects the machine's exact number representation (see
+    :class:`EdgePackingMachine`).
+    """
+    job = edge_packing_job(
+        graph, weights, delta=delta, W=W, max_rounds=max_rounds,
+        metering=metering, arithmetic=arithmetic,
+    )
+    job.pop("graph")
+    machine = job.pop("machine")
+    result = run_port_numbering(graph, machine, **job)
+    if not result.all_halted:
+        needed = schedule_length(
+            delta if delta is not None else graph.max_degree,
+            W if W is not None else max_weight(tuple(int(w) for w in weights)),
+        )
+        raise RuntimeError(
+            f"edge packing did not halt within {max_rounds} rounds "
+            f"(needs exactly {needed})"
+        )
+    return edge_packing_from_run(graph, weights, result)

@@ -34,6 +34,16 @@ nodes form an f-approximate minimum-weight set cover.
 
 Round count: ``(D+1) · (5(D+1) + 2 + 2·T_wcv(χ) + 10(D+1))`` =
 ``O(f²k² + fk log* W)`` (Theorem 2), asserted exactly in tests.
+
+**Arithmetic modes.**  Every ``p(u)`` is an integer multiple of
+``1/(k!)^{(D+1)²}`` (the Section 4.4 denominator-control argument), so
+the default ``arithmetic="scaled"`` mode runs the saturation phases on
+:class:`repro._util.rationals.ScaledInt` values whose denominators
+grow only as offers divide residuals (never past the bound — exceeding
+it falls back to an exact :class:`~fractions.Fraction`, explicitly,
+never silently).  ``arithmetic="fraction"`` keeps the original
+all-``Fraction`` transitions; both modes are observably identical
+(outputs, colours, metered bits), pinned by the differential suite.
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ from functools import lru_cache
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro._util.identity import IdentityMemo
+from repro._util.rationals import FRACTION_ZERO, ScaledInt, factorial
 from repro.core.colours import chi_fractional_packing, encode_p_value
 from repro.core.cole_vishkin import (
     cv_pseudo_parent,
@@ -105,6 +116,22 @@ def fp_schedule_length(f: int, k: int, W: int) -> int:
     return len(build_fp_schedule(f, k, W))
 
 
+def fp_den_limit(f: int, k: int) -> int:
+    """Denominator bound for the scaled fast path.
+
+    The Section 4.4 argument bounds every denominator by
+    ``(k!)^{(D+1)²}``; past a machine word that exact bound buys
+    nothing (the representation falls back to ``Fraction`` either
+    way), so it is capped at ``2^64``.
+    """
+    D = fp_out_degree_bound(f, k)
+    phases = (D + 1) ** 2
+    kf = factorial(k)
+    if phases * kf.bit_length() <= 64:
+        return kf ** phases
+    return 1 << 64
+
+
 # ----------------------------------------------------------------------
 # Per-node state
 # ----------------------------------------------------------------------
@@ -114,9 +141,10 @@ def fp_schedule_length(f: int, k: int, W: int) -> int:
 class _SubsetState:
     idx: int
     w: int
-    r: Fraction
-    x_by_colour: Dict[int, Fraction] = field(default_factory=dict)
-    q_by_colour: Dict[int, Fraction] = field(default_factory=dict)
+    r: Any  # residual (ScaledInt or Fraction)
+    zero: Any = FRACTION_ZERO  # additive identity in this run's arithmetic
+    x_by_colour: Dict[int, Any] = field(default_factory=dict)
+    q_by_colour: Dict[int, Any] = field(default_factory=dict)
     wcv_relay: Tuple = ()
     tr_relay: Tuple = ()
 
@@ -125,6 +153,7 @@ class _SubsetState:
             idx=self.idx,
             w=self.w,
             r=self.r,
+            zero=self.zero,
             x_by_colour=dict(self.x_by_colour),
             q_by_colour=dict(self.q_by_colour),
             wcv_relay=self.wcv_relay,
@@ -136,10 +165,10 @@ class _SubsetState:
 class _ElementState:
     idx: int
     c: int = 0  # colour in {0..D}
-    y: Fraction = Fraction(0)
+    y: Any = FRACTION_ZERO  # packing value (ScaledInt or Fraction)
     saturated: bool = False
     in_uyi: bool = False  # member of U_yi during the current phase
-    p: Optional[Fraction] = None  # value from this iteration's phase
+    p: Optional[Any] = None  # value from this iteration's phase
     cprime: Optional[int] = None  # weak-CV working colour
     c3: Optional[int] = None  # combined colour during trivial reduction
 
@@ -161,19 +190,51 @@ class FractionalPackingMachine(Machine):
 
     Local input: ``{"role": "subset", "weight": w}`` or
     ``{"role": "element"}``.  Globals: ``f``, ``k``, ``W``.
+
+    ``arithmetic`` selects the exact number representation:
+    ``"scaled"`` (default) keeps residuals, offers and packing values
+    as :class:`ScaledInt` under the Section 4.4 denominator bound,
+    ``"fraction"`` the original all-``Fraction`` transitions.  Outputs
+    always report plain ``Fraction`` values.
     """
 
     model = BROADCAST
 
-    def __init__(self) -> None:
+    ARITHMETIC_MODES = ("scaled", "fraction")
+
+    def __init__(self, arithmetic: str = "scaled") -> None:
+        if arithmetic not in self.ARITHMETIC_MODES:
+            raise ValueError(
+                f"arithmetic must be one of {self.ARITHMETIC_MODES}, "
+                f"got {arithmetic!r}"
+            )
+        self.arithmetic = arithmetic
         # Schedule lookup is on the hot path of every hook; key the
         # memo by the identity of the shared per-run globals mapping.
         self._sched_cache = IdentityMemo()
+        # Per-run shared additive identity (scaled mode), so every node
+        # starts from the same zero object.
+        self._zero_cache = IdentityMemo()
 
     # -- lifecycle -----------------------------------------------------
 
+    def _zero(self, ctx: LocalContext) -> Any:
+        if self.arithmetic != "scaled":
+            return FRACTION_ZERO
+        return self._zero_cache.get_or_compute(
+            ctx.globals,
+            lambda: ScaledInt(
+                0,
+                1,
+                fp_den_limit(
+                    ctx.require_global("f"), ctx.require_global("k")
+                ),
+            ),
+        )
+
     def start(self, ctx: LocalContext):
         role = (ctx.input or {}).get("role")
+        zero = self._zero(ctx)
         if role == "subset":
             w = ctx.input.get("weight")
             if not isinstance(w, int) or isinstance(w, bool) or w < 1:
@@ -182,13 +243,14 @@ class FractionalPackingMachine(Machine):
                 raise ValueError(f"weight {w} exceeds W")
             if ctx.degree > ctx.require_global("k"):
                 raise ValueError(f"subset degree {ctx.degree} exceeds k")
-            return _SubsetState(idx=0, w=w, r=Fraction(w))
+            r = zero + w  # w/1 in this run's arithmetic
+            return _SubsetState(idx=0, w=w, r=r, zero=zero)
         if role == "element":
             if ctx.degree > ctx.require_global("f"):
                 raise ValueError(f"element degree {ctx.degree} exceeds f")
             if ctx.degree == 0:
                 raise ValueError("element with no subsets: instance infeasible")
-            return _ElementState(idx=0)
+            return _ElementState(idx=0, y=zero)
         raise ValueError(f"node input must declare role subset/element, got {role!r}")
 
     def _schedule(self, ctx: LocalContext) -> Tuple[Tuple, ...]:
@@ -211,11 +273,14 @@ class FractionalPackingMachine(Machine):
         return state.idx >= len(self._schedule(ctx))
 
     def output(self, ctx: LocalContext, state) -> Dict[str, Any]:
+        # Outputs are the external contract: always plain Fractions,
+        # whichever internal arithmetic produced them.
         if isinstance(state, _SubsetState):
-            return {"role": "subset", "in_cover": state.r == 0, "weight": state.w}
+            return {"role": "subset", "in_cover": not state.r, "weight": state.w}
+        y = state.y
         return {
             "role": "element",
-            "y": state.y,
+            "y": y.as_fraction() if type(y) is ScaledInt else y,
             "saturated": state.saturated,
             "colour": state.c,
         }
@@ -283,7 +348,7 @@ class FractionalPackingMachine(Machine):
         kind = tag[0]
 
         if kind in ("sat_y", "sync_y"):
-            total = sum((m for m in inbox if m is not None), Fraction(0))
+            total = sum((m for m in inbox if m is not None), st.zero)
             st.r = st.w - total
             if st.r < 0:
                 raise AssertionError("fractional packing infeasible: y[s] > w_s")
@@ -450,9 +515,10 @@ class FractionalPackingResult:
 def maximal_fractional_packing(
     instance: SetCoverInstance,
     max_rounds: Optional[int] = None,
+    arithmetic: str = "scaled",
 ) -> FractionalPackingResult:
     """Run the Section 4 algorithm on a set cover instance."""
-    machine = FractionalPackingMachine()
+    machine = FractionalPackingMachine(arithmetic=arithmetic)
     needed = fp_schedule_length(instance.f, instance.k, instance.W)
     result = run_on_setcover(
         instance,

@@ -56,10 +56,15 @@ class SetCoverResult:
 def set_cover_f_approx(
     instance: SetCoverInstance,
     max_rounds: Optional[int] = None,
+    arithmetic: str = "scaled",
 ) -> SetCoverResult:
-    """Section 4: f-approximate weighted set cover in the broadcast model."""
+    """Section 4: f-approximate weighted set cover in the broadcast model.
+
+    ``arithmetic`` selects the machine's exact number representation
+    (see :class:`repro.core.fractional_packing.FractionalPackingMachine`).
+    """
     packing: FractionalPackingResult = maximal_fractional_packing(
-        instance, max_rounds=max_rounds
+        instance, max_rounds=max_rounds, arithmetic=arithmetic
     )
     return SetCoverResult(
         instance=instance,

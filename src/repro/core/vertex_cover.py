@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core.broadcast_vc import BroadcastVertexCoverMachine, bvc_round_count
 from repro.core.edge_packing import EdgePackingResult, maximal_edge_packing
@@ -26,7 +26,13 @@ from repro.graphs.topology import PortNumberedGraph
 from repro.graphs.weights import max_weight, validate_weights
 from repro.simulator.runtime import RunResult, run_broadcast
 
-__all__ = ["VertexCoverResult", "vertex_cover_2approx", "vertex_cover_broadcast"]
+__all__ = [
+    "VertexCoverResult",
+    "vertex_cover_2approx",
+    "vertex_cover_broadcast",
+    "broadcast_vc_job",
+    "broadcast_vc_from_run",
+]
 
 
 @dataclass(frozen=True)
@@ -65,10 +71,11 @@ def vertex_cover_2approx(
     weights: Sequence[int],
     delta: Optional[int] = None,
     W: Optional[int] = None,
+    arithmetic: str = "scaled",
 ) -> VertexCoverResult:
     """Section 3: 2-approximate weighted VC in the port-numbering model."""
     packing: EdgePackingResult = maximal_edge_packing(
-        graph, weights, delta=delta, W=W
+        graph, weights, delta=delta, W=W, arithmetic=arithmetic
     )
     return VertexCoverResult(
         graph=graph,
@@ -81,17 +88,19 @@ def vertex_cover_2approx(
     )
 
 
-def vertex_cover_broadcast(
+def broadcast_vc_job(
     graph: PortNumberedGraph,
     weights: Sequence[int],
     delta: Optional[int] = None,
     W: Optional[int] = None,
-) -> VertexCoverResult:
-    """Section 5: 2-approximate weighted VC in the broadcast model.
+    arithmetic: str = "scaled",
+    metering: Any = "bits",
+) -> Dict[str, Any]:
+    """A validated :func:`repro.simulator.runtime.run` kwargs mapping.
 
-    Also reconstructs the edge packing value from the per-node incident
-    multisets (each edge's ``y`` is reported by both endpoints; summing
-    all reports counts every edge twice).
+    Suitable as a :func:`repro.simulator.runtime.sweep` instance;
+    assemble the resulting :class:`RunResult` with
+    :func:`broadcast_vc_from_run`.
     """
     weights = tuple(int(w) for w in weights)
     if delta is None:
@@ -99,19 +108,32 @@ def vertex_cover_broadcast(
     if W is None:
         W = max_weight(weights)
     validate_weights(weights, graph.n, W)
+    return {
+        "graph": graph,
+        "machine": BroadcastVertexCoverMachine(arithmetic=arithmetic),
+        "inputs": list(weights),
+        "globals_map": {"delta": delta, "W": W},
+        "max_rounds": bvc_round_count(delta, W),
+        "metering": metering,
+    }
 
-    machine = BroadcastVertexCoverMachine()
-    needed = bvc_round_count(delta, W)
-    result = run_broadcast(
-        graph,
-        machine,
-        inputs=list(weights),
-        globals_map={"delta": delta, "W": W},
-        max_rounds=needed,
-    )
+
+def broadcast_vc_from_run(
+    graph: PortNumberedGraph,
+    weights: Sequence[int],
+    result: RunResult,
+) -> VertexCoverResult:
+    """Assemble a :class:`VertexCoverResult` from a finished BVC run.
+
+    Reconstructs the edge packing value from the per-node incident
+    multisets (each edge's ``y`` is reported by both endpoints; summing
+    all reports counts every edge twice).
+    """
+    weights = tuple(int(w) for w in weights)
     if not result.all_halted:
-        raise RuntimeError(f"broadcast VC did not halt in {needed} rounds")
-
+        raise RuntimeError(
+            f"broadcast VC did not halt within {result.rounds} rounds"
+        )
     cover = frozenset(
         v for v in graph.nodes() if result.outputs[v]["in_cover"]
     )
@@ -128,3 +150,20 @@ def vertex_cover_broadcast(
         model="broadcast",
         run=result,
     )
+
+
+def vertex_cover_broadcast(
+    graph: PortNumberedGraph,
+    weights: Sequence[int],
+    delta: Optional[int] = None,
+    W: Optional[int] = None,
+    arithmetic: str = "scaled",
+) -> VertexCoverResult:
+    """Section 5: 2-approximate weighted VC in the broadcast model."""
+    job = broadcast_vc_job(
+        graph, weights, delta=delta, W=W, arithmetic=arithmetic
+    )
+    job.pop("graph")
+    machine = job.pop("machine")
+    result = run_broadcast(graph, machine, **job)
+    return broadcast_vc_from_run(graph, weights, result)

@@ -7,30 +7,64 @@ increasing message complexity", and the self-stabilising transformer
 the three protocols side by side on one instance and measures total
 messages, total bits, and peak per-round bits — making both trade-offs
 quantitative.
+
+All three protocol runs go through one batched
+:func:`repro.simulator.runtime.sweep` call (each row carries its own
+machine); pass ``n_workers`` to run them on a thread pool, and
+``include_large`` to repeat the comparison on a large-n cycle.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.core.edge_packing import EdgePackingMachine, schedule_length
-from repro.core.vertex_cover import vertex_cover_2approx, vertex_cover_broadcast
+from repro.core.edge_packing import (
+    EdgePackingMachine,
+    edge_packing_from_run,
+    edge_packing_job,
+    schedule_length,
+)
+from repro.core.vertex_cover import broadcast_vc_from_run, broadcast_vc_job
 from repro.experiments.common import ExperimentTable
 from repro.graphs import families
 from repro.graphs.weights import unit_weights
-from repro.selfstab.transformer import run_self_stabilising
+from repro.selfstab.transformer import SelfStabilisingMachine
+from repro.simulator.runtime import sweep
 
 __all__ = ["run", "main"]
 
 
-def run(n: int = 8) -> ExperimentTable:
+def _protocol_jobs(n: int) -> List[Dict[str, Any]]:
+    """The three protocol runs on the n-cycle, as sweep() instances."""
     g = families.cycle_graph(n)
     w = unit_weights(n)
     delta, W = 2, 1
+    horizon = schedule_length(delta, W)
+    return [
+        edge_packing_job(g, w, delta=delta, W=W),
+        broadcast_vc_job(g, w, delta=delta, W=W),
+        {
+            "graph": g,
+            "machine": SelfStabilisingMachine(EdgePackingMachine(), horizon),
+            "inputs": list(w),
+            "globals_map": {"delta": delta, "W": W},
+            "max_rounds": horizon,  # one stabilisation window
+        },
+    ]
+
+
+def run(
+    n: int = 8,
+    n_workers: Optional[int] = None,
+    include_large: bool = False,
+    large_n: int = 64,
+) -> ExperimentTable:
+    sizes = [n] + ([large_n] if include_large else [])
     table = ExperimentTable(
         experiment_id="EXP-MSG",
-        title=f"message complexity on the {n}-cycle (Δ=2, W=1)",
+        title=f"message complexity on cycles (Δ=2, W=1), n ∈ {sizes}",
         columns=[
+            "instance",
             "protocol",
             "model",
             "rounds",
@@ -41,53 +75,36 @@ def run(n: int = 8) -> ExperimentTable:
         ],
     )
 
-    port = vertex_cover_2approx(g, w)
-    table.add_row(
-        protocol="§3 edge packing",
-        model="port numbering",
-        rounds=port.rounds,
-        messages=port.run.messages_sent,
-        **{
-            "total kbits": port.run.message_bits / 1000,
-            "peak round kbits": port.run.max_round_bits / 1000,
-            "bits / (message)": port.run.message_bits / max(1, port.run.messages_sent),
-        },
-    )
+    jobs: List[Dict[str, Any]] = []
+    for size in sizes:
+        jobs.extend(_protocol_jobs(size))
+    results = sweep(jobs, n_workers=n_workers)
 
-    broadcast = vertex_cover_broadcast(g, w)
-    table.add_row(
-        protocol="§5 history simulation",
-        model="broadcast",
-        rounds=broadcast.rounds,
-        messages=broadcast.run.messages_sent,
-        **{
-            "total kbits": broadcast.run.message_bits / 1000,
-            "peak round kbits": broadcast.run.max_round_bits / 1000,
-            "bits / (message)": broadcast.run.message_bits
-            / max(1, broadcast.run.messages_sent),
-        },
-    )
-
-    horizon = schedule_length(delta, W)
-    ss = run_self_stabilising(
-        g,
-        EdgePackingMachine(),
-        horizon=horizon,
-        rounds=horizon,  # one stabilisation window
-        inputs=list(w),
-        globals_map={"delta": delta, "W": W},
-    )
-    table.add_row(
-        protocol=f"self-stabilising §3 (T={horizon})",
-        model="port numbering",
-        rounds=ss.rounds,
-        messages=ss.messages_sent,
-        **{
-            "total kbits": ss.message_bits / 1000,
-            "peak round kbits": ss.max_round_bits / 1000,
-            "bits / (message)": ss.message_bits / max(1, ss.messages_sent),
-        },
-    )
+    horizon = schedule_length(2, 1)
+    for i, size in enumerate(sizes):
+        port_run, bvc_run, ss = results[3 * i : 3 * i + 3]
+        g = jobs[3 * i]["graph"]
+        w = unit_weights(size)
+        port = edge_packing_from_run(g, w, port_run)
+        broadcast = broadcast_vc_from_run(g, w, bvc_run)
+        for protocol, model, rounds, res in [
+            ("§3 edge packing", "port numbering", port.rounds, port.run),
+            ("§5 history simulation", "broadcast", broadcast.rounds, broadcast.run),
+            (f"self-stabilising §3 (T={horizon})", "port numbering", ss.rounds, ss),
+        ]:
+            table.add_row(
+                instance=f"cycle{size}",
+                protocol=protocol,
+                model=model,
+                rounds=rounds,
+                messages=res.messages_sent,
+                **{
+                    "total kbits": res.message_bits / 1000,
+                    "peak round kbits": res.max_round_bits / 1000,
+                    "bits / (message)": res.message_bits
+                    / max(1, res.messages_sent),
+                },
+            )
 
     base_bits = table.rows[0]["total kbits"]
     table.add_note(
@@ -104,7 +121,7 @@ def run(n: int = 8) -> ExperimentTable:
 
 
 def main() -> None:
-    print(run().render())
+    print(run(n_workers=3, include_large=True).render())
 
 
 if __name__ == "__main__":

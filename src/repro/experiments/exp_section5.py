@@ -10,6 +10,12 @@ Measures the three things the section claims:
 * **message growth** — rounds are preserved "at the cost of increasing
   message complexity": per-round message bits grow linearly as full
   histories are rebroadcast every round.
+
+All runs go through the batched :func:`repro.simulator.runtime.sweep`
+API (each case carries its own machine, so replay memos stay
+per-instance); pass ``n_workers`` to execute cases on a thread pool,
+and ``include_large`` for the large-n cycle that shows the history
+growth at scale.
 """
 
 from __future__ import annotations
@@ -17,26 +23,45 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.analysis.bounds import bvc_rounds_exact
-from repro.core.fractional_packing import maximal_fractional_packing
-from repro.core.vertex_cover import vertex_cover_broadcast
+from repro.core.fractional_packing import (
+    FractionalPackingMachine,
+    fp_schedule_length,
+)
+from repro.core.vertex_cover import broadcast_vc_from_run, broadcast_vc_job
 from repro.experiments.common import ExperimentTable
 from repro.graphs import families
 from repro.graphs.setcover import vc_to_setcover
 from repro.graphs.weights import unit_weights
+from repro.simulator.runtime import sweep
 
 __all__ = ["run", "main"]
 
 
-def _cases() -> List[Tuple[str, object, List[int]]]:
-    return [
+def _cases(
+    include_large: bool, large_n: int
+) -> List[Tuple[str, object, List[int]]]:
+    cases = [
         ("path4", families.path_graph(4), [1, 3, 2, 1]),
         ("cycle5", families.cycle_graph(5), unit_weights(5)),
         ("cycle6/weighted", families.cycle_graph(6), [2, 1, 2, 1, 2, 1]),
         ("star3", families.star_graph(3), [4, 1, 1, 1]),
     ]
+    if include_large:
+        cases.append(
+            (
+                f"cycle{large_n}/large",
+                families.cycle_graph(large_n),
+                unit_weights(large_n),
+            )
+        )
+    return cases
 
 
-def run() -> ExperimentTable:
+def run(
+    n_workers: Optional[int] = None,
+    include_large: bool = False,
+    large_n: int = 64,
+) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="EXP-S5",
         title="Section 5: broadcast-model VC by simulating the Section 4 machine",
@@ -52,16 +77,52 @@ def run() -> ExperimentTable:
             "growth factor",
         ],
     )
-    for name, g, w in _cases():
-        sim = vertex_cover_broadcast(g, w)
+    cases = _cases(include_large, large_n)
+
+    # One sweep for the Section 5 simulations, one for the direct
+    # Section 4 runs on the bipartite encodings (where f=2, k=Δ is
+    # realised exactly).
+    sim_results = sweep(
+        [broadcast_vc_job(g, w) for _name, g, w in cases],
+        n_workers=n_workers,
+    )
+    direct_insts = []
+    for name, g, w in cases:
+        inst = vc_to_setcover(g, w)
+        direct_insts.append(
+            inst if (inst.f, inst.k) == (2, g.max_degree) else None
+        )
+    direct_jobs = [
+        {
+            "graph": inst.to_bipartite_graph(),
+            "machine": FractionalPackingMachine(),
+            "inputs": inst.node_inputs(),
+            "globals_map": inst.global_params(),
+            "max_rounds": fp_schedule_length(inst.f, inst.k, inst.W),
+        }
+        for inst in direct_insts
+        if inst is not None
+    ]
+    direct_runs = sweep(direct_jobs, n_workers=n_workers)
+    if not all(r.all_halted for r in direct_runs):
+        raise RuntimeError("a direct Section 4 run did not halt")
+    direct_results = iter(direct_runs)
+
+    for i, ((name, g, w), sim_run) in enumerate(zip(cases, sim_results)):
+        sim = broadcast_vc_from_run(g, w, sim_run)
         delta = g.max_degree
         W = max(w)
 
-        inst = vc_to_setcover(g, w)
+        inst = direct_insts[i]
         matches = None
-        if (inst.f, inst.k) == (2, delta):
-            direct = maximal_fractional_packing(inst)
-            matches = sim.cover == direct.saturated_subsets
+        if inst is not None:
+            direct = next(direct_results)
+            direct_cover = frozenset(
+                s
+                for s in range(inst.n_subsets)
+                if direct.outputs[s]["in_cover"]
+            )
+            matches = sim.cover == direct_cover
 
         bits = sim.run.per_round_bits
         table.add_row(
@@ -91,7 +152,7 @@ def run() -> ExperimentTable:
 
 
 def main() -> None:
-    print(run().render())
+    print(run(n_workers=4, include_large=True).render())
 
 
 if __name__ == "__main__":

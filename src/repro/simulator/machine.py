@@ -95,6 +95,22 @@ class Machine:
         The runtime stops when every node has halted.
     ``output(ctx, state) -> Any``
         the node's final (or current) output.
+
+    **Optional quiescence protocol** (a pure optimisation; the
+    reference engine ignores it, which is what makes the equivalence
+    suite meaningful).  A machine may additionally implement
+
+    ``quiescent(ctx, state) -> bool``
+        promise that from ``state`` until the node halts, ``emit``
+        returns ``None`` every round and ``step`` ignores its inbox
+        entirely (the successor depends on the state alone);
+    ``fast_forward(ctx, state, max_elapsed) -> (state', elapsed)``
+        the state after ``elapsed <= max_elapsed`` such no-op rounds,
+        stopping early exactly when the node halts.
+
+    The fast engine uses these to park provably-passive nodes and skip
+    their per-round hook calls; observable results (outputs, rounds,
+    message and bit counts, final states) are identical by contract.
     """
 
     model: str = PORT_NUMBERING

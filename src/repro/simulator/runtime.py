@@ -281,6 +281,19 @@ def _run_fast_port(
     count_msgs = meter.counts_messages
     meter_bits = meter.meters_bits
 
+    # Quiescence fast path (see Machine.quiescent): park nodes whose
+    # remaining execution is provably silent and inbox-independent, and
+    # fast-forward their states once the active loop drains.  Disabled
+    # under observers and fault adversaries, which need (or may
+    # corrupt) true per-round states.
+    quiescent_fn = getattr(machine, "quiescent", None)
+    use_parking = (
+        quiescent_fn is not None
+        and observer is None
+        and adversary is None
+    )
+    parked: List[Tuple[int, int]] = []  # (node, round it was parked after)
+
     rounds = 0
     n_halted = sum(halted)
     messages_sent = 0
@@ -291,7 +304,7 @@ def _run_fast_port(
     # silent round needs no writes at all (inboxes start out all-None).
     silent = bytearray([1]) * n
 
-    while rounds < max_rounds and n_halted < n:
+    while rounds < max_rounds and n_halted + len(parked) < n:
         if adversary is not None and adversary.is_active(rounds):
             prev = states
             # Hand corrupt() a copy: an adversary that assigns into the
@@ -357,10 +370,15 @@ def _run_fast_port(
                 halted[v] = True
                 n_halted += 1
                 just_halted.append(v)
+            elif use_parking and silent[v] and quiescent_fn(ctxs[v], st):
+                # Only silent nodes can be quiescent (quiescence implies
+                # emitting None), so the check is skipped for talkers.
+                parked.append((v, rounds + 1))
+                just_halted.append(v)  # silence its slots like a halted node
             else:
                 next_live.append(v)
-        # Silence newly halted nodes only after every step has read its
-        # inbox — their final-round messages were still deliverable.
+        # Silence newly halted/parked nodes only after every step has
+        # read its inbox — their final-round messages were deliverable.
         for v in just_halted:
             for dst, q in scatter[v]:
                 dst[q] = None
@@ -372,6 +390,21 @@ def _run_fast_port(
             per_round_bits.append(round_bits)
         if observer is not None:
             observer(rounds, states, outboxes)
+
+    # Fast-forward parked nodes to where the plain loop would have left
+    # them.  A parked node is silent and ignores its inbox, so only its
+    # round count matters; the global round count is the max over all
+    # nodes, and silent rounds contribute zero messages and bits.
+    for v, parked_at in parked:
+        st, used = machine.fast_forward(ctxs[v], states[v], max_rounds - parked_at)
+        states[v] = st
+        if halted_fn(ctxs[v], st):
+            n_halted += 1
+        if parked_at + used > rounds:
+            rounds = parked_at + used
+    if meter_bits and len(per_round_bits) < rounds:
+        per_round_bits.extend([0] * (rounds - len(per_round_bits)))
+        # (silent tail rounds: no messages, no bits)
 
     outputs = [machine.output(ctxs[v], states[v]) for v in range(n)]
     return RunResult(
@@ -665,7 +698,7 @@ def run_many(
 
 def sweep(
     instances: Iterable[Any],
-    machine: Machine,
+    machine: Optional[Machine] = None,
     n_workers: Optional[int] = None,
     **kwargs: Any,
 ) -> List[RunResult]:
@@ -676,17 +709,33 @@ def sweep(
     contain ``"graph"``), or a set-cover instance (anything with a
     ``to_bipartite_graph`` method — routed via :func:`run_on_setcover`).
     Extra ``kwargs`` are forwarded to every run; per-instance mappings
-    override them, including a per-instance ``"machine"``.
+    override them, including a per-instance ``"machine"`` — when every
+    instance brings its own machine, the ``machine`` argument may be
+    omitted entirely.
     """
+
+    def need_machine(inst: Any) -> Machine:
+        if machine is None:
+            raise TypeError(
+                f"sweep instance {inst!r:.60} provides no 'machine' and "
+                f"no default machine was given"
+            )
+        return machine
 
     def one(inst: Any) -> RunResult:
         if hasattr(inst, "to_bipartite_graph"):
-            return run_on_setcover(inst, machine, **kwargs)
+            return run_on_setcover(inst, need_machine(inst), **kwargs)
         if isinstance(inst, PortNumberedGraph):
-            return run(inst, machine, **kwargs)
+            return run(inst, need_machine(inst), **kwargs)
         if isinstance(inst, Mapping):
             merged: Dict[str, Any] = {**kwargs, **inst}
-            return run(machine=merged.pop("machine", machine), **merged)
+            m = merged.pop("machine", machine)
+            if m is None:
+                raise TypeError(
+                    "sweep mapping instance has no 'machine' and no "
+                    "default machine was given"
+                )
+            return run(machine=m, **merged)
         try:
             graph, inputs = inst
         except (TypeError, ValueError):
@@ -695,7 +744,7 @@ def sweep(
                 f"a mapping of run() kwargs, or a set-cover instance; "
                 f"got {inst!r:.80}"
             ) from None
-        return run(graph, machine, inputs=inputs, **kwargs)
+        return run(graph, need_machine(inst), inputs=inputs, **kwargs)
 
     return map_jobs(one, list(instances), n_workers)
 

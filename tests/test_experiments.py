@@ -138,6 +138,23 @@ class TestSection5Experiment:
         assert all(m in (True, None) for m in t.column("cover == direct run"))
         assert all(g > 10 for g in t.column("growth factor"))
 
+    def test_sweep_workers_and_large_case(self):
+        """The sweep port: thread-pooled execution and the large-n case
+        (shrunk to keep the smoke test fast) match the serial run."""
+        from repro.experiments.exp_section5 import run
+
+        serial = run()
+        pooled = run(n_workers=3, include_large=True, large_n=16)
+        assert len(pooled.rows) == len(serial.rows) + 1
+        for a, b in zip(serial.rows, pooled.rows):
+            assert a == b
+        large = pooled.rows[-1]
+        assert large["instance"] == "cycle16/large"
+        assert large["cover valid"]
+        # same Δ/W as cycle5 -> identical round count at any n
+        assert large["rounds measured"] == pooled.rows[1]["rounds measured"]
+        assert large["growth factor"] > 10
+
 
 class TestSymmetryExperiment:
     def test_invariance_fast_subset(self):
@@ -202,3 +219,21 @@ class TestMessagesExperiment:
         assert bits[2] > bits[0]
         rounds = t.column("rounds")
         assert rounds[0] == rounds[2]  # selfstab window == schedule length
+
+    def test_sweep_workers_and_large_case(self):
+        """Thread-pooled sweep matches serial, and the large-n rows
+        (shrunk for the smoke test) show the same trade-off ordering."""
+        from repro.experiments.exp_messages import run
+
+        serial = run(n=6)
+        pooled = run(n=6, n_workers=3, include_large=True, large_n=12)
+        assert len(pooled.rows) == 6
+        for a, b in zip(serial.rows, pooled.rows[:3]):
+            assert a == b
+        large = pooled.rows[3:]
+        assert {r["instance"] for r in large} == {"cycle12"}
+        assert large[1]["total kbits"] > large[0]["total kbits"]
+        assert large[2]["total kbits"] > large[0]["total kbits"]
+        # per-node message load of §5 grows with history length, not n:
+        # rounds are identical across sizes at equal Δ, W
+        assert large[1]["rounds"] == pooled.rows[1]["rounds"]

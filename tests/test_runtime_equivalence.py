@@ -17,16 +17,28 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.core.broadcast_vc import BroadcastVertexCoverMachine, bvc_round_count
 from repro.core.edge_packing import EdgePackingMachine, schedule_length
 from repro.core.fractional_packing import FractionalPackingMachine
 from repro.graphs import families
-from repro.graphs.setcover import random_instance
+from repro.graphs.setcover import random_instance, vc_to_setcover
 from repro.graphs.topology import PortNumberedGraph
 from repro.graphs.weights import uniform_weights
 from repro.simulator.faults import RandomStateCorruption, TargetedCorruption
 from repro.simulator.machine import BROADCAST, PORT_NUMBERING, Machine
-from repro.simulator.runtime import Metering, run, run_reference
+from repro.simulator.runtime import (
+    Metering,
+    run,
+    run_on_setcover,
+    run_reference,
+)
 from repro.selfstab.transformer import SelfStabilisingMachine
+
+# Every equivalence case involving the paper's machines runs in both
+# arithmetic modes: the fast engine's parking/quiescence shortcuts and
+# the scaled-integer fast path must each be invisible next to the
+# reference engine.
+ARITHMETIC_MODES = ("scaled", "fraction")
 
 
 def assert_equivalent(graph, machine, seeds=(None,), **kwargs):
@@ -67,10 +79,11 @@ def random_weighted_graph(seed: int, max_n: int = 14):
 # ----------------------------------------------------------------------
 
 
+@pytest.mark.parametrize("arithmetic", ARITHMETIC_MODES)
 @pytest.mark.parametrize("seed", range(10))
-def test_edge_packing_equivalence(seed):
+def test_edge_packing_equivalence(seed, arithmetic):
     g, weights, W = random_weighted_graph(seed)
-    machine = EdgePackingMachine()
+    machine = EdgePackingMachine(arithmetic=arithmetic)
     assert_equivalent(
         g,
         machine,
@@ -80,8 +93,9 @@ def test_edge_packing_equivalence(seed):
     )
 
 
+@pytest.mark.parametrize("arithmetic", ARITHMETIC_MODES)
 @pytest.mark.parametrize("seed", range(10))
-def test_fractional_packing_equivalence(seed):
+def test_fractional_packing_equivalence(seed, arithmetic):
     rng = random.Random(f"equiv-sc:{seed}")
     n_subsets = rng.randint(1, 6)
     k = rng.randint(2, 4)
@@ -93,13 +107,85 @@ def test_fractional_packing_equivalence(seed):
         W=rng.choice([1, 4, 8]),
         seed=seed,
     )
-    machine = FractionalPackingMachine()
+    machine = FractionalPackingMachine(arithmetic=arithmetic)
     assert_equivalent(
         inst.to_bipartite_graph(),
         machine,
         inputs=inst.node_inputs(),
         globals_map=inst.global_params(),
     )
+
+
+_BVC_CASES = [
+    # (graph factory, weights) — kept at Δ <= 3, W <= 4: the history
+    # machine's round count explodes in Δ·W, and the reference engine
+    # replays it all; these stay pinned without dominating the suite.
+    (lambda: families.path_graph(4), [1, 3, 2, 1]),
+    (lambda: families.cycle_graph(5), [1, 1, 1, 1, 1]),
+    (lambda: families.star_graph(3), [4, 1, 2, 1]),
+    (lambda: families.gnp_random(5, 0.45, seed=2), [2, 1, 2, 1, 2]),
+]
+
+
+@pytest.mark.parametrize("arithmetic", ARITHMETIC_MODES)
+@pytest.mark.parametrize("case", range(len(_BVC_CASES)))
+def test_broadcast_vc_equivalence(case, arithmetic):
+    """The Section 5 history machine (the heaviest replay path) must be
+    engine-equivalent too — fresh machine per engine, since its replay
+    memo is per-instance state."""
+    make_graph, weights = _BVC_CASES[case]
+    g = make_graph()
+    W = max(weights)
+    kwargs = dict(
+        inputs=weights,
+        globals_map={"delta": g.max_degree, "W": W},
+        max_rounds=bvc_round_count(g.max_degree, W),
+    )
+    fast = run(g, BroadcastVertexCoverMachine(arithmetic=arithmetic), **kwargs)
+    ref = run_reference(
+        g, BroadcastVertexCoverMachine(arithmetic=arithmetic), **kwargs
+    )
+    assert fast.outputs == ref.outputs
+    assert fast.rounds == ref.rounds
+    assert fast.all_halted == ref.all_halted
+    assert fast.messages_sent == ref.messages_sent
+    assert fast.message_bits == ref.message_bits
+    assert fast.per_round_bits == ref.per_round_bits
+
+
+@pytest.mark.parametrize("arithmetic", ARITHMETIC_MODES)
+@pytest.mark.parametrize("seed", range(4))
+def test_setcover_flow_equivalence(seed, arithmetic):
+    """The set-cover entry point (run_on_setcover wiring) against a
+    hand-wired reference run on the same bipartite layout."""
+    rng = random.Random(f"equiv-scflow:{seed}")
+    if seed % 2:
+        inst = random_instance(
+            n_subsets=rng.randint(2, 5),
+            n_elements=rng.randint(2, 6),
+            k=3,
+            f=2,
+            W=rng.choice([2, 5]),
+            seed=seed,
+        )
+    else:
+        # the paper's VC-as-set-cover encoding (f=2, k=Δ)
+        g = families.cycle_graph(rng.randint(3, 6))
+        inst = vc_to_setcover(g, [rng.randint(1, 4) for _ in range(g.n)])
+    machine = FractionalPackingMachine(arithmetic=arithmetic)
+    fast = run_on_setcover(inst, machine)
+    ref = run_reference(
+        inst.to_bipartite_graph(),
+        machine,
+        inputs=inst.node_inputs(),
+        globals_map=inst.global_params(),
+    )
+    assert fast.outputs == ref.outputs
+    assert fast.rounds == ref.rounds
+    assert fast.messages_sent == ref.messages_sent
+    assert fast.message_bits == ref.message_bits
+    assert fast.per_round_bits == ref.per_round_bits
+    assert fast.states == ref.states
 
 
 @pytest.mark.parametrize("mode", [Metering.BITS, Metering.COUNTS, Metering.NONE])

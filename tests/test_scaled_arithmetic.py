@@ -1,0 +1,290 @@
+"""Differential harness: scaled-integer fast path ≡ Fraction arithmetic.
+
+The machines' ``arithmetic="scaled"`` mode rewrites their hot
+transition paths onto :class:`repro._util.rationals.ScaledInt` —
+fixed/bounded-denominator integers justified by Lemma 2 (edge packing)
+and the Section 4.4 denominator-control argument (fractional packing).
+This suite is the contract that the rewrite is *observably invisible*:
+on randomised weighted instances — including adversarial weights with
+maximal denominators and every Δ ∈ {1..6} — the scaled and Fraction
+runs must produce identical covers, packings, colour sequences and
+metered bit counts, message for message and round for round.
+
+Instance counts are tracked explicitly: the suite executes well over
+200 randomised differential instances.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro._util.rationals import ScaledInt
+from repro.core.colours import encode_colour_sequence
+from repro.core.edge_packing import maximal_edge_packing
+from repro.core.fractional_packing import maximal_fractional_packing
+from repro.core.vertex_cover import vertex_cover_broadcast
+from repro.graphs import families
+from repro.graphs.setcover import random_instance
+from repro.graphs.topology import PortNumberedGraph
+
+# A pool of primes for adversarial weights: pairwise-coprime weights
+# maximise the denominators that Phase I offers can reach.
+PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61]
+
+
+# ----------------------------------------------------------------------
+# ScaledInt value-type properties (randomised, against Fraction)
+# ----------------------------------------------------------------------
+
+
+class TestScaledIntProperties:
+    def frac(self, s):
+        return s.as_fraction() if type(s) is ScaledInt else Fraction(s)
+
+    def random_pair(self, rng, den):
+        num = rng.randint(-den * 8, den * 8)
+        s = ScaledInt(num, den, den * den)
+        return s, Fraction(num, den)
+
+    def test_ops_match_fraction_semantics(self):
+        rng = random.Random("scaledint-ops")
+        for _ in range(300):
+            den_a = rng.choice([1, 6, 24, 36, 331776])
+            den_b = rng.choice([den_a, den_a, 6, 24])  # bias to shared dens
+            a, fa = self.random_pair(rng, den_a)
+            b, fb = self.random_pair(rng, den_b)
+            assert self.frac(a + b) == fa + fb
+            assert self.frac(a - b) == fa - fb
+            assert (a == b) == (fa == fb)
+            assert (a < b) == (fa < fb)
+            assert (a <= b) == (fa <= fb)
+            assert (a > b) == (fa > fb)
+            assert self.frac(min(a, b)) == min(fa, fb)
+            assert self.frac(-a) == -fa
+            assert self.frac(abs(a)) == abs(fa)
+            assert bool(a) == bool(fa)
+            n = rng.randint(1, 9)
+            assert self.frac(a * n) == fa * n
+            assert self.frac(a / n) == fa / n
+            # mixing with ints and Fractions
+            assert self.frac(a + n) == fa + n
+            assert self.frac(n - a) == n - fa
+            assert self.frac(a + fb) == fa + fb
+            assert a == fa and fa == self.frac(a)
+            assert hash(a) == hash(fa)
+
+    def test_fraction_round_trip(self):
+        rng = random.Random("scaledint-roundtrip")
+        for _ in range(100):
+            den = rng.choice([1, 2, 6, 24, 720, 331776])
+            num = rng.randint(-den * 4, den * 4)
+            s = ScaledInt.of(Fraction(num, den), den)
+            assert s.as_fraction() == Fraction(num, den)
+            assert s.numerator == Fraction(num, den).numerator
+            assert s.denominator == Fraction(num, den).denominator
+        with pytest.raises(ValueError):
+            ScaledInt.of(Fraction(1, 7), 24)  # 1/7 not on the 1/24 grid
+        with pytest.raises(ValueError):
+            ScaledInt.of(1, 0)
+        with pytest.raises(TypeError):
+            ScaledInt.of(True, 6)
+
+    def test_div_exact_asserts_grid(self):
+        s = ScaledInt(6, 24)
+        assert s.div_exact(3).as_fraction() == Fraction(2, 24)
+        with pytest.raises(AssertionError):
+            ScaledInt(7, 24).div_exact(3)
+
+    def test_denominator_limit_falls_back_to_exact_fraction(self):
+        s = ScaledInt(5, 6, limit=12)
+        out = s / 7  # 5/42: denominator exceeds the limit
+        assert type(out) is Fraction and out == Fraction(5, 42)
+        t = ScaledInt(1, 4, limit=12) + ScaledInt(1, 5, limit=12)
+        assert type(t) is Fraction and t == Fraction(9, 20)
+        # within the limit the representation is preserved
+        u = ScaledInt(1, 4, limit=12) + ScaledInt(1, 6, limit=12)
+        assert type(u) is ScaledInt and u == Fraction(5, 12)
+
+    def test_division_cases(self):
+        assert (ScaledInt(6, 4) / 3) == Fraction(1, 2)
+        assert (ScaledInt(5, 4) / -2) == Fraction(-5, 8)
+        with pytest.raises(ZeroDivisionError):
+            ScaledInt(1, 2) / 0
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        s = ScaledInt(7, 24, 576)
+        t = pickle.loads(pickle.dumps(s))
+        assert t == s and t.den == 24 and t.limit == 576
+
+
+# ----------------------------------------------------------------------
+# Differential runs
+# ----------------------------------------------------------------------
+
+# Executed-instance bookkeeping, checked by test_zz_instance_count.
+_INSTANCES = {"edge": 0, "fractional": 0, "broadcast": 0}
+
+
+def assert_edge_packing_differential(graph, weights):
+    _INSTANCES["edge"] += 1
+    a = maximal_edge_packing(graph, weights, arithmetic="scaled")
+    b = maximal_edge_packing(graph, weights, arithmetic="fraction")
+    # covers and packings
+    assert a.saturated == b.saturated
+    assert a.y == b.y
+    assert all(type(v) is Fraction for v in a.y.values())
+    assert a.rounds == b.rounds
+    # outputs (colour ints included) and final states, field for field —
+    # ScaledInt compares equal to the Fraction it stands for, so state
+    # equality across modes is meaningful
+    assert a.run.outputs == b.run.outputs
+    assert a.run.states == b.run.states
+    # metering, bit for bit
+    assert a.run.messages_sent == b.run.messages_sent
+    assert a.run.message_bits == b.run.message_bits
+    assert a.run.per_round_bits == b.run.per_round_bits
+    # colour sequences element for element, and their encodings
+    delta = graph.max_degree
+    W = max(weights) if weights else 1
+    for v in graph.nodes():
+        sa, sb = a.run.states[v], b.run.states[v]
+        assert tuple(sa.own_seq) == tuple(sb.own_seq)
+        assert sa.colour_int == sb.colour_int
+        assert sa.colour_int == encode_colour_sequence(sa.own_seq, delta, W)
+    return a, b
+
+
+def random_weighted_graph(rng, max_n=11):
+    n = rng.randint(2, max_n)
+    density = rng.choice([0.25, 0.4, 0.6, 0.85])
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < density
+    ]
+    g = PortNumberedGraph.from_edges(n, edges)
+    W = rng.choice([1, 3, 8, 16, 61])
+    weights = [rng.randint(1, W) for _ in range(n)]
+    return g, weights
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_edge_packing_differential_random(seed):
+    """7 random instances per seed: 140 differential edge-packing runs."""
+    rng = random.Random(f"diff-ep:{seed}")
+    for _ in range(7):
+        g, w = random_weighted_graph(rng)
+        assert_edge_packing_differential(g, w)
+
+
+@pytest.mark.parametrize("delta", [1, 2, 3, 4, 5, 6])
+def test_edge_packing_differential_regular_delta(delta):
+    """Δ ∈ {1..6} on Δ-regular instances (the full digit-mode range)."""
+    rng = random.Random(f"diff-reg:{delta}")
+    for seed in range(4):
+        n = rng.choice([x for x in range(delta + 1, 13) if x * delta % 2 == 0])
+        g = families.random_regular(delta, n, seed=seed)
+        W = rng.choice([2, 9, 31])
+        w = [rng.randint(1, W) for _ in range(g.n)]
+        assert_edge_packing_differential(g, w)
+
+
+@pytest.mark.parametrize("delta", [1, 2, 3, 4, 5, 6])
+def test_edge_packing_adversarial_denominators(delta):
+    """Pairwise-coprime (prime) weights: the offers' denominators reach
+    deep into the (Δ!)^Δ grid — the worst case Lemma 2 allows."""
+    rng = random.Random(f"diff-adv:{delta}")
+    for trial in range(3):
+        # complete graph K_{Δ+1} realises max degree Δ with every edge
+        # active as long as possible
+        g = families.complete_graph(delta + 1)
+        w = rng.sample(PRIMES, g.n)
+        assert_edge_packing_differential(g, w)
+        # star with prime weights: one division per round at the centre
+        g2 = families.star_graph(delta) if delta >= 1 else g
+        w2 = rng.sample(PRIMES, g2.n)
+        assert_edge_packing_differential(g2, w2)
+
+
+def test_edge_packing_differential_beyond_digit_mode():
+    """Δ large enough that (Δ!)^Δ leaves the machine-word grid: the
+    scaled mode must fall back (exactly) and still match bit for bit."""
+    rng = random.Random("diff-big")
+    for seed in range(3):
+        g = families.complete_graph(9)  # Δ = 8: radix far beyond 64 bits
+        w = rng.sample(PRIMES, g.n)
+        assert_edge_packing_differential(g, w)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fractional_packing_differential(seed):
+    """4 random set-cover instances per seed: 48 differential runs."""
+    rng = random.Random(f"diff-fp:{seed}")
+    for _ in range(4):
+        n_subsets = rng.randint(1, 6)
+        k = rng.randint(2, 4)
+        inst = random_instance(
+            n_subsets=n_subsets,
+            n_elements=rng.randint(1, min(6, n_subsets * k)),
+            k=k,
+            f=rng.randint(2, 3),
+            W=rng.choice([1, 4, 8, 31]),
+            seed=rng.randint(0, 10_000),
+        )
+        _INSTANCES["fractional"] += 1
+        a = maximal_fractional_packing(inst, arithmetic="scaled")
+        b = maximal_fractional_packing(inst, arithmetic="fraction")
+        assert a.y == b.y
+        assert all(type(v) is Fraction for v in a.y)
+        assert a.saturated_subsets == b.saturated_subsets
+        assert a.rounds == b.rounds
+        assert a.run.outputs == b.run.outputs
+        assert a.run.messages_sent == b.run.messages_sent
+        assert a.run.message_bits == b.run.message_bits
+        assert a.run.per_round_bits == b.run.per_round_bits
+        # element colours are part of the outputs; check explicitly too
+        n_s = inst.n_subsets
+        for u in range(inst.n_elements):
+            assert (
+                a.run.outputs[n_s + u]["colour"]
+                == b.run.outputs[n_s + u]["colour"]
+            )
+
+
+@pytest.mark.parametrize(
+    "make_graph,weights",
+    [
+        (lambda: families.path_graph(4), [1, 3, 2, 1]),
+        (lambda: families.cycle_graph(5), [2, 3, 5, 7, 11]),
+        (lambda: families.star_graph(3), [13, 1, 2, 3]),
+    ],
+)
+def test_broadcast_vc_differential(make_graph, weights):
+    """The Section 5 simulation inherits the mode through the inner
+    machine and its element replays."""
+    _INSTANCES["broadcast"] += 1
+    g = make_graph()
+    a = vertex_cover_broadcast(g, weights, arithmetic="scaled")
+    b = vertex_cover_broadcast(g, weights, arithmetic="fraction")
+    assert a.cover == b.cover
+    assert a.packing_value == b.packing_value
+    assert a.rounds == b.rounds
+    assert a.run.outputs == b.run.outputs
+    assert a.run.messages_sent == b.run.messages_sent
+    assert a.run.message_bits == b.run.message_bits
+    assert a.run.per_round_bits == b.run.per_round_bits
+
+
+def test_zz_instance_count():
+    """The ISSUE's floor: at least 200 randomised differential instances.
+
+    (Named zz… so it runs after the parametrised tests in file order.)
+    """
+    total = sum(_INSTANCES.values())
+    assert total >= 200, _INSTANCES
