@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Sweep-backend scaling benchmark: serial vs thread vs process pools.
+
+Times the large-n ``exp_scaling`` workload (the §3 edge-packing and §4
+fractional-packing jobs the Section 5 experiments replay; each (n,
+protocol) pair is one independent, picklable sweep instance) through
+``sweep(...)`` on every backend, verifies the results are field-for-
+field identical, and records the measurement in the ``sweep_scaling``
+section of ``BENCH_perf.json``:
+
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py \\
+        --n 10000 --copies 8 --workers 4 --update
+
+The section is informational (host-dependent scaling), so
+``compare.py check`` does not gate on it; the equivalence assertions
+here are the hard part of the contract and run on any host.  The
+process-backend *speedup* depends on physical cores: with ``--workers
+4`` on a >=4-core host the process backend is expected >=2x faster
+than the thread backend on this workload (the GIL serialises the
+thread pool; processes do not share it).  On a single-core host both
+pools degrade to roughly serial wall clock — the recorded
+``host.cpu_count`` says which regime a measurement came from.
+
+This script is not part of the pytest-benchmark baseline
+(``bench_perf.py``); it is a standalone harness because it compares
+*backends against each other* rather than a hot path against history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.exp_scaling import _jobs_for  # noqa: E402
+from repro.simulator.runtime import sweep  # noqa: E402
+
+BASELINE = Path(__file__).with_name("BENCH_perf.json")
+
+
+def build_jobs(n: int, copies: int):
+    """``copies`` independent instances of the large-n workload.
+
+    Instances must be independent objects (no shared graphs) so the
+    pickling cost the process backend pays is the honest per-instance
+    cost, not an aliasing artefact.
+    """
+    jobs = []
+    for _ in range(copies // 2 + copies % 2):
+        jobs.extend(job for _label, job in _jobs_for(n))
+    return jobs[:copies]
+
+
+def time_backend(jobs, n_workers, backend, repeats):
+    """Best-of-``repeats`` wall clock; returns (seconds, results)."""
+    best, results = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = sweep(jobs, n_workers=n_workers, backend=backend)
+        best = min(best, time.perf_counter() - t0)
+        results = out
+    return best, results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=10_000,
+                        help="cycle size per instance (default 10000)")
+    parser.add_argument("--copies", type=int, default=8,
+                        help="independent sweep instances (default 8)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per backend (default 3)")
+    parser.add_argument("--update", action="store_true",
+                        help="write the sweep_scaling section of BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    jobs = build_jobs(args.n, args.copies)
+    print(f"{len(jobs)} instances of the n={args.n} exp_scaling workload, "
+          f"{args.workers} workers, best of {args.repeats}")
+
+    serial_s, serial = time_backend(jobs, None, None, args.repeats)
+    thread_s, threaded = time_backend(jobs, args.workers, "thread", args.repeats)
+    # First process call pays warm-up (fork + import); time it
+    # separately so the steady-state number reflects the warm pool.
+    t0 = time.perf_counter()
+    warm = sweep(jobs, n_workers=args.workers, backend="process")
+    cold_s = time.perf_counter() - t0
+    process_s, pooled = time_backend(jobs, args.workers, "process", args.repeats)
+
+    identical = serial == threaded == pooled == warm
+    if not identical:
+        print("FATAL: backends disagree — determinism contract broken",
+              file=sys.stderr)
+        return 1
+
+    record = {
+        "workload": f"exp_scaling jobs, cycle n={args.n}, "
+                    f"{len(jobs)} instances",
+        "workers": args.workers,
+        "serial_s": round(serial_s, 4),
+        "thread_s": round(thread_s, 4),
+        "process_cold_s": round(cold_s, 4),
+        "process_warm_s": round(process_s, 4),
+        "process_vs_thread_speedup": round(thread_s / process_s, 2),
+        "process_vs_serial_speedup": round(serial_s / process_s, 2),
+        "results_bit_identical_across_backends": True,
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+        },
+    }
+    print(json.dumps(record, indent=2))
+
+    if record["host"]["cpu_count"] >= 4:
+        # Only meaningful with real cores to spread over.
+        assert record["process_vs_thread_speedup"] >= 2.0, (
+            "process backend should be >=2x the thread backend at "
+            f"{args.workers} workers on a {record['host']['cpu_count']}-core host"
+        )
+        print("speedup gate (>=2x vs threads): PASS")
+    else:
+        print(f"speedup gate skipped: {record['host']['cpu_count']} core(s) "
+              "cannot demonstrate multi-core scaling")
+
+    if args.update:
+        baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+        baseline["sweep_scaling"] = record
+        BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"wrote sweep_scaling section -> {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,29 +1,143 @@
-"""Order-preserving serial/thread-pooled mapping.
+"""Order-preserving serial/thread/process-pooled mapping.
 
 The shared seam under the batched execution APIs
 (:func:`repro.simulator.runtime.run_many` / ``sweep``) and the
 experiment drivers' :func:`repro.experiments.common.parallel_map`.
 ``n_workers`` of ``None``/``0``/``1`` runs serially (no pool overhead,
-fully deterministic scheduling).  Threads share the GIL, so
-pure-Python workloads gain mostly when they block or on free-threaded
-builds; the API seam is what matters — callers amortise setup across
-jobs and can flip on workers without restructuring.
+fully deterministic scheduling).  With workers, ``backend`` picks the
+executor:
+
+``"thread"`` (the default)
+    a :class:`~concurrent.futures.ThreadPoolExecutor`.  Threads share
+    the GIL, so pure-Python workloads gain mostly when they block or
+    on free-threaded builds; no pickling is required, so any callable
+    (closures, lambdas) and any job values work.
+``"process"``
+    a :class:`~concurrent.futures.ProcessPoolExecutor`.  True
+    multi-core parallelism for the CPU-bound simulation kernels, at
+    the price of pickling: the callable must be a module-level
+    function (or a :func:`functools.partial` of one) and jobs/results
+    must round-trip through :mod:`pickle`.  Machines, graphs and
+    :class:`~repro.simulator.runtime.RunResult` all do — pinned by
+    ``tests/test_parallel_backends.py``.
+``"auto"``
+    ``"process"`` when the callable and first job pickle, else
+    ``"thread"``.  A safe default for callers that cannot know what
+    they are handed.
+
+Process pools are *warm*: one pool per distinct worker count is kept
+alive for the life of the interpreter (shut down atexit), so a whole
+experiment table of ``sweep`` calls amortises a single pool start-up.
+Jobs are chunked (``chunksize``, default ``len(jobs)/(4·workers)``,
+at least 1) so per-task IPC is amortised across a chunk of instances.
+
+Results are always returned in job order, and — because every backend
+runs the *same* per-job callable — are bit-for-bit identical across
+``backend`` choices for deterministic workloads (pinned by
+``tests/test_parallel_backends.py``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+import atexit
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-__all__ = ["map_jobs"]
+__all__ = ["BACKENDS", "map_jobs", "resolve_backend", "shutdown_pools"]
+
+#: Accepted ``backend=`` values (``None`` means ``"thread"``).
+BACKENDS = ("thread", "process", "auto")
+
+# Warm process pools, one per worker count; kept for the interpreter's
+# lifetime so repeated map_jobs calls (a whole experiment table) pay
+# pool start-up once.  Threads pools are cheap and stay per-call.
+_PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def shutdown_pools() -> None:
+    """Shut down every warm process pool (idempotent; runs atexit)."""
+    while _PROCESS_POOLS:
+        _, pool = _PROCESS_POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def _process_pool(n_workers: int) -> ProcessPoolExecutor:
+    pool = _PROCESS_POOLS.get(n_workers)
+    if pool is None:
+        pool = _PROCESS_POOLS[n_workers] = ProcessPoolExecutor(
+            max_workers=n_workers
+        )
+    return pool
+
+
+def _picklable(*objs: Any) -> bool:
+    try:
+        for obj in objs:
+            pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def resolve_backend(
+    backend: Optional[str], fn: Callable[[Any], Any], jobs: Sequence[Any]
+) -> str:
+    """Resolve a ``backend=`` argument to ``"thread"`` or ``"process"``.
+
+    ``None`` keeps the historical thread default; ``"auto"`` probes
+    whether ``fn`` and the first job pickle and falls back to threads
+    when they do not (closures, open handles, ...).
+    """
+    if backend is None:
+        return "thread"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS} or None"
+        )
+    if backend == "auto":
+        probe = (fn, jobs[0]) if jobs else (fn,)
+        return "process" if _picklable(*probe) else "thread"
+    return backend
 
 
 def map_jobs(
-    fn: Callable[[Any], Any], jobs: Sequence[Any], n_workers: Optional[int]
+    fn: Callable[[Any], Any],
+    jobs: Sequence[Any],
+    n_workers: Optional[int],
+    backend: Optional[str] = None,
+    chunksize: Optional[int] = None,
 ) -> List[Any]:
-    """Map ``fn`` over ``jobs``, returning results in job order."""
+    """Map ``fn`` over ``jobs``, returning results in job order.
+
+    ``n_workers`` of ``None``/``0``/``1`` (or a single job) runs
+    serially regardless of ``backend``.  See the module docstring for
+    the backend semantics; ``chunksize`` only affects the process
+    backend (how many jobs ride one IPC round-trip).
+    """
     jobs = list(jobs)
     if n_workers is None or n_workers <= 1 or len(jobs) <= 1:
         return [fn(j) for j in jobs]
-    with ThreadPoolExecutor(max_workers=min(n_workers, len(jobs))) as pool:
-        return list(pool.map(fn, jobs))
+    workers = min(n_workers, len(jobs))
+    if resolve_backend(backend, fn, jobs) == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, jobs))
+    if chunksize is None:
+        chunksize = max(1, len(jobs) // (4 * workers))
+    # Pools are keyed by the *requested* count so a warm 4-worker pool
+    # is never silently used for an n_workers=2 call (that would skew
+    # scaling measurements).
+    pool = _process_pool(n_workers)
+    try:
+        return list(pool.map(fn, jobs, chunksize=chunksize))
+    except BrokenProcessPool:
+        # A dead worker poisons the whole pool; drop it so the next
+        # call starts fresh instead of failing forever.
+        if _PROCESS_POOLS.get(n_workers) is pool:
+            del _PROCESS_POOLS[n_workers]
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise

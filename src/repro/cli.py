@@ -5,10 +5,21 @@ Examples::
     python -m repro.cli vc --family cycle --n 16 --W 8 --algorithm port
     python -m repro.cli vc --family petersen --algorithm broadcast --json
     python -m repro.cli sc --subsets 8 --elements 14 --k 3 --f 2 --W 9
+    python -m repro.cli sweep --family cycle --sizes 64,256,1024 --seeds 3
+    python -m repro.cli sweep --family regular --sizes 10000 \\
+        --workers 4 --backend process --metering none --json
     python -m repro.cli families
 
+``sweep`` runs one instance per (size, seed) pair through the batched
+:func:`repro.simulator.runtime.sweep` API — ``--workers N`` executes
+instances on a pool, ``--backend process`` uses one warm process pool
+for true multi-core parallelism (results are bit-identical to serial),
+and ``--json`` emits one machine-readable record per instance for
+plotting.
+
 (The experiment harness regenerating the paper's tables lives in
-``python -m repro.experiments.cli``.)
+``python -m repro.experiments.cli``; it takes the same
+``--workers``/``--backend``/``--json`` flags.)
 """
 
 from __future__ import annotations
@@ -16,14 +27,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.baselines.exact import exact_min_set_cover, exact_min_vertex_cover
+from repro.core.edge_packing import edge_packing_from_run, edge_packing_job
 from repro.core.set_cover import set_cover_f_approx
-from repro.core.vertex_cover import vertex_cover_2approx, vertex_cover_broadcast
+from repro.core.vertex_cover import (
+    broadcast_vc_from_run,
+    broadcast_vc_job,
+    vertex_cover_2approx,
+    vertex_cover_broadcast,
+)
 from repro.graphs import families
 from repro.graphs.setcover import random_instance
 from repro.graphs.weights import uniform_weights, unit_weights
+from repro.simulator.runtime import sweep
+from repro._util.parallel import BACKENDS
 
 __all__ = ["main"]
 
@@ -60,38 +80,71 @@ def _build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--exact", action="store_true")
     sc.add_argument("--json", action="store_true")
 
+    sw = sub.add_parser(
+        "sweep",
+        help="batched runs over sizes × seeds (multi-core with --backend process)",
+    )
+    sw.add_argument("--family", default="cycle", help="graph family name")
+    sw.add_argument(
+        "--sizes", default="64,256",
+        help="comma-separated size parameters, one batch of instances each",
+    )
+    sw.add_argument("--seeds", type=int, default=1,
+                    help="instances per size (seeds 0..seeds-1)")
+    sw.add_argument("--W", type=int, default=1, help="max weight (1 = unweighted)")
+    sw.add_argument(
+        "--algorithm",
+        choices=["port", "broadcast"],
+        default="port",
+        help="Section 3 (port numbering) or Section 5 (broadcast)",
+    )
+    sw.add_argument(
+        "--metering",
+        choices=["none", "counts", "bits"],
+        default="counts",
+        help="what to measure per run ('none' is fastest)",
+    )
+    sw.add_argument("--workers", type=int, default=None,
+                    help="pool size; omit to run serially")
+    sw.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="pool type for --workers (default: thread)",
+    )
+    sw.add_argument("--json", action="store_true", help="machine-readable output")
+
     sub.add_parser("families", help="list graph family names")
     return parser
 
 
-def _make_graph(args):
-    name = args.family
+def _make_graph(name: str, n: int, seed: int):
     if name in ("petersen", "frucht"):
         return families.make(name)
     if name == "cycle":
-        return families.cycle_graph(args.n)
+        return families.cycle_graph(n)
     if name == "path":
-        return families.path_graph(args.n)
+        return families.path_graph(n)
     if name == "complete":
-        return families.complete_graph(args.n)
+        return families.complete_graph(n)
     if name == "star":
-        return families.star_graph(args.n)
+        return families.star_graph(n)
     if name == "hypercube":
-        return families.hypercube(args.n)
+        return families.hypercube(n)
     if name == "grid":
-        side = max(2, int(args.n ** 0.5))
+        side = max(2, int(n ** 0.5))
         return families.grid_2d(side, side)
     if name == "regular":
-        return families.random_regular(3, args.n, seed=args.seed)
+        return families.random_regular(3, n, seed=seed)
     if name == "gnp":
-        return families.gnp_random(args.n, 0.3, seed=args.seed)
+        return families.gnp_random(n, 0.3, seed=seed)
     if name == "tree":
-        return families.random_tree(args.n, seed=args.seed)
+        return families.random_tree(n, seed=seed)
     raise SystemExit(f"unknown family {name!r}; try `python -m repro.cli families`")
 
 
 def _run_vc(args) -> dict:
-    graph = _make_graph(args)
+    graph = _make_graph(args.family, args.n, args.seed)
     weights = (
         unit_weights(graph.n)
         if args.W <= 1
@@ -146,11 +199,91 @@ def _run_sc(args) -> dict:
     return payload
 
 
+def _run_sweep(args) -> dict:
+    """Batched (size × seed) runs through the sweep API; JSON-friendly."""
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        raise SystemExit(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    if not sizes or args.seeds < 1:
+        raise SystemExit("need at least one size and --seeds >= 1")
+
+    make_job = edge_packing_job if args.algorithm == "port" else broadcast_vc_job
+    cases = []
+    jobs = []
+    for n in sizes:
+        for seed in range(args.seeds):
+            graph = _make_graph(args.family, n, seed)
+            weights = (
+                unit_weights(graph.n)
+                if args.W <= 1
+                else uniform_weights(graph.n, args.W, seed=seed)
+            )
+            cases.append((n, seed, graph, weights))
+            jobs.append(make_job(graph, weights, metering=args.metering))
+
+    started = time.perf_counter()
+    results = sweep(jobs, n_workers=args.workers, backend=args.backend)
+    elapsed = time.perf_counter() - started
+
+    assemble = (
+        edge_packing_from_run if args.algorithm == "port" else broadcast_vc_from_run
+    )
+    records = []
+    for (n, seed, graph, weights), res in zip(cases, results):
+        solved = assemble(graph, weights, res)
+        cover = (
+            solved.saturated if args.algorithm == "port" else solved.cover
+        )
+        records.append(
+            {
+                "size": n,
+                "seed": seed,
+                "n": graph.n,
+                "m": graph.m,
+                "max_degree": graph.max_degree,
+                "rounds": res.rounds,
+                "messages": res.messages_sent,
+                "message_bits": res.message_bits,
+                "cover_weight": sum(weights[v] for v in cover),
+                "packing_value": str(solved.packing_value()
+                                     if callable(getattr(solved, "packing_value", None))
+                                     else solved.packing_value),
+            }
+        )
+    return {
+        "problem": "vertex-cover",
+        "algorithm": args.algorithm,
+        "family": args.family,
+        "metering": args.metering,
+        "workers": args.workers,
+        "backend": (
+            "serial"
+            if not args.workers or args.workers <= 1
+            else args.backend or "thread"
+        ),
+        "wall_seconds": elapsed,
+        "runs": records,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "families":
         for name in sorted(families.FAMILIES):
             print(name)
+        return 0
+    if args.command == "sweep":
+        payload = _run_sweep(args)
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            meta = {k: v for k, v in payload.items() if k != "runs"}
+            print("  ".join(f"{k}={v}" for k, v in meta.items()))
+            cols = list(payload["runs"][0])
+            print(" | ".join(cols))
+            for rec in payload["runs"]:
+                print(" | ".join(str(rec[c]) for c in cols))
         return 0
     payload = _run_vc(args) if args.command == "vc" else _run_sc(args)
     if args.json:

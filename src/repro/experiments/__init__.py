@@ -30,4 +30,5 @@ EXPERIMENT_MODULES = {
     "ablation": "repro.experiments.exp_ablation",
     "messages": "repro.experiments.exp_messages",
     "perf": "repro.experiments.exp_perf",
+    "scaling": "repro.experiments.exp_scaling",
 }

@@ -6,29 +6,49 @@ Usage::
     python -m repro.experiments.cli table1 figure3
     python -m repro.experiments.cli --all
     python -m repro.experiments.cli --all --markdown > results.md
+    python -m repro.experiments.cli scaling --workers 4 --backend process
+    python -m repro.experiments.cli section5 messages --json > results.json
+
+``--workers``/``--backend`` are forwarded to experiments whose ``run``
+accepts them (the batched-sweep ones: section5, messages, scaling, ...)
+— ``--backend process`` executes sweep instances on a warm process
+pool for true multi-core parallelism, with results bit-identical to
+the serial run.  ``--json`` emits every table as a machine-readable
+record (one JSON array over all experiments run) for plotting.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
+import json
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
 from repro.experiments import EXPERIMENT_MODULES
 from repro.experiments.common import ExperimentTable
+from repro._util.parallel import BACKENDS
 
 __all__ = ["main"]
 
 
-def _run_one(name: str) -> List[ExperimentTable]:
+def _run_one(
+    name: str, n_workers: Optional[int], backend: Optional[str]
+) -> List[ExperimentTable]:
     module = importlib.import_module(EXPERIMENT_MODULES[name])
-    result = module.run()
+    kwargs = {}
+    accepted = inspect.signature(module.run).parameters
+    if n_workers is not None and "n_workers" in accepted:
+        kwargs["n_workers"] = n_workers
+    if backend is not None and "backend" in accepted:
+        kwargs["backend"] = backend
+    result = module.run(**kwargs)
     return result if isinstance(result, list) else [result]
 
 
-def main(argv: List[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of Åstrand & Suomela (SPAA 2010).",
@@ -39,6 +59,23 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--markdown", action="store_true", help="emit markdown instead of ASCII"
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON array of table records (machine-readable)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for experiments that sweep (omitted = serial)",
+    )
+    parser.add_argument(
+        "--backend", choices=list(BACKENDS), default=None,
+        help="pool type for --workers (default: thread)",
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.list:
@@ -56,14 +93,24 @@ def main(argv: List[str] | None = None) -> int:
         print(f"known: {sorted(EXPERIMENT_MODULES)}", file=sys.stderr)
         return 2
 
+    records = []
     for name in names:
         started = time.perf_counter()
-        tables = _run_one(name)
+        tables = _run_one(name, args.workers, args.backend)
         elapsed = time.perf_counter() - started
+        if args.json:
+            for table in tables:
+                record = table.to_dict()
+                record["experiment"] = name
+                record["wall_seconds"] = elapsed
+                records.append(record)
+            continue
         for table in tables:
             print(table.to_markdown() if args.markdown else table.render())
             print()
         print(f"({name} completed in {elapsed:.1f}s)\n")
+    if args.json:
+        print(json.dumps(records, indent=2))
     return 0
 
 

@@ -16,18 +16,24 @@ def parallel_map(
     fn: Callable[[Any], Any],
     items: Iterable[Any],
     n_workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[Any]:
     """Order-preserving map over experiment configurations.
 
     The experiment-side face of the batched execution API (see
     :func:`repro.simulator.runtime.run_many` / ``sweep``): drivers map
     a per-configuration kernel over their sweep values and get results
-    in input order, serially by default, on a thread pool when
-    ``n_workers > 1``.  Deterministic results are identical either
-    way; kernels that *time themselves* must run serially, since
-    concurrent kernels contend for the GIL and inflate wall clocks.
+    in input order — serially by default, on a thread pool with
+    ``n_workers > 1``, or on a warm process pool with
+    ``backend="process"`` (the kernel must then be a module-level
+    function and configurations/results must pickle; experiment
+    kernels written as closures should use ``backend="auto"``, which
+    falls back to threads for them).  Deterministic results are
+    identical whatever the backend; kernels that *time themselves*
+    must run serially, since concurrent kernels — threads on the GIL,
+    or processes oversubscribing cores — inflate wall clocks.
     """
-    return map_jobs(fn, list(items), n_workers)
+    return map_jobs(fn, list(items), n_workers, backend=backend)
 
 
 def fmt(value: Any) -> str:
@@ -94,6 +100,33 @@ class ExperimentTable:
         for note in self.notes:
             lines.append(f"  * {note}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable view of the table (for ``--json`` CLIs).
+
+        Cells keep their type when JSON has one (bool/int/float/str/
+        null); Fractions become ``"p/q"`` strings, everything else
+        falls back to ``str``.  Consumers that plot should prefer the
+        numeric columns.
+        """
+
+        def cell(value: Any) -> Any:
+            if value is None or isinstance(value, (bool, int, float, str)):
+                return value
+            if isinstance(value, Fraction):
+                return f"{value.numerator}/{value.denominator}"
+            return str(value)
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [
+                {col: cell(row.get(col)) for col in self.columns if col in row}
+                for row in self.rows
+            ],
+            "notes": list(self.notes),
+        }
 
     def to_markdown(self) -> str:
         lines = [

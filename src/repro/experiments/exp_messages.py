@@ -10,8 +10,11 @@ quantitative.
 
 All three protocol runs go through one batched
 :func:`repro.simulator.runtime.sweep` call (each row carries its own
-machine); pass ``n_workers`` to run them on a thread pool, and
-``include_large`` to repeat the comparison on a large-n cycle.
+machine); pass ``n_workers`` (and ``backend="process"`` for multi-core
+execution) to run them on a pool, and ``include_large`` to repeat the
+comparison on a large-n cycle.  Note the §5 history row dominates the
+wall clock for n ≳ 10³ (the replay loop — see ROADMAP); the §3 row
+alone scales past n = 10⁴ comfortably (see ``exp_scaling``).
 """
 
 from __future__ import annotations
@@ -58,6 +61,7 @@ def run(
     n_workers: Optional[int] = None,
     include_large: bool = False,
     large_n: int = 64,
+    backend: Optional[str] = None,
 ) -> ExperimentTable:
     sizes = [n] + ([large_n] if include_large else [])
     table = ExperimentTable(
@@ -78,7 +82,7 @@ def run(
     jobs: List[Dict[str, Any]] = []
     for size in sizes:
         jobs.extend(_protocol_jobs(size))
-    results = sweep(jobs, n_workers=n_workers)
+    results = sweep(jobs, n_workers=n_workers, backend=backend)
 
     horizon = schedule_length(2, 1)
     for i, size in enumerate(sizes):

@@ -13,9 +13,14 @@ Measures the three things the section claims:
 
 All runs go through the batched :func:`repro.simulator.runtime.sweep`
 API (each case carries its own machine, so replay memos stay
-per-instance); pass ``n_workers`` to execute cases on a thread pool,
-and ``include_large`` for the large-n cycle that shows the history
-growth at scale.
+per-instance); pass ``n_workers`` (and ``backend="process"`` for
+multi-core execution — cases are independent and pickle cleanly) to
+execute cases on a pool, and ``include_large`` for the large-n cycle
+that shows the history growth at scale.  ``large_n`` is unbounded but
+the history-rebroadcast replay loop is the repo's slowest path (see
+ROADMAP); for n ≳ 10³ budget minutes per case, or look at
+``exp_scaling`` for the large-n behaviour of the underlying Section
+3/4 machines past n = 10⁴.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ def run(
     n_workers: Optional[int] = None,
     include_large: bool = False,
     large_n: int = 64,
+    backend: Optional[str] = None,
 ) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="EXP-S5",
@@ -85,6 +91,7 @@ def run(
     sim_results = sweep(
         [broadcast_vc_job(g, w) for _name, g, w in cases],
         n_workers=n_workers,
+        backend=backend,
     )
     direct_insts = []
     for name, g, w in cases:
@@ -103,7 +110,7 @@ def run(
         for inst in direct_insts
         if inst is not None
     ]
-    direct_runs = sweep(direct_jobs, n_workers=n_workers)
+    direct_runs = sweep(direct_jobs, n_workers=n_workers, backend=backend)
     if not all(r.all_halted for r in direct_runs):
         raise RuntimeError("a direct Section 4 run did not halt")
     direct_results = iter(direct_runs)

@@ -32,6 +32,7 @@ def run_n_sweep(
     ns: Optional[List[int]] = None,
     degree: int = 3,
     n_workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ExperimentTable:
     ns = ns or [8, 16, 32, 64]
     table = ExperimentTable(
@@ -46,7 +47,10 @@ def run_n_sweep(
         chk = check_edge_packing(g, unit_weights(n), res.y)
         return n, res, chk
 
-    for n, res, chk in parallel_map(one, ns, n_workers):
+    # ``one`` is a closure, so backend="process" cannot pickle it;
+    # "auto" detects that and keeps threads.  Callers wanting true
+    # multi-core sweeps use exp_scaling, whose jobs are picklable.
+    for n, res, chk in parallel_map(one, ns, n_workers, backend="auto" if backend else None):
         table.add_row(
             n=n,
             **{

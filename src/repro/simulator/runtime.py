@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import partial
 from typing import (
     Any,
     Callable,
@@ -669,6 +670,43 @@ def _deliver_broadcast(
 # ----------------------------------------------------------------------
 
 
+def _check_process_backend(backend: Optional[str], kwargs: Mapping[str, Any]) -> None:
+    """Reject run options whose effects cannot cross a process boundary.
+
+    An ``observer`` works by side effect, and a ``fault_adversary`` may
+    accumulate state during the run (e.g. a corruption log read after
+    it); in a worker process those parent-side effects happen in the
+    child's copy and are silently lost, so the process backend refuses
+    both up front (``"auto"`` would usually fall back to threads anyway
+    — these are typically closures or stateful objects — but a
+    picklable one must not slip through and go quiet).
+    """
+    if backend not in ("process", "auto"):
+        return
+    for option in ("observer", "fault_adversary"):
+        if kwargs.get(option) is not None:
+            raise ValueError(
+                f"{option} side effects do not propagate from worker "
+                f"processes; use backend='thread' (or serial) instead"
+            )
+
+
+def _run_with_seed(
+    seed: Optional[int],
+    *,
+    graph: PortNumberedGraph,
+    machine: Machine,
+    inputs: Optional[Sequence[Any]],
+    globals_map: Optional[Mapping[str, Any]],
+    run_kwargs: Mapping[str, Any],
+) -> RunResult:
+    """Module-level per-seed job body (picklable for backend="process")."""
+    return run(
+        graph, machine, inputs=inputs, globals_map=globals_map,
+        seed=seed, **run_kwargs,
+    )
+
+
 def run_many(
     graph: PortNumberedGraph,
     machine: Machine,
@@ -676,30 +714,76 @@ def run_many(
     inputs: Optional[Sequence[Any]] = None,
     globals_map: Optional[Mapping[str, Any]] = None,
     n_workers: Optional[int] = None,
+    backend: Optional[str] = None,
     **kwargs: Any,
 ) -> List[RunResult]:
     """One :func:`run` per seed on a fixed graph/machine, in seed order.
 
     Amortises context/topology setup across repetitions of a randomised
     experiment.  Extra ``kwargs`` (``max_rounds``, ``metering``, ...)
-    are forwarded to every run.  With ``n_workers > 1`` the runs execute
-    on a thread pool; machine hooks must then be thread-safe (pure
-    machines are).  Results are in the same order as ``seeds``.
+    are forwarded to every run.  With ``n_workers > 1`` the runs
+    execute on a pool chosen by ``backend`` — ``"thread"`` (default;
+    machine hooks must be thread-safe, pure machines are),
+    ``"process"`` (true multi-core parallelism; graph, machine, inputs
+    and results must pickle — every shipped machine does), or
+    ``"auto"`` (process when everything pickles, else thread).  Results
+    are in the same order as ``seeds`` and bit-for-bit independent of
+    the backend.
     """
+    _check_process_backend(backend, kwargs)
+    one = partial(
+        _run_with_seed,
+        graph=graph, machine=machine, inputs=inputs,
+        globals_map=globals_map, run_kwargs=kwargs,
+    )
+    return map_jobs(one, list(seeds), n_workers, backend=backend)
 
-    def one(s: Optional[int]) -> RunResult:
-        return run(
-            graph, machine, inputs=inputs, globals_map=globals_map,
-            seed=s, **kwargs,
-        )
 
-    return map_jobs(one, list(seeds), n_workers)
+def _run_sweep_instance(
+    inst: Any,
+    *,
+    machine: Optional[Machine],
+    run_kwargs: Mapping[str, Any],
+) -> RunResult:
+    """Module-level per-instance job body (picklable for backend="process")."""
+
+    def need_machine() -> Machine:
+        if machine is None:
+            raise TypeError(
+                f"sweep instance {inst!r:.60} provides no 'machine' and "
+                f"no default machine was given"
+            )
+        return machine
+
+    if hasattr(inst, "to_bipartite_graph"):
+        return run_on_setcover(inst, need_machine(), **run_kwargs)
+    if isinstance(inst, PortNumberedGraph):
+        return run(inst, need_machine(), **run_kwargs)
+    if isinstance(inst, Mapping):
+        merged: Dict[str, Any] = {**run_kwargs, **inst}
+        m = merged.pop("machine", machine)
+        if m is None:
+            raise TypeError(
+                "sweep mapping instance has no 'machine' and no "
+                "default machine was given"
+            )
+        return run(machine=m, **merged)
+    try:
+        graph, inputs = inst
+    except (TypeError, ValueError):
+        raise TypeError(
+            f"sweep instance must be a graph, a (graph, inputs) pair, "
+            f"a mapping of run() kwargs, or a set-cover instance; "
+            f"got {inst!r:.80}"
+        ) from None
+    return run(graph, need_machine(), inputs=inputs, **run_kwargs)
 
 
 def sweep(
     instances: Iterable[Any],
     machine: Optional[Machine] = None,
     n_workers: Optional[int] = None,
+    backend: Optional[str] = None,
     **kwargs: Any,
 ) -> List[RunResult]:
     """One :func:`run` per instance, in instance order.
@@ -712,41 +796,24 @@ def sweep(
     override them, including a per-instance ``"machine"`` — when every
     instance brings its own machine, the ``machine`` argument may be
     omitted entirely.
+
+    With ``n_workers > 1`` instances execute on a pool chosen by
+    ``backend``: ``"thread"`` (default), ``"process"`` (multi-core;
+    instances, machines and results must pickle) or ``"auto"``.
+    Results are bit-for-bit independent of the backend; instances are
+    chunked so one warm process pool amortises across a whole
+    experiment table (see :mod:`repro._util.parallel`).
     """
-
-    def need_machine(inst: Any) -> Machine:
-        if machine is None:
-            raise TypeError(
-                f"sweep instance {inst!r:.60} provides no 'machine' and "
-                f"no default machine was given"
-            )
-        return machine
-
-    def one(inst: Any) -> RunResult:
-        if hasattr(inst, "to_bipartite_graph"):
-            return run_on_setcover(inst, need_machine(inst), **kwargs)
-        if isinstance(inst, PortNumberedGraph):
-            return run(inst, need_machine(inst), **kwargs)
+    instances = list(instances)
+    _check_process_backend(backend, kwargs)
+    for inst in instances:
+        # Mapping instances merge into the run() kwargs in the worker,
+        # so they can smuggle the same process-unsafe options past the
+        # kwargs check above.
         if isinstance(inst, Mapping):
-            merged: Dict[str, Any] = {**kwargs, **inst}
-            m = merged.pop("machine", machine)
-            if m is None:
-                raise TypeError(
-                    "sweep mapping instance has no 'machine' and no "
-                    "default machine was given"
-                )
-            return run(machine=m, **merged)
-        try:
-            graph, inputs = inst
-        except (TypeError, ValueError):
-            raise TypeError(
-                f"sweep instance must be a graph, a (graph, inputs) pair, "
-                f"a mapping of run() kwargs, or a set-cover instance; "
-                f"got {inst!r:.80}"
-            ) from None
-        return run(graph, need_machine(inst), inputs=inputs, **kwargs)
-
-    return map_jobs(one, list(instances), n_workers)
+            _check_process_backend(backend, inst)
+    one = partial(_run_sweep_instance, machine=machine, run_kwargs=kwargs)
+    return map_jobs(one, instances, n_workers, backend=backend)
 
 
 # ----------------------------------------------------------------------

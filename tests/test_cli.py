@@ -66,3 +66,45 @@ class TestFamiliesCommand:
         assert main(["families"]) == 0
         out = capsys.readouterr().out
         assert "petersen" in out and "cycle" in out
+
+
+class TestSweepCommand:
+    def test_json_runs_per_size_and_seed(self, capsys):
+        assert main(
+            ["sweep", "--family", "cycle", "--sizes", "8,12", "--seeds", "2",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "vertex-cover"
+        assert len(payload["runs"]) == 4
+        assert {(r["size"], r["seed"]) for r in payload["runs"]} == {
+            (8, 0), (8, 1), (12, 0), (12, 1)
+        }
+        assert all(r["rounds"] == 27 for r in payload["runs"])
+
+    def test_process_backend_matches_serial(self, capsys):
+        argv = ["sweep", "--family", "cycle", "--sizes", "8,10,12", "--json"]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--workers", "2", "--backend", "process"]) == 0
+        pooled = json.loads(capsys.readouterr().out)
+        for a, b in zip(serial["runs"], pooled["runs"]):
+            assert a == b
+        assert pooled["backend"] == "process"
+
+    def test_broadcast_algorithm_and_metering(self, capsys):
+        assert main(
+            ["sweep", "--family", "path", "--sizes", "6", "--algorithm",
+             "broadcast", "--metering", "bits", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["message_bits"] > 0
+
+    def test_text_output(self, capsys):
+        assert main(["sweep", "--family", "cycle", "--sizes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out and "cover_weight" in out
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sizes", "eight"])

@@ -237,3 +237,68 @@ class TestMessagesExperiment:
         # per-node message load of §5 grows with history length, not n:
         # rounds are identical across sizes at equal Δ, W
         assert large[1]["rounds"] == pooled.rows[1]["rounds"]
+
+
+class TestScalingExperiment:
+    def test_rounds_flat_messages_linear(self):
+        from repro.experiments.exp_scaling import run
+
+        t = run(ns=[32, 64])
+        by_proto = {}
+        for row in t.rows:
+            by_proto.setdefault(row["protocol"], []).append(row)
+        assert len(by_proto) == 2
+        for rows in by_proto.values():
+            assert len({r["rounds"] for r in rows}) == 1
+            assert len({r["messages / n"] for r in rows}) == 1
+
+    def test_process_backend_matches_serial(self):
+        from repro.experiments.exp_scaling import run
+
+        serial = run(ns=[24, 48])
+        pooled = run(ns=[24, 48], n_workers=2, backend="process")
+        assert serial.rows == pooled.rows
+
+    def test_figure_data_shape(self, tmp_path):
+        from repro.experiments.exp_scaling import figure_data, run, write_figure
+
+        t = run(ns=[16, 32])
+        fig = figure_data(t)
+        assert set(fig["curves"]) == {
+            "§3 edge packing (G)",
+            "§4 fractional packing (H(G))",
+        }
+        for curve in fig["curves"].values():
+            assert curve["n"] == [16, 32]
+            assert len(curve["rounds"]) == len(curve["messages"]) == 2
+        out = write_figure(t, tmp_path / "fig.json")
+        import json
+
+        assert json.loads(out.read_text())["x_axis"] == "n"
+
+
+class TestCliBackendFlags:
+    def test_workers_and_backend_forwarded(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["scaling", "--workers", "2", "--backend", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-SCALE" in out
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        assert main(["scaling", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["experiment"] == "scaling"
+        assert records[0]["experiment_id"] == "EXP-SCALE"
+        assert records[0]["rows"][0]["rounds"] == 27
+
+    def test_backend_ignored_by_experiments_without_sweeps(self, capsys):
+        from repro.experiments.cli import main
+
+        # figure2 has no n_workers/backend parameters; flags are no-ops
+        assert main(["figure2", "--workers", "2", "--backend", "process"]) == 0
+        assert "EXP-F2" in capsys.readouterr().out

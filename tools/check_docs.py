@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Docs smoke check: README/docs stay executable and current.
+
+What it enforces (CI `docs` job; run locally with
+``python tools/check_docs.py`` from the repo root):
+
+1. every ``python -m repro...`` command in README.md's ``sh`` blocks
+   *parses* against the real argparse parsers (flags that drift out of
+   the CLIs fail here), and the ``python`` block in README.md actually
+   executes;
+2. the ``--help`` texts of both CLIs still advertise the flags the
+   docs promise (``--workers``/``--backend``/``--json``);
+3. every ``repro.*`` module named in the README paper->code map
+   imports;
+4. ``docs/performance.md`` names the real knob values — metering
+   modes and backends are read from the code, not hard-coded here;
+5. a tiny end-to-end CLI sweep runs (serial and process backend) and
+   agrees with itself.
+
+Exit code 0 = docs are honest.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import json
+import re
+import shlex
+import sys
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+FAILURES: list[str] = []
+
+
+def fail(msg: str) -> None:
+    FAILURES.append(msg)
+    print(f"FAIL {msg}")
+
+
+def ok(msg: str) -> None:
+    print(f"ok   {msg}")
+
+
+def fenced_blocks(text: str, language: str) -> list[str]:
+    return re.findall(rf"```{language}\n(.*?)```", text, flags=re.DOTALL)
+
+
+def doc_commands(blocks: list[str]) -> list[list[str]]:
+    """Extract ``python -m repro...`` invocations, merging ``\\`` continuations."""
+    commands = []
+    for block in blocks:
+        merged = block.replace("\\\n", " ")
+        for line in merged.splitlines():
+            line = line.strip()
+            if line.startswith("python -m repro"):
+                commands.append(shlex.split(line))
+    return commands
+
+
+def check_readme_commands(readme: str) -> None:
+    from repro.cli import _build_parser as lib_parser
+    from repro.experiments.cli import main as experiments_main
+
+    # experiments.cli builds its parser inside main(); parse via a
+    # --list probe plus real parses below.  repro.cli exposes a builder.
+    for argv in doc_commands(fenced_blocks(readme, "sh")):
+        module, args = argv[2], argv[3:]
+        try:
+            if module == "repro.cli":
+                lib_parser().parse_args(args)
+            elif module == "repro.experiments.cli":
+                # parse-only against the CLI's real parser (no
+                # execution — some documented runs are expensive), then
+                # resolve experiment names against the real registry.
+                from repro.experiments import EXPERIMENT_MODULES
+                from repro.experiments.cli import _build_parser as exp_parser
+
+                parsed = exp_parser().parse_args(args)
+                unknown = [
+                    e for e in parsed.experiments if e not in EXPERIMENT_MODULES
+                ]
+                if unknown:
+                    raise SystemExit(f"unknown experiments {unknown}")
+            elif module == "repro.experiments.exp_scaling":
+                pass  # module main(), no flags to validate
+            else:
+                raise SystemExit(f"undocumented module {module}")
+        except SystemExit as exc:
+            if exc.code not in (0, None):
+                fail(f"README command does not parse: {' '.join(argv)} ({exc})")
+                continue
+        ok(f"parses: {' '.join(argv[:6])}{' ...' if len(argv) > 6 else ''}")
+    # the experiments CLI itself still runs
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        code = experiments_main(["--list"])
+    if code != 0 or "scaling" not in buf.getvalue():
+        fail("python -m repro.experiments.cli --list broken or missing 'scaling'")
+    else:
+        ok("experiments CLI --list runs and knows 'scaling'")
+
+
+def check_readme_python_blocks(readme: str) -> None:
+    for i, block in enumerate(fenced_blocks(readme, "python")):
+        try:
+            with redirect_stdout(io.StringIO()):
+                exec(compile(block, f"<README python block {i}>", "exec"), {})
+            ok(f"README python block {i} executes")
+        except Exception as exc:
+            fail(f"README python block {i} raises {type(exc).__name__}: {exc}")
+
+
+def check_help_texts() -> None:
+    from repro.cli import _build_parser
+
+    import argparse
+
+    promised = ["--workers", "--backend", "--json"]
+    parser = _build_parser()
+    sweep_parser = None
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            sweep_parser = action.choices.get("sweep")
+    if sweep_parser is None:
+        fail("repro.cli has no 'sweep' subcommand")
+        return
+    help_text = sweep_parser.format_help()
+    for flag in promised:
+        if flag not in help_text:
+            fail(f"repro.cli sweep --help no longer documents {flag}")
+        else:
+            ok(f"repro.cli sweep --help documents {flag}")
+
+    from repro.experiments.cli import _build_parser as exp_parser
+
+    exp_help = exp_parser().format_help()
+    for flag in promised:
+        if flag not in exp_help:
+            fail(f"repro.experiments.cli --help no longer documents {flag}")
+        else:
+            ok(f"repro.experiments.cli --help documents {flag}")
+
+
+def check_paper_code_map(readme: str) -> None:
+    modules = set(re.findall(r"`(repro(?:\.\w+)+)`", readme))
+    if not modules:
+        fail("README paper->code map names no repro modules")
+    for name in sorted(modules):
+        # map entries name modules or module.attr; import the longest
+        # importable prefix and require the attr to exist on it.
+        parts = name.split(".")
+        try:
+            mod, attr = name, None
+            try:
+                importlib.import_module(mod)
+            except ModuleNotFoundError:
+                mod, attr = ".".join(parts[:-1]), parts[-1]
+                loaded = importlib.import_module(mod)
+                if not hasattr(loaded, attr):
+                    raise
+            ok(f"paper->code map target importable: {name}")
+        except Exception:
+            fail(f"README names {name} but it does not import")
+
+
+def check_performance_doc() -> None:
+    doc_path = REPO / "docs" / "performance.md"
+    if not doc_path.exists():
+        fail("docs/performance.md missing")
+        return
+    doc = doc_path.read_text()
+    from repro.simulator.runtime import Metering
+    from repro._util.parallel import BACKENDS
+
+    for mode in (Metering.NONE, Metering.COUNTS, Metering.BITS):
+        if f'"{mode}"' not in doc and f"`{mode}`" not in doc:
+            fail(f"docs/performance.md does not document metering mode {mode!r}")
+        else:
+            ok(f"performance.md documents metering {mode!r}")
+    for backend in BACKENDS:
+        if backend not in doc:
+            fail(f"docs/performance.md does not document backend {backend!r}")
+        else:
+            ok(f"performance.md documents backend {backend!r}")
+    for knob in ("arithmetic", "n_workers", "quiescence"):
+        if knob not in doc:
+            fail(f"docs/performance.md does not mention {knob}")
+        else:
+            ok(f"performance.md mentions {knob}")
+
+
+def check_cli_end_to_end() -> None:
+    from repro.cli import main as lib_main
+
+    def run(argv):
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            code = lib_main(argv)
+        return code, buf.getvalue()
+
+    base = ["sweep", "--family", "cycle", "--sizes", "8,12", "--seeds", "1", "--json"]
+    code_a, out_a = run(base)
+    code_b, out_b = run(base + ["--workers", "2", "--backend", "process"])
+    if code_a != 0 or code_b != 0:
+        fail("CLI sweep smoke run exited non-zero")
+        return
+    runs_a = json.loads(out_a)["runs"]
+    runs_b = json.loads(out_b)["runs"]
+    if runs_a != runs_b:
+        fail("CLI sweep: process backend output differs from serial")
+    else:
+        ok("CLI sweep end-to-end: serial == process backend")
+
+
+def main() -> int:
+    readme_path = REPO / "README.md"
+    if not readme_path.exists():
+        fail("README.md missing at repo root")
+        return 1
+    readme = readme_path.read_text()
+    check_readme_commands(readme)
+    check_readme_python_blocks(readme)
+    check_help_texts()
+    check_paper_code_map(readme)
+    check_performance_doc()
+    check_cli_end_to_end()
+    if FAILURES:
+        print(f"\n{len(FAILURES)} docs check(s) failed")
+        return 1
+    print("\nall docs checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
