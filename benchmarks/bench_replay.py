@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Replay-strategy benchmark: incremental vs scratch on both consumers.
+
+Times the two replay-aware machines on the ``test_perf_message_
+experiment`` workload (the ``exp_messages`` protocol jobs — see
+:func:`repro.experiments.exp_messages._protocol_jobs`), verifies the
+results are field-for-field identical across modes, and records the
+measurements in the ``bvc_replay`` and ``selfstab`` sections of
+``BENCH_perf.json``:
+
+    PYTHONPATH=src python benchmarks/bench_replay.py --update
+
+* ``bvc_replay`` — the Section 5 history-simulation job with metering
+  on (``"bits"``, the experiment default).  Scratch replay re-simulates
+  every element machine from its full history each G-round (quadratic
+  in the round number); incremental replay extends the previous
+  round's replay by one A-round and meters the growing histories
+  incrementally.  **Gate: incremental must be >=2x faster** — this is
+  algorithmic, not host-dependent, so the gate runs everywhere.
+* ``selfstab`` — the transformer job from the same workload, measured
+  over one stabilisation window (all convergence, where the
+  content-addressed skip saves little on a tiny wrapped machine) *and*
+  over ``--windows`` windows of continuous operation (the realistic
+  regime: self-stabilising algorithms run forever, and in the
+  fault-free steady state every pipeline level hash-matches).  The
+  recorded headline speedup is the continuous-operation one; it is
+  informational (no hard gate — it grows with the run length and the
+  wrapped machine's step cost).
+
+This script is not part of the pytest-benchmark baseline
+(``bench_perf.py``); like ``bench_sweep_scaling.py`` it compares two
+configurations against each other rather than a hot path against
+history.  ``compare.py check`` ignores both sections (missing sections
+in older baselines are fine); ``compare.py update`` preserves them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.exp_messages import _protocol_jobs  # noqa: E402
+from repro.simulator.runtime import run  # noqa: E402
+
+BASELINE = Path(__file__).with_name("BENCH_perf.json")
+
+
+def mode_pair(job_index, n, repeats, stretch_rounds=None):
+    """Time one protocol job in both replay modes (best-of-``repeats``,
+    fresh machine — hence cold memo — per repeat); assert equality."""
+    timings, results = {}, {}
+    for mode in ("incremental", "scratch"):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            job = dict(_protocol_jobs(n, replay=mode)[job_index])
+            if stretch_rounds is not None:
+                job["max_rounds"] = stretch_rounds
+            graph = job.pop("graph")
+            machine = job.pop("machine")
+            t0 = time.perf_counter()
+            out = run(graph, machine, **job)
+            best = min(best, time.perf_counter() - t0)
+            result = out
+        timings[mode], results[mode] = best, result
+    a, b = results["incremental"], results["scratch"]
+    assert a.outputs == b.outputs
+    assert a.rounds == b.rounds
+    assert a.messages_sent == b.messages_sent
+    assert a.message_bits == b.message_bits
+    assert a.per_round_bits == b.per_round_bits
+    assert a.states == b.states
+    return timings
+
+
+def host_record():
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=6,
+                        help="cycle size (default 6, the "
+                             "test_perf_message_experiment workload)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per mode (default 3)")
+    parser.add_argument("--windows", type=int, default=10,
+                        help="stabilisation windows for the continuous "
+                             "self-stabilising measurement (default 10)")
+    parser.add_argument("--update", action="store_true",
+                        help="write the bvc_replay/selfstab sections of "
+                             "BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    n = args.n
+    print(f"exp_messages protocol jobs on the {n}-cycle, "
+          f"best of {args.repeats} per mode")
+
+    # --- Section 5 broadcast VC (job 1), metering "bits" (its default).
+    bvc = mode_pair(1, n, args.repeats)
+    bvc_speedup = bvc["scratch"] / bvc["incremental"]
+    bvc_record = {
+        "workload": f"exp_messages §5 history-simulation job, cycle n={n}, "
+                    f"metering bits",
+        "incremental_s": round(bvc["incremental"], 4),
+        "scratch_s": round(bvc["scratch"], 4),
+        "incremental_vs_scratch_speedup": round(bvc_speedup, 2),
+        "results_bit_identical_across_modes": True,
+        "host": host_record(),
+    }
+    print(json.dumps({"bvc_replay": bvc_record}, indent=2))
+    assert bvc_speedup >= 2.0, (
+        f"incremental §5 replay should be >=2x scratch on the broadcast "
+        f"workload with metering on; measured {bvc_speedup:.2f}x"
+    )
+    print("bvc_replay gate (>=2x vs scratch): PASS")
+
+    # --- Self-stabilising transformer (job 2): one window + continuous.
+    window = _protocol_jobs(n)[2]["max_rounds"]
+    ss_window = mode_pair(2, n, args.repeats)
+    ss_cont = mode_pair(2, n, args.repeats, stretch_rounds=args.windows * window)
+    ss_record = {
+        "workload": f"exp_messages self-stabilising §3 job, cycle n={n}, "
+                    f"T={window}",
+        "one_window_incremental_s": round(ss_window["incremental"], 4),
+        "one_window_scratch_s": round(ss_window["scratch"], 4),
+        "continuous_windows": args.windows,
+        "continuous_incremental_s": round(ss_cont["incremental"], 4),
+        "continuous_scratch_s": round(ss_cont["scratch"], 4),
+        "incremental_vs_scratch_speedup": round(
+            ss_cont["scratch"] / ss_cont["incremental"], 2
+        ),
+        "results_bit_identical_across_modes": True,
+        "host": host_record(),
+    }
+    print(json.dumps({"selfstab": ss_record}, indent=2))
+
+    if args.update:
+        baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+        baseline["bvc_replay"] = bvc_record
+        baseline["selfstab"] = ss_record
+        BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"wrote bvc_replay + selfstab sections -> {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,13 @@ After an intentional perf change, refresh the baseline with
 
 which rewrites ``BENCH_perf.json`` in place, preserving the recorded
 seed timings and recomputing the headline speedups.
+
+Auxiliary sections (``sweep_scaling`` from
+``bench_sweep_scaling.py``; ``bvc_replay``/``selfstab`` from
+``bench_replay.py``) are host- or configuration-comparisons, not
+hot-path history: ``check`` never gates on them and a baseline without
+them still compares cleanly (missing section = skip, not fail);
+``update`` preserves whatever of them is present.
 """
 
 from __future__ import annotations
@@ -30,6 +37,10 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).with_name("BENCH_perf.json")
 DEFAULT_THRESHOLD = 1.25
+
+# Sections recorded by the standalone harnesses; informational only.
+# check skips them whether present or missing, update preserves them.
+AUX_SECTIONS = ("sweep_scaling", "bvc_replay", "selfstab")
 
 # (numerator benchmark or seed entry, denominator benchmark) pairs the
 # baseline reports as headline speedups.
@@ -81,6 +92,9 @@ def compute_headlines(baseline: dict) -> dict:
 
 def cmd_check(current: dict, baseline: dict, threshold: float) -> int:
     failures = []
+    for section in AUX_SECTIONS:
+        state = "present" if section in baseline else "absent"
+        print(f"skip {section}: auxiliary section ({state}); not a gate")
     for name, base in baseline.get("benchmarks", {}).items():
         cur = current.get(name)
         if cur is None:

@@ -1,0 +1,231 @@
+"""Content-addressed replay memoisation (the ``replay`` knob's engine).
+
+Two hot paths in the tree re-derive machine states from inputs that
+barely change between rounds:
+
+* the Section 5 broadcast simulation
+  (:class:`repro.core.broadcast_vc.BroadcastVertexCoverMachine`)
+  replays every incident element machine from full message histories —
+  histories that grow by exactly one entry per round;
+* the self-stabilising transformer
+  (:class:`repro.selfstab.transformer.SelfStabilisingMachine`)
+  recomputes all T+1 pipeline levels every real round, although in a
+  fault-free round almost every level sees exactly the (state, inbox)
+  pair it saw the round before.
+
+Both consumers share the machinery here.  Everything is
+**content-addressed**: memo keys are (fingerprints of) the full input
+values, so a hit is *semantically identical* to recomputing — caching
+can change wall-clock time, never results.  The ``replay`` knob every
+consumer exposes selects between
+
+* ``"incremental"`` (default) — reuse content-matched work from the
+  previous round; and
+* ``"scratch"`` — the paper-literal recompute-everything path, kept as
+  the executable reference contract (``tests/test_replay_memo.py``
+  pins incremental ≡ scratch field-for-field).
+
+Fingerprints are pickle byte strings.  That is safe in exactly one
+direction, which is the direction we need: equal bytes reconstruct
+equal values, so a fingerprint hit can never conflate two genuinely
+different inputs.  Distinct bytes for equal values (pickle memo
+effects, unreduced :class:`~repro._util.rationals.ScaledInt`
+representations) only cause a spurious miss — a recompute, never a
+wrong answer.  Hooks that depend on more than their arguments' values
+(a per-node ``ctx.rng``) cannot be fingerprinted; consumers detect
+that and fall back to the scratch path for the affected node.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro._util.identity import IdentityMemo
+
+__all__ = [
+    "REPLAY_INCREMENTAL",
+    "REPLAY_SCRATCH",
+    "REPLAY_MODES",
+    "validate_replay",
+    "content_fingerprint",
+    "FingerprintCache",
+    "ReplayMemo",
+    "GenerationalMemo",
+    "note_extension",
+    "extension_parent",
+]
+
+REPLAY_INCREMENTAL = "incremental"
+REPLAY_SCRATCH = "scratch"
+REPLAY_MODES = (REPLAY_INCREMENTAL, REPLAY_SCRATCH)
+
+
+def validate_replay(mode: str) -> str:
+    """Validate a ``replay=`` argument, returning it unchanged."""
+    if mode not in REPLAY_MODES:
+        raise ValueError(
+            f"unknown replay mode {mode!r}; expected one of {REPLAY_MODES}"
+        )
+    return mode
+
+
+def content_fingerprint(value: Any) -> bytes:
+    """A deterministic byte fingerprint of ``value``'s content.
+
+    Equal fingerprints imply equal values (the bytes reconstruct the
+    value), which is the only soundness direction a content-addressed
+    memo needs.  Raises whatever :mod:`pickle` raises for
+    unpicklable values — callers treat that as "not fingerprintable"
+    and skip memoisation.
+    """
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class FingerprintCache:
+    """Identity-memoised :func:`content_fingerprint` for reused objects.
+
+    Machine states and contexts are treated as immutable values
+    everywhere in this tree, and the same *objects* recur across rounds
+    (a memo hit returns the stored state object; contexts live for the
+    whole run).  Keying the fingerprint on object identity makes the
+    steady-state cost of fingerprinting a dictionary lookup instead of
+    a pickle.  Same pinning/re-check discipline as
+    :class:`repro._util.identity.IdentityMemo`, open-coded because
+    ``of`` sits inside per-level round loops.
+    """
+
+    __slots__ = ("_entries", "limit")
+
+    def __init__(self, limit: int = 1 << 12):
+        self._entries: Dict[int, Tuple[Any, bytes]] = {}
+        self.limit = limit
+
+    def of(self, obj: Any) -> bytes:
+        entry = self._entries.get(id(obj))
+        if entry is not None and entry[0] is obj:
+            return entry[1]
+        fp = content_fingerprint(obj)
+        entries = self._entries
+        if len(entries) >= self.limit:
+            entries.clear()
+        entries[id(obj)] = (obj, fp)
+        return fp
+
+
+class ReplayMemo:
+    """A bounded content-addressed memo: hashable content key -> value.
+
+    Values must never be ``None`` (``get`` returns ``None`` on a miss).
+    When the memo grows past ``limit`` it is dropped wholesale — a miss
+    recomputes, it never mis-answers.  ``hits``/``misses`` are kept for
+    the benchmarks and the differential suite's sanity checks.
+    """
+
+    __slots__ = ("_entries", "limit", "hits", "misses")
+
+    def __init__(self, limit: int = 1 << 14):
+        self._entries: Dict[Hashable, Any] = {}
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        entries = self._entries
+        if len(entries) >= self.limit:
+            entries.clear()
+        entries[key] = value
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class GenerationalMemo:
+    """Content keys bucketed by generation, with stale-bucket eviction.
+
+    The Section 5 replay pattern: at G-round ``t`` every replay key is
+    a pair of length-``t`` histories, and the only useful prior entries
+    are the length-``t-1`` ones from the previous round.  ``put``
+    retires every bucket older than ``generation - 1`` so the memo
+    holds at most two generations at a time, bounding memory by the
+    live working set instead of the whole run.
+    """
+
+    __slots__ = ("_buckets", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, Dict[Hashable, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, generation: int, key: Hashable) -> Optional[Any]:
+        value = self._buckets.get(generation, {}).get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, generation: int, key: Hashable, value: Any) -> Any:
+        self._buckets.setdefault(generation, {})[key] = value
+        stale = [g for g in self._buckets if g < generation - 1]
+        for g in stale:
+            # pop, not del: a machine shared across a thread pool may
+            # retire the same bucket from two runs at once.
+            self._buckets.pop(g, None)
+        return value
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+
+# ----------------------------------------------------------------------
+# Tuple-extension registry (incremental history metering)
+# ----------------------------------------------------------------------
+#
+# The Section 5 history machine broadcasts a tuple that grows by one
+# element per round: ``new = old + (msg,)``.  Metering or canonically
+# keying ``new`` from scratch costs O(len) every round — O(rounds²)
+# over a run.  A producer that *knows* the extension relationship
+# registers it here; repro._util.sizes and repro._util.ordering then
+# derive the new tuple's size/key from the parent's cached one in O(1)
+# recursion (plus the new element).  The registry is advisory: a
+# missing entry just means the consumer does the full scan, and the
+# consumers re-derive exactly what the scan would produce (pinned by
+# the differential suite, where scratch-mode machines never register
+# extensions).
+
+_EXTENSIONS = IdentityMemo(limit=1 << 16)
+
+
+def note_extension(parent: Tuple, child: Tuple) -> Tuple:
+    """Record that ``child == parent + (child[-1],)``; returns ``child``.
+
+    Caller contract (checked structurally, not element-wise — an
+    element-wise check would cost the O(len) this exists to avoid):
+    ``child`` must extend ``parent`` by exactly one trailing element.
+    """
+    if type(parent) is tuple and type(child) is tuple:
+        if len(child) == len(parent) + 1:
+            _EXTENSIONS.put(child, parent)
+    return child
+
+
+def extension_parent(child: Tuple) -> Optional[Tuple]:
+    """The registered parent of ``child``, or ``None``."""
+    parent = _EXTENSIONS.get(child)
+    if parent is not None and len(child) == len(parent) + 1:
+        return parent
+    return None

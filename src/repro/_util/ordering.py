@@ -18,7 +18,11 @@ Keys for deeply immutable tuples are memoised via
 :class:`repro._util.identity.IdentityMemo`.  Broadcast payloads repeat
 heavily — the Section 5 history machine re-sends a growing tuple whose
 elements are the previous rounds' tuples — so a round's key costs
-O(new elements) instead of O(total history).
+O(new elements) instead of O(total history).  History tuples whose
+producer registered the one-element extension relationship
+(:func:`repro._util.memo.note_extension`) key even cheaper: the new
+key is the parent's cached key plus the new element's key, with no
+per-element recursion at all.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from fractions import Fraction
 from typing import Any, Iterable, List, Tuple
 
 from repro._util.identity import IdentityMemo
+from repro._util.memo import extension_parent
 from repro._util.rationals import ScaledInt
 
 __all__ = ["canonical_key", "canonical_sorted"]
@@ -72,6 +77,21 @@ def _key(value: Any) -> Tuple[Tuple, bool]:
         cached = _KEY_MEMO.get(value)
         if cached is not None:
             return cached, True
+        parent = extension_parent(value)
+        if parent is not None:
+            # value == parent + (value[-1],): extend the parent's
+            # cached key (cached implies deeply immutable) instead of
+            # re-keying every element.  Cached-parent case only — after
+            # a memo wipe, fall through to the full scan rather than
+            # recursing down a long extension chain.
+            parent_key = _KEY_MEMO.get(parent)
+            if parent_key is not None:
+                last_key, last_frozen = _key(value[-1])
+                key = (_RANK_TUPLE, parent_key[1] + (last_key,))
+                if last_frozen:
+                    _KEY_MEMO.put(value, key)
+                    return key, True
+                return key, False
         parts = []
         frozen = True
         for v in value:

@@ -22,6 +22,16 @@ Sizes of deeply immutable tuples are memoised via
 :class:`repro._util.identity.IdentityMemo`.  Payloads repeat heavily
 across nodes and rounds — colour sequences, growing history tuples —
 so re-metering costs O(new elements), not O(payload).
+
+Growing history tuples get one better: a producer that extends a tuple
+by one element per round (the Section 5 history machine) registers the
+extension via :func:`repro._util.memo.note_extension`, and the size of
+the new tuple is derived from the parent's cached size plus the new
+element — O(1) per round instead of O(round), so ``Metering`` costs
+stop being quadratic in the round number.  The derivation reproduces
+exactly what the full scan computes (same framing, same element
+costs); the replay differential suite pins the bit counts against
+scratch-mode runs that never register extensions.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from fractions import Fraction
 from typing import Any, Tuple
 
 from repro._util.identity import IdentityMemo
+from repro._util.memo import extension_parent
 from repro._util.rationals import ScaledInt
 
 __all__ = ["message_size_bits"]
@@ -75,6 +86,27 @@ def _size(value: Any) -> Tuple[int, bool]:
         cached = _SIZE_MEMO.get(value)
         if cached is not None:
             return cached, True
+        parent = extension_parent(value)
+        if parent is not None:
+            # value == parent + (value[-1],): derive the size from the
+            # parent's cached size (a cached size implies the parent is
+            # deeply immutable).  Only the already-cached case is taken
+            # — the parent was metered last round; after a memo wipe we
+            # simply fall through to the full scan, never recursing
+            # down a long extension chain.
+            parent_bits = _SIZE_MEMO.get(parent)
+            if parent_bits is not None:
+                last_bits, last_frozen = _size(value[-1])
+                bits = (
+                    parent_bits
+                    - _length_framing_bits(len(parent))
+                    + _length_framing_bits(len(value))
+                    + last_bits
+                )
+                if last_frozen:
+                    _SIZE_MEMO.put(value, bits)
+                    return bits, True
+                return bits, False
         bits = _length_framing_bits(len(value))
         frozen = True
         for v in value:

@@ -15,7 +15,9 @@ Examples::
 instances on a pool, ``--backend process`` uses one warm process pool
 for true multi-core parallelism (results are bit-identical to serial),
 and ``--json`` emits one machine-readable record per instance for
-plotting.
+plotting.  ``vc``/``sweep`` with ``--algorithm broadcast`` also take
+``--replay {incremental,scratch}`` — the §5 history replay strategy
+(bit-identical results; ``scratch`` is the paper-literal reference).
 
 (The experiment harness regenerating the paper's tables lives in
 ``python -m repro.experiments.cli``; it takes the same
@@ -43,6 +45,7 @@ from repro.graphs import families
 from repro.graphs.setcover import random_instance
 from repro.graphs.weights import uniform_weights, unit_weights
 from repro.simulator.runtime import sweep
+from repro._util.memo import REPLAY_MODES
 from repro._util.parallel import BACKENDS
 
 __all__ = ["main"]
@@ -68,6 +71,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Section 3 (port numbering) or Section 5 (broadcast)",
     )
     vc.add_argument("--exact", action="store_true", help="also compute the optimum")
+    vc.add_argument(
+        "--replay",
+        choices=list(REPLAY_MODES),
+        default="incremental",
+        help="history replay strategy for --algorithm broadcast "
+        "(results identical; 'scratch' is the paper-literal reference)",
+    )
     vc.add_argument("--json", action="store_true", help="machine-readable output")
 
     sc = sub.add_parser("sc", help="f-approximate weighted set cover")
@@ -103,6 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["none", "counts", "bits"],
         default="counts",
         help="what to measure per run ('none' is fastest)",
+    )
+    sw.add_argument(
+        "--replay",
+        choices=list(REPLAY_MODES),
+        default="incremental",
+        help="history replay strategy for --algorithm broadcast "
+        "(results identical; 'scratch' is the paper-literal reference)",
     )
     sw.add_argument("--workers", type=int, default=None,
                     help="pool size; omit to run serially")
@@ -150,8 +167,10 @@ def _run_vc(args) -> dict:
         if args.W <= 1
         else uniform_weights(graph.n, args.W, seed=args.seed)
     )
-    solver = vertex_cover_2approx if args.algorithm == "port" else vertex_cover_broadcast
-    result = solver(graph, weights)
+    if args.algorithm == "port":
+        result = vertex_cover_2approx(graph, weights)
+    else:
+        result = vertex_cover_broadcast(graph, weights, replay=args.replay)
     payload = {
         "problem": "vertex-cover",
         "algorithm": args.algorithm,
@@ -208,7 +227,6 @@ def _run_sweep(args) -> dict:
     if not sizes or args.seeds < 1:
         raise SystemExit("need at least one size and --seeds >= 1")
 
-    make_job = edge_packing_job if args.algorithm == "port" else broadcast_vc_job
     cases = []
     jobs = []
     for n in sizes:
@@ -220,7 +238,14 @@ def _run_sweep(args) -> dict:
                 else uniform_weights(graph.n, args.W, seed=seed)
             )
             cases.append((n, seed, graph, weights))
-            jobs.append(make_job(graph, weights, metering=args.metering))
+            if args.algorithm == "port":
+                jobs.append(edge_packing_job(graph, weights, metering=args.metering))
+            else:
+                jobs.append(
+                    broadcast_vc_job(
+                        graph, weights, metering=args.metering, replay=args.replay
+                    )
+                )
 
     started = time.perf_counter()
     results = sweep(jobs, n_workers=args.workers, backend=args.backend)
@@ -256,6 +281,7 @@ def _run_sweep(args) -> dict:
         "algorithm": args.algorithm,
         "family": args.family,
         "metering": args.metering,
+        "replay": args.replay if args.algorithm == "broadcast" else None,
         "workers": args.workers,
         "backend": (
             "serial"

@@ -12,13 +12,29 @@ history of messages its subset node ``s(v)`` has broadcast during
 ``A``-rounds ``1..i``.  In every ``G``-round each node broadcasts its
 entire history.  From its own history and a received neighbour history
 ``h(u, i-1)``, ``v`` can replay the element machine ``u(e)`` for the
-edge towards that neighbour from scratch — the element's inbox at each
-round is exactly ``{h(v, ·), h(u, ·)}``.  Because the broadcast model
-makes ``s(v)``'s transition depend only on the *multiset* of element
+edge towards that neighbour — the element's inbox at each round is
+exactly ``{h(v, ·), h(u, ·)}``.  Because the broadcast model makes
+``s(v)``'s transition depend only on the *multiset* of element
 messages, ``v`` does not need to know which neighbour sent which
 history.  Round complexity is unchanged (``O(Δ² + Δ log* W)``); message
 *size* grows linearly with the round number — the trade-off the paper
 points out, and which :mod:`repro.experiments.exp_section5` measures.
+
+**Replay modes.**  The paper describes the replay as from-scratch:
+at G-round ``t`` each element machine is re-simulated through all
+``t`` A-rounds, making local recomputation quadratic in the round
+number.  ``replay="scratch"`` implements exactly that, and is kept as
+the executable reference contract.  The default
+``replay="incremental"`` extends the previous round's replay instead:
+a content-addressed memo (:class:`repro._util.memo.GenerationalMemo`,
+keyed on the *full history contents*, so a hit is semantically
+identical to a fresh replay) holds the element states of the previous
+generation, and each G-round replays only the one new A-round.  The
+growing history tuples are also registered with
+:func:`repro._util.memo.note_extension`, so bit-metering and canonical
+keying of the rebroadcast histories cost O(1) per round instead of
+O(round).  Outputs, rounds, messages and metered bits are bit-for-bit
+identical across modes — pinned by ``tests/test_replay_memo.py``.
 
 One extra readout round is appended after ``A`` terminates so that
 every node can also report the final packing values of its incident
@@ -30,6 +46,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple
 
+from repro._util.memo import (
+    REPLAY_INCREMENTAL,
+    REPLAY_SCRATCH,
+    GenerationalMemo,
+    note_extension,
+    validate_replay,
+)
 from repro._util.ordering import canonical_sorted
 from repro.core.fractional_packing import (
     FractionalPackingMachine,
@@ -66,17 +89,29 @@ class BroadcastVertexCoverMachine(Machine):
 
     model = BROADCAST
 
-    def __init__(self, arithmetic: str = "scaled") -> None:
+    def __init__(
+        self, arithmetic: str = "scaled", replay: str = REPLAY_INCREMENTAL
+    ) -> None:
         # The simulated Section 4 machine inherits the arithmetic mode;
         # replayed element machines therefore use it too.
         self._inner = FractionalPackingMachine(arithmetic=arithmetic)
         self.arithmetic = self._inner.arithmetic
+        self.replay = validate_replay(replay)
         # Content-addressed memo of element replays: generation (= replay
-        # length) -> {(own_history, nbr_history): element state}.  Purely
-        # an engineering optimisation — keys are full message contents, so
-        # a hit is always semantically identical to a fresh replay; evicting
-        # never changes results, only wall-clock time.
-        self._replay_buckets: Dict[int, Dict[Tuple, Any]] = {}
+        # length) -> {(k, W, own_history, nbr_history): element state}.
+        # Keys are full message contents plus the globals the element
+        # machine was started with, so a hit is always semantically
+        # identical to a fresh replay; evicting never changes results,
+        # only wall-clock time.  Unused (None) in scratch mode.
+        self._memo = GenerationalMemo() if replay == REPLAY_INCREMENTAL else None
+
+    def with_replay(self, replay: str) -> "BroadcastVertexCoverMachine":
+        validate_replay(replay)
+        if replay == self.replay:
+            return self
+        return BroadcastVertexCoverMachine(
+            arithmetic=self.arithmetic, replay=replay
+        )
 
     # -- contexts for the simulated H-nodes ------------------------------
 
@@ -160,7 +195,12 @@ class BroadcastVertexCoverMachine(Machine):
             st.subset_state = self._inner.step(
                 sctx, st.subset_state, tuple(canonical_sorted(element_msgs))
             )
-            st.history = st.history + (subset_msg,)
+            new_history = st.history + (subset_msg,)
+            if self._memo is not None:
+                # Incremental mode: let metering/keying derive the new
+                # history's size/key from the old one in O(1).
+                note_extension(st.history, new_history)
+            st.history = new_history
         else:
             # Readout round: histories are complete; extract the final
             # element outputs (the edge packing values).
@@ -182,28 +222,35 @@ class BroadcastVertexCoverMachine(Machine):
     ) -> Any:
         """Re-simulate the element machine for ``rounds`` A-rounds.
 
-        Conceptually a from-scratch replay (as in the paper); memoised on
-        the exact history contents so repeated replays cost one step per
-        G-round instead of ``t`` steps at G-round ``t``.
+        ``replay="scratch"``: the paper-literal loop — start the element
+        machine fresh and step it through all ``rounds`` A-rounds.
+        ``replay="incremental"``: look up the previous generation's
+        state under the exact history contents and step only the one
+        new A-round, so repeated replays cost one step per G-round
+        instead of ``t`` steps at G-round ``t``.  Both paths produce
+        identical states (the memo key is the full input).
         """
         own = tuple(own_history[:rounds])
         nbr = tuple(nbr_history[:rounds])
+        memo = self._memo
         est = None
         start_tau = 0
-        if rounds > 0:
-            prev = self._replay_buckets.get(rounds - 1, {}).get(
-                (own[:-1], nbr[:-1])
-            )
-            if prev is not None:
-                est = prev
-                start_tau = rounds - 1
+        if memo is not None:
+            # ectx.globals already are the H-globals (f, k, W); keying
+            # on them keeps one machine instance safe to reuse across
+            # runs with different parameters.
+            g = ectx.globals
+            kw = (g["k"], g["W"])
+            if rounds > 0:
+                prev = memo.get(rounds - 1, kw + (own[:-1], nbr[:-1]))
+                if prev is not None:
+                    est = prev
+                    start_tau = rounds - 1
         if est is None:
             est = self._inner.start(ectx)
         for tau in range(start_tau, rounds):
             inbox = tuple(canonical_sorted((own[tau], nbr[tau])))
             est = self._inner.step(ectx, est, inbox)
-        self._replay_buckets.setdefault(rounds, {})[(own, nbr)] = est
-        stale = [g for g in self._replay_buckets if g < rounds - 1]
-        for g in stale:
-            del self._replay_buckets[g]
+        if memo is not None:
+            memo.put(rounds, kw + (own, nbr), est)
         return est

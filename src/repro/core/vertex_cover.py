@@ -95,12 +95,16 @@ def broadcast_vc_job(
     W: Optional[int] = None,
     arithmetic: str = "scaled",
     metering: Any = "bits",
+    replay: str = "incremental",
 ) -> Dict[str, Any]:
     """A validated :func:`repro.simulator.runtime.run` kwargs mapping.
 
     Suitable as a :func:`repro.simulator.runtime.sweep` instance;
     assemble the resulting :class:`RunResult` with
-    :func:`broadcast_vc_from_run`.
+    :func:`broadcast_vc_from_run`.  ``replay`` selects the history
+    replay strategy of the simulation machine (``"incremental"`` /
+    ``"scratch"``; identical results, see
+    :mod:`repro.core.broadcast_vc`).
     """
     weights = tuple(int(w) for w in weights)
     if delta is None:
@@ -110,7 +114,9 @@ def broadcast_vc_job(
     validate_weights(weights, graph.n, W)
     return {
         "graph": graph,
-        "machine": BroadcastVertexCoverMachine(arithmetic=arithmetic),
+        "machine": BroadcastVertexCoverMachine(
+            arithmetic=arithmetic, replay=replay
+        ),
         "inputs": list(weights),
         "globals_map": {"delta": delta, "W": W},
         "max_rounds": bvc_round_count(delta, W),
@@ -158,10 +164,11 @@ def vertex_cover_broadcast(
     delta: Optional[int] = None,
     W: Optional[int] = None,
     arithmetic: str = "scaled",
+    replay: str = "incremental",
 ) -> VertexCoverResult:
     """Section 5: 2-approximate weighted VC in the broadcast model."""
     job = broadcast_vc_job(
-        graph, weights, delta=delta, W=W, arithmetic=arithmetic
+        graph, weights, delta=delta, W=W, arithmetic=arithmetic, replay=replay
     )
     job.pop("graph")
     machine = job.pop("machine")

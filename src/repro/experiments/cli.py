@@ -13,8 +13,12 @@ Usage::
 accepts them (the batched-sweep ones: section5, messages, scaling, ...)
 — ``--backend process`` executes sweep instances on a warm process
 pool for true multi-core parallelism, with results bit-identical to
-the serial run.  ``--json`` emits every table as a machine-readable
-record (one JSON array over all experiments run) for plotting.
+the serial run.  ``--replay {incremental,scratch}`` is forwarded the
+same way (section5, selfstab, messages) and selects the replay
+strategy of the history-simulation / self-stabilising machines —
+results are bit-identical, only wall-clock changes.  ``--json`` emits
+every table as a machine-readable record (one JSON array over all
+experiments run) for plotting.
 """
 
 from __future__ import annotations
@@ -29,13 +33,17 @@ from typing import List, Optional
 
 from repro.experiments import EXPERIMENT_MODULES
 from repro.experiments.common import ExperimentTable
+from repro._util.memo import REPLAY_MODES
 from repro._util.parallel import BACKENDS
 
 __all__ = ["main"]
 
 
 def _run_one(
-    name: str, n_workers: Optional[int], backend: Optional[str]
+    name: str,
+    n_workers: Optional[int],
+    backend: Optional[str],
+    replay: Optional[str] = None,
 ) -> List[ExperimentTable]:
     module = importlib.import_module(EXPERIMENT_MODULES[name])
     kwargs = {}
@@ -44,6 +52,8 @@ def _run_one(
         kwargs["n_workers"] = n_workers
     if backend is not None and "backend" in accepted:
         kwargs["backend"] = backend
+    if replay is not None and "replay" in accepted:
+        kwargs["replay"] = replay
     result = module.run(**kwargs)
     return result if isinstance(result, list) else [result]
 
@@ -71,6 +81,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", choices=list(BACKENDS), default=None,
         help="pool type for --workers (default: thread)",
     )
+    parser.add_argument(
+        "--replay", choices=list(REPLAY_MODES), default=None,
+        help="replay strategy for history-simulation / self-stabilising "
+        "experiments (results identical; default: incremental)",
+    )
     return parser
 
 
@@ -96,7 +111,7 @@ def main(argv: List[str] | None = None) -> int:
     records = []
     for name in names:
         started = time.perf_counter()
-        tables = _run_one(name, args.workers, args.backend)
+        tables = _run_one(name, args.workers, args.backend, args.replay)
         elapsed = time.perf_counter() - started
         if args.json:
             for table in tables:

@@ -12,9 +12,12 @@ All three protocol runs go through one batched
 :func:`repro.simulator.runtime.sweep` call (each row carries its own
 machine); pass ``n_workers`` (and ``backend="process"`` for multi-core
 execution) to run them on a pool, and ``include_large`` to repeat the
-comparison on a large-n cycle.  Note the §5 history row dominates the
-wall clock for n ≳ 10³ (the replay loop — see ROADMAP); the §3 row
-alone scales past n = 10⁴ comfortably (see ``exp_scaling``).
+comparison on a large-n cycle.  ``replay`` configures both replay-aware
+rows (``"incremental"``/``"scratch"``, bit-identical tables — see
+:mod:`repro._util.memo`).  The §5 history row still dominates the wall
+clock for n ≳ 10³ — with incremental replay the cost is the linearly
+growing messages being metered, no longer the replay loop itself; the
+§3 row alone scales past n = 10⁴ comfortably (see ``exp_scaling``).
 """
 
 from __future__ import annotations
@@ -37,18 +40,26 @@ from repro.simulator.runtime import sweep
 __all__ = ["run", "main"]
 
 
-def _protocol_jobs(n: int) -> List[Dict[str, Any]]:
-    """The three protocol runs on the n-cycle, as sweep() instances."""
+def _protocol_jobs(n: int, replay: str = "incremental") -> List[Dict[str, Any]]:
+    """The three protocol runs on the n-cycle, as sweep() instances.
+
+    ``replay`` configures both replay-aware machines (the §5 history
+    machine and the self-stabilising transformer); results are
+    bit-identical across modes — ``benchmarks/bench_replay.py`` times
+    exactly this job list in both modes.
+    """
     g = families.cycle_graph(n)
     w = unit_weights(n)
     delta, W = 2, 1
     horizon = schedule_length(delta, W)
     return [
         edge_packing_job(g, w, delta=delta, W=W),
-        broadcast_vc_job(g, w, delta=delta, W=W),
+        broadcast_vc_job(g, w, delta=delta, W=W, replay=replay),
         {
             "graph": g,
-            "machine": SelfStabilisingMachine(EdgePackingMachine(), horizon),
+            "machine": SelfStabilisingMachine(
+                EdgePackingMachine(), horizon, replay=replay
+            ),
             "inputs": list(w),
             "globals_map": {"delta": delta, "W": W},
             "max_rounds": horizon,  # one stabilisation window
@@ -62,6 +73,7 @@ def run(
     include_large: bool = False,
     large_n: int = 64,
     backend: Optional[str] = None,
+    replay: str = "incremental",
 ) -> ExperimentTable:
     sizes = [n] + ([large_n] if include_large else [])
     table = ExperimentTable(
@@ -81,7 +93,7 @@ def run(
 
     jobs: List[Dict[str, Any]] = []
     for size in sizes:
-        jobs.extend(_protocol_jobs(size))
+        jobs.extend(_protocol_jobs(size, replay=replay))
     results = sweep(jobs, n_workers=n_workers, backend=backend)
 
     horizon = schedule_length(2, 1)

@@ -16,11 +16,16 @@ API (each case carries its own machine, so replay memos stay
 per-instance); pass ``n_workers`` (and ``backend="process"`` for
 multi-core execution — cases are independent and pickle cleanly) to
 execute cases on a pool, and ``include_large`` for the large-n cycle
-that shows the history growth at scale.  ``large_n`` is unbounded but
-the history-rebroadcast replay loop is the repo's slowest path (see
-ROADMAP); for n ≳ 10³ budget minutes per case, or look at
-``exp_scaling`` for the large-n behaviour of the underlying Section
-3/4 machines past n = 10⁴.
+that shows the history growth at scale.  ``replay`` selects the
+element-replay strategy of the simulation machines — the default
+``"incremental"`` extends each replay by one A-round per G-round;
+``"scratch"`` is the paper-literal quadratic re-simulation — with
+bit-identical tables either way (see :mod:`repro.core.broadcast_vc`).
+Message *size* still grows linearly with the round number in both
+modes (that is the paper's trade-off, not an implementation artefact),
+so for n ≳ 10³ budget minutes per case under ``metering="bits"``, or
+look at ``exp_scaling`` for the large-n behaviour of the underlying
+Section 3/4 machines past n = 10⁴.
 """
 
 from __future__ import annotations
@@ -67,6 +72,7 @@ def run(
     include_large: bool = False,
     large_n: int = 64,
     backend: Optional[str] = None,
+    replay: str = "incremental",
 ) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="EXP-S5",
@@ -89,7 +95,7 @@ def run(
     # Section 4 runs on the bipartite encodings (where f=2, k=Δ is
     # realised exactly).
     sim_results = sweep(
-        [broadcast_vc_job(g, w) for _name, g, w in cases],
+        [broadcast_vc_job(g, w, replay=replay) for _name, g, w in cases],
         n_workers=n_workers,
         backend=backend,
     )

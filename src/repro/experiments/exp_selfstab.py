@@ -8,23 +8,42 @@ corruption at several fault rates, and measures:
 * whether the output equals the fault-free reference exactly T rounds
   after faults stop (T = the wrapped machine's schedule length);
 * the message-size overhead (factor ~T, the price of the pipeline).
+
+The per-rate runs go through the batched
+:func:`repro.simulator.runtime.sweep` API (each case carries its own
+transformed machine, so replay memos stay per-instance); pass
+``n_workers`` to execute cases on a pool.  Only ``backend="thread"``
+(the default) is usable here: fault-adversary runs are rejected on the
+process backend, because the adversary's corruption counter is a
+parent-side effect that would be lost in a worker process.  ``replay``
+selects the pipeline recompute strategy of the transformer
+(``"incremental"`` skips levels whose inputs did not change,
+``"scratch"`` recomputes all T+1 levels every round — identical
+results, see :mod:`repro.selfstab.transformer`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.edge_packing import EdgePackingMachine, maximal_edge_packing, schedule_length
 from repro.experiments.common import ExperimentTable
 from repro.graphs import families
 from repro.graphs.weights import uniform_weights
-from repro.selfstab.transformer import run_self_stabilising
+from repro.selfstab.transformer import SelfStabilisingMachine
 from repro.simulator.faults import RandomStateCorruption
+from repro.simulator.runtime import sweep
 
 __all__ = ["run", "main"]
 
 
-def run(rates: Optional[List[float]] = None, n: int = 6) -> ExperimentTable:
+def run(
+    rates: Optional[List[float]] = None,
+    n: int = 6,
+    n_workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    replay: str = "incremental",
+) -> ExperimentTable:
     rates = rates or [0.0, 0.1, 0.3, 0.6]
     g = families.cycle_graph(n)
     w = uniform_weights(n, 3, seed=4)
@@ -46,19 +65,26 @@ def run(rates: Optional[List[float]] = None, n: int = 6) -> ExperimentTable:
             "output == reference",
         ],
     )
-    for rate in rates:
-        adversary = RandomStateCorruption(
-            until_round=faulty_rounds, rate=rate, seed=21
-        )
-        res = run_self_stabilising(
-            g,
-            EdgePackingMachine(),
-            horizon=horizon,
-            rounds=faulty_rounds + horizon,
-            inputs=list(w),
-            globals_map={"delta": delta, "W": W},
-            fault_adversary=adversary,
-        )
+    adversaries = [
+        RandomStateCorruption(until_round=faulty_rounds, rate=rate, seed=21)
+        for rate in rates
+    ]
+    jobs: List[Dict[str, Any]] = [
+        {
+            "graph": g,
+            "machine": SelfStabilisingMachine(
+                EdgePackingMachine(), horizon, replay=replay
+            ),
+            "inputs": list(w),
+            "globals_map": {"delta": delta, "W": W},
+            "max_rounds": faulty_rounds + horizon,
+            "fault_adversary": adversary,
+        }
+        for adversary in adversaries
+    ]
+    results = sweep(jobs, n_workers=n_workers, backend=backend)
+
+    for rate, adversary, res in zip(rates, adversaries, results):
         match = res.outputs == reference
         table.add_row(
             **{
@@ -78,7 +104,7 @@ def run(rates: Optional[List[float]] = None, n: int = 6) -> ExperimentTable:
 
 
 def main() -> None:
-    print(run().render())
+    print(run(n_workers=2).render())
 
 
 if __name__ == "__main__":

@@ -20,6 +20,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
 
+from repro._util.memo import validate_replay
+
 __all__ = ["PORT_NUMBERING", "BROADCAST", "LocalContext", "Machine"]
 
 PORT_NUMBERING = "port-numbering"
@@ -111,9 +113,26 @@ class Machine:
     The fast engine uses these to park provably-passive nodes and skip
     their per-round hook calls; observable results (outputs, rounds,
     message and bit counts, final states) are identical by contract.
+
+    **Optional replay protocol.**  Machines that re-derive simulated
+    state every round (the Section 5 history machine, the
+    self-stabilising transformer) accept a ``replay`` mode —
+    ``"incremental"`` (content-addressed reuse of the previous round's
+    work, see :mod:`repro._util.memo`) or ``"scratch"`` (the
+    paper-literal recompute-everything reference).  ``with_replay``
+    lets the runtime apply a run-level ``replay=`` argument uniformly:
+    replay-aware machines return a reconfigured copy (with a fresh
+    memo), all others validate the mode and return themselves
+    unchanged — the knob is a pure optimisation and means nothing to a
+    machine that never replays.
     """
 
     model: str = PORT_NUMBERING
+
+    def with_replay(self, replay: str) -> "Machine":
+        """A machine configured for ``replay``; ``self`` if not replay-aware."""
+        validate_replay(replay)
+        return self
 
     def start(self, ctx: LocalContext) -> Any:
         raise NotImplementedError

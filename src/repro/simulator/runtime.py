@@ -211,6 +211,7 @@ def run(
     observer: Optional[Observer] = None,
     fault_adversary: Optional[Any] = None,
     metering: Union[Metering, str, None] = Metering.BITS,
+    replay: Optional[str] = None,
 ) -> RunResult:
     """Run ``machine`` on every node of ``graph`` until all halt.
 
@@ -219,7 +220,13 @@ def run(
     outbox entry is ``None``).  A ``fault_adversary`` (see
     :mod:`repro.simulator.faults`) may corrupt states *between* rounds
     — used by the self-stabilisation experiments.  ``metering``
-    selects what is measured (see :class:`Metering`).
+    selects what is measured (see :class:`Metering`).  ``replay``
+    (``"incremental"`` / ``"scratch"``, default ``None`` = keep the
+    machine's own configuration) reconfigures replay-aware machines —
+    the Section 5 history machine, the self-stabilising transformer —
+    via :meth:`repro.simulator.machine.Machine.with_replay`; machines
+    without replay semantics accept and ignore it.  Results are
+    bit-for-bit identical across replay modes.
 
     Semantics: **halted nodes emit nothing** — their ``emit`` hook is
     not called and their neighbours read ``None``/silence on the shared
@@ -234,6 +241,8 @@ def run(
     executable specification with identical observable behaviour.
     """
     meter = Metering.of(metering)
+    if replay is not None:
+        machine = machine.with_replay(replay)
     if machine.model == PORT_NUMBERING:
         engine = _run_fast_port
     elif machine.model == BROADCAST:
@@ -538,6 +547,7 @@ def run_reference(
     observer: Optional[Observer] = None,
     fault_adversary: Optional[Any] = None,
     metering: Union[Metering, str, None] = Metering.BITS,
+    replay: Optional[str] = None,
 ) -> RunResult:
     """The executable specification of :func:`run`.
 
@@ -545,9 +555,13 @@ def run_reference(
     round, no flat arrays, no skip lists, no memo caches — implementing
     the same semantics (halted nodes emit nothing; see :func:`run`).
     The equivalence suite asserts :func:`run` matches this engine
-    field-for-field; keep this loop easy to audit.
+    field-for-field; keep this loop easy to audit.  (``replay`` is a
+    *machine*-level knob, so it is honoured here too — engine
+    equivalence must hold in every machine configuration.)
     """
     meter = Metering.of(metering)
+    if replay is not None:
+        machine = machine.with_replay(replay)
     if machine.model == PORT_NUMBERING:
         deliver = _deliver_port_numbering
     elif machine.model == BROADCAST:
@@ -720,8 +734,8 @@ def run_many(
     """One :func:`run` per seed on a fixed graph/machine, in seed order.
 
     Amortises context/topology setup across repetitions of a randomised
-    experiment.  Extra ``kwargs`` (``max_rounds``, ``metering``, ...)
-    are forwarded to every run.  With ``n_workers > 1`` the runs
+    experiment.  Extra ``kwargs`` (``max_rounds``, ``metering``,
+    ``replay``, ...) are forwarded to every run.  With ``n_workers > 1`` the runs
     execute on a pool chosen by ``backend`` — ``"thread"`` (default;
     machine hooks must be thread-safe, pure machines are),
     ``"process"`` (true multi-core parallelism; graph, machine, inputs

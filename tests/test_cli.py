@@ -40,6 +40,15 @@ class TestVcCommand:
         assert payload["algorithm"] == "broadcast"
         assert payload["is_cover"] is True
 
+    def test_broadcast_replay_scratch_matches_incremental(self, capsys):
+        argv = ["vc", "--family", "cycle", "--n", "5",
+                "--algorithm", "broadcast", "--json"]
+        assert main(argv + ["--replay", "scratch"]) == 0
+        scratch = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--replay", "incremental"]) == 0
+        incremental = json.loads(capsys.readouterr().out)
+        assert scratch == incremental
+
     def test_unknown_family(self):
         with pytest.raises(SystemExit):
             main(["vc", "--family", "nope"])
@@ -99,6 +108,17 @@ class TestSweepCommand:
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["runs"][0]["message_bits"] > 0
+        assert payload["replay"] == "incremental"
+
+    def test_broadcast_replay_modes_agree(self, capsys):
+        argv = ["sweep", "--family", "path", "--sizes", "6", "--algorithm",
+                "broadcast", "--metering", "bits", "--json"]
+        assert main(argv + ["--replay", "scratch"]) == 0
+        scratch = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--replay", "incremental"]) == 0
+        incremental = json.loads(capsys.readouterr().out)
+        assert scratch["runs"] == incremental["runs"]
+        assert scratch["replay"] == "scratch"
 
     def test_text_output(self, capsys):
         assert main(["sweep", "--family", "cycle", "--sizes", "8"]) == 0

@@ -138,6 +138,11 @@ class TestSection5Experiment:
         assert all(m in (True, None) for m in t.column("cover == direct run"))
         assert all(g > 10 for g in t.column("growth factor"))
 
+    def test_replay_modes_produce_identical_tables(self):
+        from repro.experiments.exp_section5 import run
+
+        assert run(replay="scratch").rows == run(replay="incremental").rows
+
     def test_sweep_workers_and_large_case(self):
         """The sweep port: thread-pooled execution and the large-n case
         (shrunk to keep the smoke test fast) match the serial run."""
@@ -170,6 +175,16 @@ class TestSelfStabExperiment:
 
         t = run(rates=[0.0, 0.4], n=5)
         assert all(t.column("recovered within T"))
+
+    def test_sweep_pool_and_replay_modes_agree(self):
+        """The per-rate sweep on a thread pool, in both replay modes —
+        identical tables (process backend is rejected here: the fault
+        adversary's corruption counter is a parent-side effect)."""
+        from repro.experiments.exp_selfstab import run
+
+        scratch = run(rates=[0.0, 0.3], n=5, replay="scratch")
+        pooled = run(rates=[0.0, 0.3], n=5, n_workers=2, replay="incremental")
+        assert pooled.rows == scratch.rows
 
 
 class TestPerfExperiment:

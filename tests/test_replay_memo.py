@@ -1,0 +1,407 @@
+"""Differential suite: ``replay="incremental"`` ≡ ``replay="scratch"``.
+
+The replay-memo subsystem (:mod:`repro._util.memo`) may only ever
+change wall-clock time.  This suite pins that contract field-for-field
+on both consumers:
+
+* the Section 5 history machine
+  (:class:`repro.core.broadcast_vc.BroadcastVertexCoverMachine`),
+  across graph families, metering modes, arithmetic modes and seeds —
+  including the incremental history metering / canonical-keying fast
+  path, which only incremental-mode machines feed;
+* the self-stabilising transformer
+  (:class:`repro.selfstab.transformer.SelfStabilisingMachine`), across
+  fault-free runs, random corruption, targeted corruption that dirties
+  arbitrary pipeline levels, metering modes, both communication
+  models, and seeded runs (where incremental falls back to the
+  scratch path per node because a ``ctx.rng`` defeats fingerprinting).
+
+Plus unit tests for the memo primitives themselves.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro._util.memo import (
+    REPLAY_INCREMENTAL,
+    REPLAY_MODES,
+    REPLAY_SCRATCH,
+    FingerprintCache,
+    GenerationalMemo,
+    ReplayMemo,
+    content_fingerprint,
+    extension_parent,
+    note_extension,
+    validate_replay,
+)
+from repro._util.ordering import canonical_key
+from repro._util.sizes import message_size_bits
+from repro.core.broadcast_vc import BroadcastVertexCoverMachine, bvc_round_count
+from repro.core.edge_packing import EdgePackingMachine, schedule_length
+from repro.core.fractional_packing import FractionalPackingMachine
+from repro.graphs import families
+from repro.graphs.setcover import random_instance
+from repro.graphs.weights import uniform_weights, unit_weights
+from repro.selfstab.transformer import SelfStabilisingMachine, _PipelineState
+from repro.simulator.faults import RandomStateCorruption
+from repro.simulator.runtime import run, run_reference
+
+
+def assert_same_result(a, b):
+    """Every RunResult field identical — the replay contract."""
+    assert a.outputs == b.outputs
+    assert a.rounds == b.rounds
+    assert a.all_halted == b.all_halted
+    assert a.messages_sent == b.messages_sent
+    assert a.message_bits == b.message_bits
+    assert a.per_round_bits == b.per_round_bits
+    assert a.states == b.states
+
+
+# ----------------------------------------------------------------------
+# Section 5 broadcast VC: incremental ≡ scratch
+# ----------------------------------------------------------------------
+
+_BVC_FAMILIES = {
+    "path4": (lambda: families.path_graph(4), [1, 3, 2, 1]),
+    "cycle5": (lambda: families.cycle_graph(5), unit_weights(5)),
+    "star3": (lambda: families.star_graph(3), [2, 1, 1, 1]),
+    "gnp5": (lambda: families.gnp_random(5, 0.45, seed=2), [2, 1, 2, 1, 2]),
+}
+
+
+def _bvc_pair(name, metering="bits", arithmetic="scaled", seed=None):
+    make_graph, weights = _BVC_FAMILIES[name]
+    g = make_graph()
+    W = max(weights)
+    kwargs = dict(
+        inputs=list(weights),
+        globals_map={"delta": g.max_degree, "W": W},
+        max_rounds=bvc_round_count(g.max_degree, W),
+        metering=metering,
+        seed=seed,
+    )
+    inc = run(
+        g,
+        BroadcastVertexCoverMachine(arithmetic=arithmetic, replay="incremental"),
+        **kwargs,
+    )
+    scr = run(
+        g,
+        BroadcastVertexCoverMachine(arithmetic=arithmetic, replay="scratch"),
+        **kwargs,
+    )
+    return inc, scr
+
+
+@pytest.mark.parametrize("name", sorted(_BVC_FAMILIES))
+def test_bvc_incremental_matches_scratch(name):
+    inc, scr = _bvc_pair(name)
+    assert_same_result(inc, scr)
+    assert inc.all_halted
+
+
+@pytest.mark.parametrize("metering", ["counts", "none"])
+def test_bvc_metering_modes(metering):
+    inc, scr = _bvc_pair("path4", metering=metering)
+    assert_same_result(inc, scr)
+
+
+def test_bvc_fraction_arithmetic():
+    inc, scr = _bvc_pair("cycle5", arithmetic="fraction")
+    assert_same_result(inc, scr)
+
+
+def test_bvc_seeded_run():
+    # A seed materialises per-node RNGs; the (deterministic) machines
+    # ignore them, and replay equality must be unaffected.
+    inc, scr = _bvc_pair("path4", seed=7)
+    assert_same_result(inc, scr)
+
+
+def test_bvc_cross_engine_cross_mode():
+    """Strongest cross-check: fast engine + incremental vs reference
+    engine + scratch — two engines, two replay strategies, one answer."""
+    make_graph, weights = _BVC_FAMILIES["cycle5"]
+    g = make_graph()
+    kwargs = dict(
+        inputs=list(weights),
+        globals_map={"delta": g.max_degree, "W": max(weights)},
+        max_rounds=bvc_round_count(g.max_degree, max(weights)),
+    )
+    fast_inc = run(g, BroadcastVertexCoverMachine(replay="incremental"), **kwargs)
+    ref_scr = run_reference(
+        g, BroadcastVertexCoverMachine(replay="scratch"), **kwargs
+    )
+    assert fast_inc.outputs == ref_scr.outputs
+    assert fast_inc.rounds == ref_scr.rounds
+    assert fast_inc.messages_sent == ref_scr.messages_sent
+    assert fast_inc.message_bits == ref_scr.message_bits
+    assert fast_inc.per_round_bits == ref_scr.per_round_bits
+
+
+def test_bvc_incremental_memo_actually_hits():
+    """Guard against the incremental path silently degrading to scratch."""
+    make_graph, weights = _BVC_FAMILIES["cycle5"]
+    g = make_graph()
+    machine = BroadcastVertexCoverMachine(replay="incremental")
+    run(
+        g,
+        machine,
+        inputs=list(weights),
+        globals_map={"delta": g.max_degree, "W": max(weights)},
+        max_rounds=bvc_round_count(g.max_degree, max(weights)),
+    )
+    assert machine._memo.hits > machine._memo.misses
+
+
+# ----------------------------------------------------------------------
+# Self-stabilising transformer: incremental ≡ scratch
+# ----------------------------------------------------------------------
+
+
+def _selfstab_pair(
+    rounds,
+    adversary_factory=None,
+    metering="bits",
+    seed=None,
+    n=6,
+):
+    g = families.cycle_graph(n)
+    w = uniform_weights(n, 3, seed=4)
+    horizon = schedule_length(2, 3)
+    kwargs = dict(
+        inputs=list(w),
+        globals_map={"delta": 2, "W": 3},
+        max_rounds=rounds if rounds is not None else 2 * horizon,
+        metering=metering,
+        seed=seed,
+    )
+    results = {}
+    for mode in REPLAY_MODES:
+        machine = SelfStabilisingMachine(EdgePackingMachine(), horizon, replay=mode)
+        adversary = adversary_factory() if adversary_factory is not None else None
+        results[mode] = run(g, machine, fault_adversary=adversary, **kwargs)
+    return results[REPLAY_INCREMENTAL], results[REPLAY_SCRATCH]
+
+
+def test_selfstab_fault_free():
+    inc, scr = _selfstab_pair(rounds=None)
+    assert_same_result(inc, scr)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("rate", [0.2, 0.6])
+def test_selfstab_random_faults(seed, rate):
+    inc, scr = _selfstab_pair(
+        rounds=None,
+        adversary_factory=lambda: RandomStateCorruption(
+            until_round=8, rate=rate, seed=seed
+        ),
+    )
+    assert_same_result(inc, scr)
+
+
+def _dirty_pipeline_level(rng: random.Random, state):
+    """Corrupt one arbitrary pipeline level of a transformer state:
+    structurally-invalid garbage (forces the reset path), a wrong but
+    plausible level copied from elsewhere in the pipeline, or None."""
+    if not isinstance(state, _PipelineState):
+        return state
+    levels = list(state.pipeline)
+    i = rng.randrange(len(levels))
+    roll = rng.random()
+    if roll < 0.4:
+        levels[i] = ("garbage", rng.randrange(100))
+    elif roll < 0.8:
+        levels[i] = levels[rng.randrange(len(levels))]
+    else:
+        levels[i] = None
+    return _PipelineState(tuple(levels))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_selfstab_dirtied_arbitrary_levels(seed):
+    """Fault injection aimed at single pipeline levels — exactly the
+    dirtying granularity the incremental mode claims to re-do."""
+    inc, scr = _selfstab_pair(
+        rounds=None,
+        adversary_factory=lambda: RandomStateCorruption(
+            until_round=10, rate=0.5, seed=seed, corruptor=_dirty_pipeline_level
+        ),
+    )
+    assert_same_result(inc, scr)
+
+
+@pytest.mark.parametrize("metering", ["counts", "none"])
+def test_selfstab_metering_modes(metering):
+    inc, scr = _selfstab_pair(rounds=None, metering=metering)
+    assert_same_result(inc, scr)
+
+
+def test_selfstab_seeded_rng_fallback():
+    """With per-node RNGs present the incremental machine falls back to
+    the scratch path node by node — and must still agree."""
+    inc, scr = _selfstab_pair(rounds=None, seed=11)
+    assert_same_result(inc, scr)
+
+
+def test_selfstab_broadcast_model_inner():
+    """The broadcast-model level projection path, via a wrapped
+    Section 4 machine on a bipartite set-cover layout."""
+    inst = random_instance(n_subsets=3, n_elements=4, k=2, f=2, W=2, seed=5)
+    g = inst.to_bipartite_graph()
+    kwargs = dict(
+        inputs=inst.node_inputs(),
+        globals_map=inst.global_params(),
+        max_rounds=12,
+    )
+    results = {}
+    for mode in REPLAY_MODES:
+        machine = SelfStabilisingMachine(
+            FractionalPackingMachine(), horizon=8, replay=mode
+        )
+        results[mode] = run(g, machine, **kwargs)
+    assert_same_result(results[REPLAY_INCREMENTAL], results[REPLAY_SCRATCH])
+
+
+def test_selfstab_incremental_memo_actually_hits():
+    g = families.cycle_graph(6)
+    w = uniform_weights(6, 3, seed=4)
+    horizon = schedule_length(2, 3)
+    machine = SelfStabilisingMachine(
+        EdgePackingMachine(), horizon, replay="incremental"
+    )
+    run(
+        g,
+        machine,
+        inputs=list(w),
+        globals_map={"delta": 2, "W": 3},
+        max_rounds=3 * horizon,
+    )
+    assert machine._step_memo.hits > machine._step_memo.misses
+
+
+# ----------------------------------------------------------------------
+# The replay knob plumbing
+# ----------------------------------------------------------------------
+
+
+def test_with_replay_reconfigures_replay_aware_machines():
+    bvc = BroadcastVertexCoverMachine(replay="incremental")
+    assert bvc.with_replay("incremental") is bvc
+    scr = bvc.with_replay("scratch")
+    assert scr is not bvc and scr.replay == "scratch"
+    assert scr.arithmetic == bvc.arithmetic
+
+    ss = SelfStabilisingMachine(EdgePackingMachine(), horizon=4)
+    assert ss.with_replay("incremental") is ss
+    ss_scr = ss.with_replay("scratch")
+    assert ss_scr.replay == "scratch" and ss_scr.horizon == 4
+    assert ss_scr.inner is ss.inner
+
+
+def test_with_replay_is_a_noop_for_plain_machines():
+    m = EdgePackingMachine()
+    assert m.with_replay("incremental") is m
+    assert m.with_replay("scratch") is m
+    with pytest.raises(ValueError):
+        m.with_replay("bogus")
+
+
+def test_run_replay_kwarg():
+    """run(..., replay=...) reconfigures replay-aware machines without
+    mutating the caller's machine, and validates the mode."""
+    g = families.path_graph(4)
+    w = [1, 3, 2, 1]
+    machine = BroadcastVertexCoverMachine(replay="incremental")
+    kwargs = dict(
+        inputs=w,
+        globals_map={"delta": 2, "W": 3},
+        max_rounds=bvc_round_count(2, 3),
+    )
+    scr = run(g, machine, replay="scratch", **kwargs)
+    assert machine.replay == "incremental"  # caller's machine untouched
+    inc = run(g, machine, **kwargs)
+    assert_same_result(inc, scr)
+    with pytest.raises(ValueError):
+        run(g, machine, replay="bogus", **kwargs)
+
+
+def test_invalid_replay_mode_rejected_at_construction():
+    with pytest.raises(ValueError):
+        BroadcastVertexCoverMachine(replay="bogus")
+    with pytest.raises(ValueError):
+        SelfStabilisingMachine(EdgePackingMachine(), 4, replay="bogus")
+    with pytest.raises(ValueError):
+        validate_replay("bogus")
+    assert validate_replay(REPLAY_SCRATCH) == "scratch"
+
+
+# ----------------------------------------------------------------------
+# Memo primitives
+# ----------------------------------------------------------------------
+
+
+def test_note_extension_registry():
+    parent = (("a", 1), ("b", 2))
+    child = parent + (("c", 3),)
+    assert note_extension(parent, child) is child
+    assert extension_parent(child) is parent
+    # Wrong shapes are ignored, never trusted.
+    note_extension(parent, parent + (("d", 4), ("e", 5)))
+    assert extension_parent(parent + (("d", 4), ("e", 5))) is None
+
+
+def test_extension_metering_matches_full_scan():
+    """Sizes/keys derived through the extension chain must equal the
+    plain full scan of a content-equal, never-registered tuple."""
+    rng = random.Random(9)
+    history = ()
+    for i in range(40):
+        msg = (f"m{i}", rng.randrange(1000), (True, None, rng.randrange(7)))
+        new = history + (msg,)
+        note_extension(history, new)
+        history = new
+        # A content-equal tuple built without registration: forces the
+        # full scan on fresh objects.
+        twin = tuple((a, b, (c, d, e)) for (a, b, (c, d, e)) in history)
+        assert twin == history and twin is not history
+        assert message_size_bits(history) == message_size_bits(twin)
+        assert canonical_key(history) == canonical_key(twin)
+
+
+def test_replay_memo_bounds_and_stats():
+    memo = ReplayMemo(limit=4)
+    assert memo.get("a") is None
+    assert memo.misses == 1
+    memo.put("a", 1)
+    assert memo.get("a") == 1 and memo.hits == 1
+    for i in range(5):
+        memo.put(f"k{i}", i)  # crosses the limit: wholesale clear
+    assert len(memo) <= 4
+    memo.clear()
+    assert len(memo) == 0
+
+
+def test_generational_memo_retires_stale_buckets():
+    memo = GenerationalMemo()
+    memo.put(0, "x", "s0")
+    memo.put(1, "y", "s1")
+    assert memo.get(0, "x") == "s0"
+    memo.put(5, "z", "s5")  # retires everything before generation 4
+    assert memo.get(0, "x") is None
+    assert memo.get(5, "z") == "s5"
+
+
+def test_fingerprint_cache_identity_reuse():
+    cache = FingerprintCache(limit=8)
+    obj = ("payload", 1, 2)
+    fp1 = cache.of(obj)
+    assert cache.of(obj) is fp1  # identity hit returns the cached bytes
+    equal = ("payload", 1, 2)
+    assert cache.of(equal) == fp1  # equal values, equal fingerprints
+    assert content_fingerprint(obj) == fp1

@@ -9,11 +9,13 @@ What it enforces (CI `docs` job; run locally with
    the CLIs fail here), and the ``python`` block in README.md actually
    executes;
 2. the ``--help`` texts of both CLIs still advertise the flags the
-   docs promise (``--workers``/``--backend``/``--json``);
+   docs promise (``--workers``/``--backend``/``--json``/``--replay``);
 3. every ``repro.*`` module named in the README paper->code map
-   imports;
+   imports, and so does every ``repro.*`` reference in
+   ``docs/architecture.md`` (the simulation-layers doc);
 4. ``docs/performance.md`` names the real knob values — metering
-   modes and backends are read from the code, not hard-coded here;
+   modes, backends and replay modes are read from the code, not
+   hard-coded here;
 5. a tiny end-to-end CLI sweep runs (serial and process backend) and
    agrees with itself.
 
@@ -120,7 +122,7 @@ def check_help_texts() -> None:
 
     import argparse
 
-    promised = ["--workers", "--backend", "--json"]
+    promised = ["--workers", "--backend", "--json", "--replay"]
     parser = _build_parser()
     sweep_parser = None
     for action in parser._actions:
@@ -146,12 +148,14 @@ def check_help_texts() -> None:
             ok(f"repro.experiments.cli --help documents {flag}")
 
 
-def check_paper_code_map(readme: str) -> None:
-    modules = set(re.findall(r"`(repro(?:\.\w+)+)`", readme))
+def check_repro_references(text: str, label: str) -> None:
+    """Every backticked ``repro.*`` reference in ``text`` must import
+    (as a module, or as an attribute of its parent module)."""
+    modules = set(re.findall(r"`(repro(?:\.\w+)+)`", text))
     if not modules:
-        fail("README paper->code map names no repro modules")
+        fail(f"{label} names no repro modules")
     for name in sorted(modules):
-        # map entries name modules or module.attr; import the longest
+        # entries name modules or module.attr; import the longest
         # importable prefix and require the attr to exist on it.
         parts = name.split(".")
         try:
@@ -163,9 +167,36 @@ def check_paper_code_map(readme: str) -> None:
                 loaded = importlib.import_module(mod)
                 if not hasattr(loaded, attr):
                     raise
-            ok(f"paper->code map target importable: {name}")
+            ok(f"{label} target importable: {name}")
         except Exception:
-            fail(f"README names {name} but it does not import")
+            fail(f"{label} names {name} but it does not import")
+
+
+def check_paper_code_map(readme: str) -> None:
+    check_repro_references(readme, "README paper->code map")
+
+
+def check_architecture_doc() -> None:
+    doc_path = REPO / "docs" / "architecture.md"
+    if not doc_path.exists():
+        fail("docs/architecture.md missing")
+        return
+    doc = doc_path.read_text()
+    check_repro_references(doc, "architecture.md")
+    # The doc documents both replay data flows; it must name the knob
+    # values and both consumers.
+    from repro._util.memo import REPLAY_MODES
+
+    for mode in REPLAY_MODES:
+        if f'`replay="{mode}"`' in doc or f"`{mode}`" in doc or f'"{mode}"' in doc:
+            ok(f"architecture.md documents replay mode {mode!r}")
+        else:
+            fail(f"architecture.md does not document replay mode {mode!r}")
+    for consumer in ("broadcast_vc", "transformer", "memo"):
+        if consumer in doc:
+            ok(f"architecture.md covers {consumer}")
+        else:
+            fail(f"architecture.md does not mention {consumer}")
 
 
 def check_performance_doc() -> None:
@@ -175,6 +206,7 @@ def check_performance_doc() -> None:
         return
     doc = doc_path.read_text()
     from repro.simulator.runtime import Metering
+    from repro._util.memo import REPLAY_MODES
     from repro._util.parallel import BACKENDS
 
     for mode in (Metering.NONE, Metering.COUNTS, Metering.BITS):
@@ -187,7 +219,12 @@ def check_performance_doc() -> None:
             fail(f"docs/performance.md does not document backend {backend!r}")
         else:
             ok(f"performance.md documents backend {backend!r}")
-    for knob in ("arithmetic", "n_workers", "quiescence"):
+    for mode in REPLAY_MODES:
+        if f'"{mode}"' not in doc and f"`{mode}`" not in doc:
+            fail(f"docs/performance.md does not document replay mode {mode!r}")
+        else:
+            ok(f"performance.md documents replay mode {mode!r}")
+    for knob in ("arithmetic", "n_workers", "quiescence", "replay"):
         if knob not in doc:
             fail(f"docs/performance.md does not mention {knob}")
         else:
@@ -227,6 +264,7 @@ def main() -> int:
     check_readme_python_blocks(readme)
     check_help_texts()
     check_paper_code_map(readme)
+    check_architecture_doc()
     check_performance_doc()
     check_cli_end_to_end()
     if FAILURES:
