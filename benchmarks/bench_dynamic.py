@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Dynamic-session benchmark: incremental vs scratch under low churn.
+
+Times :class:`repro.dynamic.DynamicRun` on a low-churn stream — the
+workload the dirty-region warm restart exists for: a large sparse
+instance (cycle, Δ=2) absorbing one random edit per batch, so each
+batch's dependency ball is a small fixed-radius neighbourhood while
+the scratch mode re-runs all ``n`` nodes.  Verifies the two modes stay
+bit-for-bit identical (the ``tests/test_dynamic.py`` contract,
+re-checked here on the benchmark workload) and records the measurement
+in the ``dynamic`` section of ``BENCH_perf.json``:
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py --update
+
+**Gate: incremental must be >=2x faster per batch** — the repaired
+region is O(Δ·rounds·edits) nodes against n re-executed from scratch,
+so the advantage is algorithmic, not host-dependent, and the gate runs
+everywhere.
+
+This script is not part of the pytest-benchmark baseline
+(``bench_perf.py``); like ``bench_replay.py`` it compares two
+configurations against each other rather than a hot path against
+history.  ``compare.py check`` ignores the section (missing = skip);
+``compare.py update`` preserves it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.dynamic import DynamicRun, RandomChurn  # noqa: E402
+from repro.graphs import families  # noqa: E402
+from repro.graphs.weights import unit_weights  # noqa: E402
+
+BASELINE = Path(__file__).with_name("BENCH_perf.json")
+
+
+def churn_session(mode, n, batches, edits, seed, metering):
+    """One full churn session; returns (per-batch seconds, session).
+
+    The stream is seeded and the graph evolves identically in both
+    modes, so separately-timed sessions see the same edit sequence.
+    """
+    session = DynamicRun.vertex_cover(
+        families.cycle_graph(n), unit_weights(n), mode=mode, metering=metering
+    )
+    stream = RandomChurn(edits_per_batch=edits, seed=seed, max_degree=2)
+    batch_seconds = 0.0
+    applied = 0
+    for _ in range(batches):
+        batch = stream.next_batch(session.graph, session.inputs)
+        if not batch:
+            continue
+        t0 = time.perf_counter()
+        session.apply(batch)
+        batch_seconds += time.perf_counter() - t0
+        applied += 1
+    return batch_seconds / max(1, applied), session
+
+
+def assert_identical(a, b):
+    assert a.outputs == b.outputs
+    assert a.rounds == b.rounds
+    assert a.all_halted == b.all_halted
+    assert a.messages_sent == b.messages_sent
+    assert a.message_bits == b.message_bits
+    assert a.per_round_bits == b.per_round_bits
+    assert a.states == b.states
+
+
+def host_record():
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=2048,
+                        help="cycle size (default 2048)")
+    parser.add_argument("--batches", type=int, default=8,
+                        help="edit batches per session (default 8)")
+    parser.add_argument("--edits", type=int, default=1,
+                        help="edits per batch — low churn (default 1)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per mode (default 3)")
+    parser.add_argument("--metering", default="none",
+                        choices=["none", "counts", "bits"],
+                        help="metering mode for the timed sessions "
+                             "(default none: pure repair cost)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--update", action="store_true",
+                        help="write the dynamic section of BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    print(f"cycle n={args.n}, {args.edits} edit(s)/batch x {args.batches} "
+          f"batches, metering {args.metering}, best of {args.repeats}")
+
+    timings, sessions = {}, {}
+    for mode in ("incremental", "scratch"):
+        best, final = float("inf"), None
+        for _ in range(args.repeats):
+            per_batch, session = churn_session(
+                mode, args.n, args.batches, args.edits, args.seed,
+                args.metering,
+            )
+            if per_batch < best:
+                best, final = per_batch, session
+        timings[mode], sessions[mode] = best, final
+
+    assert_identical(
+        sessions["incremental"].result, sessions["scratch"].result
+    )
+    assert sessions["incremental"].cover() == sessions["scratch"].cover()
+    inc_stats = sessions["incremental"].stats
+    mean_fraction = sum(s.repaired_fraction for s in inc_stats) / len(inc_stats)
+    speedup = timings["scratch"] / timings["incremental"]
+
+    record = {
+        "workload": (
+            f"DynamicRun vertex cover, cycle n={args.n}, RandomChurn "
+            f"{args.edits} edit(s)/batch x {args.batches} batches, "
+            f"metering {args.metering}"
+        ),
+        "incremental_s_per_batch": round(timings["incremental"], 4),
+        "scratch_s_per_batch": round(timings["scratch"], 4),
+        "incremental_vs_scratch_speedup": round(speedup, 2),
+        "mean_repaired_fraction": round(mean_fraction, 4),
+        "results_bit_identical_across_modes": True,
+        "host": host_record(),
+    }
+    print(json.dumps({"dynamic": record}, indent=2))
+    assert speedup >= 2.0, (
+        f"incremental dynamic sessions should be >=2x scratch on the "
+        f"low-churn stream workload; measured {speedup:.2f}x"
+    )
+    print("dynamic gate (>=2x vs scratch): PASS")
+
+    if args.update:
+        baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+        baseline["dynamic"] = record
+        BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"wrote dynamic section -> {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

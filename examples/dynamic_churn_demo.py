@@ -1,0 +1,89 @@
+"""Dynamic churn demo: a sensor network repairing its cover live.
+
+A ring of 360 battery-powered sensors around a perimeter fence
+maintains a minimum-weight vertex cover (the sensors elected to run
+the expensive monitoring duty: every radio link must touch one).
+Radio links come and go — a storm knocks a stretch of links out, the
+weather clears and they return, and one sensor dies outright.  A
+:class:`repro.dynamic.DynamicRun` session repairs the standing cover
+after every batch of link changes, re-executing only the dirty region
+around the churn (the BFS ball whose radius is the algorithm's round
+count — locality made operational), while a scratch session (the
+paper-literal full re-solve) runs in lockstep to show every repaired
+cover is bit-for-bit the one a full re-solve would produce.
+
+Run:  PYTHONPATH=src python examples/dynamic_churn_demo.py
+"""
+
+from repro.dynamic import (
+    DynamicRun,
+    SlidingWindowStream,
+    add_edge,
+    remove_edge,
+    remove_vertex,
+)
+from repro.graphs import families
+from repro.graphs.weights import uniform_weights
+
+
+def main() -> None:
+    n = 360
+    ring = families.cycle_graph(n)
+    # Weight = cost of electing the sensor (battery level, 1..5).
+    weights = uniform_weights(n, 5, seed=20)
+
+    print(f"sensor ring: {n} sensors, {ring.m} radio links, weights 1..5")
+    kwargs = dict(delta=3, W=5, metering="none")  # headroom for new links
+    session = DynamicRun.vertex_cover(ring, weights, mode="incremental", **kwargs)
+    shadow = DynamicRun.vertex_cover(ring, weights, mode="scratch", **kwargs)
+    view = session.cover_view()
+    print(f"initial cover: {len(view.cover)} sensors elected, "
+          f"weight {view.cover_weight}, certificate "
+          f"{float(view.certificate_ratio):.3f} (<= 1 proves <= 2*OPT)\n")
+
+    events = [
+        ("storm knocks out three links",
+         [remove_edge(10, 11), remove_edge(11, 12), remove_edge(200, 201)]),
+        ("weather clears, links return",
+         [add_edge(10, 11), add_edge(11, 12), add_edge(200, 201)]),
+        ("sensor 100 runs out of battery",
+         [remove_vertex(100)]),
+    ]
+    for label, batch in events:
+        stats = session.apply(batch)
+        shadow.apply(batch)
+        assert session.result.outputs == shadow.result.outputs
+        assert session.result.states == shadow.result.states
+        assert session.cover() == shadow.cover()
+        view = session.cover_view()
+        assert view.covered, "repair left a link uncovered!"
+        print(f"{label}:")
+        print(f"  repaired {stats.repaired_nodes}/{stats.n} sensors "
+              f"({stats.repaired_fraction:.0%} of the ring), "
+              f"cover weight {view.cover_weight}, certificate "
+              f"{float(view.certificate_ratio):.3f}, "
+              f"still a cover: {view.covered}")
+
+    # Ongoing background churn: a sliding window of transient links.
+    stream = SlidingWindowStream(window=3, edits_per_batch=1, seed=5,
+                                max_degree=3)
+    fractions = []
+    for _ in range(5):
+        batch = stream.next_batch(session.graph, session.inputs)
+        if not batch:
+            continue
+        stats = session.apply(batch)
+        shadow.apply(batch)
+        assert session.cover() == shadow.cover()
+        fractions.append(stats.repaired_fraction)
+    if fractions:
+        print(f"\nbackground churn ({len(fractions)} batches): mean "
+              f"repaired fraction {sum(fractions) / len(fractions):.0%}; "
+              f"every repair bit-identical to a full re-solve")
+    print("final cover valid:", session.is_cover(),
+          "| weight:", session.cover_weight(),
+          "| batches applied:", session.batches_applied)
+
+
+if __name__ == "__main__":
+    main()

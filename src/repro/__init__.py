@@ -17,6 +17,8 @@ The package provides:
 * the lower-bound constructions of Section 6
   (:mod:`repro.lowerbounds`);
 * a self-stabilising transformer (:mod:`repro.selfstab`);
+* a dynamic-network engine maintaining covers under edge/vertex churn
+  with dirty-region warm restarts (:mod:`repro.dynamic`);
 * experiment harnesses regenerating every table and figure
   (:mod:`repro.experiments`).
 
@@ -38,11 +40,13 @@ from repro.core.vertex_cover import (
 from repro.core.set_cover import SetCoverResult, set_cover_f_approx
 from repro.core.edge_packing import maximal_edge_packing
 from repro.core.fractional_packing import maximal_fractional_packing
+from repro.dynamic import DynamicRun
 from repro.graphs import PortNumberedGraph, SetCoverInstance
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "DynamicRun",
     "PortNumberedGraph",
     "SetCoverInstance",
     "SetCoverResult",

@@ -8,6 +8,8 @@ Examples::
     python -m repro.cli sweep --family cycle --sizes 64,256,1024 --seeds 3
     python -m repro.cli sweep --family regular --sizes 10000 \\
         --workers 4 --backend process --metering none --json
+    python -m repro.cli dynamic --family cycle --n 256 --batches 8 \\
+        --stream random --mode incremental --verify
     python -m repro.cli families
 
 ``sweep`` runs one instance per (size, seed) pair through the batched
@@ -18,6 +20,12 @@ and ``--json`` emits one machine-readable record per instance for
 plotting.  ``vc``/``sweep`` with ``--algorithm broadcast`` also take
 ``--replay {incremental,scratch}`` — the §5 history replay strategy
 (bit-identical results; ``scratch`` is the paper-literal reference).
+
+``dynamic`` runs a churn session (:mod:`repro.dynamic`): an edit
+stream mutates the instance batch by batch while the session repairs
+the standing cover — ``--mode incremental`` re-executes only the dirty
+region, ``--mode scratch`` is the paper-literal full re-solve, and
+``--verify`` runs both in lockstep asserting bit-identical results.
 
 (The experiment harness regenerating the paper's tables lives in
 ``python -m repro.experiments.cli``; it takes the same
@@ -40,6 +48,13 @@ from repro.core.vertex_cover import (
     broadcast_vc_job,
     vertex_cover_2approx,
     vertex_cover_broadcast,
+)
+from repro.dynamic import (
+    DYNAMIC_MODES,
+    DynamicRun,
+    HubChurn,
+    RandomChurn,
+    SlidingWindowStream,
 )
 from repro.graphs import families
 from repro.graphs.setcover import random_instance
@@ -131,33 +146,63 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sw.add_argument("--json", action="store_true", help="machine-readable output")
 
+    dy = sub.add_parser(
+        "dynamic",
+        help="maintain a cover under churn (dirty-region warm restarts)",
+    )
+    dy.add_argument("--family", default="cycle", help="graph family name")
+    dy.add_argument("--n", type=int, default=64, help="size parameter")
+    dy.add_argument("--W", type=int, default=1, help="max weight (1 = unweighted)")
+    dy.add_argument("--seed", type=int, default=0)
+    dy.add_argument(
+        "--algorithm",
+        choices=["port", "broadcast"],
+        default="port",
+        help="Section 3 (port numbering) or Section 5 (broadcast)",
+    )
+    dy.add_argument(
+        "--mode",
+        choices=list(DYNAMIC_MODES),
+        default="incremental",
+        help="per-batch re-solve strategy (results identical; 'scratch' "
+        "is the paper-literal reference)",
+    )
+    dy.add_argument(
+        "--stream",
+        choices=["random", "hubs", "window"],
+        default="random",
+        help="edit stream: random churn, targeted hub churn, or a "
+        "sliding window of transient links",
+    )
+    dy.add_argument("--batches", type=int, default=5, help="edit batches to apply")
+    dy.add_argument(
+        "--edits-per-batch", type=int, default=2, help="edits per batch"
+    )
+    dy.add_argument(
+        "--metering",
+        choices=["none", "counts", "bits"],
+        default="none",
+        help="what to measure per re-solve ('none' is fastest)",
+    )
+    dy.add_argument(
+        "--verify",
+        action="store_true",
+        help="run a session in the other mode in lockstep and assert "
+        "bit-identical results (every RunResult field)",
+    )
+    dy.add_argument("--json", action="store_true", help="machine-readable output")
+
     sub.add_parser("families", help="list graph family names")
     return parser
 
 
 def _make_graph(name: str, n: int, seed: int):
-    if name in ("petersen", "frucht"):
-        return families.make(name)
-    if name == "cycle":
-        return families.cycle_graph(n)
-    if name == "path":
-        return families.path_graph(n)
-    if name == "complete":
-        return families.complete_graph(n)
-    if name == "star":
-        return families.star_graph(n)
-    if name == "hypercube":
-        return families.hypercube(n)
-    if name == "grid":
-        side = max(2, int(n ** 0.5))
-        return families.grid_2d(side, side)
-    if name == "regular":
-        return families.random_regular(3, n, seed=seed)
-    if name == "gnp":
-        return families.gnp_random(n, 0.3, seed=seed)
-    if name == "tree":
-        return families.random_tree(n, seed=seed)
-    raise SystemExit(f"unknown family {name!r}; try `python -m repro.cli families`")
+    try:
+        return families.sized(name, n, seed=seed)
+    except KeyError:
+        raise SystemExit(
+            f"unknown family {name!r}; try `python -m repro.cli families`"
+        ) from None
 
 
 def _run_vc(args) -> dict:
@@ -293,6 +338,109 @@ def _run_sweep(args) -> dict:
     }
 
 
+def _run_dynamic(args) -> dict:
+    """A churn session: apply edit batches, repair the cover live."""
+    if args.batches < 1 or args.edits_per_batch < 1:
+        raise SystemExit("need --batches >= 1 and --edits-per-batch >= 1")
+    graph = _make_graph(args.family, args.n, args.seed)
+    weights = (
+        unit_weights(graph.n)
+        if args.W <= 1
+        else uniform_weights(graph.n, args.W, seed=args.seed)
+    )
+    # Leave one unit of degree headroom so insertion streams have room.
+    delta = graph.max_degree + 1
+    session_kwargs = dict(
+        algorithm=args.algorithm,
+        delta=delta,
+        W=max(1, args.W),
+        metering=args.metering,
+    )
+    session = DynamicRun.vertex_cover(
+        graph, weights, mode=args.mode, **session_kwargs
+    )
+    other_mode = "scratch" if args.mode == "incremental" else "incremental"
+    shadow = (
+        DynamicRun.vertex_cover(graph, weights, mode=other_mode, **session_kwargs)
+        if args.verify
+        else None
+    )
+    if args.stream == "random":
+        stream = RandomChurn(
+            edits_per_batch=args.edits_per_batch, seed=args.seed,
+            W=max(1, args.W), max_degree=delta,
+        )
+    elif args.stream == "hubs":
+        stream = HubChurn(edits_per_batch=args.edits_per_batch, seed=args.seed)
+    else:
+        stream = SlidingWindowStream(
+            window=max(2, args.edits_per_batch * 2),
+            edits_per_batch=args.edits_per_batch,
+            seed=args.seed, max_degree=delta,
+        )
+
+    records = []
+    started = time.perf_counter()
+    for _ in range(args.batches):
+        batch = stream.next_batch(session.graph, session.inputs)
+        if not batch:
+            continue
+        t0 = time.perf_counter()
+        stats = session.apply(batch)
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        if shadow is not None:
+            shadow.apply(batch)
+            a, b = session.result, shadow.result
+            # The full tests/test_dynamic.py contract: every field.
+            # (A hard exit, not assert: --verify must verify even
+            # under `python -O`.)
+            for field in ("outputs", "rounds", "all_halted", "messages_sent",
+                          "message_bits", "per_round_bits", "states"):
+                if getattr(a, field) != getattr(b, field):
+                    raise SystemExit(
+                        f"--verify failed at batch {stats.batch}: RunResult."
+                        f"{field} differs between {args.mode!r} and "
+                        f"{other_mode!r} modes"
+                    )
+        view = session.cover_view()
+        records.append(
+            {
+                "batch": stats.batch,
+                "edits": [repr(e) for e in batch],
+                "n": stats.n,
+                "m": stats.m,
+                "dirty_seeds": stats.dirty_seeds,
+                "repaired_nodes": stats.repaired_nodes,
+                "repaired_fraction": round(stats.repaired_fraction, 4),
+                "rounds": stats.rounds,
+                "cover_weight": view.cover_weight,
+                "certificate_ratio": str(view.certificate_ratio),
+                "is_cover": view.covered,
+                "wall_ms": round(wall_ms, 2),
+            }
+        )
+    elapsed = time.perf_counter() - started
+    return {
+        "problem": "dynamic-vertex-cover",
+        "algorithm": args.algorithm,
+        "mode": args.mode,
+        "stream": args.stream,
+        "family": args.family,
+        "n0": graph.n,
+        "delta": delta,
+        "W": max(1, args.W),
+        "metering": args.metering,
+        "verified_against_scratch": shadow is not None,
+        "wall_seconds": elapsed,
+        "mean_repaired_fraction": (
+            round(sum(r["repaired_fraction"] for r in records) / len(records), 4)
+            if records
+            else 0.0
+        ),
+        "batches": records,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "families":
@@ -310,6 +458,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(" | ".join(cols))
             for rec in payload["runs"]:
                 print(" | ".join(str(rec[c]) for c in cols))
+        return 0
+    if args.command == "dynamic":
+        payload = _run_dynamic(args)
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            meta = {k: v for k, v in payload.items() if k != "batches"}
+            print("  ".join(f"{k}={v}" for k, v in meta.items()))
+            if payload["batches"]:
+                cols = [c for c in payload["batches"][0] if c != "edits"]
+                print(" | ".join(cols))
+                for rec in payload["batches"]:
+                    print(" | ".join(str(rec[c]) for c in cols))
         return 0
     payload = _run_vc(args) if args.command == "vc" else _run_sc(args)
     if args.json:

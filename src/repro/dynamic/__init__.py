@@ -1,0 +1,59 @@
+"""Dynamic-network engine: covers maintained under edge/vertex churn.
+
+The first subsystem whose unit of work is a *stream* rather than a
+run: a :class:`DynamicRun` session holds a solved cover and applies
+batches of :class:`GraphEdit` values, re-deriving the cover either
+from scratch (``mode="scratch"``, the paper-literal reference) or via
+a dirty-region warm restart (``mode="incremental"``, bit-for-bit
+identical, see :mod:`repro.dynamic.session`).  Edit streams — random
+churn, targeted hub churn, sliding windows — live in
+:mod:`repro.dynamic.streams`.
+"""
+
+from repro.dynamic.edits import (
+    EDIT_KINDS,
+    AppliedBatch,
+    EditError,
+    GraphEdit,
+    add_edge,
+    add_vertex,
+    apply_edits,
+    remove_edge,
+    remove_vertex,
+    reweight,
+)
+from repro.dynamic.session import (
+    DYNAMIC_MODES,
+    BatchStats,
+    CoverView,
+    DynamicRun,
+    validate_dynamic_mode,
+)
+from repro.dynamic.streams import (
+    EditStream,
+    HubChurn,
+    RandomChurn,
+    SlidingWindowStream,
+)
+
+__all__ = [
+    "EDIT_KINDS",
+    "DYNAMIC_MODES",
+    "AppliedBatch",
+    "BatchStats",
+    "CoverView",
+    "DynamicRun",
+    "EditError",
+    "EditStream",
+    "GraphEdit",
+    "HubChurn",
+    "RandomChurn",
+    "SlidingWindowStream",
+    "add_edge",
+    "add_vertex",
+    "apply_edits",
+    "remove_edge",
+    "remove_vertex",
+    "reweight",
+    "validate_dynamic_mode",
+]

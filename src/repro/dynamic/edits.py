@@ -1,0 +1,229 @@
+"""The graph-edit language of the dynamic-network engine.
+
+A dynamic session (:class:`repro.dynamic.session.DynamicRun`) evolves
+an instance through batches of :class:`GraphEdit` values — the five
+edit kinds below — and re-derives the cover after every batch.  This
+module is the *pure* half of the subsystem: applying a batch to an
+``(n, edges, inputs)`` triple is ordinary data manipulation with no
+simulation in it, and :func:`apply_edits` additionally reports exactly
+the bookkeeping the incremental mode needs —
+
+* ``touched``: the nodes whose *local view* changed (edit endpoints,
+  reweighted nodes, fresh vertices, and the former neighbours of a
+  removed vertex — a vertex removal orphans its incident edges, so
+  every former neighbour loses a port), the seeds of the dirty region;
+* ``node_map``: where each pre-batch node index ended up (``None`` for
+  removed vertices).  Vertex removal renumbers higher indices down by
+  one; the shift is **order-preserving**, so the canonical port
+  numbering of every untouched node is unchanged — which is what makes
+  splicing previous per-node results across a batch sound.
+
+Edit streams (random churn, hub churn, sliding windows) live in
+:mod:`repro.dynamic.streams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "EDIT_KINDS",
+    "EditError",
+    "GraphEdit",
+    "add_edge",
+    "remove_edge",
+    "add_vertex",
+    "remove_vertex",
+    "reweight",
+    "AppliedBatch",
+    "apply_edits",
+]
+
+EDIT_KINDS = (
+    "add_edge",
+    "remove_edge",
+    "add_vertex",
+    "remove_vertex",
+    "reweight",
+)
+
+
+class EditError(ValueError):
+    """An edit is invalid against the graph it is applied to."""
+
+
+@dataclass(frozen=True)
+class GraphEdit:
+    """One atomic change to a dynamic instance.
+
+    Use the constructor functions (:func:`add_edge`, ...) rather than
+    building instances directly; they document which fields each kind
+    reads.  ``input`` carries the per-node local input — the integer
+    weight for the vertex-cover flows, the role/weight dict for the
+    set-cover flow.
+    """
+
+    kind: str
+    u: Optional[int] = None
+    v: Optional[int] = None
+    input: Any = None
+    neighbours: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in EDIT_KINDS:
+            raise EditError(
+                f"unknown edit kind {self.kind!r}; expected one of {EDIT_KINDS}"
+            )
+
+    def __repr__(self) -> str:
+        if self.kind in ("add_edge", "remove_edge"):
+            return f"{self.kind}({self.u}, {self.v})"
+        if self.kind == "add_vertex":
+            return f"add_vertex({self.input!r}, neighbours={self.neighbours})"
+        if self.kind == "remove_vertex":
+            return f"remove_vertex({self.v})"
+        return f"reweight({self.v}, {self.input!r})"
+
+
+def add_edge(u: int, v: int) -> GraphEdit:
+    """Insert the edge ``{u, v}`` (must not already exist)."""
+    return GraphEdit("add_edge", u=int(u), v=int(v))
+
+
+def remove_edge(u: int, v: int) -> GraphEdit:
+    """Delete the edge ``{u, v}`` (must exist)."""
+    return GraphEdit("remove_edge", u=int(u), v=int(v))
+
+
+def add_vertex(input: Any, neighbours: Sequence[int] = ()) -> GraphEdit:
+    """Append a fresh vertex (next free index) with the given local
+    input, attached to the listed existing ``neighbours``."""
+    return GraphEdit(
+        "add_vertex", input=input, neighbours=tuple(int(u) for u in neighbours)
+    )
+
+
+def remove_vertex(v: int) -> GraphEdit:
+    """Delete vertex ``v`` and every incident edge; higher indices
+    shift down by one (order-preserving)."""
+    return GraphEdit("remove_vertex", v=int(v))
+
+
+def reweight(v: int, input: Any) -> GraphEdit:
+    """Replace the local input (weight) of vertex ``v``."""
+    return GraphEdit("reweight", v=int(v), input=input)
+
+
+@dataclass(frozen=True)
+class AppliedBatch:
+    """The outcome of :func:`apply_edits`.
+
+    ``node_map[old]`` is the post-batch index of pre-batch node
+    ``old``, or ``None`` if the batch removed it.  ``touched`` is the
+    dirty-seed set, in post-batch indexing.
+    """
+
+    n: int
+    edges: Tuple[Tuple[int, int], ...]
+    inputs: Tuple[Any, ...]
+    node_map: Tuple[Optional[int], ...]
+    touched: FrozenSet[int]
+
+
+def _norm(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def apply_edits(
+    n: int,
+    edges: Sequence[Tuple[int, int]],
+    inputs: Sequence[Any],
+    edits: Sequence[GraphEdit],
+) -> AppliedBatch:
+    """Apply a batch of edits sequentially; validate every step.
+
+    Raises :class:`EditError` on the first invalid edit (duplicate or
+    missing edge, self-loop, out-of-range index, ...) without partial
+    effects leaking to the caller — the inputs are never mutated.
+    """
+    if len(inputs) != n:
+        raise EditError(f"expected {n} inputs, got {len(inputs)}")
+    edge_set: Set[Tuple[int, int]] = set()
+    for (u, v) in edges:
+        edge_set.add(_norm(u, v))
+    cur_inputs: List[Any] = list(inputs)
+    node_map: List[Optional[int]] = list(range(n))
+    touched: Set[int] = set()
+    cur_n = n
+
+    def check_node(x: Any, what: str) -> int:
+        if not isinstance(x, int) or isinstance(x, bool):
+            raise EditError(f"{what} must be an int, got {x!r}")
+        if not 0 <= x < cur_n:
+            raise EditError(f"{what} {x} out of range for n={cur_n}")
+        return x
+
+    for edit in edits:
+        kind = edit.kind
+        if kind in ("add_edge", "remove_edge"):
+            u = check_node(edit.u, f"{kind} endpoint")
+            v = check_node(edit.v, f"{kind} endpoint")
+            if u == v:
+                raise EditError(f"{kind}({u}, {v}): self-loops are not allowed")
+            e = _norm(u, v)
+            if kind == "add_edge":
+                if e in edge_set:
+                    raise EditError(f"add_edge{e}: edge already present")
+                edge_set.add(e)
+            else:
+                if e not in edge_set:
+                    raise EditError(f"remove_edge{e}: no such edge")
+                edge_set.discard(e)
+            touched.update(e)
+        elif kind == "reweight":
+            v = check_node(edit.v, "reweight vertex")
+            cur_inputs[v] = edit.input
+            touched.add(v)
+        elif kind == "add_vertex":
+            new = cur_n
+            attach = []
+            for u in edit.neighbours:
+                attach.append(check_node(u, "add_vertex neighbour"))
+            if len(set(attach)) != len(attach):
+                raise EditError(f"add_vertex: duplicate neighbours {attach}")
+            cur_n += 1
+            cur_inputs.append(edit.input)
+            for u in attach:
+                edge_set.add(_norm(new, u))
+                touched.add(u)
+            touched.add(new)
+        elif kind == "remove_vertex":
+            v = check_node(edit.v, "remove_vertex vertex")
+            orphaned = sorted(
+                u for (a, b) in edge_set if v in (a, b) for u in (a, b) if u != v
+            )
+            edge_set = {e for e in edge_set if v not in e}
+
+            def shift(x: int) -> int:
+                return x if x < v else x - 1
+
+            edge_set = {_norm(shift(a), shift(b)) for (a, b) in edge_set}
+            cur_inputs.pop(v)
+            touched = {shift(x) for x in touched if x != v}
+            touched.update(shift(u) for u in orphaned)
+            node_map = [
+                None if m == v else (m if m is None or m < v else m - 1)
+                for m in node_map
+            ]
+            cur_n -= 1
+        else:  # pragma: no cover — __post_init__ already rejects these
+            raise EditError(f"unknown edit kind {kind!r}")
+
+    return AppliedBatch(
+        n=cur_n,
+        edges=tuple(sorted(edge_set)),
+        inputs=tuple(cur_inputs),
+        node_map=tuple(node_map),
+        touched=frozenset(touched),
+    )

@@ -1,0 +1,851 @@
+"""Dynamic-network sessions: covers maintained under churn.
+
+A :class:`DynamicRun` holds a solved instance — a graph, its per-node
+inputs, the machine that solves it and the standing
+:class:`~repro.simulator.runtime.RunResult` — and applies batches of
+:class:`~repro.dynamic.edits.GraphEdit` values, re-deriving the cover
+after every batch.  Two modes, selected once per session:
+
+* ``mode="scratch"`` — the paper-literal reference contract: every
+  batch re-runs the machine on the fresh post-edit graph through
+  :func:`repro.simulator.runtime.run`, exactly as
+  ``maximal_edge_packing`` / ``vertex_cover_2approx`` (and the
+  broadcast / set-cover flows) would on a one-shot instance.
+* ``mode="incremental"`` (default) — a **dirty-region warm restart**.
+  The paper's algorithms are strictly local: a node's state after
+  ``t`` rounds is a pure function of its radius-``t`` ball (topology,
+  inputs and globals within distance ``t``), because information moves
+  one hop per synchronous round.  An edit therefore only perturbs the
+  BFS ball of radius = the executed round count around the touched
+  endpoints.  The session keeps the previous run's per-round message
+  history in a :class:`repro._util.memo.GenerationalMemo` (one
+  generation per batch; stale generations are retired automatically)
+  and, per batch, re-executes **only the dirty ball**: clean nodes
+  replay their memoised emissions round by round — never stepping —
+  while dirty nodes run from ``start()`` against inboxes assembled
+  from fresh (dirty) and replayed (clean) messages.  The repaired
+  states, outputs and metering are then spliced into the standing
+  ``RunResult``.
+
+The two modes are **bit-for-bit identical** on every ``RunResult``
+field — outputs, rounds, ``all_halted``, message counts, metered bits,
+per-round bits, final states — in the same contract style as the
+``replay=`` and ``arithmetic=`` knobs; ``tests/test_dynamic.py`` pins
+the equality differentially across graph families, edit kinds,
+metering modes, arithmetic modes and seeds.
+
+Soundness of the warm restart (why replaying is not an approximation):
+run the pre- and post-edit executions in lockstep and let ``Dirty_t``
+be the nodes whose state after ``t`` rounds differs.  ``Dirty_0`` is
+the touched set (changed degree, weight, or existence).  A node
+outside the touched set has the *same* neighbour set in both graphs,
+so its round-``t`` inbox differs only if a neighbour is in
+``Dirty_t`` — hence ``Dirty_{t+1} ⊆ touched ∪ N(Dirty_t)``, and after
+``R`` executed rounds the dirty region is contained in the radius-``R``
+BFS ball around the touched nodes.  Everything outside the ball has an
+identical trajectory, so its recorded emissions, final state and
+output can be reused verbatim.
+
+Requirements (both asserted where cheap, documented otherwise): the
+machine must be deterministic (it may receive a ``ctx.rng`` but must
+not read it — true of all the paper's machines) with a round count
+that never *grows* under edits that keep the global parameters fixed
+(the paper's schedules depend only on the globals, which the session
+pins at construction: ``delta``/``W`` for vertex cover, ``f``/``k``/
+``W`` for set cover — an edit exceeding a pinned bound is rejected).
+Sessions run on the canonical port numbering (edits are defined on the
+edge set; the session normalises the initial graph).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro._util.memo import GenerationalMemo
+from repro._util.ordering import canonical_key
+from repro._util.sizes import message_size_bits
+from repro.dynamic.edits import AppliedBatch, EditError, GraphEdit, apply_edits
+from repro.graphs.topology import PortNumberedGraph
+from repro.graphs.weights import validate_weights
+from repro.simulator.machine import PORT_NUMBERING, Machine
+from repro.simulator.runtime import (
+    Metering,
+    RunResult,
+    _bad_arity,
+    _make_contexts,
+    run,
+)
+
+__all__ = [
+    "DYNAMIC_MODES",
+    "validate_dynamic_mode",
+    "BatchStats",
+    "CoverView",
+    "DynamicRun",
+]
+
+DYNAMIC_MODES = ("incremental", "scratch")
+
+_INF = math.inf
+
+
+def validate_dynamic_mode(mode: str) -> str:
+    """Validate a ``mode=`` argument, returning it unchanged."""
+    if mode not in DYNAMIC_MODES:
+        raise ValueError(
+            f"unknown dynamic mode {mode!r}; expected one of {DYNAMIC_MODES}"
+        )
+    return mode
+
+
+# ----------------------------------------------------------------------
+# Recorded message histories
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _History:
+    """What one run leaves behind for the next batch's warm restart.
+
+    ``outboxes[t][v]`` is node ``v``'s emission during round ``t`` —
+    the port-indexed message list (port model) or the broadcast
+    payload, ``None`` for a halted node.  ``halt_round[v]`` is the
+    first round index at whose *start* ``v`` is halted (``0`` = halted
+    before round 0, ``inf`` = never halted within the run).
+    """
+
+    rounds: int
+    outboxes: List[List[Any]]
+    halt_round: List[float]
+
+
+def _record_run(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    inputs: Optional[Sequence[Any]],
+    globals_map: Optional[Mapping[str, Any]],
+    max_rounds: int,
+    metering: Any,
+    seed: Optional[int],
+) -> Tuple[RunResult, _History]:
+    """A full :func:`run` that also records the message history.
+
+    The observer sees every round (it disables quiescence parking), so
+    the recording is exact; results are identical to an unobserved run
+    by the engine-equivalence contract.
+    """
+    ctxs = _make_contexts(graph, inputs, globals_map, seed)
+    n = graph.n
+    halt_round: List[float] = [_INF] * n
+    halted_fn = machine.halted
+    # Nodes halted at start are silent from round 0; the observer only
+    # sees rounds >= 1, so establish those exactly up front (start and
+    # halted are pure, so this extra evaluation changes nothing).
+    pending = []
+    for v in range(n):
+        if halted_fn(ctxs[v], machine.start(ctxs[v])):
+            halt_round[v] = 0
+        else:
+            pending.append(v)
+    outbox_log: List[List[Any]] = []
+
+    def observer(round_index: int, states: List[Any], outboxes: List[Any]) -> None:
+        outbox_log.append(list(outboxes))
+        still = []
+        for v in pending:
+            if halted_fn(ctxs[v], states[v]):
+                halt_round[v] = round_index
+            else:
+                still.append(v)
+        pending[:] = still
+
+    result = run(
+        graph,
+        machine,
+        inputs=inputs,
+        globals_map=globals_map,
+        max_rounds=max_rounds,
+        seed=seed,
+        observer=observer,
+        metering=metering,
+    )
+    return result, _History(result.rounds, outbox_log, halt_round)
+
+
+def _dirty_ball(
+    graph: PortNumberedGraph, seeds: Set[int], radius: int
+) -> Set[int]:
+    """BFS ball of the given radius around ``seeds`` (inclusive)."""
+    dist: Dict[int, int] = {v: 0 for v in seeds}
+    frontier = list(seeds)
+    d = 0
+    while frontier and d < radius:
+        d += 1
+        nxt: List[int] = []
+        for v in frontier:
+            for u in graph.neighbours(v):
+                if u not in dist:
+                    dist[u] = d
+                    nxt.append(u)
+        frontier = nxt
+    return set(dist)
+
+
+def _replay_run(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    inputs: Optional[Sequence[Any]],
+    globals_map: Optional[Mapping[str, Any]],
+    max_rounds: int,
+    metering: Any,
+    seed: Optional[int],
+    prev: _History,
+    prev_result: RunResult,
+    new_to_old: Sequence[Optional[int]],
+    dirty: Set[int],
+) -> Tuple[RunResult, _History]:
+    """The dirty-region warm restart (see the module docstring).
+
+    Dirty nodes re-run from ``start()``; clean nodes replay their
+    recorded emissions and keep their previous final state/output.
+    Implements exactly the engine semantics of
+    :func:`repro.simulator.runtime.run` (halted nodes silent, messages
+    of a node halting after round ``t`` still delivered in round ``t``,
+    metering counts every non-``None`` message) so the spliced
+    ``RunResult`` is field-for-field what a fresh run would produce.
+
+    Like ``run_reference``, this loop deliberately *mirrors* the fast
+    engine rather than sharing code with it — a change to the engine
+    semantics must be reflected here, and ``tests/test_dynamic.py``
+    (incremental ≡ scratch on every field) is the drift alarm, exactly
+    as the equivalence suite is for the reference engine.
+    """
+    meter = Metering.of(metering)
+    count_msgs = meter.counts_messages
+    meter_bits = meter.meters_bits
+    size_of = message_size_bits
+    n = graph.n
+    model = machine.model
+    ctxs = _make_contexts(graph, inputs, globals_map, seed)
+    emit = machine.emit
+    step = machine.step
+    halted_fn = machine.halted
+    degrees = graph.degree_array
+
+    dirty_list = sorted(dirty)
+    clean = [v for v in range(n) if v not in dirty]
+    identity_map = len(prev.halt_round) == n and all(
+        new_to_old[v] == v for v in range(n)
+    )
+
+    states: Dict[int, Any] = {}
+    halted: Dict[int, bool] = {}
+    halt_round: List[float] = [0.0] * n
+    for v in clean:
+        halt_round[v] = prev.halt_round[new_to_old[v]]
+    for v in dirty_list:
+        st = machine.start(ctxs[v])
+        states[v] = st
+        h = halted_fn(ctxs[v], st)
+        halted[v] = h
+        halt_round[v] = 0 if h else _INF
+
+    clean_live_until: float = max((halt_round[v] for v in clean), default=0)
+    prev_rounds = prev.rounds
+    if model == PORT_NUMBERING:
+        ports = {v: graph.ports(v) for v in dirty_list}
+    else:
+        nbrs = {v: graph.neighbours(v) for v in dirty_list}
+
+    rounds = 0
+    messages_sent = 0
+    message_bits = 0
+    per_round_bits: List[int] = []
+    new_outboxes: List[List[Any]] = []
+    live_dirty = [v for v in dirty_list if not halted[v]]
+
+    while rounds < max_rounds and (live_dirty or rounds < clean_live_until):
+        t = rounds
+        # -- emissions: replayed rows for clean nodes, fresh for dirty.
+        if t < prev_rounds:
+            prev_row = prev.outboxes[t]
+            if identity_map:
+                row = list(prev_row)
+                for v in dirty_list:
+                    row[v] = None
+            else:
+                row = [None] * n
+                for v in clean:
+                    row[v] = prev_row[new_to_old[v]]
+        else:
+            # Past the recorded history every clean node has halted
+            # (halt_round <= prev.rounds unless the previous run hit
+            # max_rounds, in which case this loop cannot get here).
+            row = [None] * n
+        for v in live_dirty:
+            out = emit(ctxs[v], states[v])
+            if model == PORT_NUMBERING:
+                d = degrees[v]
+                if out is None:
+                    out = [None] * d
+                else:
+                    if type(out) is not list and type(out) is not tuple:
+                        out = list(out)
+                    if len(out) != d:
+                        raise _bad_arity(d, len(out))
+            row[v] = out
+
+        # -- metering over the full row (replayed messages count too —
+        # identical to what a fresh run would have sent).
+        round_bits = 0
+        if count_msgs:
+            if model == PORT_NUMBERING:
+                for out in row:
+                    if out is None:
+                        continue
+                    for m in out:
+                        if m is not None:
+                            messages_sent += 1
+                            if meter_bits:
+                                round_bits += size_of(m)
+            else:
+                for v, payload in enumerate(row):
+                    if payload is not None:
+                        d = degrees[v]
+                        messages_sent += d
+                        if meter_bits:
+                            round_bits += d * size_of(payload)
+
+        # -- deliver to the dirty region only, and step it.
+        next_live: List[int] = []
+        if model == PORT_NUMBERING:
+            for v in live_dirty:
+                inbox = [
+                    row[u][q] if row[u] is not None else None
+                    for (u, q) in ports[v]
+                ]
+                st = step(ctxs[v], states[v], inbox)
+                states[v] = st
+                if halted_fn(ctxs[v], st):
+                    halted[v] = True
+                    halt_round[v] = t + 1
+                else:
+                    next_live.append(v)
+        else:
+            keys: Dict[int, Any] = {}
+
+            def key_of(u: int) -> Any:
+                k = keys.get(u)
+                if k is None:
+                    k = canonical_key(row[u])
+                    keys[u] = k
+                return k
+
+            for v in live_dirty:
+                inbox = tuple(row[u] for u in sorted(nbrs[v], key=key_of))
+                st = step(ctxs[v], states[v], inbox)
+                states[v] = st
+                if halted_fn(ctxs[v], st):
+                    halted[v] = True
+                    halt_round[v] = t + 1
+                else:
+                    next_live.append(v)
+        live_dirty = next_live
+        rounds += 1
+        if meter_bits:
+            message_bits += round_bits
+            per_round_bits.append(round_bits)
+        new_outboxes.append(row)
+
+    # -- splice repaired states/outputs into the standing result.
+    final_states: List[Any] = [None] * n
+    outputs: List[Any] = [None] * n
+    for v in clean:
+        o = new_to_old[v]
+        final_states[v] = prev_result.states[o]
+        outputs[v] = prev_result.outputs[o]
+    output_fn = machine.output
+    for v in dirty_list:
+        final_states[v] = states[v]
+        outputs[v] = output_fn(ctxs[v], states[v])
+    all_halted = not live_dirty and all(
+        halt_round[v] <= rounds for v in range(n)
+    )
+    result = RunResult(
+        outputs=outputs,
+        rounds=rounds,
+        all_halted=all_halted,
+        messages_sent=messages_sent,
+        message_bits=message_bits,
+        per_round_bits=per_round_bits,
+        states=final_states,
+    )
+    return result, _History(rounds, new_outboxes, halt_round)
+
+
+# ----------------------------------------------------------------------
+# Session bookkeeping
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Per-batch repair accounting (returned by :meth:`DynamicRun.apply`)."""
+
+    batch: int
+    mode: str
+    n_edits: int
+    n: int
+    m: int
+    dirty_seeds: int
+    repaired_nodes: int
+    rounds: int
+
+    @property
+    def repaired_fraction(self) -> float:
+        """Fraction of nodes re-executed this batch (1.0 for scratch)."""
+        return self.repaired_nodes / self.n if self.n else 0.0
+
+
+@dataclass(frozen=True)
+class CoverView:
+    """A flow-independent view of the session's current cover."""
+
+    cover: frozenset
+    cover_weight: int
+    packing_value: Fraction
+    approx_factor: int
+    covered: bool
+
+    @property
+    def certificate_ratio(self) -> Fraction:
+        if self.packing_value == 0:
+            return Fraction(0) if self.cover_weight == 0 else Fraction(1)
+        return Fraction(self.cover_weight) / (
+            self.approx_factor * self.packing_value
+        )
+
+
+class DynamicRun:
+    """A standing cover on a graph under churn (see module docstring).
+
+    Use the flow constructors :meth:`vertex_cover` (Section 3 port
+    model or Section 5 broadcast model) and :meth:`set_cover`
+    (Section 4 on the bipartite layout); the generic ``__init__``
+    accepts any deterministic fixed-horizon machine.
+    """
+
+    def __init__(
+        self,
+        graph: PortNumberedGraph,
+        inputs: Sequence[Any],
+        machine: Machine,
+        globals_map: Mapping[str, Any],
+        max_rounds: int,
+        *,
+        mode: str = "incremental",
+        metering: Any = "bits",
+        seed: Optional[int] = None,
+        flow: str = "custom",
+        validate: Optional[Callable[[PortNumberedGraph, Sequence[Any]], None]] = None,
+        allowed_edit_kinds: Optional[Tuple[str, ...]] = None,
+    ):
+        self.mode = validate_dynamic_mode(mode)
+        self.flow = flow
+        self._machine = machine
+        self._globals = dict(globals_map)
+        self._max_rounds = max_rounds
+        self._metering = metering
+        self._seed = seed
+        self._validate = validate
+        self._allowed_edit_kinds = allowed_edit_kinds
+        # Edits are defined on the edge set; normalise to the canonical
+        # port numbering so splicing across batches is well defined.
+        graph = PortNumberedGraph.from_edges(graph.n, graph.edges)
+        inputs = list(inputs)
+        if validate is not None:
+            validate(graph, inputs)
+        self._graph = graph
+        self._inputs = inputs
+        self._generation = 0
+        self._batches = 0
+        self._view_cache: Optional[Tuple[int, CoverView]] = None
+        self.stats: List[BatchStats] = []
+        # One generation of message history per batch; put() retires
+        # everything older than the previous batch automatically.
+        self._memo: Optional[GenerationalMemo] = (
+            GenerationalMemo() if self.mode == "incremental" else None
+        )
+        self._solve_full()
+
+    # -- public state ---------------------------------------------------
+
+    @property
+    def graph(self) -> PortNumberedGraph:
+        return self._graph
+
+    @property
+    def inputs(self) -> List[Any]:
+        return list(self._inputs)
+
+    @property
+    def result(self) -> RunResult:
+        """The standing run result for the current graph."""
+        return self._result
+
+    @property
+    def batches_applied(self) -> int:
+        return self._batches
+
+    # -- solving --------------------------------------------------------
+
+    def _run_kwargs(self) -> Dict[str, Any]:
+        return dict(
+            inputs=list(self._inputs),
+            globals_map=self._globals,
+            max_rounds=self._max_rounds,
+            metering=self._metering,
+            seed=self._seed,
+        )
+
+    def _solve_full(self) -> int:
+        """Solve the whole current graph; returns the node count
+        re-executed (always n here)."""
+        if self._memo is None:
+            self._result = run(self._graph, self._machine, **self._run_kwargs())
+        else:
+            self._result, history = _record_run(
+                self._graph, self._machine, **self._run_kwargs()
+            )
+            self._memo.put(self._generation, "history", history)
+        return self._graph.n
+
+    def apply(self, edits: Sequence[GraphEdit]) -> BatchStats:
+        """Apply one edit batch and re-derive the cover.
+
+        Returns the batch's repair accounting; the updated graph,
+        inputs and :class:`RunResult` are available on the session.
+        Raises :class:`~repro.dynamic.edits.EditError` (invalid edit)
+        or :class:`ValueError` (pinned global bound exceeded) with no
+        change to the session.
+        """
+        edits = list(edits)
+        if self._allowed_edit_kinds is not None:
+            for e in edits:
+                if e.kind not in self._allowed_edit_kinds:
+                    raise EditError(
+                        f"edit kind {e.kind!r} is not supported by the "
+                        f"{self.flow!r} flow (allowed: "
+                        f"{self._allowed_edit_kinds})"
+                    )
+        batch = apply_edits(
+            self._graph.n, self._graph.edges, self._inputs, edits
+        )
+        new_graph = PortNumberedGraph.from_edges(batch.n, batch.edges)
+        new_inputs = list(batch.inputs)
+        if self._validate is not None:
+            self._validate(new_graph, new_inputs)
+
+        prev_result = self._result
+        prev_state = (self._graph, self._inputs, self._generation)
+        self._graph = new_graph
+        self._inputs = new_inputs
+        self._generation += 1
+        try:
+            if self._memo is None:
+                repaired = self._solve_full()
+            else:
+                repaired = self._apply_incremental(batch, prev_result)
+        except BaseException:
+            # Leave the session on its last consistent state.
+            self._graph, self._inputs, self._generation = prev_state
+            raise
+        self._batches += 1
+        stats = BatchStats(
+            batch=self._batches,
+            mode=self.mode,
+            n_edits=len(edits),
+            n=new_graph.n,
+            m=new_graph.m,
+            dirty_seeds=len(batch.touched),
+            repaired_nodes=repaired,
+            rounds=self._result.rounds,
+        )
+        self.stats.append(stats)
+        return stats
+
+    def _apply_incremental(
+        self, batch: AppliedBatch, prev_result: RunResult
+    ) -> int:
+        prev_history = self._memo.get(self._generation - 1, "history")
+        new_to_old: List[Optional[int]] = [None] * batch.n
+        for old, new in enumerate(batch.node_map):
+            if new is not None:
+                new_to_old[new] = old
+        seeds = set(batch.touched)
+        seeds.update(v for v in range(batch.n) if new_to_old[v] is None)
+        radius = prev_result.rounds
+        ball = _dirty_ball(self._graph, seeds, radius)
+        if prev_history is None or len(ball) >= batch.n:
+            # Evicted history or a global edit: fall back to a full
+            # (recorded) solve — still bit-identical, just not partial.
+            return self._solve_full()
+        self._result, history = _replay_run(
+            self._graph,
+            self._machine,
+            prev=prev_history,
+            prev_result=prev_result,
+            new_to_old=new_to_old,
+            dirty=ball,
+            **self._run_kwargs(),
+        )
+        self._memo.put(self._generation, "history", history)
+        return len(ball)
+
+    # -- cover readout ---------------------------------------------------
+
+    def cover_view(self) -> CoverView:
+        """The current cover with its dual certificate (flow-aware).
+
+        Cached per generation: the O(n + m) readout is paid once per
+        batch however many of the convenience accessors below run.
+        """
+        cached = self._view_cache
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        view = self._build_cover_view()
+        self._view_cache = (self._generation, view)
+        return view
+
+    def _build_cover_view(self) -> CoverView:
+        outputs = self._result.outputs
+        g = self._graph
+        if self.flow == "port":
+            cover = frozenset(
+                v for v in g.nodes() if outputs[v]["in_cover"]
+            )
+            y: Dict[int, Fraction] = {}
+            for v in g.nodes():
+                for p in range(g.degree(v)):
+                    y[g.edge_of_port(v, p)] = outputs[v]["y"][p]
+            packing = sum(y.values(), Fraction(0))
+            weight = sum(self._inputs[v] for v in cover)
+            covered = all(u in cover or v in cover for (u, v) in g.edges)
+            return CoverView(cover, weight, packing, 2, covered)
+        if self.flow == "broadcast":
+            cover = frozenset(
+                v for v in g.nodes() if outputs[v]["in_cover"]
+            )
+            double_total = sum(
+                (yv for v in g.nodes() for (yv, _s) in outputs[v]["incident"]),
+                Fraction(0),
+            )
+            weight = sum(self._inputs[v] for v in cover)
+            covered = all(u in cover or v in cover for (u, v) in g.edges)
+            return CoverView(cover, weight, double_total / 2, 2, covered)
+        if self.flow == "setcover":
+            subsets = [
+                v for v in g.nodes() if self._inputs[v]["role"] == "subset"
+            ]
+            cover = frozenset(
+                v for v in subsets if outputs[v]["in_cover"]
+            )
+            packing = sum(
+                (outputs[v]["y"] for v in g.nodes()
+                 if self._inputs[v]["role"] == "element"),
+                Fraction(0),
+            )
+            weight = sum(self._inputs[v]["weight"] for v in cover)
+            covered = all(
+                any(u in cover for u in g.neighbours(v))
+                for v in g.nodes()
+                if self._inputs[v]["role"] == "element"
+            )
+            return CoverView(
+                cover, weight, packing, self._globals["f"], covered
+            )
+        raise ValueError(
+            f"cover_view is not defined for the {self.flow!r} flow"
+        )
+
+    def cover(self) -> frozenset:
+        return self.cover_view().cover
+
+    def cover_weight(self) -> int:
+        return self.cover_view().cover_weight
+
+    def is_cover(self) -> bool:
+        return self.cover_view().covered
+
+    def certificate_ratio(self) -> Fraction:
+        return self.cover_view().certificate_ratio
+
+    # -- flow constructors ----------------------------------------------
+
+    @classmethod
+    def vertex_cover(
+        cls,
+        graph: PortNumberedGraph,
+        weights: Sequence[int],
+        *,
+        algorithm: str = "port",
+        mode: str = "incremental",
+        delta: Optional[int] = None,
+        W: Optional[int] = None,
+        arithmetic: str = "scaled",
+        replay: str = "incremental",
+        metering: Any = "bits",
+        seed: Optional[int] = None,
+    ) -> "DynamicRun":
+        """A dynamic 2-approximate vertex-cover session.
+
+        ``algorithm="port"`` maintains the Section 3 edge packing,
+        ``"broadcast"`` the Section 5 history simulation (``replay``
+        configures its machine-level history strategy — orthogonal to
+        the session ``mode``).  ``delta``/``W`` are pinned **session**
+        bounds (default: the initial instance's, which the paper allows
+        to be any upper bounds); edits pushing a degree past ``delta``
+        or a weight past ``W`` are rejected.
+        """
+        from repro.core.broadcast_vc import (
+            BroadcastVertexCoverMachine,
+            bvc_round_count,
+        )
+        from repro.core.edge_packing import EdgePackingMachine, schedule_length
+        from repro.graphs.weights import max_weight
+
+        weights = [int(w) for w in weights]
+        if delta is None:
+            delta = graph.max_degree
+        if W is None:
+            W = max_weight(tuple(weights))
+        if algorithm == "port":
+            machine: Machine = EdgePackingMachine(arithmetic=arithmetic)
+            max_rounds = schedule_length(delta, W)
+            flow = "port"
+        elif algorithm == "broadcast":
+            machine = BroadcastVertexCoverMachine(
+                arithmetic=arithmetic, replay=replay
+            )
+            max_rounds = bvc_round_count(delta, W)
+            flow = "broadcast"
+        else:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected 'port' or 'broadcast'"
+            )
+
+        def validate(g: PortNumberedGraph, inputs: Sequence[Any]) -> None:
+            validate_weights(inputs, g.n, W)
+            if g.max_degree > delta:
+                raise ValueError(
+                    f"edit pushes max degree to {g.max_degree}, past the "
+                    f"session bound delta={delta}"
+                )
+
+        return cls(
+            graph,
+            weights,
+            machine,
+            {"delta": delta, "W": W},
+            max_rounds,
+            mode=mode,
+            metering=metering,
+            seed=seed,
+            flow=flow,
+            validate=validate,
+        )
+
+    @classmethod
+    def set_cover(
+        cls,
+        instance: Any,
+        *,
+        mode: str = "incremental",
+        arithmetic: str = "scaled",
+        metering: Any = "bits",
+        seed: Optional[int] = None,
+    ) -> "DynamicRun":
+        """A dynamic f-approximate set-cover session on the bipartite
+        layout of ``instance`` (a :class:`repro.graphs.setcover.
+        SetCoverInstance`).
+
+        Supported edits: membership churn (``add_edge``/``remove_edge``
+        between a subset node and an element node) and subset
+        ``reweight`` (input ``{"role": "subset", "weight": w}``).
+        ``f``/``k``/``W`` are pinned from the instance; edits exceeding
+        them, orphaning an element, or breaking bipartiteness are
+        rejected.
+        """
+        from repro.core.fractional_packing import (
+            FractionalPackingMachine,
+            fp_schedule_length,
+        )
+
+        f, k, W = instance.f, instance.k, instance.W
+        graph = instance.to_bipartite_graph()
+        inputs = instance.node_inputs()
+
+        def validate(g: PortNumberedGraph, node_inputs: Sequence[Any]) -> None:
+            for v in g.nodes():
+                inp = node_inputs[v]
+                if not isinstance(inp, Mapping) or "role" not in inp:
+                    raise ValueError(
+                        f"node {v}: set-cover inputs must be role dicts"
+                    )
+                if inp["role"] == "subset":
+                    w = inp.get("weight")
+                    if not isinstance(w, int) or isinstance(w, bool) or not (
+                        1 <= w <= W
+                    ):
+                        raise ValueError(
+                            f"subset node {v}: weight {w!r} outside 1..{W}"
+                        )
+                    if g.degree(v) > k:
+                        raise ValueError(
+                            f"subset node {v}: size {g.degree(v)} exceeds k={k}"
+                        )
+                elif inp["role"] == "element":
+                    if g.degree(v) < 1:
+                        raise ValueError(
+                            f"edit orphans element node {v} (infeasible cover)"
+                        )
+                    if g.degree(v) > f:
+                        raise ValueError(
+                            f"element node {v}: frequency {g.degree(v)} "
+                            f"exceeds f={f}"
+                        )
+                else:
+                    raise ValueError(f"node {v}: unknown role {inp['role']!r}")
+            for (a, b) in g.edges:
+                if node_inputs[a]["role"] == node_inputs[b]["role"]:
+                    raise ValueError(
+                        f"edge ({a}, {b}) joins two {node_inputs[a]['role']} "
+                        f"nodes — the layout must stay bipartite"
+                    )
+
+        return cls(
+            graph,
+            inputs,
+            FractionalPackingMachine(arithmetic=arithmetic),
+            instance.global_params(),
+            fp_schedule_length(f, k, W),
+            mode=mode,
+            metering=metering,
+            seed=seed,
+            flow="setcover",
+            validate=validate,
+            allowed_edit_kinds=("add_edge", "remove_edge", "reweight"),
+        )

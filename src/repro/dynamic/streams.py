@@ -1,0 +1,277 @@
+"""Edit-stream generators: adversaries for the dynamic engine.
+
+Where :mod:`repro.simulator.faults` supplies adversaries that corrupt
+node *states* between rounds (the self-stabilisation threat model),
+the streams here supply adversaries that churn the *instance itself*
+between solves — the dynamic-network threat model.  Each stream is a
+stateful generator: ``next_batch(graph, inputs)`` inspects the current
+instance and returns a batch of valid :class:`~repro.dynamic.edits.
+GraphEdit` values for :meth:`repro.dynamic.session.DynamicRun.apply`.
+
+All streams are seeded and deterministic.  A stream may return fewer
+edits than configured when the graph offers no legal move (nothing
+left to remove, graph already complete, degree budget exhausted) — it
+never returns an invalid edit.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import insort
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dynamic.edits import GraphEdit, add_edge, remove_edge, reweight
+from repro.graphs.topology import PortNumberedGraph
+
+__all__ = ["EditStream", "RandomChurn", "HubChurn", "SlidingWindowStream"]
+
+
+class EditStream:
+    """Base class: a stateful source of edit batches.
+
+    Streams that remember edges across batches (:class:`HubChurn`'s
+    severed links, :class:`SlidingWindowStream`'s window) store them by
+    node label.  Vertex removal shifts labels; the streams drop their
+    memory automatically whenever the node count changes, but a batch
+    of *caller-supplied* edits that removes and adds vertices in equal
+    number keeps the count unchanged and is invisible to that check —
+    call :meth:`forget` after applying your own vertex edits to a
+    session a stream is also driving.
+    """
+
+    def next_batch(
+        self, graph: PortNumberedGraph, inputs: Sequence[Any]
+    ) -> List[GraphEdit]:
+        raise NotImplementedError
+
+    def forget(self) -> None:
+        """Drop any remembered node-label state (see the class note)."""
+
+
+def _degree_room(degrees: Sequence[int], u: int, v: int, max_degree: Optional[int]) -> bool:
+    if max_degree is None:
+        return True
+    return degrees[u] < max_degree and degrees[v] < max_degree
+
+
+def _random_absent_edge(
+    rng: random.Random,
+    n: int,
+    edge_set: set,
+    degrees: Sequence[int],
+    max_degree: Optional[int],
+    tries: int = 64,
+) -> Optional[Tuple[int, int]]:
+    """A uniform-ish absent edge respecting the degree budget, or None."""
+    if n < 2:
+        return None
+    for _ in range(tries):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        e = (u, v) if u < v else (v, u)
+        if e not in edge_set and _degree_room(degrees, u, v, max_degree):
+            return e
+    return None
+
+
+class RandomChurn(EditStream):
+    """Uniform random churn: remove existing edges, insert absent
+    ones, occasionally reweight a node.
+
+    ``max_degree`` (typically the session's pinned Δ) keeps insertions
+    inside the degree budget; ``W`` enables reweights (drawn uniformly
+    in ``1..W``) when ``> 1``.
+    """
+
+    def __init__(
+        self,
+        edits_per_batch: int = 2,
+        seed: int = 0,
+        p_add: float = 0.45,
+        p_remove: float = 0.45,
+        W: int = 1,
+        max_degree: Optional[int] = None,
+    ):
+        if edits_per_batch < 1:
+            raise ValueError("edits_per_batch must be >= 1")
+        total = p_add + p_remove
+        if total > 1.0 + 1e-9 or p_add < 0 or p_remove < 0:
+            raise ValueError("need p_add, p_remove >= 0 with p_add + p_remove <= 1")
+        self.edits_per_batch = edits_per_batch
+        self.p_add = p_add
+        self.p_remove = p_remove
+        self.W = W
+        self.max_degree = max_degree
+        self.rng = random.Random(f"random-churn:{seed}")
+
+    def next_batch(self, graph, inputs):
+        rng = self.rng
+        n = graph.n
+        edge_set = set(graph.edges)
+        # One sorted view, kept sorted across picks (identical contents
+        # to re-sorting the set per pick, without the O(m log m) each).
+        edge_list = sorted(edge_set)
+        degrees = list(graph.degree_array)
+        batch: List[GraphEdit] = []
+
+        def pick_removal() -> None:
+            e = rng.choice(edge_list)
+            edge_set.discard(e)
+            edge_list.remove(e)
+            degrees[e[0]] -= 1
+            degrees[e[1]] -= 1
+            batch.append(remove_edge(*e))
+
+        for _ in range(self.edits_per_batch):
+            roll = rng.random()
+            if roll >= self.p_add + self.p_remove:
+                if self.W > 1 and n:
+                    v = rng.randrange(n)
+                    batch.append(reweight(v, rng.randint(1, self.W)))
+                    continue
+                # No reweights in the unweighted case: spend the slot on
+                # a removal (or an insertion below if nothing is left).
+                roll = 0.0
+            if roll < self.p_remove and edge_set:
+                pick_removal()
+                continue
+            e = _random_absent_edge(rng, n, edge_set, degrees, self.max_degree)
+            if e is not None:
+                edge_set.add(e)
+                insort(edge_list, e)
+                degrees[e[0]] += 1
+                degrees[e[1]] += 1
+                batch.append(add_edge(*e))
+            elif edge_set:
+                pick_removal()
+        return batch
+
+
+class HubChurn(EditStream):
+    """Targeted churn at the hubs: each batch detaches random incident
+    edges of the current maximum-degree node, re-attaching a previously
+    severed one when the budget allows.
+
+    Hubs are where an edit's dependency ball is largest, so this is the
+    adversarial stream for the incremental mode (the repaired fraction
+    it forces is the subsystem's worst case short of global edits).
+    """
+
+    def __init__(self, edits_per_batch: int = 2, seed: int = 0):
+        if edits_per_batch < 1:
+            raise ValueError("edits_per_batch must be >= 1")
+        self.edits_per_batch = edits_per_batch
+        self.rng = random.Random(f"hub-churn:{seed}")
+        self._severed: List[Tuple[int, int]] = []
+        self._n_severed: Optional[int] = None  # node count the cache refers to
+
+    def forget(self):
+        self._severed = []
+        self._n_severed = None
+
+    def next_batch(self, graph, inputs):
+        rng = self.rng
+        # Severed edges are remembered by node label; any vertex edit
+        # shifts labels, so a changed node count invalidates the cache
+        # (re-attaching a shifted pair would join the wrong sensors).
+        if self._n_severed != graph.n:
+            self._severed = []
+            self._n_severed = graph.n
+        edge_set = set(graph.edges)
+        degrees = list(graph.degree_array)
+        # Incidence map built once per batch and maintained across
+        # edits (scanning the whole edge set per pick is O(m) each).
+        incident_map: Dict[int, Set[Tuple[int, int]]] = {
+            v: set() for v in range(graph.n)
+        }
+        for e in edge_set:
+            incident_map[e[0]].add(e)
+            incident_map[e[1]].add(e)
+        batch: List[GraphEdit] = []
+        for _ in range(self.edits_per_batch):
+            # Re-attach an old severed edge half the time, if legal.
+            if self._severed and rng.random() < 0.5:
+                e = self._severed.pop(rng.randrange(len(self._severed)))
+                if e not in edge_set and e[0] < len(degrees) and e[1] < len(degrees):
+                    edge_set.add(e)
+                    incident_map[e[0]].add(e)
+                    incident_map[e[1]].add(e)
+                    degrees[e[0]] += 1
+                    degrees[e[1]] += 1
+                    batch.append(add_edge(*e))
+                    continue
+            if not edge_set:
+                continue
+            hub = max(range(graph.n), key=lambda v: (degrees[v], -v))
+            incident = sorted(incident_map[hub])
+            if not incident:
+                continue
+            e = rng.choice(incident)
+            edge_set.discard(e)
+            incident_map[e[0]].discard(e)
+            incident_map[e[1]].discard(e)
+            degrees[e[0]] -= 1
+            degrees[e[1]] -= 1
+            self._severed.append(e)
+            batch.append(remove_edge(*e))
+        return batch
+
+
+class SlidingWindowStream(EditStream):
+    """A sliding window of transient links: every batch inserts fresh
+    random edges, and once more than ``window`` stream-inserted edges
+    are live the oldest are removed again (FIFO) — the classic
+    dynamic-stream model where each edge has a bounded lifetime.
+    """
+
+    def __init__(
+        self,
+        window: int = 8,
+        edits_per_batch: int = 1,
+        seed: int = 0,
+        max_degree: Optional[int] = None,
+    ):
+        if window < 1 or edits_per_batch < 1:
+            raise ValueError("window and edits_per_batch must be >= 1")
+        self.window = window
+        self.edits_per_batch = edits_per_batch
+        self.max_degree = max_degree
+        self.rng = random.Random(f"sliding-window:{seed}")
+        self._live: List[Tuple[int, int]] = []  # FIFO of stream-inserted edges
+        self._n_live: Optional[int] = None  # node count the FIFO refers to
+
+    def forget(self):
+        self._live = []
+        self._n_live = None
+
+    def next_batch(self, graph, inputs):
+        rng = self.rng
+        n = graph.n
+        edge_set = set(graph.edges)
+        degrees = list(graph.degree_array)
+        # Window entries are node-label pairs: vertex edits shift labels
+        # (drop the whole window), and outside edge edits may have
+        # removed entries (filter them).
+        if self._n_live != n:
+            self._live = []
+            self._n_live = n
+        self._live = [e for e in self._live if e in edge_set]
+        batch: List[GraphEdit] = []
+        for _ in range(self.edits_per_batch):
+            e = _random_absent_edge(rng, n, edge_set, degrees, self.max_degree)
+            if e is not None:
+                edge_set.add(e)
+                degrees[e[0]] += 1
+                degrees[e[1]] += 1
+                self._live.append(e)
+                batch.append(add_edge(*e))
+            while len(self._live) > self.window:
+                old = self._live.pop(0)
+                if old in edge_set:
+                    edge_set.discard(old)
+                    degrees[old[0]] -= 1
+                    degrees[old[1]] -= 1
+                    batch.append(remove_edge(*old))
+        return batch

@@ -31,4 +31,5 @@ EXPERIMENT_MODULES = {
     "messages": "repro.experiments.exp_messages",
     "perf": "repro.experiments.exp_perf",
     "scaling": "repro.experiments.exp_scaling",
+    "churn": "repro.experiments.exp_churn",
 }

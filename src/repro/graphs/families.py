@@ -34,6 +34,7 @@ __all__ = [
     "random_bipartite_regularish",
     "FAMILIES",
     "make",
+    "sized",
 ]
 
 
@@ -247,3 +248,40 @@ def make(name: str, **kwargs) -> PortNumberedGraph:
             f"unknown graph family {name!r}; known: {sorted(FAMILIES)}"
         ) from None
     return factory(**kwargs)
+
+
+def sized(name: str, n: int, seed: int = 0) -> PortNumberedGraph:
+    """A family instance of (roughly) ``n`` nodes, by name.
+
+    The uniform size-parameterised face of the registry, shared by the
+    CLIs and experiments: every family is reachable through one
+    ``(name, n, seed)`` signature, with the family-specific parameter
+    mapping (grid side length, hypercube dimension, ...) handled here.
+    Fixed-size families (``petersen``, ``frucht``) ignore ``n``.
+    """
+    if name in ("petersen", "frucht"):
+        return make(name)
+    if name == "cycle":
+        return cycle_graph(n)
+    if name == "path":
+        return path_graph(n)
+    if name == "complete":
+        return complete_graph(n)
+    if name == "star":
+        return star_graph(n)
+    if name == "hypercube":
+        return hypercube(n)
+    if name == "grid":
+        side = max(2, int(n ** 0.5))
+        return grid_2d(side, side)
+    if name == "caterpillar":
+        return caterpillar(max(2, n // 3), 2)
+    if name == "regular":
+        return random_regular(3, n, seed=seed)
+    if name == "gnp":
+        return gnp_random(n, 0.3, seed=seed)
+    if name == "tree":
+        return random_tree(n, seed=seed)
+    raise KeyError(
+        f"unknown graph family {name!r}; known: {sorted(FAMILIES)}"
+    )

@@ -128,3 +128,45 @@ class TestSweepCommand:
     def test_bad_sizes_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--sizes", "eight"])
+
+
+class TestDynamicCommand:
+    def test_incremental_with_verify(self, capsys):
+        assert main(
+            ["dynamic", "--family", "cycle", "--n", "64", "--batches", "3",
+             "--verify", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "dynamic-vertex-cover"
+        assert payload["mode"] == "incremental"
+        assert payload["verified_against_scratch"] is True
+        assert payload["batches"]
+        for rec in payload["batches"]:
+            assert rec["is_cover"] is True
+            assert 0.0 < rec["repaired_fraction"] <= 1.0
+
+    def test_modes_produce_identical_covers(self, capsys):
+        argv = ["dynamic", "--family", "grid", "--n", "16", "--batches", "3",
+                "--stream", "window", "--seed", "2", "--json"]
+        assert main(argv + ["--mode", "incremental"]) == 0
+        inc = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--mode", "scratch"]) == 0
+        scr = json.loads(capsys.readouterr().out)
+        drop = {"wall_ms", "repaired_nodes", "repaired_fraction"}
+        for a, b in zip(inc["batches"], scr["batches"]):
+            assert {k: v for k, v in a.items() if k not in drop} == {
+                k: v for k, v in b.items() if k not in drop
+            }
+        assert all(r["repaired_fraction"] == 1.0 for r in scr["batches"])
+
+    def test_hub_stream_and_text_output(self, capsys):
+        assert main(
+            ["dynamic", "--family", "star", "--n", "8", "--batches", "2",
+             "--stream", "hubs"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repaired_fraction" in out and "dynamic-vertex-cover" in out
+
+    def test_bad_batches_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dynamic", "--batches", "0"])

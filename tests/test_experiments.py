@@ -317,3 +317,29 @@ class TestCliBackendFlags:
         # figure2 has no n_workers/backend parameters; flags are no-ops
         assert main(["figure2", "--workers", "2", "--backend", "process"]) == 0
         assert "EXP-F2" in capsys.readouterr().out
+
+
+class TestChurnExperiment:
+    def test_quality_and_repaired_fraction(self):
+        from repro.experiments.exp_churn import run
+
+        t = run(rates=[1, 3], n=96, batches=3)
+        assert len(t.rows) == 2
+        for row in t.rows:
+            assert row["covers valid"] is True
+            assert row["incremental == scratch"] is True
+            assert 0.0 < row["mean repaired fraction"] <= 1.0
+        assert any("HOLDS" in note for note in t.notes)
+
+    def test_process_backend_matches_serial(self):
+        from repro.experiments.exp_churn import run
+
+        serial = run(rates=[1, 2], n=64, batches=2)
+        pooled = run(rates=[1, 2], n=64, batches=2, n_workers=2, backend="process")
+        assert serial.rows == pooled.rows
+
+    def test_registered_in_cli(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["churn", "--workers", "2"]) == 0
+        assert "EXP-CHURN" in capsys.readouterr().out

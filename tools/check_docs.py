@@ -9,13 +9,16 @@ What it enforces (CI `docs` job; run locally with
    the CLIs fail here), and the ``python`` block in README.md actually
    executes;
 2. the ``--help`` texts of both CLIs still advertise the flags the
-   docs promise (``--workers``/``--backend``/``--json``/``--replay``);
+   docs promise (``--workers``/``--backend``/``--json``/``--replay``),
+   the library CLI advertises the ``dynamic`` subcommand, and that
+   subcommand documents its knobs (``--mode``/``--stream``/...);
 3. every ``repro.*`` module named in the README paper->code map
    imports, and so does every ``repro.*`` reference in
    ``docs/architecture.md`` (the simulation-layers doc);
 4. ``docs/performance.md`` names the real knob values — metering
-   modes, backends and replay modes are read from the code, not
-   hard-coded here;
+   modes, backends, replay modes and dynamic-session modes are read
+   from the code, not hard-coded here — and the dynamic layer is
+   documented in both docs;
 5. a tiny end-to-end CLI sweep runs (serial and process backend) and
    agrees with itself.
 
@@ -125,9 +128,11 @@ def check_help_texts() -> None:
     promised = ["--workers", "--backend", "--json", "--replay"]
     parser = _build_parser()
     sweep_parser = None
+    dynamic_parser = None
     for action in parser._actions:
         if isinstance(action, argparse._SubParsersAction):
             sweep_parser = action.choices.get("sweep")
+            dynamic_parser = action.choices.get("dynamic")
     if sweep_parser is None:
         fail("repro.cli has no 'sweep' subcommand")
         return
@@ -137,6 +142,21 @@ def check_help_texts() -> None:
             fail(f"repro.cli sweep --help no longer documents {flag}")
         else:
             ok(f"repro.cli sweep --help documents {flag}")
+
+    if "dynamic" not in parser.format_help():
+        fail("repro.cli --help no longer advertises the 'dynamic' subcommand")
+    else:
+        ok("repro.cli --help advertises the 'dynamic' subcommand")
+    if dynamic_parser is None:
+        fail("repro.cli has no 'dynamic' subcommand")
+        return
+    dynamic_help = dynamic_parser.format_help()
+    for flag in ("--mode", "--stream", "--batches", "--edits-per-batch",
+                 "--verify", "--json"):
+        if flag not in dynamic_help:
+            fail(f"repro.cli dynamic --help no longer documents {flag}")
+        else:
+            ok(f"repro.cli dynamic --help documents {flag}")
 
     from repro.experiments.cli import _build_parser as exp_parser
 
@@ -197,6 +217,12 @@ def check_architecture_doc() -> None:
             ok(f"architecture.md covers {consumer}")
         else:
             fail(f"architecture.md does not mention {consumer}")
+    # The dynamic layer and its data flow must be documented too.
+    for piece in ("DynamicRun", "GraphEdit", "dirty", "repro.dynamic.streams"):
+        if piece in doc:
+            ok(f"architecture.md covers the dynamic layer: {piece}")
+        else:
+            fail(f"architecture.md does not mention {piece}")
 
 
 def check_performance_doc() -> None:
@@ -208,6 +234,7 @@ def check_performance_doc() -> None:
     from repro.simulator.runtime import Metering
     from repro._util.memo import REPLAY_MODES
     from repro._util.parallel import BACKENDS
+    from repro.dynamic import DYNAMIC_MODES
 
     for mode in (Metering.NONE, Metering.COUNTS, Metering.BITS):
         if f'"{mode}"' not in doc and f"`{mode}`" not in doc:
@@ -224,7 +251,13 @@ def check_performance_doc() -> None:
             fail(f"docs/performance.md does not document replay mode {mode!r}")
         else:
             ok(f"performance.md documents replay mode {mode!r}")
-    for knob in ("arithmetic", "n_workers", "quiescence", "replay"):
+    for mode in DYNAMIC_MODES:
+        if f'"{mode}"' not in doc and f"`{mode}`" not in doc:
+            fail(f"docs/performance.md does not document dynamic mode {mode!r}")
+        else:
+            ok(f"performance.md documents dynamic mode {mode!r}")
+    for knob in ("arithmetic", "n_workers", "quiescence", "replay",
+                 "DynamicRun", "repaired_fraction"):
         if knob not in doc:
             fail(f"docs/performance.md does not mention {knob}")
         else:
