@@ -12,10 +12,14 @@ in the ``dynamic`` section of ``BENCH_perf.json``:
 
     PYTHONPATH=src python benchmarks/bench_dynamic.py --update
 
+Also times :meth:`DynamicRun.snapshot`/:meth:`DynamicRun.restore` on
+the final incremental session (recorded under ``dynamic_snapshot``).
+
 **Gate: incremental must be >=2x faster per batch** — the repaired
 region is O(Δ·rounds·edits) nodes against n re-executed from scratch,
 so the advantage is algorithmic, not host-dependent, and the gate runs
-everywhere.
+everywhere.  **Gate: restore must cost no more than one scratch
+batch** — durability has to be cheaper than recomputation.
 
 This script is not part of the pytest-benchmark baseline
 (``bench_perf.py``); like ``bench_replay.py`` it compares two
@@ -146,11 +150,52 @@ def main(argv=None) -> int:
     )
     print("dynamic gate (>=2x vs scratch): PASS")
 
+    # -- snapshot/restore timing ---------------------------------------
+    # Durability must be cheaper than recomputing: restoring a session
+    # from bytes has to beat re-solving one batch from scratch, else
+    # nobody would ever snapshot.  Correctness (restored session keeps
+    # absorbing edits bit-for-bit) is pinned by
+    # tests/test_dynamic_snapshot.py; here we time it and gate the cost.
+    session = sessions["incremental"]
+    best_snap, blob = float("inf"), b""
+    best_restore = float("inf")
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        blob = session.snapshot()
+        best_snap = min(best_snap, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        restored = DynamicRun.restore(blob)
+        best_restore = min(best_restore, time.perf_counter() - t0)
+    tail = RandomChurn(edits_per_batch=args.edits, seed=args.seed + 1,
+                       max_degree=2)
+    batch = tail.next_batch(session.graph, session.inputs)
+    session.apply(batch)
+    restored.apply(batch)
+    assert_identical(session.result, restored.result)
+
+    snapshot_record = {
+        "workload": record["workload"],
+        "snapshot_s": round(best_snap, 4),
+        "restore_s": round(best_restore, 4),
+        "snapshot_bytes": len(blob),
+        "scratch_batch_s": record["scratch_s_per_batch"],
+        "restored_bit_identical": True,
+        "host": host_record(),
+    }
+    print(json.dumps({"dynamic_snapshot": snapshot_record}, indent=2))
+    assert best_restore <= timings["scratch"], (
+        f"restoring a snapshot should cost no more than one scratch "
+        f"batch; measured restore {best_restore:.4f}s vs scratch batch "
+        f"{timings['scratch']:.4f}s"
+    )
+    print("dynamic_snapshot gate (restore <= one scratch batch): PASS")
+
     if args.update:
         baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
         baseline["dynamic"] = record
+        baseline["dynamic_snapshot"] = snapshot_record
         BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
-        print(f"wrote dynamic section -> {BASELINE}")
+        print(f"wrote dynamic + dynamic_snapshot sections -> {BASELINE}")
     return 0
 
 

@@ -22,8 +22,9 @@ seed timings and recomputing the headline speedups.
 
 Auxiliary sections (``sweep_scaling`` from
 ``bench_sweep_scaling.py``; ``bvc_replay``/``selfstab`` from
-``bench_replay.py``; ``dynamic`` from ``bench_dynamic.py``) are host-
-or configuration-comparisons, not hot-path history: ``check`` never
+``bench_replay.py``; ``dynamic``/``dynamic_snapshot`` from
+``bench_dynamic.py``) are host- or configuration-comparisons, not
+hot-path history: ``check`` never
 gates on them and a baseline without them still compares cleanly
 (missing section = skip, not fail); ``update`` preserves whatever of
 them is present.
@@ -41,7 +42,9 @@ DEFAULT_THRESHOLD = 1.25
 
 # Sections recorded by the standalone harnesses; informational only.
 # check skips them whether present or missing, update preserves them.
-AUX_SECTIONS = ("sweep_scaling", "bvc_replay", "selfstab", "dynamic")
+AUX_SECTIONS = (
+    "sweep_scaling", "bvc_replay", "selfstab", "dynamic", "dynamic_snapshot"
+)
 
 # (numerator benchmark or seed entry, denominator benchmark) pairs the
 # baseline reports as headline speedups.

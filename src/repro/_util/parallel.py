@@ -31,29 +31,121 @@ experiment table of ``sweep`` calls amortises a single pool start-up.
 Jobs are chunked (``chunksize``, default ``len(jobs)/(4·workers)``,
 at least 1) so per-task IPC is amortised across a chunk of instances.
 
+**Crash recovery.**  A worker that dies (OOM-kill, segfault, SIGKILL)
+poisons its whole :class:`ProcessPoolExecutor`; every pending future
+raises :class:`BrokenProcessPool`.  Instead of propagating that, the
+process backend walks a degradation ladder, per chunk of jobs:
+
+1. **re-dispatch** — the broken pool is retired, a fresh one is built,
+   and only the chunks that failed are resubmitted (completed chunks
+   keep their results), with exponential backoff
+   (``_BACKOFF_BASE_S · 2^(attempt-1)``, capped at ``_BACKOFF_CAP_S``);
+2. **per-chunk serial** — a chunk that failed ``_MAX_CHUNK_REDISPATCH``
+   times is assumed to *cause* the crash and runs serially in the
+   parent, where a genuine job exception surfaces normally;
+3. **full serial** — after ``_MAX_POOL_FAILURES`` pool breakages the
+   backend stops paying pool start-up and degrades every remaining
+   chunk to the parent process.
+
+Chunks are formed once, from job order, before the first dispatch —
+their identity is deterministic, so results are placed by chunk index
+and the output order (and content, for deterministic workloads) is
+identical to a serial run no matter how many recoveries happened.
+Every recovery is recorded as a :class:`RetryEvent` in the
+:class:`FailureReport` attached to the returned list (a
+:class:`JobResults`; plain-list equality is preserved).
+
 Results are always returned in job order, and — because every backend
 runs the *same* per-job callable — are bit-for-bit identical across
 ``backend`` choices for deterministic workloads (pinned by
-``tests/test_parallel_backends.py``).
+``tests/test_parallel_backends.py`` and ``tests/test_chaos.py``).
 """
 
 from __future__ import annotations
 
 import atexit
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["BACKENDS", "map_jobs", "resolve_backend", "shutdown_pools"]
+__all__ = [
+    "BACKENDS",
+    "FailureReport",
+    "JobResults",
+    "RetryEvent",
+    "map_jobs",
+    "resolve_backend",
+    "shutdown_pools",
+]
 
 #: Accepted ``backend=`` values (``None`` means ``"thread"``).
 BACKENDS = ("thread", "process", "auto")
+
+#: A chunk is re-dispatched onto fresh pools at most this many times
+#: before it is assumed to be the crash's cause and runs serially.
+_MAX_CHUNK_REDISPATCH = 3
+
+#: After this many pool breakages in one map_jobs call, every remaining
+#: chunk degrades to serial (no more pools are built).
+_MAX_POOL_FAILURES = 5
+
+#: Exponential backoff before re-dispatch: base · 2^(attempt-1), capped.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 1.0
 
 # Warm process pools, one per worker count; kept for the interpreter's
 # lifetime so repeated map_jobs calls (a whole experiment table) pay
 # pool start-up once.  Threads pools are cheap and stay per-call.
 _PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One recovery action taken by the process backend."""
+
+    chunk: int  #: chunk index (deterministic: formed before dispatch)
+    jobs: int  #: number of jobs in the chunk
+    attempt: int  #: how many times this chunk has failed so far
+    error: str  #: repr of the triggering exception
+    backoff_s: float  #: sleep before the retry (0 for serial fallback)
+    action: str  #: "redispatch" (fresh pool) or "serial" (in parent)
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """What the backend had to do to finish a ``map_jobs`` call.
+
+    A clean run has no events and no pool restarts; callers that care
+    (the chaos tests, monitoring) read it off the returned
+    :class:`JobResults`, everyone else treats the result as a list.
+    """
+
+    backend: str
+    events: Tuple[RetryEvent, ...] = ()
+    pool_restarts: int = 0
+    degraded_to_serial: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.events and not self.pool_restarts
+
+
+class JobResults(List[Any]):
+    """A plain list of results plus the :class:`FailureReport`.
+
+    Subclassing :class:`list` keeps every existing caller working —
+    equality with plain lists, slicing, iteration — while the report
+    rides along for those who ask.
+    """
+
+    failure_report: FailureReport
+
+    def __init__(self, results: Sequence[Any], report: FailureReport):
+        super().__init__(results)
+        self.failure_report = report
 
 
 def shutdown_pools() -> None:
@@ -73,6 +165,22 @@ def _process_pool(n_workers: int) -> ProcessPoolExecutor:
             max_workers=n_workers
         )
     return pool
+
+
+def _retire_pool(n_workers: int, pool: ProcessPoolExecutor) -> None:
+    """Drop a broken pool so the next call starts fresh.
+
+    Idempotent, and scoped to the one worker count that broke: healthy
+    warm pools for *other* counts deliberately stay alive.
+    """
+    if _PROCESS_POOLS.get(n_workers) is pool:
+        del _PROCESS_POOLS[n_workers]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
+    """Worker-side chunk body (module-level: picklable)."""
+    return [fn(j) for j in chunk]
 
 
 def _picklable(*objs: Any) -> bool:
@@ -105,39 +213,155 @@ def resolve_backend(
     return backend
 
 
+def _map_process(
+    fn: Callable[[Any], Any],
+    jobs: List[Any],
+    n_workers: int,
+    chunksize: int,
+) -> JobResults:
+    """The crash-recovering process path (see the module docstring)."""
+    chunks = [jobs[i : i + chunksize] for i in range(0, len(jobs), chunksize)]
+    results: List[Any] = [None] * len(chunks)
+    attempts = [0] * len(chunks)
+    pending = list(range(len(chunks)))
+    events: List[RetryEvent] = []
+    pool_failures = 0
+    degraded = False
+
+    while pending:
+        if pool_failures >= _MAX_POOL_FAILURES:
+            # Rung 3: stop building pools, finish in the parent.
+            degraded = True
+            for ci in pending:
+                events.append(
+                    RetryEvent(
+                        chunk=ci,
+                        jobs=len(chunks[ci]),
+                        attempt=attempts[ci],
+                        error="pool failure budget exhausted",
+                        backoff_s=0.0,
+                        action="serial",
+                    )
+                )
+                results[ci] = _run_chunk(fn, chunks[ci])
+            pending = []
+            break
+
+        pool = _process_pool(n_workers)
+        futures: Dict[int, Any] = {}
+        for ci in pending:
+            try:
+                futures[ci] = pool.submit(_run_chunk, fn, chunks[ci])
+            except BrokenProcessPool:
+                break  # pool died before the work even left: retry all
+
+        failed: List[int] = []
+        err: Optional[BaseException] = None
+        for ci in pending:
+            fut = futures.get(ci)
+            if fut is None:
+                failed.append(ci)
+                continue
+            try:
+                results[ci] = fut.result()
+            except BrokenProcessPool as exc:
+                err = exc
+                failed.append(ci)
+            # A genuine job exception (not a dead worker) propagates:
+            # retrying deterministic code cannot fix it.
+
+        if not failed:
+            pending = []
+            break
+
+        pool_failures += 1
+        _retire_pool(n_workers, pool)
+        err_text = repr(err) if err is not None else "BrokenProcessPool"
+        next_pending: List[int] = []
+        backoff = 0.0
+        for ci in failed:
+            attempts[ci] += 1
+            if attempts[ci] >= _MAX_CHUNK_REDISPATCH:
+                # Rung 2: the chunk itself is the likely killer — run
+                # it in the parent so a real fault surfaces normally.
+                events.append(
+                    RetryEvent(
+                        chunk=ci,
+                        jobs=len(chunks[ci]),
+                        attempt=attempts[ci],
+                        error=err_text,
+                        backoff_s=0.0,
+                        action="serial",
+                    )
+                )
+                results[ci] = _run_chunk(fn, chunks[ci])
+            else:
+                # Rung 1: fresh pool, exponential backoff.
+                wait = min(
+                    _BACKOFF_CAP_S,
+                    _BACKOFF_BASE_S * 2.0 ** (attempts[ci] - 1),
+                )
+                backoff = max(backoff, wait)
+                events.append(
+                    RetryEvent(
+                        chunk=ci,
+                        jobs=len(chunks[ci]),
+                        attempt=attempts[ci],
+                        error=err_text,
+                        backoff_s=wait,
+                        action="redispatch",
+                    )
+                )
+                next_pending.append(ci)
+        if next_pending and backoff > 0.0:
+            time.sleep(backoff)
+        pending = next_pending
+
+    flat: List[Any] = []
+    for chunk_results in results:
+        flat.extend(chunk_results)
+    return JobResults(
+        flat,
+        FailureReport(
+            backend="process",
+            events=tuple(events),
+            pool_restarts=pool_failures,
+            degraded_to_serial=degraded,
+        ),
+    )
+
+
 def map_jobs(
     fn: Callable[[Any], Any],
     jobs: Sequence[Any],
     n_workers: Optional[int],
     backend: Optional[str] = None,
     chunksize: Optional[int] = None,
-) -> List[Any]:
+) -> JobResults:
     """Map ``fn`` over ``jobs``, returning results in job order.
 
     ``n_workers`` of ``None``/``0``/``1`` (or a single job) runs
     serially regardless of ``backend``.  See the module docstring for
     the backend semantics; ``chunksize`` only affects the process
-    backend (how many jobs ride one IPC round-trip).
+    backend (how many jobs ride one IPC round-trip, and the unit of
+    crash recovery).  The returned :class:`JobResults` behaves as a
+    plain list and carries a :class:`FailureReport` describing any
+    crash recoveries the process backend performed.
     """
     jobs = list(jobs)
     if n_workers is None or n_workers <= 1 or len(jobs) <= 1:
-        return [fn(j) for j in jobs]
+        return JobResults(
+            [fn(j) for j in jobs], FailureReport(backend="serial")
+        )
     workers = min(n_workers, len(jobs))
     if resolve_backend(backend, fn, jobs) == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, jobs))
+            return JobResults(
+                list(pool.map(fn, jobs)), FailureReport(backend="thread")
+            )
     if chunksize is None:
         chunksize = max(1, len(jobs) // (4 * workers))
     # Pools are keyed by the *requested* count so a warm 4-worker pool
     # is never silently used for an n_workers=2 call (that would skew
     # scaling measurements).
-    pool = _process_pool(n_workers)
-    try:
-        return list(pool.map(fn, jobs, chunksize=chunksize))
-    except BrokenProcessPool:
-        # A dead worker poisons the whole pool; drop it so the next
-        # call starts fresh instead of failing forever.
-        if _PROCESS_POOLS.get(n_workers) is pool:
-            del _PROCESS_POOLS[n_workers]
-        pool.shutdown(wait=False, cancel_futures=True)
-        raise
+    return _map_process(fn, jobs, n_workers, chunksize)

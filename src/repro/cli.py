@@ -21,11 +21,23 @@ plotting.  ``vc``/``sweep`` with ``--algorithm broadcast`` also take
 ``--replay {incremental,scratch}`` — the §5 history replay strategy
 (bit-identical results; ``scratch`` is the paper-literal reference).
 
+``vc --fault {loss,duplication,corruption,crash,state}`` injects a
+seeded message/crash adversary (:mod:`repro.simulator.faults`) and
+runs the algorithm under the self-stabilising transformer, reporting
+whether the output recovered to the fault-free reference within T
+rounds after the faults stop (``--fault-rate``/``--fault-rounds``/
+``--fault-seed`` shape the deterministic schedule).
+
 ``dynamic`` runs a churn session (:mod:`repro.dynamic`): an edit
 stream mutates the instance batch by batch while the session repairs
 the standing cover — ``--mode incremental`` re-executes only the dirty
 region, ``--mode scratch`` is the paper-literal full re-solve, and
-``--verify`` runs both in lockstep asserting bit-identical results.
+``--verify`` runs both in lockstep asserting bit-identical results
+(on mismatch it names the first differing ``RunResult`` field and
+node).  ``--snapshot PATH`` serialises the session after the last
+batch; ``--restore PATH`` resumes it later — even in a different
+process — and keeps absorbing batches bit-for-bit as if never
+interrupted.
 
 (The experiment harness regenerating the paper's tables lives in
 ``python -m repro.experiments.cli``; it takes the same
@@ -41,7 +53,13 @@ import time
 from typing import List, Optional
 
 from repro.baselines.exact import exact_min_set_cover, exact_min_vertex_cover
-from repro.core.edge_packing import edge_packing_from_run, edge_packing_job
+from repro.core.edge_packing import (
+    EdgePackingMachine,
+    edge_packing_from_run,
+    edge_packing_job,
+    maximal_edge_packing,
+    schedule_length,
+)
 from repro.core.set_cover import set_cover_f_approx
 from repro.core.vertex_cover import (
     broadcast_vc_from_run,
@@ -59,7 +77,9 @@ from repro.dynamic import (
 from repro.graphs import families
 from repro.graphs.setcover import random_instance
 from repro.graphs.weights import uniform_weights, unit_weights
-from repro.simulator.runtime import sweep
+from repro.selfstab.transformer import SelfStabilisingMachine
+from repro.simulator.faults import FAULT_KINDS, adversary_from_spec
+from repro.simulator.runtime import run, sweep
 from repro._util.memo import REPLAY_MODES
 from repro._util.parallel import BACKENDS
 
@@ -92,6 +112,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default="incremental",
         help="history replay strategy for --algorithm broadcast "
         "(results identical; 'scratch' is the paper-literal reference)",
+    )
+    vc.add_argument(
+        "--fault",
+        choices=list(FAULT_KINDS),
+        default="none",
+        help="inject a seeded fault adversary and run the algorithm "
+        "under the self-stabilising transformer (port algorithm only); "
+        "reports recovery against the fault-free reference",
+    )
+    vc.add_argument(
+        "--fault-rate", type=float, default=0.2,
+        help="per-target fault probability while the adversary is active",
+    )
+    vc.add_argument(
+        "--fault-rounds", type=int, default=10,
+        help="rounds during which the adversary is active",
+    )
+    vc.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the deterministic fault schedule",
     )
     vc.add_argument("--json", action="store_true", help="machine-readable output")
 
@@ -190,6 +230,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a session in the other mode in lockstep and assert "
         "bit-identical results (every RunResult field)",
     )
+    dy.add_argument(
+        "--snapshot", metavar="PATH", default=None,
+        help="after the last batch, serialise the session to PATH "
+        "(resume later with --restore PATH)",
+    )
+    dy.add_argument(
+        "--restore", metavar="PATH", default=None,
+        help="resume a session from a --snapshot file instead of "
+        "solving afresh (instance, mode and metering come from the "
+        "snapshot; --family/--n/--W/--mode are ignored)",
+    )
     dy.add_argument("--json", action="store_true", help="machine-readable output")
 
     sub.add_parser("families", help="list graph family names")
@@ -205,6 +256,62 @@ def _make_graph(name: str, n: int, seed: int):
         ) from None
 
 
+def _run_vc_faulty(args, graph, weights) -> dict:
+    """The --fault demo: run the Section 3 machine under the
+    self-stabilising transformer while a seeded adversary disturbs it,
+    then check the output matches the fault-free reference exactly T
+    rounds after the faults stop."""
+    if args.algorithm != "port":
+        raise SystemExit(
+            "--fault demos the self-stabilising transformer on the port "
+            "algorithm; use --algorithm port"
+        )
+    if args.fault_rounds < 1:
+        raise SystemExit("need --fault-rounds >= 1")
+    delta, W = graph.max_degree, max(1, args.W)
+    horizon = schedule_length(delta, W)
+    reference = maximal_edge_packing(graph, weights, delta=delta, W=W)
+    adversary = adversary_from_spec(
+        args.fault,
+        until_round=args.fault_rounds,
+        rate=args.fault_rate,
+        seed=args.fault_seed,
+    )
+    res = run(
+        graph=graph,
+        machine=SelfStabilisingMachine(EdgePackingMachine(), horizon),
+        inputs=list(weights),
+        globals_map={"delta": delta, "W": W},
+        max_rounds=args.fault_rounds + horizon,
+        fault_adversary=adversary,
+    )
+    recovered = res.outputs == reference.run.outputs
+    payload = {
+        "problem": "vertex-cover",
+        "algorithm": "port+selfstab",
+        "family": args.family,
+        "n": graph.n,
+        "m": graph.m,
+        "max_degree": graph.max_degree,
+        "fault": args.fault,
+        "fault_rate": args.fault_rate,
+        "fault_rounds": args.fault_rounds,
+        "fault_seed": args.fault_seed,
+        "fault_events": adversary.events,
+        "stabilisation_time": horizon,
+        "rounds": res.rounds,
+        "recovered_within_T": recovered,
+    }
+    if recovered:
+        # recovered ⇒ outputs equal the fault-free packing's exactly,
+        # so the cover readout comes from the reference (the selfstab
+        # run itself never halts, so it has no halting-based readout)
+        cover = reference.saturated
+        payload["cover"] = sorted(cover)
+        payload["cover_weight"] = sum(weights[v] for v in cover)
+    return payload
+
+
 def _run_vc(args) -> dict:
     graph = _make_graph(args.family, args.n, args.seed)
     weights = (
@@ -212,6 +319,8 @@ def _run_vc(args) -> dict:
         if args.W <= 1
         else uniform_weights(graph.n, args.W, seed=args.seed)
     )
+    if args.fault != "none":
+        return _run_vc_faulty(args, graph, weights)
     if args.algorithm == "port":
         result = vertex_cover_2approx(graph, weights)
     else:
@@ -338,37 +447,83 @@ def _run_sweep(args) -> dict:
     }
 
 
+def _short(value, width: int = 48) -> str:
+    text = repr(value)
+    return text if len(text) <= width else text[: width - 3] + "..."
+
+
+def _verify_diff(a, b, field: str) -> str:
+    """Human-readable locus of the first difference in a RunResult field."""
+    va, vb = getattr(a, field), getattr(b, field)
+    if isinstance(va, (list, tuple)) and isinstance(vb, (list, tuple)):
+        if len(va) != len(vb):
+            return f" (lengths differ: {len(va)} != {len(vb)})"
+        idx = next(i for i, (x, y) in enumerate(zip(va, vb)) if x != y)
+        unit = "round" if field == "per_round_bits" else "node"
+        return (
+            f" (first difference at {unit} {idx}: "
+            f"{_short(va[idx])} != {_short(vb[idx])})"
+        )
+    return f" ({_short(va)} != {_short(vb)})"
+
+
 def _run_dynamic(args) -> dict:
     """A churn session: apply edit batches, repair the cover live."""
     if args.batches < 1 or args.edits_per_batch < 1:
         raise SystemExit("need --batches >= 1 and --edits-per-batch >= 1")
-    graph = _make_graph(args.family, args.n, args.seed)
-    weights = (
-        unit_weights(graph.n)
-        if args.W <= 1
-        else uniform_weights(graph.n, args.W, seed=args.seed)
-    )
-    # Leave one unit of degree headroom so insertion streams have room.
-    delta = graph.max_degree + 1
-    session_kwargs = dict(
-        algorithm=args.algorithm,
-        delta=delta,
-        W=max(1, args.W),
-        metering=args.metering,
-    )
-    session = DynamicRun.vertex_cover(
-        graph, weights, mode=args.mode, **session_kwargs
-    )
-    other_mode = "scratch" if args.mode == "incremental" else "incremental"
-    shadow = (
-        DynamicRun.vertex_cover(graph, weights, mode=other_mode, **session_kwargs)
-        if args.verify
-        else None
-    )
+    if args.restore and args.verify:
+        raise SystemExit(
+            "--restore cannot be combined with --verify: the shadow "
+            "session would need the original pre-churn instance, which "
+            "the snapshot does not carry"
+        )
+    shadow = None
+    if args.restore:
+        try:
+            with open(args.restore, "rb") as fh:
+                session = DynamicRun.restore(fh.read())
+        except OSError as exc:
+            raise SystemExit(f"cannot read --restore file: {exc}")
+        except ValueError as exc:
+            raise SystemExit(f"--restore rejected: {exc}")
+        if session.flow not in ("port", "broadcast"):
+            raise SystemExit(
+                f"--restore expects a vertex-cover session snapshot, got "
+                f"flow {session.flow!r}"
+            )
+        graph = session.graph
+        pinned = session.pinned_globals
+        delta, W = pinned["delta"], pinned["W"]
+    else:
+        graph = _make_graph(args.family, args.n, args.seed)
+        weights = (
+            unit_weights(graph.n)
+            if args.W <= 1
+            else uniform_weights(graph.n, args.W, seed=args.seed)
+        )
+        # Leave one unit of degree headroom so insertion streams have room.
+        delta = graph.max_degree + 1
+        W = max(1, args.W)
+        session_kwargs = dict(
+            algorithm=args.algorithm,
+            delta=delta,
+            W=W,
+            metering=args.metering,
+        )
+        session = DynamicRun.vertex_cover(
+            graph, weights, mode=args.mode, **session_kwargs
+        )
+        if args.verify:
+            shadow = DynamicRun.vertex_cover(
+                graph, weights,
+                mode="scratch" if args.mode == "incremental" else "incremental",
+                **session_kwargs,
+            )
+    other_mode = "scratch" if session.mode == "incremental" else "incremental"
     if args.stream == "random":
         stream = RandomChurn(
             edits_per_batch=args.edits_per_batch, seed=args.seed,
-            W=max(1, args.W), max_degree=delta,
+            W=W, max_degree=delta,
         )
     elif args.stream == "hubs":
         stream = HubChurn(edits_per_batch=args.edits_per_batch, seed=args.seed)
@@ -399,8 +554,8 @@ def _run_dynamic(args) -> dict:
                 if getattr(a, field) != getattr(b, field):
                     raise SystemExit(
                         f"--verify failed at batch {stats.batch}: RunResult."
-                        f"{field} differs between {args.mode!r} and "
-                        f"{other_mode!r} modes"
+                        f"{field} differs between {session.mode!r} and "
+                        f"{other_mode!r} modes" + _verify_diff(a, b, field)
                     )
         view = session.cover_view()
         records.append(
@@ -420,16 +575,18 @@ def _run_dynamic(args) -> dict:
             }
         )
     elapsed = time.perf_counter() - started
-    return {
+    payload = {
         "problem": "dynamic-vertex-cover",
-        "algorithm": args.algorithm,
-        "mode": args.mode,
+        "algorithm": session.flow,
+        "mode": session.mode,
         "stream": args.stream,
-        "family": args.family,
+        "family": None if args.restore else args.family,
         "n0": graph.n,
         "delta": delta,
-        "W": max(1, args.W),
-        "metering": args.metering,
+        "W": W,
+        "metering": session.metering,
+        "restored_from": args.restore,
+        "batches_applied_total": session.batches_applied,
         "verified_against_scratch": shadow is not None,
         "wall_seconds": elapsed,
         "mean_repaired_fraction": (
@@ -439,6 +596,16 @@ def _run_dynamic(args) -> dict:
         ),
         "batches": records,
     }
+    if args.snapshot:
+        blob = session.snapshot()
+        try:
+            with open(args.snapshot, "wb") as fh:
+                fh.write(blob)
+        except OSError as exc:
+            raise SystemExit(f"cannot write --snapshot file: {exc}")
+        payload["snapshot_path"] = args.snapshot
+        payload["snapshot_bytes"] = len(blob)
+    return payload
 
 
 def main(argv: Optional[List[str]] = None) -> int:

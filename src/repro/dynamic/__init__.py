@@ -24,6 +24,7 @@ from repro.dynamic.edits import (
 )
 from repro.dynamic.session import (
     DYNAMIC_MODES,
+    SNAPSHOT_VERSION,
     BatchStats,
     CoverView,
     DynamicRun,
@@ -39,6 +40,7 @@ from repro.dynamic.streams import (
 __all__ = [
     "EDIT_KINDS",
     "DYNAMIC_MODES",
+    "SNAPSHOT_VERSION",
     "AppliedBatch",
     "BatchStats",
     "CoverView",

@@ -60,6 +60,7 @@ edge set; the session normalises the initial graph).
 from __future__ import annotations
 
 import math
+import pickle
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import (
@@ -91,6 +92,7 @@ from repro.simulator.runtime import (
 
 __all__ = [
     "DYNAMIC_MODES",
+    "SNAPSHOT_VERSION",
     "validate_dynamic_mode",
     "BatchStats",
     "CoverView",
@@ -98,6 +100,13 @@ __all__ = [
 ]
 
 DYNAMIC_MODES = ("incremental", "scratch")
+
+#: Version tag written into :meth:`DynamicRun.snapshot` payloads.
+#: Bump it whenever the payload layout changes; :meth:`DynamicRun.
+#: restore` refuses snapshots from a different version rather than
+#: guessing (snapshots are durable state — they outlive the process
+#: and may outlive the code that wrote them).
+SNAPSHOT_VERSION = 1
 
 _INF = math.inf
 
@@ -510,6 +519,16 @@ class DynamicRun:
     def batches_applied(self) -> int:
         return self._batches
 
+    @property
+    def pinned_globals(self) -> Dict[str, Any]:
+        """The session's pinned global bounds (a copy)."""
+        return dict(self._globals)
+
+    @property
+    def metering(self) -> Any:
+        """The metering mode pinned at construction (or restore)."""
+        return self._metering
+
     # -- solving --------------------------------------------------------
 
     def _run_kwargs(self) -> Dict[str, Any]:
@@ -614,6 +633,99 @@ class DynamicRun:
         )
         self._memo.put(self._generation, "history", history)
         return len(ball)
+
+    # -- durability ------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialise the session into restorable bytes.
+
+        The payload carries everything the next process needs to keep
+        absorbing edit batches bit-for-bit as if never interrupted: the
+        standing :class:`RunResult`, the pinned globals, the canonical
+        edge set (the graph is rebuilt canonically on restore), the
+        machine (with its warm memo caches — pickling them is pinned by
+        ``tests/test_parallel_backends.py``) and, for incremental
+        sessions, the current generation's message history out of the
+        :class:`GenerationalMemo`.  Versioned via
+        :data:`SNAPSHOT_VERSION`; restored by :meth:`restore`.
+        """
+        history = (
+            self._memo.get(self._generation, "history")
+            if self._memo is not None
+            else None
+        )
+        payload = {
+            "version": SNAPSHOT_VERSION,
+            "flow": self.flow,
+            "mode": self.mode,
+            "machine": self._machine,
+            "globals": dict(self._globals),
+            "max_rounds": self._max_rounds,
+            "metering": self._metering,
+            "seed": self._seed,
+            "validate": self._validate,
+            "allowed_edit_kinds": self._allowed_edit_kinds,
+            "n": self._graph.n,
+            "edges": list(self._graph.edges),
+            "inputs": list(self._inputs),
+            "generation": self._generation,
+            "batches": self._batches,
+            "stats": list(self.stats),
+            "result": self._result,
+            "history": history,
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, data: bytes) -> "DynamicRun":
+        """Rebuild a session from :meth:`snapshot` bytes.
+
+        The restored session does **not** re-solve: it resumes on the
+        serialised standing result (and, for incremental sessions,
+        message history), so applying the remaining edit batches yields
+        results bit-for-bit equal to the uninterrupted session's
+        (pinned by ``tests/test_dynamic_snapshot.py``).
+        """
+        try:
+            payload = pickle.loads(data)
+        except Exception as exc:
+            raise ValueError(f"unreadable DynamicRun snapshot: {exc!r}")
+        if not isinstance(payload, dict) or "version" not in payload:
+            raise ValueError("not a DynamicRun snapshot payload")
+        version = payload["version"]
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {version!r} is not supported by this "
+                f"build (expected {SNAPSHOT_VERSION}); re-snapshot from a "
+                f"matching build"
+            )
+        session = cls.__new__(cls)
+        session.mode = validate_dynamic_mode(payload["mode"])
+        session.flow = payload["flow"]
+        session._machine = payload["machine"]
+        session._globals = dict(payload["globals"])
+        session._max_rounds = payload["max_rounds"]
+        session._metering = payload["metering"]
+        session._seed = payload["seed"]
+        session._validate = payload["validate"]
+        session._allowed_edit_kinds = payload["allowed_edit_kinds"]
+        session._graph = PortNumberedGraph.from_edges(
+            payload["n"], payload["edges"]
+        )
+        session._inputs = list(payload["inputs"])
+        session._generation = payload["generation"]
+        session._batches = payload["batches"]
+        session._view_cache = None
+        session.stats = list(payload["stats"])
+        session._result = payload["result"]
+        session._memo = (
+            GenerationalMemo() if session.mode == "incremental" else None
+        )
+        if session._memo is not None and payload["history"] is not None:
+            session._memo.put(
+                session._generation, "history", payload["history"]
+            )
+        return session
 
     # -- cover readout ---------------------------------------------------
 
@@ -747,14 +859,6 @@ class DynamicRun:
                 f"unknown algorithm {algorithm!r}; expected 'port' or 'broadcast'"
             )
 
-        def validate(g: PortNumberedGraph, inputs: Sequence[Any]) -> None:
-            validate_weights(inputs, g.n, W)
-            if g.max_degree > delta:
-                raise ValueError(
-                    f"edit pushes max degree to {g.max_degree}, past the "
-                    f"session bound delta={delta}"
-                )
-
         return cls(
             graph,
             weights,
@@ -765,7 +869,7 @@ class DynamicRun:
             metering=metering,
             seed=seed,
             flow=flow,
-            validate=validate,
+            validate=_VertexCoverValidator(delta, W),
         )
 
     @classmethod
@@ -798,44 +902,6 @@ class DynamicRun:
         graph = instance.to_bipartite_graph()
         inputs = instance.node_inputs()
 
-        def validate(g: PortNumberedGraph, node_inputs: Sequence[Any]) -> None:
-            for v in g.nodes():
-                inp = node_inputs[v]
-                if not isinstance(inp, Mapping) or "role" not in inp:
-                    raise ValueError(
-                        f"node {v}: set-cover inputs must be role dicts"
-                    )
-                if inp["role"] == "subset":
-                    w = inp.get("weight")
-                    if not isinstance(w, int) or isinstance(w, bool) or not (
-                        1 <= w <= W
-                    ):
-                        raise ValueError(
-                            f"subset node {v}: weight {w!r} outside 1..{W}"
-                        )
-                    if g.degree(v) > k:
-                        raise ValueError(
-                            f"subset node {v}: size {g.degree(v)} exceeds k={k}"
-                        )
-                elif inp["role"] == "element":
-                    if g.degree(v) < 1:
-                        raise ValueError(
-                            f"edit orphans element node {v} (infeasible cover)"
-                        )
-                    if g.degree(v) > f:
-                        raise ValueError(
-                            f"element node {v}: frequency {g.degree(v)} "
-                            f"exceeds f={f}"
-                        )
-                else:
-                    raise ValueError(f"node {v}: unknown role {inp['role']!r}")
-            for (a, b) in g.edges:
-                if node_inputs[a]["role"] == node_inputs[b]["role"]:
-                    raise ValueError(
-                        f"edge ({a}, {b}) joins two {node_inputs[a]['role']} "
-                        f"nodes — the layout must stay bipartite"
-                    )
-
         return cls(
             graph,
             inputs,
@@ -846,6 +912,77 @@ class DynamicRun:
             metering=metering,
             seed=seed,
             flow="setcover",
-            validate=validate,
+            validate=_SetCoverValidator(f, k, W),
             allowed_edit_kinds=("add_edge", "remove_edge", "reweight"),
         )
+
+
+class _VertexCoverValidator:
+    """The vertex-cover flows' per-batch instance check.
+
+    A class, not a closure over ``delta``/``W``: sessions pickle their
+    validator into snapshots, and closures do not pickle.
+    """
+
+    def __init__(self, delta: int, W: int):
+        self.delta = delta
+        self.W = W
+
+    def __call__(self, g: PortNumberedGraph, inputs: Sequence[Any]) -> None:
+        validate_weights(inputs, g.n, self.W)
+        if g.max_degree > self.delta:
+            raise ValueError(
+                f"edit pushes max degree to {g.max_degree}, past the "
+                f"session bound delta={self.delta}"
+            )
+
+
+class _SetCoverValidator:
+    """The set-cover flow's per-batch instance check (picklable; see
+    :class:`_VertexCoverValidator`)."""
+
+    def __init__(self, f: int, k: int, W: int):
+        self.f = f
+        self.k = k
+        self.W = W
+
+    def __call__(
+        self, g: PortNumberedGraph, node_inputs: Sequence[Any]
+    ) -> None:
+        f, k, W = self.f, self.k, self.W
+        for v in g.nodes():
+            inp = node_inputs[v]
+            if not isinstance(inp, Mapping) or "role" not in inp:
+                raise ValueError(
+                    f"node {v}: set-cover inputs must be role dicts"
+                )
+            if inp["role"] == "subset":
+                w = inp.get("weight")
+                if not isinstance(w, int) or isinstance(w, bool) or not (
+                    1 <= w <= W
+                ):
+                    raise ValueError(
+                        f"subset node {v}: weight {w!r} outside 1..{W}"
+                    )
+                if g.degree(v) > k:
+                    raise ValueError(
+                        f"subset node {v}: size {g.degree(v)} exceeds k={k}"
+                    )
+            elif inp["role"] == "element":
+                if g.degree(v) < 1:
+                    raise ValueError(
+                        f"edit orphans element node {v} (infeasible cover)"
+                    )
+                if g.degree(v) > f:
+                    raise ValueError(
+                        f"element node {v}: frequency {g.degree(v)} "
+                        f"exceeds f={f}"
+                    )
+            else:
+                raise ValueError(f"node {v}: unknown role {inp['role']!r}")
+        for (a, b) in g.edges:
+            if node_inputs[a]["role"] == node_inputs[b]["role"]:
+                raise ValueError(
+                    f"edge ({a}, {b}) joins two {node_inputs[a]['role']} "
+                    f"nodes — the layout must stay bipartite"
+                )

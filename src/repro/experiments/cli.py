@@ -35,6 +35,7 @@ from repro.experiments import EXPERIMENT_MODULES
 from repro.experiments.common import ExperimentTable
 from repro._util.memo import REPLAY_MODES
 from repro._util.parallel import BACKENDS
+from repro.simulator.faults import FAULT_KINDS
 
 __all__ = ["main"]
 
@@ -44,6 +45,7 @@ def _run_one(
     n_workers: Optional[int],
     backend: Optional[str],
     replay: Optional[str] = None,
+    fault_kinds: Optional[List[str]] = None,
 ) -> List[ExperimentTable]:
     module = importlib.import_module(EXPERIMENT_MODULES[name])
     kwargs = {}
@@ -54,6 +56,8 @@ def _run_one(
         kwargs["backend"] = backend
     if replay is not None and "replay" in accepted:
         kwargs["replay"] = replay
+    if fault_kinds is not None and "fault_kinds" in accepted:
+        kwargs["fault_kinds"] = fault_kinds
     result = module.run(**kwargs)
     return result if isinstance(result, list) else [result]
 
@@ -86,6 +90,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay strategy for history-simulation / self-stabilising "
         "experiments (results identical; default: incremental)",
     )
+    parser.add_argument(
+        "--fault-kinds", default=None, metavar="KIND[,KIND...]",
+        help="comma-separated fault kinds for the self-stabilisation "
+        f"experiment (subset of {FAULT_KINDS[1:]}; default: all)",
+    )
     return parser
 
 
@@ -108,10 +117,24 @@ def main(argv: List[str] | None = None) -> int:
         print(f"known: {sorted(EXPERIMENT_MODULES)}", file=sys.stderr)
         return 2
 
+    fault_kinds = None
+    if args.fault_kinds is not None:
+        fault_kinds = [k for k in args.fault_kinds.split(",") if k.strip()]
+        bad = [k for k in fault_kinds if k not in FAULT_KINDS or k == "none"]
+        if bad:
+            print(
+                f"unknown fault kinds: {bad}; expected a subset of "
+                f"{FAULT_KINDS[1:]}",
+                file=sys.stderr,
+            )
+            return 2
+
     records = []
     for name in names:
         started = time.perf_counter()
-        tables = _run_one(name, args.workers, args.backend, args.replay)
+        tables = _run_one(
+            name, args.workers, args.backend, args.replay, fault_kinds
+        )
         elapsed = time.perf_counter() - started
         if args.json:
             for table in tables:

@@ -26,17 +26,38 @@ from repro.simulator.runtime import (
     run_reference,
     sweep,
 )
-from repro.simulator.faults import FaultAdversary, RandomStateCorruption
+from repro.simulator.faults import (
+    FAULT_KINDS,
+    ComposedAdversary,
+    FaultAdversary,
+    MessageCorruption,
+    MessageDuplication,
+    MessageLoss,
+    NodeCrash,
+    RandomCrashes,
+    RandomStateCorruption,
+    TargetedCorruption,
+    adversary_from_spec,
+)
 
 __all__ = [
     "BROADCAST",
+    "ComposedAdversary",
+    "FAULT_KINDS",
     "FaultAdversary",
     "LocalContext",
     "Machine",
+    "MessageCorruption",
+    "MessageDuplication",
+    "MessageLoss",
     "Metering",
+    "NodeCrash",
     "PORT_NUMBERING",
+    "RandomCrashes",
     "RandomStateCorruption",
     "RunResult",
+    "TargetedCorruption",
+    "adversary_from_spec",
     "run",
     "run_broadcast",
     "run_many",

@@ -76,6 +76,10 @@ Observer = Callable[[int, List[Any], List[Any]], None]
 
 _NONE_KEY = canonical_key(None)
 
+# Shared empty crash set: rounds without a crash adversary pay one
+# identity check, not a frozenset construction.
+_EMPTY_SET: frozenset = frozenset()
+
 
 @dataclass(frozen=True)
 class Metering:
@@ -304,6 +308,15 @@ def _run_fast_port(
     )
     parked: List[Tuple[int, int]] = []  # (node, round it was parked after)
 
+    # Message-fault / crash hooks (getattr: duck-typed adversaries that
+    # predate the extended contract only corrupt states).
+    adv_restarted = adv_paused = adv_tampers = None
+    if adversary is not None:
+        adv_restarted = getattr(adversary, "restarted", None)
+        adv_paused = getattr(adversary, "paused", None)
+        adv_tampers = getattr(adversary, "tampers", None)
+    start_fn = machine.start
+
     rounds = 0
     n_halted = sum(halted)
     messages_sent = 0
@@ -315,65 +328,147 @@ def _run_fast_port(
     silent = bytearray([1]) * n
 
     while rounds < max_rounds and n_halted + len(parked) < n:
-        if adversary is not None and adversary.is_active(rounds):
-            prev = states
-            # Hand corrupt() a copy: an adversary that assigns into the
-            # list it was given (and returns it) must not alias `prev`,
-            # or the identity check below would miss every corruption.
-            states = list(adversary.corrupt(rounds, graph, list(prev)))
-            for v in range(n):
-                if states[v] is not prev[v] and halted[v] != (
-                    now := halted_fn(ctxs[v], states[v])
-                ):
-                    halted[v] = now
-                    if now:
-                        n_halted += 1
-                        for dst, q in scatter[v]:
-                            dst[q] = None
-                        silent[v] = 1
-                    else:
-                        n_halted -= 1
-            live = [v for v in range(n) if not halted[v]]
+        paused: frozenset = _EMPTY_SET
+        if adversary is not None:
+            changed = False
+            if adv_restarted is not None:
+                for v in sorted(set(adv_restarted(rounds, graph))):
+                    states[v] = start_fn(ctxs[v])
+                    now = halted_fn(ctxs[v], states[v])
+                    if now != halted[v]:
+                        halted[v] = now
+                        if now:
+                            n_halted += 1
+                            for dst, q in scatter[v]:
+                                dst[q] = None
+                            silent[v] = 1
+                        else:
+                            n_halted -= 1
+                    changed = True
+            if adversary.is_active(rounds):
+                changed = True
+                prev = states
+                # Hand corrupt() a copy: an adversary that assigns into
+                # the list it was given (and returns it) must not alias
+                # `prev`, or the identity check below would miss every
+                # corruption.
+                states = list(adversary.corrupt(rounds, graph, list(prev)))
+                for v in range(n):
+                    if states[v] is not prev[v] and halted[v] != (
+                        now := halted_fn(ctxs[v], states[v])
+                    ):
+                        halted[v] = now
+                        if now:
+                            n_halted += 1
+                            for dst, q in scatter[v]:
+                                dst[q] = None
+                            silent[v] = 1
+                        else:
+                            n_halted -= 1
+            if changed:
+                live = [v for v in range(n) if not halted[v]]
+            if adv_paused is not None:
+                paused = frozenset(adv_paused(rounds, graph))
 
         outboxes: Optional[List[Any]] = [None] * n if observer is not None else None
         round_bits = 0
-        for v in live:
-            out = emit(ctxs[v], states[v])
-            if out is None:
+        if adv_tampers is not None and adv_tampers(rounds):
+            # Chaos path: collect every emission, expose the full set
+            # of directed links to the adversary, then deliver and
+            # meter from the (possibly tampered) link values.  Mirrors
+            # the reference engine exactly; the hot path below is
+            # untouched in rounds without message tampering.
+            rows: List[Any] = [None] * n
+            for v in live:
+                if v in paused:
+                    continue
+                out = emit(ctxs[v], states[v])
+                if out is None:
+                    if outboxes is not None:
+                        outboxes[v] = [None] * degrees[v]
+                    continue
+                d = degrees[v]
+                if type(out) is not list and type(out) is not tuple:
+                    out = list(out)
+                if len(out) != d:
+                    raise _bad_arity(d, len(out))
+                rows[v] = out
                 if outboxes is not None:
-                    # Observer parity with the reference engine: a live
-                    # node's silence shows as an all-None row; only
-                    # halted nodes show as None.
-                    outboxes[v] = [None] * degrees[v]
-                if not silent[v]:
-                    for dst, q in scatter[v]:
-                        dst[q] = None
-                    silent[v] = 1
-                continue
-            silent[v] = 0
-            d = degrees[v]
-            if type(out) is not list and type(out) is not tuple:
-                out = list(out)
-            if len(out) != d:
-                raise _bad_arity(d, len(out))
-            if outboxes is not None:
-                outboxes[v] = out
-            for (dst, q), m in zip(scatter[v], out):
-                dst[q] = m
-            if count_msgs:
-                if meter_bits:
-                    for m in out:
-                        if m is not None:
-                            messages_sent += 1
-                            round_bits += size_of(m)
+                    outboxes[v] = out
+            links: Dict[Tuple[int, int], Any] = {}
+            for v in range(n):
+                row = rows[v]
+                if row is None:
+                    for p in range(degrees[v]):
+                        links[(v, p)] = None
                 else:
-                    for m in out:
-                        if m is not None:
+                    for p in range(degrees[v]):
+                        links[(v, p)] = row[p]
+            links = adversary.tamper(rounds, graph, links)
+            # Every slot is rewritten from the tampered links, and
+            # silence is recomputed, so later (fast-path) rounds see a
+            # consistent inbox/silent state.
+            for v in range(n):
+                still = 1
+                for p, (dst, q) in enumerate(scatter[v]):
+                    m = links[(v, p)]
+                    dst[q] = m
+                    if m is not None:
+                        still = 0
+                        if count_msgs:
                             messages_sent += 1
+                            if meter_bits:
+                                round_bits += size_of(m)
+                silent[v] = still
+        else:
+            for v in live:
+                if v in paused:
+                    # Crashed this round: silent (like halted) but live.
+                    if not silent[v]:
+                        for dst, q in scatter[v]:
+                            dst[q] = None
+                        silent[v] = 1
+                    continue
+                out = emit(ctxs[v], states[v])
+                if out is None:
+                    if outboxes is not None:
+                        # Observer parity with the reference engine: a
+                        # live node's silence shows as an all-None row;
+                        # only halted/crashed nodes show as None.
+                        outboxes[v] = [None] * degrees[v]
+                    if not silent[v]:
+                        for dst, q in scatter[v]:
+                            dst[q] = None
+                        silent[v] = 1
+                    continue
+                silent[v] = 0
+                d = degrees[v]
+                if type(out) is not list and type(out) is not tuple:
+                    out = list(out)
+                if len(out) != d:
+                    raise _bad_arity(d, len(out))
+                if outboxes is not None:
+                    outboxes[v] = out
+                for (dst, q), m in zip(scatter[v], out):
+                    dst[q] = m
+                if count_msgs:
+                    if meter_bits:
+                        for m in out:
+                            if m is not None:
+                                messages_sent += 1
+                                round_bits += size_of(m)
+                    else:
+                        for m in out:
+                            if m is not None:
+                                messages_sent += 1
 
         next_live: List[int] = []
         just_halted: List[int] = []
         for v in live:
+            if v in paused:
+                # Frozen: no step, the round's inbox is discarded.
+                next_live.append(v)
+                continue
             st = step(ctxs[v], states[v], inboxes[v])
             states[v] = st
             if halted_fn(ctxs[v], st):
@@ -459,48 +554,125 @@ def _run_fast_broadcast(
     payloads: List[Any] = [None] * n
     keys: List[Any] = [_NONE_KEY] * n
 
+    # Message-fault / crash hooks (getattr: duck-typed adversaries that
+    # predate the extended contract only corrupt states).
+    adv_restarted = adv_paused = adv_tampers = None
+    if adversary is not None:
+        adv_restarted = getattr(adversary, "restarted", None)
+        adv_paused = getattr(adversary, "paused", None)
+        adv_tampers = getattr(adversary, "tampers", None)
+    start_fn = machine.start
+
     while rounds < max_rounds and n_halted < n:
-        if adversary is not None and adversary.is_active(rounds):
-            prev = states
-            # Hand corrupt() a copy: an adversary that assigns into the
-            # list it was given (and returns it) must not alias `prev`,
-            # or the identity check below would miss every corruption.
-            states = list(adversary.corrupt(rounds, graph, list(prev)))
-            for v in range(n):
-                if states[v] is not prev[v] and halted[v] != (
-                    now := halted_fn(ctxs[v], states[v])
-                ):
-                    halted[v] = now
-                    if now:
-                        n_halted += 1
-                        payloads[v] = None
-                        keys[v] = _NONE_KEY
-                    else:
-                        n_halted -= 1
-            live = [v for v in range(n) if not halted[v]]
+        paused: frozenset = _EMPTY_SET
+        if adversary is not None:
+            changed = False
+            if adv_restarted is not None:
+                for v in sorted(set(adv_restarted(rounds, graph))):
+                    states[v] = start_fn(ctxs[v])
+                    now = halted_fn(ctxs[v], states[v])
+                    if now != halted[v]:
+                        halted[v] = now
+                        if now:
+                            n_halted += 1
+                            payloads[v] = None
+                            keys[v] = _NONE_KEY
+                        else:
+                            n_halted -= 1
+                    changed = True
+            if adversary.is_active(rounds):
+                changed = True
+                prev = states
+                # Hand corrupt() a copy: an adversary that assigns into
+                # the list it was given (and returns it) must not alias
+                # `prev`, or the identity check below would miss every
+                # corruption.
+                states = list(adversary.corrupt(rounds, graph, list(prev)))
+                for v in range(n):
+                    if states[v] is not prev[v] and halted[v] != (
+                        now := halted_fn(ctxs[v], states[v])
+                    ):
+                        halted[v] = now
+                        if now:
+                            n_halted += 1
+                            payloads[v] = None
+                            keys[v] = _NONE_KEY
+                        else:
+                            n_halted -= 1
+            if changed:
+                live = [v for v in range(n) if not halted[v]]
+            if adv_paused is not None:
+                paused = frozenset(adv_paused(rounds, graph))
 
         round_bits = 0
-        for v in live:
-            p = emit(ctxs[v], states[v])
-            payloads[v] = p
-            keys[v] = canonical_key(p)
-            if p is not None and count_msgs:
-                # One broadcast payload, delivered along every link.
-                d = degrees[v]
-                messages_sent += d
-                if meter_bits:
-                    round_bits += d * size_of(p)
+        inboxes_t: Optional[List[Any]] = None
+        if adv_tampers is not None and adv_tampers(rounds):
+            # Chaos path: expose every directed link to the adversary,
+            # then deliver and meter from the (possibly tampered) link
+            # values.  A stable sort of the received *values* by
+            # canonical key equals the normal stable sender-sort, so an
+            # untampered chaos round builds identical inboxes.
+            for v in live:
+                if v in paused:
+                    payloads[v] = None
+                    keys[v] = _NONE_KEY
+                    continue
+                p = emit(ctxs[v], states[v])
+                payloads[v] = p
+                keys[v] = canonical_key(p)
+            links: Dict[Tuple[int, int], Any] = {}
+            for v in range(n):
+                pv = payloads[v]
+                for u in nbrs[v]:
+                    links[(v, u)] = pv
+            links = adversary.tamper(rounds, graph, links)
+            if count_msgs:
+                for m in links.values():
+                    if m is not None:
+                        messages_sent += 1
+                        if meter_bits:
+                            round_bits += size_of(m)
+            inboxes_t = [None] * n
+            for v in live:
+                if v in paused:
+                    continue
+                received = [links[(u, v)] for u in nbrs[v]]
+                received.sort(key=canonical_key)
+                inboxes_t[v] = tuple(received)
+        else:
+            for v in live:
+                if v in paused:
+                    # Crashed this round: silent (like halted) but live.
+                    payloads[v] = None
+                    keys[v] = _NONE_KEY
+                    continue
+                p = emit(ctxs[v], states[v])
+                payloads[v] = p
+                keys[v] = canonical_key(p)
+                if p is not None and count_msgs:
+                    # One broadcast payload, delivered along every link.
+                    d = degrees[v]
+                    messages_sent += d
+                    if meter_bits:
+                        round_bits += d * size_of(p)
 
         key_of = keys.__getitem__
         next_live: List[int] = []
         just_halted: List[int] = []
         for v in live:
+            if v in paused:
+                # Frozen: no step, the round's inbox is discarded.
+                next_live.append(v)
+                continue
             # inbox = canonically sorted multiset of neighbours'
             # payloads; sorting by content (never by sender) enforces
             # the broadcast model's anonymity.
-            inbox = tuple(
-                payloads[u] for u in sorted(nbrs[v], key=key_of)
-            )
+            if inboxes_t is not None:
+                inbox = inboxes_t[v]
+            else:
+                inbox = tuple(
+                    payloads[u] for u in sorted(nbrs[v], key=key_of)
+                )
             st = step(ctxs[v], states[v], inbox)
             states[v] = st
             if halted_fn(ctxs[v], st):
@@ -573,20 +745,34 @@ def run_reference(
     states: List[Any] = [machine.start(ctxs[v]) for v in graph.nodes()]
     halted: List[bool] = [machine.halted(ctxs[v], states[v]) for v in graph.nodes()]
 
+    # Message-fault / crash hooks (getattr: duck-typed adversaries that
+    # predate the extended contract only corrupt states).
+    adv_restarted = adv_paused = adv_tampers = None
+    if fault_adversary is not None:
+        adv_restarted = getattr(fault_adversary, "restarted", None)
+        adv_paused = getattr(fault_adversary, "paused", None)
+        adv_tampers = getattr(fault_adversary, "tampers", None)
+
     rounds = 0
     messages_sent = 0
     message_bits = 0
     per_round_bits: List[int] = []
 
     while rounds < max_rounds and not all(halted):
+        paused: frozenset = _EMPTY_SET
         if fault_adversary is not None:
+            if adv_restarted is not None:
+                for v in sorted(set(adv_restarted(rounds, graph))):
+                    states[v] = machine.start(ctxs[v])
             states = fault_adversary.corrupt(rounds, graph, states)
             halted = [machine.halted(ctxs[v], states[v]) for v in graph.nodes()]
+            if adv_paused is not None:
+                paused = frozenset(adv_paused(rounds, graph))
 
         outboxes: List[Any] = []
         for v in graph.nodes():
-            if halted[v]:
-                out = None  # halted nodes are silent
+            if halted[v] or v in paused:
+                out = None  # halted (and crashed) nodes are silent
             else:
                 out = machine.emit(ctxs[v], states[v])
                 if machine.model == PORT_NUMBERING:
@@ -597,32 +783,46 @@ def run_reference(
                         raise _bad_arity(graph.degree(v), len(out))
             outboxes.append(out)
 
-        inboxes = deliver(graph, outboxes)
+        tampering = adv_tampers is not None and adv_tampers(rounds)
+        if tampering:
+            links = _links_of(graph, machine.model, outboxes)
+            links = fault_adversary.tamper(rounds, graph, links)
+            inboxes = _deliver_links(graph, machine.model, links)
+        else:
+            inboxes = deliver(graph, outboxes)
 
-        # Metering: count each non-None message once per link direction.
+        # Metering: count each non-None message once per link direction
+        # (after tampering, if any: the wire's view is what is billed).
         if meter.counts_messages:
             round_bits = 0
-            for v in graph.nodes():
-                if machine.model == PORT_NUMBERING:
-                    if outboxes[v] is None:
-                        continue
-                    sent = [m for m in outboxes[v] if m is not None]
-                    messages_sent += len(sent)
-                    if meter.meters_bits:
-                        for m in sent:
+            if tampering:
+                for m in links.values():
+                    if m is not None:
+                        messages_sent += 1
+                        if meter.meters_bits:
                             round_bits += message_size_bits(m)
-                elif outboxes[v] is not None:
-                    # One broadcast payload, delivered along every link.
-                    d = graph.degree(v)
-                    messages_sent += d
-                    if meter.meters_bits:
-                        round_bits += d * message_size_bits(outboxes[v])
+            else:
+                for v in graph.nodes():
+                    if machine.model == PORT_NUMBERING:
+                        if outboxes[v] is None:
+                            continue
+                        sent = [m for m in outboxes[v] if m is not None]
+                        messages_sent += len(sent)
+                        if meter.meters_bits:
+                            for m in sent:
+                                round_bits += message_size_bits(m)
+                    elif outboxes[v] is not None:
+                        # One broadcast payload, sent along every link.
+                        d = graph.degree(v)
+                        messages_sent += d
+                        if meter.meters_bits:
+                            round_bits += d * message_size_bits(outboxes[v])
             if meter.meters_bits:
                 message_bits += round_bits
                 per_round_bits.append(round_bits)
 
         for v in graph.nodes():
-            if not halted[v]:
+            if not halted[v] and v not in paused:
                 states[v] = machine.step(ctxs[v], states[v], inboxes[v])
                 halted[v] = machine.halted(ctxs[v], states[v])
         rounds += 1
@@ -679,6 +879,58 @@ def _deliver_broadcast(
     ]
 
 
+def _links_of(
+    graph: PortNumberedGraph, model: str, outboxes: List[Any]
+) -> Dict[Tuple[int, int], Any]:
+    """Every directed link's in-flight message, as a dict the adversary
+    may tamper with.
+
+    Port-numbering keys are ``(sender, port)``; broadcast keys are
+    ``(sender, receiver)``.  ``None`` means silence on that link.
+    Insertion order is deterministic — sender ascending, then port /
+    neighbour order — and seeded adversaries key their hash schedules
+    on it, so keep it stable.
+    """
+    links: Dict[Tuple[int, int], Any] = {}
+    if model == PORT_NUMBERING:
+        for v in graph.nodes():
+            out = outboxes[v]
+            for p in range(graph.degree(v)):
+                links[(v, p)] = None if out is None else out[p]
+    else:
+        for v in graph.nodes():
+            out = outboxes[v]
+            for u in graph.neighbours(v):
+                links[(v, u)] = out
+    return links
+
+
+def _deliver_links(
+    graph: PortNumberedGraph, model: str, links: Mapping[Tuple[int, int], Any]
+) -> List[Any]:
+    """Chaos-path counterpart of the two ``_deliver_*`` helpers: build
+    inboxes from (possibly tampered) per-link values.
+
+    Broadcast inboxes stable-sort the received *values* by canonical
+    key; with untampered links that equals the sender-sort in
+    :func:`_deliver_broadcast` (same keys, same stable order), which is
+    what keeps chaos rounds bit-for-bit with clean ones.
+    """
+    if model == PORT_NUMBERING:
+        inboxes: List[Any] = [[None] * graph.degree(v) for v in graph.nodes()]
+        for v in graph.nodes():
+            for p in range(graph.degree(v)):
+                u, q = graph.port_target(v, p)
+                inboxes[u][q] = links[(v, p)]
+        return inboxes
+    result: List[Any] = []
+    for v in graph.nodes():
+        received = [links[(u, v)] for u in graph.neighbours(v)]
+        received.sort(key=canonical_key)
+        result.append(tuple(received))
+    return result
+
+
 # ----------------------------------------------------------------------
 # Batched execution
 # ----------------------------------------------------------------------
@@ -694,15 +946,26 @@ def _check_process_backend(backend: Optional[str], kwargs: Mapping[str, Any]) ->
     both up front (``"auto"`` would usually fall back to threads anyway
     — these are typically closures or stateful objects — but a
     picklable one must not slip through and go quiet).
+
+    Adversaries that declare ``process_safe = True`` (the seeded
+    message-fault family: their whole schedule is a pure hash of the
+    seed, so the run outcome carries no parent-side state) are allowed.
     """
     if backend not in ("process", "auto"):
         return
-    for option in ("observer", "fault_adversary"):
-        if kwargs.get(option) is not None:
-            raise ValueError(
-                f"{option} side effects do not propagate from worker "
-                f"processes; use backend='thread' (or serial) instead"
-            )
+    if kwargs.get("observer") is not None:
+        raise ValueError(
+            "observer side effects do not propagate from worker "
+            "processes; use backend='thread' (or serial) instead"
+        )
+    adversary = kwargs.get("fault_adversary")
+    if adversary is not None and not getattr(adversary, "process_safe", False):
+        raise ValueError(
+            "fault_adversary side effects do not propagate from worker "
+            "processes (its diagnostic counters would stay in the "
+            "child); use backend='thread' (or serial), or a "
+            "process_safe adversary"
+        )
 
 
 def _run_with_seed(

@@ -54,6 +54,42 @@ class TestVcCommand:
             main(["vc", "--family", "nope"])
 
 
+class TestVcFaultFlags:
+    @pytest.mark.parametrize(
+        "kind", ["state", "loss", "duplication", "corruption", "crash"]
+    )
+    def test_every_fault_kind_recovers(self, kind, capsys):
+        assert main(
+            ["vc", "--family", "cycle", "--n", "8", "--W", "3",
+             "--fault", kind, "--fault-rate", "0.3",
+             "--fault-rounds", "6", "--fault-seed", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fault"] == kind
+        assert payload["fault_events"] > 0
+        assert payload["recovered_within_T"] is True
+        assert payload["cover"]  # readout present once recovered
+
+    def test_fault_schedule_is_seed_deterministic(self, capsys):
+        argv = ["vc", "--family", "cycle", "--n", "8", "--fault", "loss",
+                "--fault-seed", "5", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert main(argv[:-2] + ["7", "--json"]) == 0
+        other_seed = json.loads(capsys.readouterr().out)
+        assert other_seed["fault_events"] != first["fault_events"] or (
+            other_seed["recovered_within_T"] and first["recovered_within_T"]
+        )
+
+    def test_fault_requires_port_algorithm(self):
+        with pytest.raises(SystemExit, match="port"):
+            main(["vc", "--family", "cycle", "--n", "5",
+                  "--algorithm", "broadcast", "--fault", "loss"])
+
+
 class TestScCommand:
     def test_default_run(self, capsys):
         assert main(["sc", "--subsets", "5", "--elements", "8", "--json"]) == 0
@@ -170,3 +206,63 @@ class TestDynamicCommand:
     def test_bad_batches_rejected(self):
         with pytest.raises(SystemExit):
             main(["dynamic", "--batches", "0"])
+
+
+class TestDynamicSnapshotFlags:
+    def test_snapshot_then_restore_continues_the_session(self, tmp_path, capsys):
+        path = str(tmp_path / "session.bin")
+        assert main(
+            ["dynamic", "--family", "cycle", "--n", "32", "--batches", "3",
+             "--snapshot", path, "--json"]
+        ) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["snapshot_path"] == path
+        assert first["snapshot_bytes"] > 0
+        assert first["batches_applied_total"] == 3
+
+        assert main(
+            ["dynamic", "--restore", path, "--batches", "2", "--seed", "9",
+             "--json"]
+        ) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["restored_from"] == path
+        assert resumed["mode"] == first["mode"]  # pinned by the snapshot
+        assert resumed["batches_applied_total"] == 5
+        # batch numbering continues where the snapshot left off
+        assert [r["batch"] for r in resumed["batches"]] == [4, 5]
+        for rec in resumed["batches"]:
+            assert rec["is_cover"] is True
+
+    def test_restore_with_verify_rejected(self, tmp_path):
+        path = str(tmp_path / "session.bin")
+        assert main(
+            ["dynamic", "--family", "cycle", "--n", "16", "--batches", "1",
+             "--snapshot", path, "--json"]
+        ) == 0
+        with pytest.raises(SystemExit, match="--verify"):
+            main(["dynamic", "--restore", path, "--verify"])
+
+    def test_restore_garbage_rejected(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"not a snapshot")
+        with pytest.raises(SystemExit, match="restore rejected"):
+            main(["dynamic", "--restore", str(path)])
+
+    def test_restore_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["dynamic", "--restore", str(tmp_path / "absent.bin")])
+
+
+class TestVerifyDiagnostics:
+    def test_diff_names_first_differing_node(self):
+        from repro.cli import _verify_diff
+        from repro.simulator.runtime import RunResult
+
+        a = RunResult(outputs=[0, 1, 0], rounds=3, all_halted=True,
+                      messages_sent=6, message_bits=None,
+                      per_round_bits=None, states=None)
+        b = RunResult(outputs=[0, 1, 1], rounds=3, all_halted=True,
+                      messages_sent=7, message_bits=None,
+                      per_round_bits=None, states=None)
+        assert "node 2" in _verify_diff(a, b, "outputs")
+        assert "6 != 7" in _verify_diff(a, b, "messages_sent")

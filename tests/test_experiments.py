@@ -186,6 +186,24 @@ class TestSelfStabExperiment:
         pooled = run(rates=[0.0, 0.3], n=5, n_workers=2, replay="incremental")
         assert pooled.rows == scratch.rows
 
+    def test_all_fault_kinds_recover(self):
+        """The message-level and crash adversaries, not just state
+        corruption: one row per (kind, rate), all recovered within T."""
+        from repro.experiments.exp_selfstab import ACTIVE_FAULT_KINDS, run
+
+        t = run(rates=[0.3], n=5)
+        assert t.column("fault kind") == list(ACTIVE_FAULT_KINDS)
+        assert all(t.column("recovered within T"))
+        # every adversary actually did something at rate 0.3
+        assert all(c > 0 for c in t.column("corruptions injected"))
+
+    def test_fault_kind_subset_selectable(self):
+        from repro.experiments.exp_selfstab import run
+
+        t = run(rates=[0.0, 0.3], n=5, fault_kinds=["loss", "crash"])
+        assert t.column("fault kind") == ["loss", "loss", "crash", "crash"]
+        assert all(t.column("recovered within T"))
+
 
 class TestPerfExperiment:
     def test_runs(self):
@@ -221,6 +239,20 @@ class TestCli:
         assert main(["figure2", "--markdown"]) == 0
         out = capsys.readouterr().out
         assert "### EXP-F2" in out
+
+    def test_fault_kinds_forwarded_to_selfstab(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["selfstab", "--fault-kinds", "loss"]) == 0
+        out = capsys.readouterr().out
+        assert "loss" in out
+        assert "duplication" not in out
+
+    def test_bad_fault_kinds_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["selfstab", "--fault-kinds", "meteor"]) == 2
+        assert "unknown fault kinds" in capsys.readouterr().err
 
 
 class TestMessagesExperiment:

@@ -18,7 +18,13 @@ import pickle
 
 import pytest
 
-from repro._util.parallel import BACKENDS, map_jobs, resolve_backend
+from repro._util.parallel import (
+    BACKENDS,
+    FailureReport,
+    JobResults,
+    map_jobs,
+    resolve_backend,
+)
 from repro.baselines.edge_colouring import EdgeColouringPackingMachine
 from repro.baselines.kvy import KVYMachine
 from repro.baselines.matching import (
@@ -35,6 +41,7 @@ from repro.graphs import families
 from repro.graphs.setcover import random_instance, vc_to_setcover
 from repro.graphs.weights import unit_weights
 from repro.selfstab.transformer import SelfStabilisingMachine
+from repro.simulator.faults import MessageLoss, RandomCrashes
 from repro.simulator.runtime import run, run_many, sweep
 
 
@@ -253,3 +260,63 @@ class TestProcessBackendEquivalence:
     def test_backends_tuple_is_public_contract(self):
         # the CLIs build their --backend choices from this
         assert BACKENDS == ("thread", "process", "auto")
+
+    def test_process_safe_adversary_accepted_on_process_backend(self):
+        # the seeded message-fault adversaries declare process_safe:
+        # their schedule is a pure hash of the seed, so nothing the run
+        # outcome depends on stays behind in the worker
+        g = families.cycle_graph(8)
+        T = 10
+        kwargs = dict(
+            inputs=unit_weights(8), globals_map={"delta": 2, "W": 1},
+            max_rounds=4 + T,
+        )
+        machine = SelfStabilisingMachine(EdgePackingMachine(), T)
+        serial = run_many(
+            g, machine, seeds=[1, 2, 3],
+            fault_adversary=MessageLoss(4, rate=0.3, seed=7), **kwargs,
+        )
+        pooled = run_many(
+            g, machine, seeds=[1, 2, 3],
+            fault_adversary=MessageLoss(4, rate=0.3, seed=7),
+            n_workers=2, backend="process", **kwargs,
+        )
+        assert serial == pooled
+
+    def test_results_carry_failure_report(self):
+        jobs = [
+            edge_packing_job(families.cycle_graph(n), unit_weights(n))
+            for n in (8, 10, 12)
+        ]
+        pooled = sweep(jobs, n_workers=2, backend="process")
+        assert isinstance(pooled, JobResults)
+        assert isinstance(pooled.failure_report, FailureReport)
+        assert pooled.failure_report.clean
+
+
+def _fault_schedule_run(seed):
+    """Per-seed job building its adversary *inside* the job: determinism
+    across backends then hinges purely on the hash schedule."""
+    g = families.cycle_graph(10)
+    T = 12
+    job = edge_packing_job(g, unit_weights(10))
+    job["machine"] = SelfStabilisingMachine(EdgePackingMachine(), T)
+    job["max_rounds"] = 5 + T
+    from repro.simulator.faults import ComposedAdversary
+
+    adversary = ComposedAdversary(
+        MessageLoss(5, rate=0.3, seed=seed),
+        RandomCrashes(5, rate=0.1, seed=seed),
+    )
+    return run(fault_adversary=adversary, **job)
+
+
+class TestFaultScheduleDeterminism:
+    """Same seed ⇒ identical fault schedule on every backend."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_agree_under_faults(self, backend):
+        seeds = [1, 2, 3, 4]
+        serial = map_jobs(_fault_schedule_run, seeds, None)
+        pooled = map_jobs(_fault_schedule_run, seeds, 2, backend=backend)
+        assert serial == pooled  # RunResult dataclass: every field

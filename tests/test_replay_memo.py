@@ -538,17 +538,27 @@ def test_adaptive_fingerprinting_engages_on_unprofitable_workload():
             until_round=10 ** 9, rate=0.6, seed=3, corruptor=unique_level
         )
 
-    machine = SelfStabilisingMachine(
-        CheapUniqueStates(horizon), horizon, replay="incremental"
-    )
-    inc = run(g, machine, fault_adversary=adversary(), **kwargs)
-    scr = run(
-        g,
-        SelfStabilisingMachine(
-            CheapUniqueStates(horizon), horizon, replay="scratch"
-        ),
-        fault_adversary=adversary(),
-        **kwargs,
-    )
-    assert_same_result(inc, scr)
-    assert machine._adapt.disables > 0
+    # The disable decision is a wall-clock measurement, which a loaded
+    # host can perturb on any single run; the correctness assertion is
+    # checked every attempt, the timing assertion gets a bounded retry.
+    for _ in range(3):
+        machine = SelfStabilisingMachine(
+            CheapUniqueStates(horizon), horizon, replay="incremental"
+        )
+        inc = run(g, machine, fault_adversary=adversary(), **kwargs)
+        scr = run(
+            g,
+            SelfStabilisingMachine(
+                CheapUniqueStates(horizon), horizon, replay="scratch"
+            ),
+            fault_adversary=adversary(),
+            **kwargs,
+        )
+        assert_same_result(inc, scr)
+        if machine._adapt.disables > 0:
+            break
+    else:
+        pytest.fail(
+            "adaptive fingerprinting never disabled on the unprofitable "
+            "workload across 3 runs"
+        )

@@ -19,7 +19,10 @@ What it enforces (CI `docs` job; run locally with
    modes, backends, replay modes and dynamic-session modes are read
    from the code, not hard-coded here — and the dynamic layer is
    documented in both docs;
-5. a tiny end-to-end CLI sweep runs (serial and process backend) and
+5. ``docs/robustness.md`` names every real fault kind, the failure-
+   report/snapshot surfaces, and is linked from README and the
+   architecture tour;
+6. a tiny end-to-end CLI sweep runs (serial and process backend) and
    agrees with itself.
 
 Exit code 0 = docs are honest.
@@ -152,16 +155,37 @@ def check_help_texts() -> None:
         return
     dynamic_help = dynamic_parser.format_help()
     for flag in ("--mode", "--stream", "--batches", "--edits-per-batch",
-                 "--verify", "--json"):
+                 "--verify", "--snapshot", "--restore", "--json"):
         if flag not in dynamic_help:
             fail(f"repro.cli dynamic --help no longer documents {flag}")
         else:
             ok(f"repro.cli dynamic --help documents {flag}")
 
+    vc_parser = None
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            vc_parser = action.choices.get("vc")
+    if vc_parser is None:
+        fail("repro.cli has no 'vc' subcommand")
+        return
+    vc_help = vc_parser.format_help()
+    for flag in ("--fault", "--fault-rate", "--fault-rounds", "--fault-seed"):
+        if flag not in vc_help:
+            fail(f"repro.cli vc --help no longer documents {flag}")
+        else:
+            ok(f"repro.cli vc --help documents {flag}")
+    from repro.simulator.faults import FAULT_KINDS
+
+    for kind in FAULT_KINDS:
+        if kind not in vc_help:
+            fail(f"repro.cli vc --help no longer offers fault kind {kind!r}")
+        else:
+            ok(f"repro.cli vc --help offers fault kind {kind!r}")
+
     from repro.experiments.cli import _build_parser as exp_parser
 
     exp_help = exp_parser().format_help()
-    for flag in promised:
+    for flag in promised + ["--fault-kinds"]:
         if flag not in exp_help:
             fail(f"repro.experiments.cli --help no longer documents {flag}")
         else:
@@ -264,6 +288,40 @@ def check_performance_doc() -> None:
             ok(f"performance.md mentions {knob}")
 
 
+def check_robustness_doc() -> None:
+    doc_path = REPO / "docs" / "robustness.md"
+    if not doc_path.exists():
+        fail("docs/robustness.md missing")
+        return
+    doc = doc_path.read_text()
+    check_repro_references(doc, "robustness.md")
+    # Fault-kind names are read from the code, not hard-coded here.
+    from repro.simulator.faults import FAULT_KINDS
+
+    for kind in FAULT_KINDS:
+        if f'`"{kind}"`' in doc or f"`{kind}`" in doc:
+            ok(f"robustness.md documents fault kind {kind!r}")
+        else:
+            fail(f"robustness.md does not document fault kind {kind!r}")
+    for piece in ("FailureReport", "RetryEvent", "SNAPSHOT_VERSION",
+                  "process_safe", "BrokenProcessPool", "snapshot",
+                  "restore", "--fault", "--snapshot", "--restore",
+                  "SelfStabilisingMachine"):
+        if piece in doc:
+            ok(f"robustness.md mentions {piece}")
+        else:
+            fail(f"robustness.md does not mention {piece}")
+    # the doc is linked from README and the architecture tour
+    for source, label in (
+        (REPO / "README.md", "README.md"),
+        (REPO / "docs" / "architecture.md", "architecture.md"),
+    ):
+        if "robustness.md" in source.read_text():
+            ok(f"{label} links docs/robustness.md")
+        else:
+            fail(f"{label} does not link docs/robustness.md")
+
+
 def check_cli_end_to_end() -> None:
     from repro.cli import main as lib_main
 
@@ -299,6 +357,7 @@ def main() -> int:
     check_paper_code_map(readme)
     check_architecture_doc()
     check_performance_doc()
+    check_robustness_doc()
     check_cli_end_to_end()
     if FAILURES:
         print(f"\n{len(FAILURES)} docs check(s) failed")
