@@ -23,7 +23,8 @@ seed timings and recomputing the headline speedups.
 Auxiliary sections (``sweep_scaling`` from
 ``bench_sweep_scaling.py``; ``bvc_replay``/``selfstab`` from
 ``bench_replay.py``; ``dynamic``/``dynamic_snapshot`` from
-``bench_dynamic.py``) are host- or configuration-comparisons, not
+``bench_dynamic.py``; ``columnar`` from ``bench_columnar.py``) are
+host- or configuration-comparisons, not
 hot-path history: ``check`` never
 gates on them and a baseline without them still compares cleanly
 (missing section = skip, not fail); ``update`` preserves whatever of
@@ -43,7 +44,8 @@ DEFAULT_THRESHOLD = 1.25
 # Sections recorded by the standalone harnesses; informational only.
 # check skips them whether present or missing, update preserves them.
 AUX_SECTIONS = (
-    "sweep_scaling", "bvc_replay", "selfstab", "dynamic", "dynamic_snapshot"
+    "sweep_scaling", "bvc_replay", "selfstab", "dynamic",
+    "dynamic_snapshot", "columnar",
 )
 
 # (numerator benchmark or seed entry, denominator benchmark) pairs the

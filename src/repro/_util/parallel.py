@@ -138,14 +138,46 @@ class JobResults(List[Any]):
 
     Subclassing :class:`list` keeps every existing caller working —
     equality with plain lists, slicing, iteration — while the report
-    rides along for those who ask.
+    rides along for those who ask.  The report survives the list
+    operations that return a new ``JobResults`` — slicing,
+    concatenation, ``copy.copy`` and pickling all preserve it (list
+    subclasses silently lose attributes on each of those by default:
+    ``list.__getitem__``/``__add__`` return plain lists, and pickle
+    calls ``cls()`` with no arguments).
     """
 
     failure_report: FailureReport
 
-    def __init__(self, results: Sequence[Any], report: FailureReport):
+    def __init__(self, results: Sequence[Any] = (),
+                 report: Optional[FailureReport] = None):
         super().__init__(results)
-        self.failure_report = report
+        self.failure_report = (
+            report if report is not None else FailureReport(backend="unknown")
+        )
+
+    def __reduce__(self):
+        # The default list-subclass protocol would call JobResults()
+        # and drop the report; rebuild from (items, report) instead.
+        return (JobResults, (list(self), self.failure_report))
+
+    def __copy__(self) -> "JobResults":
+        return JobResults(list(self), self.failure_report)
+
+    def __getitem__(self, index):
+        item = super().__getitem__(index)
+        if isinstance(index, slice):
+            return JobResults(item, self.failure_report)
+        return item
+
+    def __add__(self, other) -> "JobResults":
+        if not isinstance(other, list):
+            return NotImplemented
+        return JobResults(list(self) + list(other), self.failure_report)
+
+    def __radd__(self, other) -> "JobResults":
+        if not isinstance(other, list):
+            return NotImplemented
+        return JobResults(list(other) + list(self), self.failure_report)
 
 
 def shutdown_pools() -> None:

@@ -34,9 +34,11 @@ __all__ = [
     "FRACTION_ONE",
     "ScaledInt",
     "as_fraction",
+    "column_scaled",
     "factorial",
     "is_multiple_of",
     "lcm_denominator",
+    "scaled_column",
 ]
 
 Rational = Union[int, Fraction]
@@ -97,6 +99,60 @@ def lcm_denominator(values: Iterable[Rational]) -> int:
     return reduce(
         math.lcm, (as_fraction(v).denominator for v in values), 1
     )
+
+
+def scaled_column(values: Iterable[Union[int, Fraction, "ScaledInt"]],
+                  den: int) -> list:
+    """Numerators of ``values`` on the shared denominator ``den``.
+
+    The ScaledInt → ``int64``-column view used by the columnar engine
+    (:mod:`repro.simulator.state_layout`): a homogeneous batch of exact
+    rationals becomes one flat list of plain integers, suitable for a
+    numpy column.  Raises if any value is not an integer multiple of
+    ``1/den`` — the same Lemma 2 round-trip check as
+    :meth:`ScaledInt.of`, applied column-wise.
+    """
+    if den < 1:
+        raise ValueError(f"denominator must be positive, got {den}")
+    nums = []
+    for v in values:
+        if type(v) is ScaledInt and v.den == den:
+            nums.append(v.num)
+            continue
+        f = v.as_fraction() if type(v) is ScaledInt else as_fraction(v)
+        num, rem = divmod(f.numerator * den, f.denominator)
+        if rem:
+            raise ValueError(f"{f} is not an integer multiple of 1/{den}")
+        nums.append(num)
+    return nums
+
+
+def column_scaled(nums: Iterable[int], den: int,
+                  limit: Optional[int] = None,
+                  cache: Optional[dict] = None) -> list:
+    """Rebuild :class:`ScaledInt` objects from an integer column.
+
+    Inverse of :func:`scaled_column`; ``int(...)`` coercion guards
+    against numpy scalar types leaking into machine states (their
+    silent wraparound arithmetic must never touch the exact grid).
+
+    Repeated numerators share one interned instance (ScaledInt is
+    immutable and value-equal, so sharing is observationally inert) —
+    columnar workloads repeat a handful of values across thousands of
+    entries, and sharing also pools the lazy ``as_fraction`` caches.
+    Pass ``cache`` to extend the interning table across several columns
+    on the same denominator.
+    """
+    if cache is None:
+        cache = {}
+    out = []
+    for num in nums:
+        v = cache.get(num)
+        if v is None:
+            v = ScaledInt(int(num), den, limit)
+            cache[num] = v
+        out.append(v)
+    return out
 
 
 class ScaledInt:

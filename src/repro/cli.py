@@ -79,7 +79,7 @@ from repro.graphs.setcover import random_instance
 from repro.graphs.weights import uniform_weights, unit_weights
 from repro.selfstab.transformer import SelfStabilisingMachine
 from repro.simulator.faults import FAULT_KINDS, adversary_from_spec
-from repro.simulator.runtime import run, sweep
+from repro.simulator.runtime import ENGINES, run, sweep
 from repro._util.memo import REPLAY_MODES
 from repro._util.parallel import BACKENDS
 
@@ -106,6 +106,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Section 3 (port numbering) or Section 5 (broadcast)",
     )
     vc.add_argument("--exact", action="store_true", help="also compute the optimum")
+    vc.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="object",
+        help="runtime execution substrate for --algorithm port "
+        "('columnar' vectorises Phase I; results bit-identical)",
+    )
     vc.add_argument(
         "--replay",
         choices=list(REPLAY_MODES),
@@ -168,6 +175,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["none", "counts", "bits"],
         default="counts",
         help="what to measure per run ('none' is fastest)",
+    )
+    sw.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="object",
+        help="runtime execution substrate for --algorithm port "
+        "('columnar' vectorises Phase I; results bit-identical)",
     )
     sw.add_argument(
         "--replay",
@@ -322,7 +336,7 @@ def _run_vc(args) -> dict:
     if args.fault != "none":
         return _run_vc_faulty(args, graph, weights)
     if args.algorithm == "port":
-        result = vertex_cover_2approx(graph, weights)
+        result = vertex_cover_2approx(graph, weights, engine=args.engine)
     else:
         result = vertex_cover_broadcast(graph, weights, replay=args.replay)
     payload = {
@@ -393,7 +407,11 @@ def _run_sweep(args) -> dict:
             )
             cases.append((n, seed, graph, weights))
             if args.algorithm == "port":
-                jobs.append(edge_packing_job(graph, weights, metering=args.metering))
+                jobs.append(
+                    edge_packing_job(
+                        graph, weights, metering=args.metering, engine=args.engine
+                    )
+                )
             else:
                 jobs.append(
                     broadcast_vc_job(
@@ -435,6 +453,7 @@ def _run_sweep(args) -> dict:
         "algorithm": args.algorithm,
         "family": args.family,
         "metering": args.metering,
+        "engine": args.engine if args.algorithm == "port" else None,
         "replay": args.replay if args.algorithm == "broadcast" else None,
         "workers": args.workers,
         "backend": (

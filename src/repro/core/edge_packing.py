@@ -53,7 +53,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from functools import lru_cache
+from functools import lru_cache, partial
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.colours import (
@@ -73,12 +73,19 @@ from repro._util.rationals import (
     FRACTION_ONE,
     FRACTION_ZERO,
     ScaledInt,
+    column_scaled,
     factorial,
 )
 from repro.graphs.topology import PortNumberedGraph
 from repro.graphs.weights import max_weight, validate_weights
+from repro.simulator import state_layout
 from repro.simulator.machine import PORT_NUMBERING, LocalContext, Machine
-from repro.simulator.runtime import RunResult, run_port_numbering
+from repro.simulator.runtime import (
+    MaxRoundsExceeded,
+    RunResult,
+    run_port_numbering,
+)
+from repro.simulator.state_layout import ColumnarPlan
 
 __all__ = [
     "ACTIVE",
@@ -98,6 +105,21 @@ __all__ = [
 ACTIVE = "A"
 SATURATED = "S"
 MULTICOLOURED = "M"
+
+# Integer codes for the columnar engine's estate column (index = code;
+# ACTIVE must be 0, the column's fill value).
+_EST_CODES = (ACTIVE, SATURATED, MULTICOLOURED)
+_ACT, _SAT, _MUL = 0, 1, 2
+
+
+def _decode_saturation(value: int) -> bool:
+    """Wire payload of a columnar p1a/p1_settle emission, for metering."""
+    return bool(value)
+
+
+def _decode_offer(value: int, den: int) -> ScaledInt:
+    """Wire payload of a columnar p1b emission, for metering."""
+    return ScaledInt(value, den, den)
 
 
 def _colour_digit(el: Any, scale: int, radix: int) -> int:
@@ -916,6 +938,300 @@ class EdgePackingMachine(Machine):
             raise AssertionError(f"unexpected star reply {msg!r}")
         return st
 
+    # -- columnar kernels (engine="columnar") ---------------------------
+    #
+    # Phase I on int64 columns: the Lemma 2 grid makes every Phase I
+    # quantity a plain machine integer (numerators against the shared
+    # (Δ!)^Δ denominator, mixed-radix colour digits), so the 2Δ+1
+    # leading rounds vectorise as whole-array passes over a
+    # StateLayout.  The kernels reproduce _absorb_saturation_bits /
+    # the p1a offer / _p1b_update / _finish_phase_one *exactly* —
+    # tests/test_columnar_engine.py pins bit-for-bit equality of every
+    # RunResult field against the object engine and run_reference.
+
+    #: int64 columns must never overflow; the largest value any column
+    #: reaches is a colour accumulator < radix^Δ.
+    _COLUMNAR_INT_BOUND = 2 ** 63
+
+    def columnar_fields(
+        self, graph: PortNumberedGraph, ctxs: Sequence[LocalContext]
+    ) -> Optional[ColumnarPlan]:
+        """Phase I (2Δ+1 rounds) as int64 columns, when the grid fits.
+
+        Engages only for scaled-arithmetic digit-mode runs whose colour
+        accumulators provably fit an ``int64`` (``radix^Δ < 2^63``).
+        Anything else — fraction mode, bignum radix, missing/invalid
+        globals (the object path raises the canonical error) — returns
+        ``None``: falling back is always correct, engaging wrongly
+        never is.
+        """
+        if self.arithmetic != "scaled" or not ctxs:
+            return None
+        g = ctxs[0].globals
+        delta = g.get("delta")
+        W = g.get("W")
+        if not isinstance(delta, int) or isinstance(delta, bool):
+            return None
+        if not isinstance(W, int) or isinstance(W, bool):
+            return None
+        if delta < 1 or W < 1:
+            return None
+        den = factorial(delta) ** delta
+        radix = W * den + 1
+        if radix.bit_length() > 64:
+            return None  # not digit mode: start() falls back to Fraction
+        if radix ** delta >= self._COLUMNAR_INT_BOUND:
+            return None  # colour accumulators would overflow int64
+        return ColumnarPlan(
+            rounds=2 * delta + 1,
+            node_fields=(
+                ("w", 0), ("r_num", 0), ("x_num", -1), ("own_acc", 0),
+            ),
+            edge_fields=(("y_num", 0), ("estate", _ACT), ("nbr_acc", 0)),
+        )
+
+    def start_columnar(
+        self, layout: "state_layout.StateLayout", ctxs: Sequence[LocalContext]
+    ) -> None:
+        ctx0 = ctxs[0]
+        delta = ctx0.require_global("delta")
+        W = ctx0.require_global("W")
+        den, _zero, one = self._scaled_constants(ctx0)
+        sched, sched_len = self._sched(ctx0)
+        weights = []
+        for ctx in ctxs:  # same validation (and messages) as start()
+            w = ctx.input
+            if not isinstance(w, int) or isinstance(w, bool) or w < 1:
+                raise ValueError(
+                    f"node weight must be a positive int, got {w!r}"
+                )
+            if ctx.degree > delta:
+                raise ValueError(f"node degree {ctx.degree} exceeds Δ={delta}")
+            if w > W:
+                raise ValueError(f"node weight {w} exceeds W={W}")
+            weights.append(w)
+        w_col = layout.node["w"]
+        w_col[:] = weights
+        layout.node["r_num"][:] = w_col * den
+        # x_num stays -1 (no offer yet); own_acc/y_num/nbr_acc stay 0,
+        # estate stays ACTIVE — the declared fill values.
+        layout.aux["ep"] = {
+            "delta": delta, "den": den, "radix": W * den + 1, "one": one,
+            "sched": sched, "sched_len": sched_len,
+            "offers": [],  # per-p1b-round offer columns (rebuilds own_seq)
+        }
+
+    def emit_columnar(self, layout: "state_layout.StateLayout", r: int):
+        np = state_layout.np
+        aux = layout.aux["ep"]
+        if r % 2 == 0:  # p1a / p1_settle: the saturation bit, every port
+            values = (layout.node["r_num"] == 0).astype(np.int64)
+            return values, np.ones(layout.n, dtype=bool), _decode_saturation
+        # p1b: the current offer; x_num < 0 encodes None (no offer)
+        x_num = layout.node["x_num"]
+        return x_num, x_num >= 0, partial(_decode_offer, den=aux["den"])
+
+    def step_columnar(
+        self, layout: "state_layout.StateLayout", r: int,
+        inbox_vals, inbox_sent,
+    ) -> None:
+        np = state_layout.np
+        aux = layout.aux["ep"]
+        delta, den, radix = aux["delta"], aux["den"], aux["radix"]
+        r_num = layout.node["r_num"]
+        x_num = layout.node["x_num"]
+        estate = layout.edge["estate"]
+        owner = layout.edge_owner
+
+        if r % 2 == 0:  # p1a / p1_settle
+            # _absorb_saturation_bits: own saturation dominates (all
+            # ports), a neighbour's bit saturates the one shared edge.
+            estate[(r_num == 0)[owner] | (inbox_sent & (inbox_vals != 0))] \
+                = _SAT
+            if r == 2 * delta:
+                self._settle_columnar(layout)
+                return
+            # p1a: offer r / deg_active where both are positive.
+            active_deg = layout.node_count(estate == _ACT)
+            x_num[:] = -1
+            idx = np.nonzero((r_num > 0) & (active_deg > 0))[0]
+            if len(idx):
+                q, rem = np.divmod(r_num[idx], active_deg[idx])
+                if rem.any():
+                    raise AssertionError(
+                        "inexact scaled division — the Lemma 2 denominator "
+                        "bound does not cover a Phase I offer"
+                    )
+                x_num[idx] = q
+            return
+
+        # p1b: grow colour accumulators, accept offers on active edges.
+        aux["offers"].append(x_num.copy())
+        own_digit = np.where(x_num >= 0, x_num, den)
+        nbr_digit = np.where(inbox_sent, inbox_vals, den)
+        if (
+            ((own_digit <= 0) | (own_digit >= radix)).any()
+            or ((nbr_digit <= 0) | (nbr_digit >= radix)).any()
+        ):
+            raise ValueError(
+                f"Lemma 2 violated: colour element outside (0, W] "
+                f"(radix {radix})"
+            )
+        layout.node["own_acc"][:] = layout.node["own_acc"] * radix + own_digit
+        layout.edge["nbr_acc"][:] = layout.edge["nbr_acc"] * radix + nbr_digit
+        active = estate == _ACT
+        own_on_edge = x_num[owner]
+        if bool((active & ((own_on_edge < 0) | ~inbox_sent)).any()):
+            raise AssertionError(
+                "active edge without mutual offers — state desync"
+            )
+        delta_y = np.where(active, np.minimum(own_on_edge, inbox_vals), 0)
+        layout.edge["y_num"] += delta_y
+        r_num -= layout.node_sum(delta_y)
+        if (r_num < 0).any():
+            raise AssertionError("residual went negative — packing infeasible")
+        # Own saturation dominates mismatch (the object engine's
+        # `if not st.r ... elif mismatched` order).
+        newly_sat = (r_num == 0)[owner]
+        estate[active & (own_digit[owner] != nbr_digit) & ~newly_sat] = _MUL
+        estate[newly_sat] = _SAT
+
+    def _settle_columnar(self, layout: "state_layout.StateLayout") -> None:
+        """The _finish_phase_one invariants, checked column-wise."""
+        estate = layout.edge["estate"]
+        if bool((estate == _ACT).any()):
+            raise AssertionError(
+                "active edge survived Phase I — Lemma 1 violated (is the "
+                "global Δ parameter really an upper bound on the degree?)"
+            )
+        own = layout.node["own_acc"][layout.edge_owner]
+        if bool(((estate == _MUL) & (own == layout.edge["nbr_acc"])).any()):
+            raise AssertionError("multicoloured edge with equal colours")
+
+    def finish_columnar(
+        self, layout: "state_layout.StateLayout", ctxs: Sequence[LocalContext]
+    ) -> List[_State]:
+        """Materialise post-settle _State objects for the object engine.
+
+        Field-for-field what 2Δ+1 object-engine rounds would have left:
+        the differential suite compares these states (and everything
+        derived from them) with ``==``, so every reconstruction below
+        must match _finish_phase_one's read-off exactly.
+        """
+        aux = layout.aux["ep"]
+        delta, den, radix = aux["delta"], aux["den"], aux["radix"]
+        one, sched, sched_len = aux["one"], aux["sched"], aux["sched_len"]
+        offsets = layout.offsets.tolist()
+        w_col = layout.node["w"].tolist()
+        # One interning table across every column on the shared grid:
+        # Phase I produces a handful of distinct values over thousands
+        # of entries, and the shared instances also pool the lazy
+        # as_fraction caches the output() read-off hits later.
+        interned: Dict[int, ScaledInt] = {}
+        r_col = column_scaled(
+            layout.node["r_num"].tolist(), den, den, cache=interned
+        )
+        x_col = layout.node["x_num"].tolist()
+        acc_col = layout.node["own_acc"].tolist()
+        y_col = column_scaled(
+            layout.edge["y_num"].tolist(), den, den, cache=interned
+        )
+        est_col = [_EST_CODES[c] for c in layout.edge["estate"].tolist()]
+        nbr_col = layout.edge["nbr_acc"].tolist()
+        offer_cols = []
+        for col in aux["offers"]:
+            vals = []
+            for o in col.tolist():
+                if o < 0:
+                    vals.append(one)  # no offer that round
+                else:
+                    v = interned.get(o)
+                    if v is None:
+                        v = ScaledInt(o, den, den)
+                        interned[o] = v
+                    vals.append(v)
+            offer_cols.append(vals)
+        idx0 = 2 * delta + 1
+        # Per-node structures are built under the _State copy-on-write
+        # discipline (see _State.evolve: shared containers are replaced,
+        # never mutated), so identical values may share one object —
+        # across rounds *and* across nodes.  The caches below exploit
+        # that: most nodes end Phase I with no multicoloured edges, and
+        # their empty containers, per-degree fillers and (on uniform
+        # instances) whole colour sequences collapse to a handful of
+        # shared objects.
+        has_mul = (
+            layout.node_count(layout.edge["estate"] == _MUL) > 0
+        ).tolist()
+        no_ports: List[int] = []
+        no_forests: Dict[int, int] = {}
+        no_colours: Dict[int, int] = {}
+        empty_children: Dict[int, Optional[int]] = {}
+        empty_replies: Dict[int, Tuple] = {}
+        forest_in_by_d: Dict[int, List[Optional[int]]] = {}
+        nbr_seq_by_d: Dict[int, Tuple] = {}
+        own_seq_cache: Dict[Tuple, Tuple] = {}
+        states: List[_State] = []
+        for v in range(layout.n):
+            s, e = offsets[v], offsets[v + 1]
+            d = e - s
+            estate_v = est_col[s:e]
+            nbr_acc_v = tuple(nbr_col[s:e])
+            colour_int = acc_col[v]
+            x_v = x_col[v]
+            if has_mul[v]:
+                out_ports = [
+                    p for p in range(d)
+                    if estate_v[p] == MULTICOLOURED
+                    and colour_int < nbr_acc_v[p]
+                ]
+                forest_of_out = {p: i for i, p in enumerate(out_ports)}
+                colour_f = {i: colour_int for i in forest_of_out.values()}
+            else:
+                out_ports = no_ports
+                forest_of_out = no_forests
+                colour_f = no_colours
+            forest_in = forest_in_by_d.get(d)
+            if forest_in is None:
+                forest_in = forest_in_by_d[d] = [None] * d
+                nbr_seq_by_d[d] = ((),) * d
+            own_seq = tuple(col[v] for col in offer_cols)
+            own_seq = own_seq_cache.setdefault(own_seq, own_seq)
+            st = _State.__new__(_State)
+            st.__dict__ = {
+                "idx": idx0,
+                "w": w_col[v],
+                "r": r_col[v],
+                "y": y_col[s:e],
+                "estate": estate_v,
+                "own_seq": own_seq,
+                "digit_mode": True,
+                "own_acc": colour_int,
+                "nbr_acc": nbr_acc_v,
+                "nbr_seq": nbr_seq_by_d[d],
+                "scale": den,
+                "radix": radix,
+                # A standing offer is always the node's last p1b column
+                # entry, so it is already interned (offers are > 0).
+                "x_cur": interned[x_v] if x_v >= 0 else None,
+                "unit": one,
+                "colour_int": colour_int,
+                "nbr_colour": list(nbr_acc_v),
+                "out_ports": out_ports,
+                "forest_of_out": forest_of_out,
+                "forest_in": forest_in,
+                "colour_f": colour_f,
+                "children_colour_f": empty_children,
+                "star_replies": empty_replies,
+                "sched": sched,
+                "sched_len": sched_len,
+                "forests": (),
+                "down_ports": (),
+                "coasting": not has_mul[v],
+            }
+            states.append(st)
+        return states
+
 
 # ----------------------------------------------------------------------
 # Top-level convenience API
@@ -954,12 +1270,15 @@ def edge_packing_job(
     max_rounds: Optional[int] = None,
     metering: Any = "bits",
     arithmetic: str = "scaled",
+    engine: str = "object",
 ) -> Dict[str, Any]:
     """A validated :func:`repro.simulator.runtime.run` kwargs mapping.
 
     Suitable as a :func:`repro.simulator.runtime.sweep` instance;
     assemble the resulting :class:`RunResult` with
-    :func:`edge_packing_from_run`.
+    :func:`edge_packing_from_run`.  ``engine`` selects the execution
+    substrate (see :data:`repro.simulator.runtime.ENGINES`); results
+    are bit-for-bit identical across engines.
     """
     weights = tuple(int(w) for w in weights)
     if delta is None:
@@ -968,7 +1287,7 @@ def edge_packing_job(
         W = max_weight(weights)
     validate_weights(weights, graph.n, W)
     needed = schedule_length(delta, W)
-    return {
+    job = {
         "graph": graph,
         "machine": EdgePackingMachine(arithmetic=arithmetic),
         "inputs": list(weights),
@@ -976,6 +1295,11 @@ def edge_packing_job(
         "max_rounds": needed if max_rounds is None else max_rounds,
         "metering": metering,
     }
+    if engine != "object":
+        # Included only when non-default, so the mapping stays a valid
+        # run_reference() kwargs set for the default configuration.
+        job["engine"] = engine
+    return job
 
 
 def edge_packing_from_run(
@@ -1028,6 +1352,7 @@ def maximal_edge_packing(
     max_rounds: Optional[int] = None,
     metering: Any = "bits",
     arithmetic: str = "scaled",
+    engine: str = "object",
 ) -> EdgePackingResult:
     """Run the Section 3 algorithm and assemble the packing.
 
@@ -1038,22 +1363,29 @@ def maximal_edge_packing(
     :class:`repro.simulator.runtime.Metering`); pass ``"none"`` for
     large perf runs where only the packing matters.  ``arithmetic``
     selects the machine's exact number representation (see
-    :class:`EdgePackingMachine`).
+    :class:`EdgePackingMachine`); ``engine`` the execution substrate
+    (see :data:`repro.simulator.runtime.ENGINES`).  A ``max_rounds``
+    too small for the schedule fails loudly with
+    :class:`~repro.simulator.runtime.MaxRoundsExceeded` (round count
+    and non-halted node ids) — never a partial packing.
     """
     job = edge_packing_job(
         graph, weights, delta=delta, W=W, max_rounds=max_rounds,
-        metering=metering, arithmetic=arithmetic,
+        metering=metering, arithmetic=arithmetic, engine=engine,
     )
     job.pop("graph")
     machine = job.pop("machine")
-    result = run_port_numbering(graph, machine, **job)
-    if not result.all_halted:
+    try:
+        result = run_port_numbering(
+            graph, machine, on_max_rounds="raise", **job
+        )
+    except MaxRoundsExceeded as exc:
         needed = schedule_length(
             delta if delta is not None else graph.max_degree,
             W if W is not None else max_weight(tuple(int(w) for w in weights)),
         )
-        raise RuntimeError(
-            f"edge packing did not halt within {max_rounds} rounds "
-            f"(needs exactly {needed})"
-        )
+        raise MaxRoundsExceeded(
+            exc.rounds, exc.non_halted,
+            detail=f"the edge-packing schedule needs exactly {needed} rounds",
+        ) from None
     return edge_packing_from_run(graph, weights, result)

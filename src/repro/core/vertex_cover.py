@@ -72,10 +72,17 @@ def vertex_cover_2approx(
     delta: Optional[int] = None,
     W: Optional[int] = None,
     arithmetic: str = "scaled",
+    engine: str = "object",
 ) -> VertexCoverResult:
-    """Section 3: 2-approximate weighted VC in the port-numbering model."""
+    """Section 3: 2-approximate weighted VC in the port-numbering model.
+
+    ``engine`` selects the runtime's execution substrate (see
+    :data:`repro.simulator.runtime.ENGINES`); results are bit-for-bit
+    identical across engines.
+    """
     packing: EdgePackingResult = maximal_edge_packing(
-        graph, weights, delta=delta, W=W, arithmetic=arithmetic
+        graph, weights, delta=delta, W=W, arithmetic=arithmetic,
+        engine=engine,
     )
     return VertexCoverResult(
         graph=graph,

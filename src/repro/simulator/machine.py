@@ -125,6 +125,42 @@ class Machine:
     memo), all others validate the mode and return themselves
     unchanged — the knob is a pure optimisation and means nothing to a
     machine that never replays.
+
+    **Optional columnar protocol** (another pure optimisation; see
+    :mod:`repro.simulator.state_layout`).  Under
+    ``run(engine="columnar")`` a machine may execute a *leading prefix*
+    of its rounds as vectorised whole-array kernels over a
+    :class:`~repro.simulator.state_layout.StateLayout` instead of
+    per-node ``step()`` calls:
+
+    ``columnar_fields(graph, ctxs) -> ColumnarPlan | None``
+        declare the ``int64`` state columns and how many leading
+        rounds the kernels cover; ``None`` (the default) opts the run
+        out and the object engine handles it.  Machines must return
+        ``None`` for any configuration their kernels do not reproduce
+        exactly (wrong arithmetic mode, values off the ``int64`` grid,
+        ...) — falling back is always correct, engaging wrongly never.
+    ``start_columnar(layout, ctxs)``
+        fill the declared columns with the initial state, applying the
+        same input validation as ``start``.
+    ``emit_columnar(layout, r) -> (values, sending, decode)``
+        the round-``r`` emission as a per-node ``int64`` value column
+        plus a boolean sending mask; covered rounds must be
+        *port-uniform* (the same payload on every port — delivery is a
+        CSR gather).  ``decode(int) -> message`` rebuilds the wire
+        payload for bits metering.
+    ``step_columnar(layout, r, inbox_vals, inbox_sent)``
+        the round-``r`` transition over per-half-edge inbox columns
+        (``inbox_sent[i]`` false means silence — ``None`` — on that
+        port).  The inbox columns are read-only; copy to retain.
+    ``finish_columnar(layout, ctxs) -> states``
+        materialise the per-node state objects the object engine (and
+        ``output``/``halted``) consume for the remaining rounds.
+
+    The engine contract is the same as for quiescence: observable
+    results (outputs, rounds, message and bit counts, per-round bits,
+    final states) are bit-for-bit identical to the object engine,
+    pinned by ``tests/test_columnar_engine.py``.
     """
 
     model: str = PORT_NUMBERING
@@ -133,6 +169,26 @@ class Machine:
         """A machine configured for ``replay``; ``self`` if not replay-aware."""
         validate_replay(replay)
         return self
+
+    # -- columnar protocol (opt-in; see class docstring) ---------------
+
+    def columnar_fields(self, graph: Any, ctxs: Sequence[LocalContext]) -> Any:
+        """The run's ``ColumnarPlan``, or ``None`` to use the object engine."""
+        return None
+
+    def start_columnar(self, layout: Any, ctxs: Sequence[LocalContext]) -> None:
+        raise NotImplementedError
+
+    def emit_columnar(self, layout: Any, r: int) -> Any:
+        raise NotImplementedError
+
+    def step_columnar(
+        self, layout: Any, r: int, inbox_vals: Any, inbox_sent: Any
+    ) -> None:
+        raise NotImplementedError
+
+    def finish_columnar(self, layout: Any, ctxs: Sequence[LocalContext]) -> Any:
+        raise NotImplementedError
 
     def start(self, ctx: LocalContext) -> Any:
         raise NotImplementedError

@@ -59,8 +59,11 @@ from repro.simulator.machine import (
     LocalContext,
     Machine,
 )
+from repro.simulator import state_layout
 
 __all__ = [
+    "ENGINES",
+    "MaxRoundsExceeded",
     "Metering",
     "RunResult",
     "run",
@@ -73,6 +76,46 @@ __all__ = [
 ]
 
 Observer = Callable[[int, List[Any], List[Any]], None]
+
+#: Accepted ``engine=`` values for :func:`run`.  ``"object"`` is the
+#: per-node fast engine; ``"columnar"`` runs machines that opt in via
+#: the columnar protocol (see :mod:`repro.simulator.state_layout`) as
+#: whole-array passes, falling back to ``"object"`` automatically for
+#: runs that do not qualify.  Results are bit-for-bit identical.
+ENGINES = ("object", "columnar")
+
+#: Accepted ``on_max_rounds=`` values for :func:`run` /
+#: :func:`run_reference`: ``"return"`` keeps the historical behaviour
+#: (a partial RunResult with ``all_halted=False``); ``"raise"`` fails
+#: loudly with the round count and the non-halted node ids.
+ON_MAX_ROUNDS = ("return", "raise")
+
+
+class MaxRoundsExceeded(RuntimeError):
+    """A run hit ``max_rounds`` with nodes still not halted.
+
+    Carries the executed ``rounds`` and the ``non_halted`` node ids so
+    callers can diagnose which part of the network stalled.  Raised by
+    :func:`run`/:func:`run_reference` under ``on_max_rounds="raise"``
+    and by the one-shot algorithm APIs (which always want a loud
+    failure); subclasses :class:`RuntimeError` so pre-existing callers
+    that caught that keep working.
+    """
+
+    def __init__(self, rounds: int, non_halted: Sequence[int],
+                 detail: str = "") -> None:
+        self.rounds = rounds
+        self.non_halted = list(non_halted)
+        shown = ", ".join(map(str, self.non_halted[:16]))
+        if len(self.non_halted) > 16:
+            shown += f", ... ({len(self.non_halted)} total)"
+        message = (
+            f"run hit max_rounds={rounds} with {len(self.non_halted)} "
+            f"node(s) still not halted: [{shown}]"
+        )
+        if detail:
+            message += f"; {detail}"
+        super().__init__(message)
 
 _NONE_KEY = canonical_key(None)
 
@@ -216,6 +259,8 @@ def run(
     fault_adversary: Optional[Any] = None,
     metering: Union[Metering, str, None] = Metering.BITS,
     replay: Optional[str] = None,
+    engine: str = "object",
+    on_max_rounds: str = "return",
 ) -> RunResult:
     """Run ``machine`` on every node of ``graph`` until all halt.
 
@@ -232,6 +277,23 @@ def run(
     without replay semantics accept and ignore it.  Results are
     bit-for-bit identical across replay modes.
 
+    ``engine`` selects the execution substrate (see :data:`ENGINES`):
+    ``"columnar"`` runs the leading rounds of machines that implement
+    the columnar protocol (:mod:`repro.simulator.state_layout`) as
+    vectorised whole-array passes, then hands the remainder to the
+    object engine.  Runs that do not qualify — machine opted out, no
+    numpy, observer/adversary attached, empty graph, values off the
+    ``int64`` grid — fall back to ``"object"`` automatically.  Results
+    are bit-for-bit identical across engines
+    (``tests/test_columnar_engine.py``).
+
+    ``on_max_rounds`` controls what happens when ``max_rounds`` runs
+    out with nodes still live: ``"return"`` (default, the historical
+    behaviour — the self-stabilisation and dynamic workloads run to a
+    round budget on purpose) returns the partial result with
+    ``all_halted=False``; ``"raise"`` raises :class:`MaxRoundsExceeded`
+    with the round count and the non-halted node ids.
+
     Semantics: **halted nodes emit nothing** — their ``emit`` hook is
     not called and their neighbours read ``None``/silence on the shared
     links; halted-node messages are never counted or metered.  A halted
@@ -241,25 +303,134 @@ def run(
     This is the fast engine.  Port-numbering inboxes are preallocated
     buffers *reused across rounds*: a machine that wants to retain its
     inbox beyond the current ``step`` call must copy it (pure machines
-    already do).  :func:`run_reference` is the allocation-per-round
-    executable specification with identical observable behaviour.
+    already do; ``tests/test_columnar_engine.py`` keeps a tripwire on
+    the trap).  The columnar path hands kernels read-only inbox
+    columns instead, so the aliasing bug cannot recur there.
+    :func:`run_reference` is the allocation-per-round executable
+    specification with identical observable behaviour.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if on_max_rounds not in ON_MAX_ROUNDS:
+        raise ValueError(
+            f"on_max_rounds must be one of {ON_MAX_ROUNDS}, "
+            f"got {on_max_rounds!r}"
+        )
     meter = Metering.of(metering)
     if replay is not None:
         machine = machine.with_replay(replay)
     if machine.model == PORT_NUMBERING:
-        engine = _run_fast_port
+        engine_fn = _run_fast_port
     elif machine.model == BROADCAST:
-        engine = _run_fast_broadcast
+        engine_fn = _run_fast_broadcast
     else:
         raise ValueError(f"unknown model {machine.model!r}")
 
     ctxs = _make_contexts(graph, inputs, globals_map, seed)
-    states: List[Any] = [machine.start(ctxs[v]) for v in graph.nodes()]
-    halted: List[bool] = [machine.halted(ctxs[v], states[v]) for v in graph.nodes()]
-    return engine(
+    result: Optional[RunResult] = None
+    if (
+        engine == "columnar"
+        and machine.model == PORT_NUMBERING
+        and observer is None
+        and fault_adversary is None
+    ):
+        result = _run_columnar_port(graph, machine, ctxs, max_rounds, meter)
+    if result is None:
+        states: List[Any] = [machine.start(ctxs[v]) for v in graph.nodes()]
+        halted: List[bool] = [
+            machine.halted(ctxs[v], states[v]) for v in graph.nodes()
+        ]
+        result = engine_fn(
+            graph, machine, ctxs, states, halted,
+            max_rounds, observer, fault_adversary, meter,
+        )
+    if not result.all_halted and on_max_rounds == "raise":
+        raise MaxRoundsExceeded(
+            rounds=result.rounds,
+            non_halted=[
+                v for v in graph.nodes()
+                if not machine.halted(ctxs[v], result.states[v])
+            ],
+        )
+    return result
+
+
+def _run_columnar_port(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    ctxs: List[LocalContext],
+    max_rounds: int,
+    meter: Metering,
+) -> Optional[RunResult]:
+    """The columnar engine, or ``None`` when this run cannot engage it.
+
+    Runs the machine's declared leading rounds as whole-array passes
+    over a :class:`~repro.simulator.state_layout.StateLayout`, then
+    materialises per-node states and delegates the remaining rounds to
+    :func:`_run_fast_port`.  Covered rounds are port-uniform, so
+    delivery is the single gather ``values[targets]``; the gathered
+    inbox columns are handed to kernels *read-only* — the columnar
+    counterpart of the object engine's reused-buffer trap, made
+    impossible rather than documented.
+    """
+    if not state_layout.HAVE_NUMPY:
+        return None
+    if graph.n == 0 or graph.m == 0:
+        return None
+    plan = machine.columnar_fields(graph, ctxs)
+    if plan is None or plan.rounds <= 0 or plan.rounds > max_rounds:
+        return None
+    np = state_layout.np
+    layout = state_layout.StateLayout(graph)
+    for name, fill in plan.node_fields:
+        layout.add_node_field(name, fill)
+    for name, fill in plan.edge_fields:
+        layout.add_edge_field(name, fill)
+    machine.start_columnar(layout, ctxs)
+
+    degrees = layout.degrees
+    count_msgs = meter.counts_messages
+    meter_bits = meter.meters_bits
+    messages_sent = 0
+    message_bits = 0
+    per_round_bits: List[int] = []
+    for r in range(plan.rounds):
+        values, sending, decode = machine.emit_columnar(layout, r)
+        if layout.halted.any():
+            sending = sending & ~layout.halted
+        if count_msgs:
+            # Port-uniform rounds: a sender pays one message per port.
+            messages_sent += int(degrees[sending].sum())
+            if meter_bits:
+                sent_vals = values[sending]
+                uniq, inv = np.unique(sent_vals, return_inverse=True)
+                sizes = np.fromiter(
+                    (message_size_bits(decode(u)) for u in uniq.tolist()),
+                    dtype=np.int64, count=len(uniq),
+                )
+                round_bits = int((sizes[inv] * degrees[sending]).sum())
+                message_bits += round_bits
+                per_round_bits.append(round_bits)
+        inbox_vals = values[layout.targets]
+        inbox_sent = sending[layout.targets]
+        inbox_vals.flags.writeable = False
+        inbox_sent.flags.writeable = False
+        machine.step_columnar(layout, r, inbox_vals, inbox_sent)
+
+    states = machine.finish_columnar(layout, ctxs)
+    halted = [machine.halted(ctxs[v], states[v]) for v in graph.nodes()]
+    inner = _run_fast_port(
         graph, machine, ctxs, states, halted,
-        max_rounds, observer, fault_adversary, meter,
+        max_rounds - plan.rounds, None, None, meter,
+    )
+    return RunResult(
+        outputs=inner.outputs,
+        rounds=plan.rounds + inner.rounds,
+        all_halted=inner.all_halted,
+        messages_sent=messages_sent + inner.messages_sent,
+        message_bits=message_bits + inner.message_bits,
+        per_round_bits=per_round_bits + inner.per_round_bits,
+        states=inner.states,
     )
 
 
@@ -276,17 +447,6 @@ def _run_fast_port(
 ) -> RunResult:
     n = graph.n
     degrees = graph.degree_array
-    offsets, flat_targets, flat_rev = graph.csr()
-
-    # Preallocated inboxes, reused across rounds; scatter[v] lists, for
-    # each of v's ports in order, the (neighbour inbox, slot) it feeds.
-    inboxes: List[List[Any]] = [[None] * degrees[v] for v in range(n)]
-    scatter: List[List[Tuple[List[Any], int]]] = []
-    for v in range(n):
-        s, e = offsets[v], offsets[v + 1]
-        scatter.append(
-            [(inboxes[u], q) for u, q in zip(flat_targets[s:e], flat_rev[s:e])]
-        )
 
     emit = machine.emit
     step = machine.step
@@ -326,6 +486,36 @@ def _run_fast_port(
     # silent[v] == 1 means every slot v feeds already holds None, so a
     # silent round needs no writes at all (inboxes start out all-None).
     silent = bytearray([1]) * n
+
+    if use_parking and live:
+        # Nodes already quiescent in their initial state (resumed runs —
+        # notably the columnar engine's handoff states) never need a
+        # real round: the contract says they emit None and ignore their
+        # inboxes from here to halting, so park them straight away.
+        still_live = []
+        for v in live:
+            if quiescent_fn(ctxs[v], states[v]):
+                parked.append((v, rounds))
+            else:
+                still_live.append(v)
+        live = still_live
+
+    # Preallocated inboxes, reused across rounds; scatter[v] lists, for
+    # each of v's ports in order, the (neighbour inbox, slot) it feeds.
+    # Built only when the round loop can actually run — a start state
+    # with every node halted or parked (the columnar handoff on fully
+    # quiescent instances) skips the allocation entirely.
+    inboxes: List[List[Any]] = []
+    scatter: List[List[Tuple[List[Any], int]]] = []
+    if max_rounds > 0 and n_halted + len(parked) < n:
+        offsets, flat_targets, flat_rev = graph.csr()
+        inboxes = [[None] * degrees[v] for v in range(n)]
+        for v in range(n):
+            s, e = offsets[v], offsets[v + 1]
+            scatter.append(
+                [(inboxes[u], q)
+                 for u, q in zip(flat_targets[s:e], flat_rev[s:e])]
+            )
 
     while rounds < max_rounds and n_halted + len(parked) < n:
         paused: frozenset = _EMPTY_SET
@@ -720,6 +910,7 @@ def run_reference(
     fault_adversary: Optional[Any] = None,
     metering: Union[Metering, str, None] = Metering.BITS,
     replay: Optional[str] = None,
+    on_max_rounds: str = "return",
 ) -> RunResult:
     """The executable specification of :func:`run`.
 
@@ -729,8 +920,15 @@ def run_reference(
     The equivalence suite asserts :func:`run` matches this engine
     field-for-field; keep this loop easy to audit.  (``replay`` is a
     *machine*-level knob, so it is honoured here too — engine
-    equivalence must hold in every machine configuration.)
+    equivalence must hold in every machine configuration; likewise
+    ``on_max_rounds``, whose ``"raise"`` mode fails loudly via
+    :class:`MaxRoundsExceeded` instead of returning a partial result.)
     """
+    if on_max_rounds not in ON_MAX_ROUNDS:
+        raise ValueError(
+            f"on_max_rounds must be one of {ON_MAX_ROUNDS}, "
+            f"got {on_max_rounds!r}"
+        )
     meter = Metering.of(metering)
     if replay is not None:
         machine = machine.with_replay(replay)
@@ -830,6 +1028,11 @@ def run_reference(
         if observer is not None:
             observer(rounds, states, outboxes)
 
+    if not all(halted) and on_max_rounds == "raise":
+        raise MaxRoundsExceeded(
+            rounds=rounds,
+            non_halted=[v for v in graph.nodes() if not halted[v]],
+        )
     outputs = [machine.output(ctxs[v], states[v]) for v in graph.nodes()]
     return RunResult(
         outputs=outputs,

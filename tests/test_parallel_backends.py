@@ -320,3 +320,57 @@ class TestFaultScheduleDeterminism:
         serial = map_jobs(_fault_schedule_run, seeds, None)
         pooled = map_jobs(_fault_schedule_run, seeds, 2, backend=backend)
         assert serial == pooled  # RunResult dataclass: every field
+
+
+class TestJobResultsReportPlumbing:
+    """The failure report must survive every list operation that
+    returns a new object — list subclasses silently drop attributes on
+    slicing, concatenation, copying and pickling by default, and the
+    report is exactly what the chaos tests and monitoring read."""
+
+    def _jr(self):
+        report = FailureReport(backend="process", pool_restarts=2)
+        return JobResults([10, 20, 30], report), report
+
+    def test_pickle_roundtrip_keeps_report(self):
+        jr, report = self._jr()
+        back = roundtrip(jr)
+        assert isinstance(back, JobResults)
+        assert back == [10, 20, 30]
+        assert back.failure_report == report
+
+    def test_copy_keeps_report(self):
+        import copy
+
+        jr, report = self._jr()
+        dup = copy.copy(jr)
+        assert isinstance(dup, JobResults)
+        assert dup == jr and dup is not jr
+        assert dup.failure_report == report
+
+    def test_slice_keeps_report(self):
+        jr, report = self._jr()
+        tail = jr[1:]
+        assert isinstance(tail, JobResults)
+        assert tail == [20, 30]
+        assert tail.failure_report == report
+        assert jr[0] == 10  # scalar indexing unchanged
+
+    def test_concat_keeps_report(self):
+        jr, report = self._jr()
+        for combined in (jr + [40], [0] + jr):
+            assert isinstance(combined, JobResults)
+            assert combined.failure_report == report
+        with pytest.raises(TypeError):
+            jr + 1  # non-list operands still rejected
+
+    def test_plain_list_equality_intact(self):
+        jr, _ = self._jr()
+        assert jr == [10, 20, 30]
+        assert [10, 20, 30] == jr
+        assert jr != [10, 20]
+
+    def test_default_report_is_unknown_backend(self):
+        jr = JobResults([1])
+        assert jr.failure_report.backend == "unknown"
+        assert jr.failure_report.clean

@@ -16,8 +16,9 @@ What it enforces (CI `docs` job; run locally with
    imports, and so does every ``repro.*`` reference in
    ``docs/architecture.md`` (the simulation-layers doc);
 4. ``docs/performance.md`` names the real knob values — metering
-   modes, backends, replay modes and dynamic-session modes are read
-   from the code, not hard-coded here — and the dynamic layer is
+   modes, backends, replay modes, dynamic-session modes, execution
+   engines and ``on_max_rounds`` modes are read from the code, not
+   hard-coded here — and the dynamic and columnar layers are
    documented in both docs;
 5. ``docs/robustness.md`` names every real fault kind, the failure-
    report/snapshot surfaces, and is linked from README and the
@@ -140,7 +141,7 @@ def check_help_texts() -> None:
         fail("repro.cli has no 'sweep' subcommand")
         return
     help_text = sweep_parser.format_help()
-    for flag in promised:
+    for flag in promised + ["--engine"]:
         if flag not in help_text:
             fail(f"repro.cli sweep --help no longer documents {flag}")
         else:
@@ -169,11 +170,23 @@ def check_help_texts() -> None:
         fail("repro.cli has no 'vc' subcommand")
         return
     vc_help = vc_parser.format_help()
-    for flag in ("--fault", "--fault-rate", "--fault-rounds", "--fault-seed"):
+    for flag in ("--fault", "--fault-rate", "--fault-rounds", "--fault-seed",
+                 "--engine"):
         if flag not in vc_help:
             fail(f"repro.cli vc --help no longer documents {flag}")
         else:
             ok(f"repro.cli vc --help documents {flag}")
+    # the engine choices themselves are read from the code, not
+    # hard-coded: both subcommands must offer every runtime engine.
+    from repro.simulator.runtime import ENGINES
+
+    for sub_name, sub_help in (("vc", vc_help), ("sweep", help_text)):
+        for eng in ENGINES:
+            if eng not in sub_help:
+                fail(f"repro.cli {sub_name} --help no longer offers "
+                     f"engine {eng!r}")
+            else:
+                ok(f"repro.cli {sub_name} --help offers engine {eng!r}")
     from repro.simulator.faults import FAULT_KINDS
 
     for kind in FAULT_KINDS:
@@ -247,6 +260,13 @@ def check_architecture_doc() -> None:
             ok(f"architecture.md covers the dynamic layer: {piece}")
         else:
             fail(f"architecture.md does not mention {piece}")
+    # ...and the columnar execution substrate.
+    for piece in ("StateLayout", 'engine="columnar"',
+                  "repro.simulator.state_layout"):
+        if piece in doc:
+            ok(f"architecture.md covers the columnar substrate: {piece}")
+        else:
+            fail(f"architecture.md does not mention {piece}")
 
 
 def check_performance_doc() -> None:
@@ -255,7 +275,7 @@ def check_performance_doc() -> None:
         fail("docs/performance.md missing")
         return
     doc = doc_path.read_text()
-    from repro.simulator.runtime import Metering
+    from repro.simulator.runtime import ENGINES, ON_MAX_ROUNDS, Metering
     from repro._util.memo import REPLAY_MODES
     from repro._util.parallel import BACKENDS
     from repro.dynamic import DYNAMIC_MODES
@@ -280,8 +300,20 @@ def check_performance_doc() -> None:
             fail(f"docs/performance.md does not document dynamic mode {mode!r}")
         else:
             ok(f"performance.md documents dynamic mode {mode!r}")
+    for eng in ENGINES:
+        if f'"{eng}"' not in doc and f"`{eng}`" not in doc:
+            fail(f"docs/performance.md does not document engine {eng!r}")
+        else:
+            ok(f"performance.md documents engine {eng!r}")
+    for mode in ON_MAX_ROUNDS:
+        if f'"{mode}"' not in doc and f"`{mode}`" not in doc:
+            fail(f"docs/performance.md does not document on_max_rounds "
+                 f"mode {mode!r}")
+        else:
+            ok(f"performance.md documents on_max_rounds mode {mode!r}")
     for knob in ("arithmetic", "n_workers", "quiescence", "replay",
-                 "DynamicRun", "repaired_fraction"):
+                 "DynamicRun", "repaired_fraction", "engine",
+                 "MaxRoundsExceeded", "StateLayout", "bench_columnar"):
         if knob not in doc:
             fail(f"docs/performance.md does not mention {knob}")
         else:
