@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Intra-run sharding benchmark: one run split across worker processes.
+
+Times the large-n ``exp_scaling`` §3 edge-packing workload (the cycle
+instance the scaling experiments replay) through ``run(...)`` serially
+and with ``shards=p`` (``repro.simulator.sharding``), verifies the two
+results are field-for-field identical, and records the measurement in
+the ``shards`` section of ``BENCH_perf.json``:
+
+    PYTHONPATH=src python benchmarks/bench_shards.py --n 100000 --shards 4
+
+On a host with >= 4 cores the ``shards`` section is refreshed
+**automatically** (no flag needed); on smaller hosts the refresh is
+skipped with a clear message — a single-core measurement cannot show
+multi-core scaling, and the stale-but-honest recorded number is better
+than a degenerate one; pass ``--update`` to force.
+
+The section is informational (host-dependent scaling), so
+``compare.py check`` does not gate on it; the bit-identity assertion
+here is the hard part of the contract and runs on any host.  The
+sharded *speedup* depends on physical cores: with ``--shards 4`` on a
+>= 4-core host the sharded run is expected >= 2x the serial engine on
+this workload (near-linear scaling minus the boundary-exchange tax —
+the n-cycle has exactly as many boundary edges as shard borders, so
+per-round compute dominates at this size).  On a single-core host the
+boundary exchange is pure overhead — the recorded ``host.cpu_count``
+says which regime a measurement came from.
+
+This script is not part of the pytest-benchmark baseline
+(``bench_perf.py``); it is a standalone harness because it compares
+*execution substrates against each other* rather than a hot path
+against history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.exp_scaling import _jobs_for  # noqa: E402
+from repro.simulator import sharding  # noqa: E402
+from repro.simulator.runtime import run  # noqa: E402
+
+BASELINE = Path(__file__).with_name("BENCH_perf.json")
+
+
+def build_job(n: int):
+    """The §3 edge-packing job of the exp_scaling workload."""
+    label, job = _jobs_for(n)[0]
+    return label, job
+
+
+def time_run(job, repeats, **kwargs):
+    """Best-of-``repeats`` wall clock; returns (seconds, result)."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = run(**job, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+        result = out
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="cycle size (default 100000)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per substrate (default 3)")
+    parser.add_argument("--update", action="store_true",
+                        help="write the shards section of BENCH_perf.json "
+                             "even on a < 4-core host (>= 4 cores refresh "
+                             "automatically)")
+    args = parser.parse_args(argv)
+
+    label, job = build_job(args.n)
+    print(f"{label} on the n={args.n} cycle, shards={args.shards}, "
+          f"best of {args.repeats}")
+
+    serial_s, serial = time_run(job, args.repeats)
+    # First sharded call pays warm-up (fork + session init); time it
+    # separately so the steady-state number reflects the warm pools.
+    t0 = time.perf_counter()
+    warm = run(**job, shards=args.shards)
+    cold_s = time.perf_counter() - t0
+    decision = sharding.LAST_DECISION
+    if decision is None or not decision.engaged:
+        reason = decision.reason if decision else "no decision recorded"
+        print(f"FATAL: sharded engine did not engage ({reason}) — "
+              f"the measurement would time the serial fallback",
+              file=sys.stderr)
+        return 1
+    sharded_s, sharded = time_run(job, args.repeats, shards=args.shards)
+
+    if not (serial == warm == sharded):
+        print("FATAL: sharded result differs from serial — determinism "
+              "contract broken", file=sys.stderr)
+        return 1
+
+    record = {
+        "workload": f"{label}, cycle n={args.n}",
+        "shards": args.shards,
+        "serial_s": round(serial_s, 4),
+        "sharded_cold_s": round(cold_s, 4),
+        "sharded_warm_s": round(sharded_s, 4),
+        "sharded_vs_serial_speedup": round(serial_s / sharded_s, 2),
+        "results_bit_identical": True,
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+        },
+    }
+    print(json.dumps(record, indent=2))
+
+    cores = record["host"]["cpu_count"]
+    if cores >= 4:
+        # Only meaningful with real cores to spread the shards over.
+        assert record["sharded_vs_serial_speedup"] >= 2.0, (
+            f"sharded run should be >=2x serial at {args.shards} shards "
+            f"on a {cores}-core host"
+        )
+        print("speedup gate (>=2x vs serial): PASS")
+    else:
+        print(f"speedup gate skipped: {cores} core(s) cannot demonstrate "
+              "multi-core scaling")
+
+    if args.update or cores >= 4:
+        baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+        baseline["shards"] = record
+        BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        if args.update:
+            print(f"wrote shards section -> {BASELINE}")
+        else:
+            print(f"auto-refreshed shards section -> {BASELINE} "
+                  f"(host has {cores} cores >= 4)")
+    else:
+        print(f"skip: not refreshing the shards baseline — this host has "
+              f"{cores} core(s) (< 4), so the measurement cannot show "
+              f"multi-core scaling; the recorded section is kept as-is. "
+              f"Re-run on a >= 4-core machine (auto-refreshes) or pass "
+              f"--update to force.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,7 +45,7 @@ DEFAULT_THRESHOLD = 1.25
 # check skips them whether present or missing, update preserves them.
 AUX_SECTIONS = (
     "sweep_scaling", "bvc_replay", "selfstab", "dynamic",
-    "dynamic_snapshot", "columnar",
+    "dynamic_snapshot", "columnar", "shards",
 )
 
 # (numerator benchmark or seed entry, denominator benchmark) pairs the

@@ -78,6 +78,8 @@ __all__ = [
     "RetryEvent",
     "map_jobs",
     "resolve_backend",
+    "retire_shard_pools",
+    "shard_pool",
     "shutdown_pools",
 ]
 
@@ -100,6 +102,15 @@ _BACKOFF_CAP_S = 1.0
 # lifetime so repeated map_jobs calls (a whole experiment table) pay
 # pool start-up once.  Threads pools are cheap and stay per-call.
 _PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+# Warm single-worker pools, one per shard index.  The sharded engine
+# (:mod:`repro.simulator.sharding`) keeps per-shard graph slices and
+# node states *resident in the worker* between rounds, so each shard
+# needs process affinity: every submission for shard i must land on the
+# same worker.  A plain ``_process_pool(p)`` cannot promise that, so
+# shards get dedicated max_workers=1 pools, warm across runs like the
+# chunked pools above and shut down with them atexit.
+_SHARD_POOLS: Dict[int, ProcessPoolExecutor] = {}
 
 
 @dataclass(frozen=True)
@@ -184,6 +195,34 @@ def shutdown_pools() -> None:
     """Shut down every warm process pool (idempotent; runs atexit)."""
     while _PROCESS_POOLS:
         _, pool = _PROCESS_POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+    retire_shard_pools()
+
+
+def shard_pool(index: int) -> ProcessPoolExecutor:
+    """The persistent single-worker pool dedicated to shard ``index``.
+
+    Created on first use, then warm for the interpreter's lifetime: a
+    sweep of sharded runs pays worker start-up once per shard, and the
+    worker-resident shard sessions (see
+    :mod:`repro.simulator.sharding`) always find their process again.
+    """
+    pool = _SHARD_POOLS.get(index)
+    if pool is None:
+        pool = _SHARD_POOLS[index] = ProcessPoolExecutor(max_workers=1)
+    return pool
+
+
+def retire_shard_pools() -> None:
+    """Shut down every shard pool (idempotent).
+
+    Crash recovery for the sharded engine: a worker death poisons its
+    pool *and* strands the sibling shards' sessions mid-round, so the
+    whole shard fleet is retired together and the next sharded run
+    starts on fresh workers.
+    """
+    while _SHARD_POOLS:
+        _, pool = _SHARD_POOLS.popitem()
         pool.shutdown(wait=False, cancel_futures=True)
 
 

@@ -114,6 +114,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "('columnar' vectorises Phase I; results bit-identical)",
     )
     vc.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the run across worker processes (port algorithm "
+        "only; results bit-identical; small graphs fall back to serial)",
+    )
+    vc.add_argument(
         "--replay",
         choices=list(REPLAY_MODES),
         default="incremental",
@@ -182,6 +187,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default="object",
         help="runtime execution substrate for --algorithm port "
         "('columnar' vectorises Phase I; results bit-identical)",
+    )
+    sw.add_argument(
+        "--shards", type=int, default=1,
+        help="partition each run across worker processes (port algorithm "
+        "only; results bit-identical; small graphs fall back to serial)",
     )
     sw.add_argument(
         "--replay",
@@ -336,7 +346,9 @@ def _run_vc(args) -> dict:
     if args.fault != "none":
         return _run_vc_faulty(args, graph, weights)
     if args.algorithm == "port":
-        result = vertex_cover_2approx(graph, weights, engine=args.engine)
+        result = vertex_cover_2approx(
+            graph, weights, engine=args.engine, shards=args.shards
+        )
     else:
         result = vertex_cover_broadcast(graph, weights, replay=args.replay)
     payload = {
@@ -409,7 +421,8 @@ def _run_sweep(args) -> dict:
             if args.algorithm == "port":
                 jobs.append(
                     edge_packing_job(
-                        graph, weights, metering=args.metering, engine=args.engine
+                        graph, weights, metering=args.metering,
+                        engine=args.engine, shards=args.shards,
                     )
                 )
             else:
@@ -454,6 +467,7 @@ def _run_sweep(args) -> dict:
         "family": args.family,
         "metering": args.metering,
         "engine": args.engine if args.algorithm == "port" else None,
+        "shards": args.shards if args.algorithm == "port" else None,
         "replay": args.replay if args.algorithm == "broadcast" else None,
         "workers": args.workers,
         "backend": (

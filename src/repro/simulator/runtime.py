@@ -260,6 +260,7 @@ def run(
     metering: Union[Metering, str, None] = Metering.BITS,
     replay: Optional[str] = None,
     engine: str = "object",
+    shards: int = 1,
     on_max_rounds: str = "return",
 ) -> RunResult:
     """Run ``machine`` on every node of ``graph`` until all halt.
@@ -286,6 +287,17 @@ def run(
     ``int64`` grid — fall back to ``"object"`` automatically.  Results
     are bit-for-bit identical across engines
     (``tests/test_columnar_engine.py``).
+
+    ``shards`` > 1 partitions the graph's nodes across that many worker
+    processes by deterministic hashed ownership and executes the round
+    loop with per-round boundary-message exchange — one big run across
+    many cores (see :mod:`repro.simulator.sharding`).  Runs that cannot
+    engage — an observer attached, a fault adversary that is not
+    ``process_safe``, graphs below the size floor, nested inside a
+    worker process — fall back to ``shards=1`` automatically, and the
+    sharded path takes precedence over ``engine="columnar"`` when both
+    apply.  Results are bit-for-bit identical across shard counts
+    (``tests/test_shard_differential.py``).
 
     ``on_max_rounds`` controls what happens when ``max_rounds`` runs
     out with nodes still live: ``"return"`` (default, the historical
@@ -316,6 +328,8 @@ def run(
             f"on_max_rounds must be one of {ON_MAX_ROUNDS}, "
             f"got {on_max_rounds!r}"
         )
+    if not isinstance(shards, int) or shards < 1:
+        raise ValueError(f"shards must be a positive int, got {shards!r}")
     meter = Metering.of(metering)
     if replay is not None:
         machine = machine.with_replay(replay)
@@ -326,25 +340,40 @@ def run(
     else:
         raise ValueError(f"unknown model {machine.model!r}")
 
-    ctxs = _make_contexts(graph, inputs, globals_map, seed)
     result: Optional[RunResult] = None
-    if (
-        engine == "columnar"
-        and machine.model == PORT_NUMBERING
-        and observer is None
-        and fault_adversary is None
-    ):
-        result = _run_columnar_port(graph, machine, ctxs, max_rounds, meter)
-    if result is None:
-        states: List[Any] = [machine.start(ctxs[v]) for v in graph.nodes()]
-        halted: List[bool] = [
-            machine.halted(ctxs[v], states[v]) for v in graph.nodes()
-        ]
-        result = engine_fn(
-            graph, machine, ctxs, states, halted,
-            max_rounds, observer, fault_adversary, meter,
+    ctxs: Optional[List[LocalContext]] = None
+    if shards > 1:
+        # Contexts are built lazily: an engaged shard run constructs
+        # its own contexts worker-side and must not pay for a parent
+        # copy it never reads.
+        from repro.simulator import sharding
+
+        result = sharding.run_sharded(
+            graph, machine, inputs=inputs, globals_map=globals_map,
+            max_rounds=max_rounds, seed=seed, observer=observer,
+            fault_adversary=fault_adversary, meter=meter, shards=shards,
         )
+    if result is None:
+        ctxs = _make_contexts(graph, inputs, globals_map, seed)
+        if (
+            engine == "columnar"
+            and machine.model == PORT_NUMBERING
+            and observer is None
+            and fault_adversary is None
+        ):
+            result = _run_columnar_port(graph, machine, ctxs, max_rounds, meter)
+        if result is None:
+            states: List[Any] = [machine.start(ctxs[v]) for v in graph.nodes()]
+            halted: List[bool] = [
+                machine.halted(ctxs[v], states[v]) for v in graph.nodes()
+            ]
+            result = engine_fn(
+                graph, machine, ctxs, states, halted,
+                max_rounds, observer, fault_adversary, meter,
+            )
     if not result.all_halted and on_max_rounds == "raise":
+        if ctxs is None:
+            ctxs = _make_contexts(graph, inputs, globals_map, seed)
         raise MaxRoundsExceeded(
             rounds=result.rounds,
             non_halted=[

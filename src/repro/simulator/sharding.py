@@ -1,0 +1,1011 @@
+"""Sharded intra-run execution: one graph partitioned across processes.
+
+The process backend (:mod:`repro._util.parallel`) parallelises *across*
+runs; this module parallelises *within* one run.  Nodes are partitioned
+across ``p`` worker processes by deterministic hashed ownership —
+``owner(v) = hash64(v) % p`` with stable global node ids — and each
+worker keeps a resident *shard session*: its nodes' contexts, states,
+inbox buffers, and a per-shard slice of the graph's CSR adjacency
+(taken from :class:`~repro.simulator.state_layout.StateLayout` when
+numpy is available), so the delivery scatter runs shard-locally.
+
+Each synchronous round is two phases over the warm single-worker pools
+in :mod:`repro._util.parallel` (one pool per shard, so every submission
+for a shard lands on the worker holding its session):
+
+1. **emit** — every shard applies the round's crash/restart plan, runs
+   ``emit`` for its live nodes, scatters messages bound for locally
+   owned nodes directly into their inbox buffers, and returns only the
+   *boundary* messages (those crossing shard ownership) batched per
+   destination shard;
+2. **step** — the parent routes the boundary batches (chunked at
+   :data:`BOUNDARY_CHUNK` messages per IPC frame), each shard imports
+   them, runs ``step``, and reports how many of its nodes are still
+   live.
+
+The paper's algorithms run in a *constant* number of rounds (27 for the
+Section 3 edge packing, 165 for Section 4) regardless of ``n``, so the
+per-round barrier count is a small constant — the property that makes
+this partitioning pay off (see ``benchmarks/bench_shards.py``).
+
+**Equivalence contract.**  Sharded ≡ serial ≡ reference, bit-for-bit,
+on every :class:`~repro.simulator.runtime.RunResult` field including
+the metering counts (pinned by ``tests/test_shard_differential.py``).
+The per-node seeded RNG streams (``node-rng:{seed}:{v}``), the
+quiescence-parking fast path, ``on_max_rounds="raise"`` diagnostics,
+and ``process_safe`` fault adversaries all behave identically:
+
+* **metering** is summed sender-side per shard exactly as the serial
+  engine bills it (order-independent integer sums);
+* **parking** runs shard-locally — a parked node's fast-forward needs
+  no neighbour data by contract;
+* **fault adversaries** stay entirely in the parent.  Crash plans
+  (``paused``/``restarted``) are evaluated once per round and routed to
+  the owning shards; in rounds where ``tampers(round)`` is true the
+  shards return their full emission rows, the parent assembles the
+  complete links mapping in the engines' canonical order (sender
+  ascending, then port/neighbour), applies ``tamper`` *once*, meters
+  the tampered values, and ships every shard its rewritten inbox slots
+  — so stateful-but-deterministic schedules (e.g.
+  :class:`~repro.simulator.faults.MessageDuplication`'s one-round
+  buffer, :class:`~repro.simulator.faults.MessageCorruption`'s
+  cross-link picks) see exactly the serial engine's link map.  The run
+  operates on a deep copy of the adversary and syncs its diagnostic
+  state back on success, so a mid-run fallback to the serial engine
+  replays against a pristine instance.
+
+**Fallback.**  A run that cannot engage — observer attached, adversary
+not ``process_safe``, graph below :data:`MIN_SHARD_NODES`, already
+inside a worker process, unpicklable payloads, a crashed shard pool —
+falls back to the serial engine with identical results;
+:data:`LAST_DECISION` records the decision and the reason (the test
+suites' engagement canary).  Worker crashes reuse the PR 6 recovery
+ladder shape: retire the shard pools, retry the whole run once on
+fresh workers, then degrade to serial.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import multiprocessing
+import os
+import random
+import threading
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro._util import parallel
+from repro._util.ordering import canonical_key
+from repro._util.sizes import message_size_bits
+from repro.graphs.topology import PortNumberedGraph
+from repro.simulator import state_layout
+from repro.simulator.machine import (
+    BROADCAST,
+    PORT_NUMBERING,
+    LocalContext,
+    Machine,
+)
+from repro.simulator.runtime import Metering, RunResult, _bad_arity, _NONE_KEY
+
+__all__ = [
+    "BOUNDARY_CHUNK",
+    "LAST_DECISION",
+    "MAX_SHARDS",
+    "MIN_SHARD_NODES",
+    "ShardDecision",
+    "hash64",
+    "owner",
+    "run_sharded",
+    "shard_fallback_reason",
+]
+
+#: Runs on graphs smaller than this fall back to serial: with only a
+#: few thousand nodes the fixed two-barriers-per-round IPC cost
+#: dominates any per-node speedup.  The differential tests monkeypatch
+#: this to 0 to exercise the sharded path on tiny graphs.
+MIN_SHARD_NODES = 1024
+
+#: Hard cap on the shard count (each shard owns a dedicated
+#: single-worker pool; requests beyond the cap are clamped).
+MAX_SHARDS = 64
+
+#: Maximum boundary messages per IPC frame: a round's import batch for
+#: one shard is split across multiple submissions beyond this, bounding
+#: the size of any single pickle frame.
+BOUNDARY_CHUNK = 8192
+
+
+def hash64(v: int) -> int:
+    """Deterministic 64-bit hash of a node id.
+
+    blake2b rather than Python's ``hash()``: stable across processes
+    (no ``PYTHONHASHSEED`` dependence), platforms and sessions, so
+    shard ownership — and therefore every per-shard structure — is a
+    pure function of ``(v, p)``.
+    """
+    digest = hashlib.blake2b(
+        int(v).to_bytes(8, "little", signed=True), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def owner(v: int, shards: int) -> int:
+    """The shard that owns node ``v`` under ``shards``-way hashing."""
+    return hash64(v) % shards
+
+
+@dataclass(frozen=True)
+class ShardDecision:
+    """Why the most recent ``run(..., shards>1)`` did or did not shard.
+
+    ``engaged`` is True only when the sharded engine produced the
+    returned result; ``reason`` names the fallback cause otherwise.
+    """
+
+    engaged: bool
+    shards: int
+    reason: Optional[str] = None
+
+
+#: The decision made by the most recent ``run(..., shards>1)`` call in
+#: this process — the differential suites' engagement canary (runs with
+#: ``shards=1`` never consult this module and leave it untouched).
+LAST_DECISION: Optional[ShardDecision] = None
+
+# One sharded run at a time: the shard sessions are keyed per pool
+# worker, and two concurrent runs would interleave their round
+# submissions.  A second concurrent caller falls back to serial rather
+# than queueing (no deadlock, identical results).
+_ENGAGE_LOCK = threading.Lock()
+
+_TOKENS = itertools.count()
+
+
+def shard_fallback_reason(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    observer: Optional[Any],
+    fault_adversary: Optional[Any],
+    shards: int,
+    max_rounds: int,
+) -> Optional[str]:
+    """Why this run cannot engage the sharded engine (None = it can).
+
+    Pure eligibility — pool health and picklability are discovered (and
+    recovered from) during execution instead.
+    """
+    if multiprocessing.parent_process() is not None:
+        return "already inside a worker process (no nested shard fleets)"
+    if observer is not None:
+        return "observer needs true per-round states in the parent"
+    if fault_adversary is not None and not getattr(
+        fault_adversary, "process_safe", False
+    ):
+        return "fault adversary is not process_safe"
+    if graph.n < MIN_SHARD_NODES:
+        return (
+            f"graph has {graph.n} node(s), below "
+            f"MIN_SHARD_NODES={MIN_SHARD_NODES}"
+        )
+    if min(shards, MAX_SHARDS, graph.n) <= 1:
+        return f"{graph.n} node(s) across {shards} shard(s) leaves one shard"
+    if max_rounds <= 0:
+        return "max_rounds <= 0 leaves no rounds to parallelise"
+    return None
+
+
+class _ShardAbort(Exception):
+    """Abort the sharded attempt and fall back to the serial engine."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+
+def run_sharded(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    *,
+    inputs: Optional[Sequence[Any]],
+    globals_map: Optional[Mapping[str, Any]],
+    max_rounds: int,
+    seed: Optional[int],
+    observer: Optional[Any],
+    fault_adversary: Optional[Any],
+    meter: Metering,
+    shards: int,
+) -> Optional[RunResult]:
+    """Execute one run across shard workers, or ``None`` to fall back.
+
+    Called by :func:`repro.simulator.runtime.run` when ``shards > 1``;
+    a ``None`` return means the caller must run the serial engine —
+    either the run is ineligible (see :func:`shard_fallback_reason`) or
+    the shard fleet failed and the crash ladder degraded to serial.
+    Results are bit-for-bit identical either way.
+    """
+    global LAST_DECISION
+    if inputs is not None and len(inputs) != graph.n:
+        # Same loud failure the serial path raises from _make_contexts.
+        raise ValueError(f"expected {graph.n} inputs, got {len(inputs)}")
+    reason = shard_fallback_reason(
+        graph, machine, observer, fault_adversary, shards, max_rounds
+    )
+    if reason is not None:
+        LAST_DECISION = ShardDecision(False, shards, reason)
+        return None
+    if not _ENGAGE_LOCK.acquire(blocking=False):
+        LAST_DECISION = ShardDecision(
+            False, shards, "another sharded run is already in flight"
+        )
+        return None
+    try:
+        p = min(shards, MAX_SHARDS, graph.n)
+        reason = "shard pool failed twice; rerunning serially"
+        for _attempt in range(2):
+            adv = None
+            if fault_adversary is not None:
+                try:
+                    # The attempt mutates adversary state (tamper
+                    # buffers, event counters); work on a copy so a
+                    # fallback replays against a pristine instance.
+                    adv = copy.deepcopy(fault_adversary)
+                except Exception:
+                    LAST_DECISION = ShardDecision(
+                        False, shards,
+                        "fault adversary cannot be deep-copied",
+                    )
+                    return None
+            try:
+                result = _execute(
+                    graph, machine, inputs, globals_map,
+                    max_rounds, seed, adv, meter, p,
+                )
+            except BrokenProcessPool:
+                parallel.retire_shard_pools()
+                continue
+            except _ShardAbort as exc:
+                reason = exc.reason
+                break
+            except Exception as exc:
+                reason = (
+                    f"sharded attempt failed ({type(exc).__name__}: {exc}); "
+                    "rerunning serially"
+                )
+                break
+            if fault_adversary is not None and adv is not None:
+                _sync_adversary(fault_adversary, adv)
+            LAST_DECISION = ShardDecision(True, p, None)
+            return result
+        LAST_DECISION = ShardDecision(False, shards, reason)
+        return None
+    finally:
+        _ENGAGE_LOCK.release()
+
+
+def _sync_adversary(original: Any, used: Any) -> None:
+    """Copy the executed adversary's diagnostic state back onto the
+    caller's instance (event counters, schedule memos, round buffers).
+    """
+    try:
+        vars(original).update(vars(used))
+    except TypeError:
+        pass  # __slots__ or C-implemented adversary: counters stay behind
+
+
+def _chunks(items: List[Any], size: int) -> List[List[Any]]:
+    if len(items) <= size:
+        return [items]
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _execute(
+    graph: PortNumberedGraph,
+    machine: Machine,
+    inputs: Optional[Sequence[Any]],
+    globals_map: Optional[Mapping[str, Any]],
+    max_rounds: int,
+    seed: Optional[int],
+    adversary: Optional[Any],
+    meter: Metering,
+    p: int,
+) -> RunResult:
+    n = graph.n
+    model = machine.model
+    owners = [hash64(v) % p for v in range(n)]
+    owned: List[List[int]] = [[] for _ in range(p)]
+    for v, o in enumerate(owners):
+        owned[o].append(v)
+
+    count_msgs = meter.counts_messages
+    meter_bits = meter.meters_bits
+    size_of = message_size_bits
+
+    # Parking mirrors the serial engine's gate: port model only, no
+    # observer (checked upstream) and no adversary.
+    use_parking = (
+        model == PORT_NUMBERING
+        and adversary is None
+        and getattr(machine, "quiescent", None) is not None
+    )
+
+    adv_restarted = adv_paused = adv_tampers = None
+    if adversary is not None:
+        adv_restarted = getattr(adversary, "restarted", None)
+        adv_paused = getattr(adversary, "paused", None)
+        adv_tampers = getattr(adversary, "tampers", None)
+
+    token = f"shard-run:{os.getpid()}:{next(_TOKENS)}"
+    pools = [parallel.shard_pool(i) for i in range(p)]
+    spec_common = {
+        "model": model,
+        "graph": graph,
+        "machine": machine,
+        "owners": owners,
+        "inputs": list(inputs) if inputs is not None else None,
+        "globals_map": dict(globals_map or {}),
+        "seed": seed,
+        "metering": meter.mode,
+        "max_rounds": max_rounds,
+        "use_parking": use_parking,
+    }
+
+    finished = False
+    try:
+        futs = [
+            pools[i].submit(
+                _shard_call, token, "init",
+                {**spec_common, "index": i, "owned": owned[i]},
+            )
+            for i in range(p)
+        ]
+        unfinished = sum(f.result() for f in futs)
+
+        rounds = 0
+        messages_sent = 0
+        message_bits = 0
+        per_round_bits: List[int] = []
+
+        while rounds < max_rounds and unfinished > 0:
+            restarted_by: Optional[List[List[int]]] = None
+            paused_by: Optional[List[List[int]]] = None
+            chaos = False
+            if adversary is not None:
+                if adv_restarted is not None:
+                    rs = sorted(set(adv_restarted(rounds, graph)))
+                    if rs:
+                        restarted_by = [[] for _ in range(p)]
+                        for v in rs:
+                            restarted_by[owners[v]].append(v)
+                if adversary.is_active(rounds):
+                    raise _ShardAbort(
+                        f"fault adversary corrupts states (round {rounds})"
+                    )
+                if adv_paused is not None:
+                    ps = list(adv_paused(rounds, graph))
+                    if ps:
+                        paused_by = [[] for _ in range(p)]
+                        for v in ps:
+                            paused_by[owners[v]].append(v)
+                chaos = bool(adv_tampers is not None and adv_tampers(rounds))
+
+            futs = [
+                pools[i].submit(
+                    _shard_call, token, "emit",
+                    (
+                        restarted_by[i] if restarted_by is not None else (),
+                        paused_by[i] if paused_by is not None else (),
+                        chaos,
+                    ),
+                )
+                for i in range(p)
+            ]
+
+            round_bits = 0
+            if chaos:
+                rows: Dict[int, Any] = {}
+                for f in futs:
+                    rows.update(f.result())
+                # Assemble the full directed-links mapping in the
+                # serial engines' canonical insertion order — seeded
+                # adversaries key their schedules on it.
+                links: Dict[Tuple[int, int], Any] = {}
+                if model == PORT_NUMBERING:
+                    for v in range(n):
+                        row = rows.get(v)
+                        if row is None:
+                            for pt in range(graph.degree(v)):
+                                links[(v, pt)] = None
+                        else:
+                            for pt in range(graph.degree(v)):
+                                links[(v, pt)] = row[pt]
+                else:
+                    for v in range(n):
+                        pv = rows.get(v)
+                        for u in graph.neighbours(v):
+                            links[(v, u)] = pv
+                links = adversary.tamper(rounds, graph, links)
+                if model == PORT_NUMBERING:
+                    # Every inbox slot is rewritten from the tampered
+                    # links and sender silence recomputed, exactly like
+                    # the serial chaos path; metering bills the parent.
+                    slot_by: List[List[Tuple[int, int, Any]]] = [
+                        [] for _ in range(p)
+                    ]
+                    still_by: List[List[Tuple[int, int]]] = [
+                        [] for _ in range(p)
+                    ]
+                    for v in range(n):
+                        still = 1
+                        for pt, (u, q) in enumerate(graph.ports(v)):
+                            m = links[(v, pt)]
+                            slot_by[owners[u]].append((u, q, m))
+                            if m is not None:
+                                still = 0
+                                if count_msgs:
+                                    messages_sent += 1
+                                    if meter_bits:
+                                        round_bits += size_of(m)
+                        still_by[owners[v]].append((v, still))
+                    futs = [
+                        pools[i].submit(
+                            _shard_call, token, "step",
+                            ((), (slot_by[i], still_by[i])),
+                        )
+                        for i in range(p)
+                    ]
+                else:
+                    if count_msgs:
+                        for m in links.values():
+                            if m is not None:
+                                messages_sent += 1
+                                if meter_bits:
+                                    round_bits += size_of(m)
+                    inbox_by: List[Dict[int, Tuple[Any, ...]]] = [
+                        {} for _ in range(p)
+                    ]
+                    for v in range(n):
+                        received = [links[(u, v)] for u in graph.neighbours(v)]
+                        received.sort(key=canonical_key)
+                        inbox_by[owners[v]][v] = tuple(received)
+                    futs = [
+                        pools[i].submit(
+                            _shard_call, token, "step", ((), inbox_by[i])
+                        )
+                        for i in range(p)
+                    ]
+            else:
+                batches: List[List[Any]] = [[] for _ in range(p)]
+                for f in futs:
+                    out_batches, msgs, bits = f.result()
+                    for dest, items in out_batches.items():
+                        batches[dest].extend(items)
+                    messages_sent += msgs
+                    round_bits += bits
+                futs = []
+                for i in range(p):
+                    *head, tail = _chunks(batches[i], BOUNDARY_CHUNK)
+                    for chunk in head:
+                        pools[i].submit(_shard_call, token, "import", chunk)
+                    futs.append(
+                        pools[i].submit(_shard_call, token, "step", (tail, None))
+                    )
+            unfinished = sum(f.result() for f in futs)
+            rounds += 1
+            if meter_bits:
+                message_bits += round_bits
+                per_round_bits.append(round_bits)
+
+        futs = [
+            pools[i].submit(_shard_call, token, "finish", None)
+            for i in range(p)
+        ]
+        finished = True
+        states: List[Any] = [None] * n
+        outputs: List[Any] = [None] * n
+        n_halted = 0
+        for f in futs:
+            info = f.result()
+            for v, st in info["states"]:
+                states[v] = st
+            for v, out in info["outputs"]:
+                outputs[v] = out
+            n_halted += info["n_halted"]
+            if info["rounds"] > rounds:
+                rounds = info["rounds"]
+        if meter_bits and len(per_round_bits) < rounds:
+            per_round_bits.extend([0] * (rounds - len(per_round_bits)))
+            # (silent tail rounds: no messages, no bits)
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            all_halted=n_halted == n,
+            messages_sent=messages_sent,
+            message_bits=message_bits,
+            per_round_bits=per_round_bits,
+            states=states,
+        )
+    finally:
+        if not finished:
+            # Best-effort session teardown after an abort; single-worker
+            # pools run FIFO, so a close lands before any later run's
+            # init reuses the worker.
+            for i in range(p):
+                try:
+                    pools[i].submit(_shard_call, token, "close", None)
+                except Exception:
+                    pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Worker-resident shard sessions, keyed by run token.  One pool worker
+#: hosts at most one live session per run; tokens are unique per
+#: (parent pid, run), so a crashed parent's leftovers can never collide.
+_SESSIONS: Dict[str, Any] = {}
+
+
+def _shard_call(token: str, op: str, payload: Any) -> Any:
+    """Single worker-side dispatch point for every shard operation."""
+    if op == "init":
+        session = (
+            _PortShardSession(payload)
+            if payload["model"] == PORT_NUMBERING
+            else _BroadcastShardSession(payload)
+        )
+        _SESSIONS[token] = session
+        return len(session.live)
+    if op == "close":
+        _SESSIONS.pop(token, None)
+        return None
+    session = _SESSIONS[token]
+    if op == "emit":
+        return session.phase_emit(*payload)
+    if op == "import":
+        session.pending_imports.extend(payload)
+        return None
+    if op == "step":
+        return session.phase_step(*payload)
+    if op == "finish":
+        result = session.finish()
+        del _SESSIONS[token]
+        return result
+    raise ValueError(f"unknown shard op {op!r}")
+
+
+def _csr_arrays(graph: PortNumberedGraph):
+    """The graph's CSR adjacency, as a StateLayout's int64 columns when
+    numpy is available (cheap per-node slicing), else the plain lists.
+    """
+    if state_layout.HAVE_NUMPY and graph.n > 0 and graph.m > 0:
+        layout = state_layout.StateLayout(graph)
+        return layout.offsets, layout.targets, layout.rev_ports
+    return graph.csr()
+
+
+class _ShardSessionBase:
+    """State shared by both models' shard sessions."""
+
+    def __init__(self, spec: Mapping[str, Any]) -> None:
+        self.graph: PortNumberedGraph = spec["graph"]
+        self.machine: Machine = spec["machine"]
+        self.index: int = spec["index"]
+        self.owners: List[int] = spec["owners"]
+        self.owned: List[int] = spec["owned"]
+        self.max_rounds: int = spec["max_rounds"]
+        meter = Metering.of(spec["metering"])
+        self.count_msgs = meter.counts_messages
+        self.meter_bits = meter.meters_bits
+
+        inputs = spec["inputs"]
+        seed = spec["seed"]
+        g = dict(spec["globals_map"])
+        ctxs: Dict[int, LocalContext] = {}
+        for v in self.owned:
+            # Identical to runtime._make_contexts: same RNG stream per
+            # global node id, one shared globals dict per shard.
+            rng = (
+                random.Random(f"node-rng:{seed}:{v}")
+                if seed is not None
+                else None
+            )
+            ctxs[v] = LocalContext(
+                degree=self.graph.degree(v),
+                input=None if inputs is None else inputs[v],
+                globals=g,
+                rng=rng,
+            )
+        self.ctxs = ctxs
+        start = self.machine.start
+        halted_fn = self.machine.halted
+        self.states: Dict[int, Any] = {v: start(ctxs[v]) for v in self.owned}
+        self.halted: Dict[int, bool] = {
+            v: halted_fn(ctxs[v], self.states[v]) for v in self.owned
+        }
+        self.n_halted = sum(self.halted.values())
+        self.live: List[int] = [v for v in self.owned if not self.halted[v]]
+        self.paused: frozenset = frozenset()
+        self.pending_imports: List[Any] = []
+
+    def _drain_imports(self, imports: Sequence[Any]) -> List[Any]:
+        if self.pending_imports:
+            merged = self.pending_imports
+            merged.extend(imports)
+            self.pending_imports = []
+            return merged
+        return list(imports)
+
+
+class _PortShardSession(_ShardSessionBase):
+    """One shard of a port-numbering run, resident in its pool worker."""
+
+    def __init__(self, spec: Mapping[str, Any]) -> None:
+        super().__init__(spec)
+        graph = self.graph
+        owners = self.owners
+        me = self.index
+        self.degrees: Dict[int, int] = {
+            v: graph.degree(v) for v in self.owned
+        }
+        self.silent: Dict[int, bool] = {v: True for v in self.owned}
+
+        quiescent_fn = getattr(self.machine, "quiescent", None)
+        self.use_parking = bool(spec["use_parking"]) and quiescent_fn is not None
+        self.quiescent_fn = quiescent_fn
+        self.parked: List[Tuple[int, int]] = []
+        self.rounds_done = 0
+        if self.use_parking and self.live:
+            still_live = []
+            for v in self.live:
+                if quiescent_fn(self.ctxs[v], self.states[v]):
+                    self.parked.append((v, 0))
+                else:
+                    still_live.append(v)
+            self.live = still_live
+
+        # Per-shard CSR slice: inbox buffers for owned nodes, and for
+        # each owned sender a per-port route — either the local
+        # (neighbour inbox, slot) pair the serial scatter would write,
+        # or the (dest shard, neighbour, slot) boundary address.
+        offsets, targets, rev = _csr_arrays(graph)
+        self.inboxes: Dict[int, List[Any]] = {
+            v: [None] * self.degrees[v] for v in self.owned
+        }
+        routes: Dict[int, List[Any]] = {}
+        local_slots: Dict[int, List[Tuple[List[Any], int]]] = {}
+        boundary_in: List[Tuple[List[Any], int]] = []
+        for v in self.owned:
+            s, e = int(offsets[v]), int(offsets[v + 1])
+            row: List[Any] = []
+            loc: List[Tuple[List[Any], int]] = []
+            inbox_v = self.inboxes[v]
+            for pt, (u, q) in enumerate(zip(targets[s:e], rev[s:e])):
+                u, q = int(u), int(q)
+                if owners[u] == me:
+                    entry = (self.inboxes[u], q)
+                    row.append(entry)
+                    loc.append(entry)
+                else:
+                    row.append((owners[u], u, q))
+                    # v's port pt hears from the remote neighbour u, so
+                    # this inbox slot is fed across the boundary and is
+                    # reset before every import pass.
+                    boundary_in.append((inbox_v, pt))
+            routes[v] = row
+            local_slots[v] = loc
+        self.routes = routes
+        self.local_slots = local_slots
+        self.boundary_in = boundary_in
+
+    def _apply_restarts(self, restarted: Sequence[int]) -> None:
+        start = self.machine.start
+        halted_fn = self.machine.halted
+        for v in restarted:
+            self.states[v] = start(self.ctxs[v])
+            now = halted_fn(self.ctxs[v], self.states[v])
+            if now != self.halted[v]:
+                self.halted[v] = now
+                if now:
+                    self.n_halted += 1
+                    for dst, q in self.local_slots[v]:
+                        dst[q] = None
+                    self.silent[v] = True
+                else:
+                    self.n_halted -= 1
+        self.live = [v for v in self.owned if not self.halted[v]]
+
+    def phase_emit(
+        self, restarted: Sequence[int], paused: Sequence[int], chaos: bool
+    ) -> Any:
+        if restarted:
+            self._apply_restarts(restarted)
+        self.paused = frozenset(paused) if paused else frozenset()
+        emit = self.machine.emit
+        ctxs, states = self.ctxs, self.states
+
+        if chaos:
+            rows: Dict[int, List[Any]] = {}
+            for v in self.live:
+                if v in self.paused:
+                    continue
+                out = emit(ctxs[v], states[v])
+                if out is None:
+                    continue
+                d = self.degrees[v]
+                if type(out) is not list and type(out) is not tuple:
+                    out = list(out)
+                if len(out) != d:
+                    raise _bad_arity(d, len(out))
+                rows[v] = list(out)
+            return rows
+
+        batches: Dict[int, List[Tuple[int, int, Any]]] = {}
+        msgs = 0
+        bits = 0
+        count, mbits = self.count_msgs, self.meter_bits
+        size_of = message_size_bits
+        silent = self.silent
+        for v in self.live:
+            if v in self.paused:
+                if not silent[v]:
+                    for dst, q in self.local_slots[v]:
+                        dst[q] = None
+                    silent[v] = True
+                continue
+            out = emit(ctxs[v], states[v])
+            if out is None:
+                if not silent[v]:
+                    for dst, q in self.local_slots[v]:
+                        dst[q] = None
+                    silent[v] = True
+                continue
+            silent[v] = False
+            d = self.degrees[v]
+            if type(out) is not list and type(out) is not tuple:
+                out = list(out)
+            if len(out) != d:
+                raise _bad_arity(d, len(out))
+            for route, m in zip(self.routes[v], out):
+                if len(route) == 2:
+                    route[0][route[1]] = m
+                elif m is not None:
+                    # Boundary silence needs no message: the receiving
+                    # shard resets its boundary-fed slots every round.
+                    batches.setdefault(route[0], []).append(
+                        (route[1], route[2], m)
+                    )
+            if count:
+                if mbits:
+                    for m in out:
+                        if m is not None:
+                            msgs += 1
+                            bits += size_of(m)
+                else:
+                    for m in out:
+                        if m is not None:
+                            msgs += 1
+        return batches, msgs, bits
+
+    def phase_step(
+        self, imports: Sequence[Tuple[int, int, Any]], chaos_payload: Any
+    ) -> int:
+        inboxes = self.inboxes
+        if chaos_payload is not None:
+            slots, stills = chaos_payload
+            for u, q, m in slots:
+                inboxes[u][q] = m
+            for v, still in stills:
+                self.silent[v] = bool(still)
+        else:
+            for dst, q in self.boundary_in:
+                dst[q] = None
+            for u, q, m in self._drain_imports(imports):
+                inboxes[u][q] = m
+
+        step = self.machine.step
+        halted_fn = self.machine.halted
+        ctxs, states = self.ctxs, self.states
+        next_live: List[int] = []
+        just_halted: List[int] = []
+        for v in self.live:
+            if v in self.paused:
+                next_live.append(v)
+                continue
+            st = step(ctxs[v], states[v], inboxes[v])
+            states[v] = st
+            if halted_fn(ctxs[v], st):
+                self.halted[v] = True
+                self.n_halted += 1
+                just_halted.append(v)
+            elif (
+                self.use_parking
+                and self.silent[v]
+                and self.quiescent_fn(ctxs[v], st)
+            ):
+                self.parked.append((v, self.rounds_done + 1))
+                just_halted.append(v)
+            else:
+                next_live.append(v)
+        for v in just_halted:
+            for dst, q in self.local_slots[v]:
+                dst[q] = None
+            self.silent[v] = True
+        self.live = next_live
+        self.rounds_done += 1
+        return len(next_live)
+
+    def finish(self) -> Dict[str, Any]:
+        machine = self.machine
+        halted_fn = machine.halted
+        local_rounds = 0
+        for v, parked_at in self.parked:
+            st, used = machine.fast_forward(
+                self.ctxs[v], self.states[v], self.max_rounds - parked_at
+            )
+            self.states[v] = st
+            if halted_fn(self.ctxs[v], st):
+                self.n_halted += 1
+            if parked_at + used > local_rounds:
+                local_rounds = parked_at + used
+        output = machine.output
+        return {
+            "states": [(v, self.states[v]) for v in self.owned],
+            "outputs": [
+                (v, output(self.ctxs[v], self.states[v])) for v in self.owned
+            ],
+            "n_halted": self.n_halted,
+            "rounds": local_rounds,
+        }
+
+
+class _BroadcastShardSession(_ShardSessionBase):
+    """One shard of a broadcast-model run, resident in its pool worker."""
+
+    def __init__(self, spec: Mapping[str, Any]) -> None:
+        super().__init__(spec)
+        graph = self.graph
+        owners = self.owners
+        me = self.index
+        self.degrees = {v: graph.degree(v) for v in self.owned}
+        # Neighbour lists annotated with locality, in port order (the
+        # serial engine's tie-break order for the stable payload sort).
+        self.nbr_local: Dict[int, List[Tuple[int, bool]]] = {}
+        self.send_dests: Dict[int, List[int]] = {}
+        for v in self.owned:
+            nbrs = graph.neighbours(v)
+            self.nbr_local[v] = [(u, owners[u] == me) for u in nbrs]
+            self.send_dests[v] = sorted(
+                {owners[u] for u in nbrs if owners[u] != me}
+            )
+        self.payload: Dict[int, Any] = {v: None for v in self.owned}
+        self.key: Dict[int, Any] = {v: _NONE_KEY for v in self.owned}
+
+    def _apply_restarts(self, restarted: Sequence[int]) -> None:
+        start = self.machine.start
+        halted_fn = self.machine.halted
+        for v in restarted:
+            self.states[v] = start(self.ctxs[v])
+            now = halted_fn(self.ctxs[v], self.states[v])
+            if now != self.halted[v]:
+                self.halted[v] = now
+                if now:
+                    self.n_halted += 1
+                    self.payload[v] = None
+                    self.key[v] = _NONE_KEY
+                else:
+                    self.n_halted -= 1
+        self.live = [v for v in self.owned if not self.halted[v]]
+
+    def phase_emit(
+        self, restarted: Sequence[int], paused: Sequence[int], chaos: bool
+    ) -> Any:
+        if restarted:
+            self._apply_restarts(restarted)
+        self.paused = frozenset(paused) if paused else frozenset()
+        emit = self.machine.emit
+        ctxs, states = self.ctxs, self.states
+        payload, key = self.payload, self.key
+
+        if chaos:
+            rows: Dict[int, Any] = {}
+            for v in self.live:
+                if v in self.paused:
+                    payload[v] = None
+                    key[v] = _NONE_KEY
+                    continue
+                pl = emit(ctxs[v], states[v])
+                payload[v] = pl
+                key[v] = canonical_key(pl)
+                if pl is not None:
+                    rows[v] = pl
+            return rows
+
+        batches: Dict[int, List[Tuple[int, Any]]] = {}
+        msgs = 0
+        bits = 0
+        count, mbits = self.count_msgs, self.meter_bits
+        size_of = message_size_bits
+        for v in self.live:
+            if v in self.paused:
+                payload[v] = None
+                key[v] = _NONE_KEY
+                continue
+            pl = emit(ctxs[v], states[v])
+            payload[v] = pl
+            key[v] = canonical_key(pl)
+            if pl is not None:
+                if count:
+                    d = self.degrees[v]
+                    msgs += d
+                    if mbits:
+                        bits += d * size_of(pl)
+                for dest in self.send_dests[v]:
+                    batches.setdefault(dest, []).append((v, pl))
+        return batches, msgs, bits
+
+    def phase_step(
+        self, imports: Sequence[Tuple[int, Any]], chaos_payload: Any
+    ) -> int:
+        step = self.machine.step
+        halted_fn = self.machine.halted
+        ctxs, states = self.ctxs, self.states
+        payload, key = self.payload, self.key
+
+        remote: Dict[int, Tuple[Any, Any]] = {}
+        if chaos_payload is None:
+            for u, pl in self._drain_imports(imports):
+                remote[u] = (pl, canonical_key(pl))
+        none_entry = (None, _NONE_KEY)
+
+        next_live: List[int] = []
+        just_halted: List[int] = []
+        for v in self.live:
+            if v in self.paused:
+                next_live.append(v)
+                continue
+            if chaos_payload is not None:
+                inbox = chaos_payload[v]
+            else:
+                vals: List[Any] = []
+                ks: List[Any] = []
+                for u, is_local in self.nbr_local[v]:
+                    if is_local:
+                        vals.append(payload[u])
+                        ks.append(key[u])
+                    else:
+                        pl, k = remote.get(u, none_entry)
+                        vals.append(pl)
+                        ks.append(k)
+                # Stable sort by canonical key with ties in neighbour
+                # (port) order — exactly the serial engine's
+                # sorted(nbrs[v], key=key_of) payload sequence.
+                order = sorted(range(len(ks)), key=ks.__getitem__)
+                inbox = tuple(vals[i] for i in order)
+            st = step(ctxs[v], states[v], inbox)
+            states[v] = st
+            if halted_fn(ctxs[v], st):
+                self.halted[v] = True
+                self.n_halted += 1
+                just_halted.append(v)
+            else:
+                next_live.append(v)
+        for v in just_halted:
+            payload[v] = None
+            key[v] = _NONE_KEY
+        self.live = next_live
+        return len(next_live)
+
+    def finish(self) -> Dict[str, Any]:
+        output = self.machine.output
+        return {
+            "states": [(v, self.states[v]) for v in self.owned],
+            "outputs": [
+                (v, output(self.ctxs[v], self.states[v])) for v in self.owned
+            ],
+            "n_halted": self.n_halted,
+            "rounds": 0,
+        }

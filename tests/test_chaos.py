@@ -33,6 +33,8 @@ from repro.graphs import families
 from repro.graphs.weights import unit_weights
 from repro.simulator.runtime import run, sweep
 
+from helpers import assert_result_lists_equal
+
 PARENT_PID = os.getpid()
 
 
@@ -90,7 +92,8 @@ class TestWorkerKillRecovery:
         chaos = map_jobs(
             _kill_worker_once, jobs, 2, backend="process", chunksize=1
         )
-        assert list(chaos) == list(serial)  # field-for-field (RunResult eq)
+        # field-for-field RunResult equality, naming the locus on failure
+        assert_result_lists_equal(chaos, serial, label_a="chaos", label_b="serial")
 
         report = chaos.failure_report
         assert report.backend == "process"
@@ -114,7 +117,7 @@ class TestWorkerKillRecovery:
         jobs = _sim_jobs()
         serial = sweep(jobs)
         pooled = sweep(jobs, n_workers=2, backend="process")
-        assert list(serial) == list(pooled)
+        assert_result_lists_equal(serial, pooled, label_a="serial", label_b="pooled")
         assert isinstance(pooled, JobResults)
         assert pooled.failure_report.backend == "process"
         assert pooled.failure_report.clean

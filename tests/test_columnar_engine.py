@@ -42,6 +42,8 @@ from repro.simulator.runtime import (
 )
 from repro.simulator.state_layout import HAVE_NUMPY
 
+from helpers import assert_run_results_equal
+
 METERING_MODES = ("none", "counts", "bits")
 ARITHMETIC_MODES = ("scaled", "fraction")
 
@@ -50,13 +52,7 @@ needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
 
 def assert_identical(a, b):
     """Every RunResult field, bit for bit."""
-    assert a.outputs == b.outputs
-    assert a.rounds == b.rounds
-    assert a.all_halted == b.all_halted
-    assert a.messages_sent == b.messages_sent
-    assert a.message_bits == b.message_bits
-    assert a.per_round_bits == b.per_round_bits
-    assert a.states == b.states
+    assert_run_results_equal(a, b, label_a="columnar", label_b="object")
 
 
 def random_weighted_graph(seed: int, max_n: int = 14):

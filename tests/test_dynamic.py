@@ -36,16 +36,12 @@ from repro.graphs import families
 from repro.graphs.setcover import random_instance
 from repro.graphs.weights import uniform_weights, unit_weights
 
+from helpers import assert_run_results_equal
+
 
 def assert_same_result(a, b):
     """Every RunResult field identical — the dynamic-mode contract."""
-    assert a.outputs == b.outputs
-    assert a.rounds == b.rounds
-    assert a.all_halted == b.all_halted
-    assert a.messages_sent == b.messages_sent
-    assert a.message_bits == b.message_bits
-    assert a.per_round_bits == b.per_round_bits
-    assert a.states == b.states
+    assert_run_results_equal(a, b, label_a="incremental", label_b="scratch")
 
 
 def _session_pair(graph, weights, **kwargs):

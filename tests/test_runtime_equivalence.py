@@ -34,6 +34,8 @@ from repro.simulator.runtime import (
 )
 from repro.selfstab.transformer import SelfStabilisingMachine
 
+from helpers import assert_run_results_equal
+
 # Every equivalence case involving the paper's machines runs in both
 # arithmetic modes: the fast engine's parking/quiescence shortcuts and
 # the scaled-integer fast path must each be invisible next to the
@@ -47,13 +49,7 @@ def assert_equivalent(graph, machine, seeds=(None,), **kwargs):
     for seed in seeds:
         fast = run(graph, machine, seed=seed, **kwargs)
         ref = run_reference(graph, machine, seed=seed, **kwargs)
-        assert fast.outputs == ref.outputs
-        assert fast.rounds == ref.rounds
-        assert fast.all_halted == ref.all_halted
-        assert fast.messages_sent == ref.messages_sent
-        assert fast.message_bits == ref.message_bits
-        assert fast.per_round_bits == ref.per_round_bits
-        assert fast.states == ref.states
+        assert_run_results_equal(fast, ref, label_a="fast", label_b="reference")
         pair = (fast, ref)
     return pair
 

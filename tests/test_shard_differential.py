@@ -1,0 +1,340 @@
+"""Sharded intra-run execution ≡ serial execution, bit for bit.
+
+The sharded engine (:mod:`repro.simulator.sharding`, engaged via
+``run(..., shards=p)``) partitions one graph's nodes across worker
+processes by hashed ownership and exchanges only boundary messages per
+round.  Its contract is the repo-wide one: every
+:class:`~repro.simulator.runtime.RunResult` field — outputs, rounds,
+halting, exact message/bit counts, per-round bit traces, final states —
+must be identical to the serial object engine, for every shard count.
+
+This suite is a seeded property-style fuzzer over that contract
+(graph families × Δ × metering × arithmetic × p ∈ {1, 2, 3, 7}), plus
+the edges of the envelope:
+
+* degenerate topologies — empty graph, single node, isolated vertices;
+* an engagement canary (``sharding.LAST_DECISION``) proving the
+  sharded path actually ran rather than silently falling back;
+* ``on_max_rounds="raise"`` parity — :class:`MaxRoundsExceeded`
+  carries the same round count and non-halted ids as serial;
+* ``process_safe`` fault adversaries — bit-identical schedules across
+  shard counts, with the diagnostic ``events`` counter synced back.
+
+Fault cases wrap machines in :class:`SelfStabilisingMachine`: the raw
+machines assert on desynchronised inboxes by design (see
+``tests/test_faults_messages.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.edge_packing import (
+    EdgePackingMachine,
+    edge_packing_job,
+    schedule_length,
+)
+from repro.core.fractional_packing import (
+    FractionalPackingMachine,
+    fp_schedule_length,
+)
+from repro.graphs import families
+from repro.graphs.setcover import random_instance
+from repro.graphs.weights import uniform_weights, unit_weights
+from repro.selfstab.transformer import SelfStabilisingMachine
+from repro.simulator import sharding
+from repro.simulator.faults import (
+    RandomStateCorruption,
+    adversary_from_spec,
+)
+from repro.simulator.runtime import (
+    MaxRoundsExceeded,
+    run,
+    run_on_setcover,
+)
+
+from helpers import assert_run_results_equal
+
+SHARD_COUNTS = (1, 2, 3, 7)
+
+# Fault constants, following tests/test_faults_messages.py.
+DELTA, W = 2, 3
+T_PORT = schedule_length(DELTA, W)
+FAULTY_ROUNDS = 6
+PROCESS_SAFE_KINDS = ("loss", "duplication", "corruption", "crash")
+
+
+@pytest.fixture
+def engage_small(monkeypatch):
+    """Drop the engagement floor so the fuzz-sized graphs shard for real
+    (production keeps MIN_SHARD_NODES high because IPC dwarfs tiny runs).
+    """
+    monkeypatch.setattr(sharding, "MIN_SHARD_NODES", 0)
+
+
+def _run_pair(job, p):
+    """(serial, sharded) for one job mapping; both via the public run()."""
+    serial = run(**job)
+    sharded = run(**dict(job, shards=p))
+    return serial, sharded
+
+
+def _assert_sharded_equal(job, p, engaged=True):
+    serial, sharded = _run_pair(job, p)
+    if engaged:
+        assert sharding.LAST_DECISION is not None
+        assert sharding.LAST_DECISION.engaged, sharding.LAST_DECISION.reason
+    assert_run_results_equal(
+        sharded, serial, label_a=f"shards={p}", label_b="serial"
+    )
+    return serial, sharded
+
+
+# ---------------------------------------------------------------------------
+# Seeded fuzzer
+# ---------------------------------------------------------------------------
+
+def _fuzz_graph(rng):
+    """One random port-numbered instance: family, size, weights."""
+    family = rng.choice(
+        ["cycle", "path", "star", "grid", "tree", "gnp", "bipartite",
+         "regular", "complete"]
+    )
+    if family == "cycle":
+        g = families.cycle_graph(rng.randint(3, 20))
+    elif family == "path":
+        g = families.path_graph(rng.randint(2, 20))
+    elif family == "star":
+        g = families.star_graph(rng.randint(2, 12))
+    elif family == "grid":
+        g = families.grid_2d(rng.randint(2, 4), rng.randint(2, 5))
+    elif family == "tree":
+        g = families.random_tree(rng.randint(4, 20), seed=rng.randint(0, 99))
+    elif family == "gnp":
+        g = families.gnp_random(
+            rng.randint(4, 16), rng.choice([0.2, 0.4, 0.7]),
+            seed=rng.randint(0, 99),
+        )
+    elif family == "bipartite":
+        g = families.complete_bipartite(rng.randint(1, 4), rng.randint(1, 5))
+    elif family == "regular":
+        g = families.random_regular(3, 2 * rng.randint(2, 6),
+                                    seed=rng.randint(0, 99))
+    else:
+        g = families.complete_graph(rng.randint(2, 7))
+    W_ = rng.choice([1, 4, 9])
+    weights = (
+        unit_weights(g.n) if W_ == 1
+        else uniform_weights(g.n, W_, seed=rng.randint(0, 99))
+    )
+    return g, list(weights)
+
+
+@pytest.mark.parametrize("case", range(10))
+def test_fuzz_port_edge_packing(case, engage_small):
+    """Random family × Δ × metering × arithmetic × shard count."""
+    rng = random.Random(f"shard-fuzz-port:{case}")
+    graph, weights = _fuzz_graph(rng)
+    if graph.n < 2:  # the fuzzer never emits these, but stay safe
+        pytest.skip("singleton graph cannot split")
+    job = edge_packing_job(
+        graph,
+        weights,
+        metering=rng.choice(["none", "counts", "bits"]),
+        arithmetic=rng.choice(["scaled", "fraction"]),
+    )
+    p = rng.choice([c for c in SHARD_COUNTS if c > 1])
+    _assert_sharded_equal(job, p)
+
+
+@pytest.mark.parametrize("case", range(6))
+def test_fuzz_setcover_broadcast(case, engage_small):
+    """The §4 broadcast-model machine over random set cover instances."""
+    rng = random.Random(f"shard-fuzz-sc:{case}")
+    n_subsets = rng.randint(4, 8)
+    k = rng.randint(2, 3)
+    instance = random_instance(
+        n_subsets,
+        rng.randint(3, n_subsets * k),  # feasibility: capacity >= elements
+        k=k,
+        f=2,
+        W=rng.choice([1, 5]),
+        seed=rng.randint(0, 99),
+    )
+    arithmetic = rng.choice(["scaled", "fraction"])
+    metering = rng.choice(["none", "counts", "bits"])
+    machine = FractionalPackingMachine(arithmetic=arithmetic)
+    needed = fp_schedule_length(instance.f, instance.k, instance.W)
+    p = rng.choice([c for c in SHARD_COUNTS if c > 1])
+    serial = run_on_setcover(
+        instance, machine, max_rounds=needed, metering=metering
+    )
+    sharded = run_on_setcover(
+        instance, machine, max_rounds=needed, metering=metering, shards=p
+    )
+    assert sharding.LAST_DECISION.engaged, sharding.LAST_DECISION.reason
+    assert_run_results_equal(
+        sharded, serial, label_a=f"shards={p}", label_b="serial"
+    )
+
+
+@pytest.mark.parametrize("p", SHARD_COUNTS)
+def test_every_shard_count_one_instance(p, engage_small):
+    """All advertised shard counts on one fixed instance (p=1 = serial)."""
+    graph = families.cycle_graph(12)
+    job = edge_packing_job(graph, uniform_weights(12, 5, seed=2))
+    serial, sharded = _run_pair(job, p)
+    assert_run_results_equal(
+        sharded, serial, label_a=f"shards={p}", label_b="serial"
+    )
+    if p > 1:
+        assert sharding.LAST_DECISION.engaged
+        # worker count never exceeds what the graph can feed
+        assert sharding.LAST_DECISION.shards == min(p, graph.n)
+
+
+# ---------------------------------------------------------------------------
+# Degenerate topologies
+# ---------------------------------------------------------------------------
+
+class TestDegenerateTopologies:
+    def test_empty_graph(self, engage_small):
+        job = edge_packing_job(families.empty_graph(0), [])
+        serial, sharded = _run_pair(job, 4)
+        assert not sharding.LAST_DECISION.engaged
+        assert "leaves one shard" in sharding.LAST_DECISION.reason
+        assert_run_results_equal(sharded, serial)
+
+    def test_single_node(self, engage_small):
+        job = edge_packing_job(families.empty_graph(1), [1])
+        serial, sharded = _run_pair(job, 4)
+        assert not sharding.LAST_DECISION.engaged
+        assert_run_results_equal(sharded, serial)
+
+    def test_isolated_vertices(self, engage_small):
+        """No edges at all: every shard is pure boundary-free compute."""
+        job = edge_packing_job(families.empty_graph(6), [1] * 6)
+        _assert_sharded_equal(job, 3)
+
+    def test_two_nodes_more_shards_than_nodes(self, engage_small):
+        """p > n clamps to n shards and still matches."""
+        job = edge_packing_job(families.path_graph(2), [1, 1])
+        _assert_sharded_equal(job, 7)
+        assert sharding.LAST_DECISION.shards == 2
+
+
+# ---------------------------------------------------------------------------
+# Engagement canary
+# ---------------------------------------------------------------------------
+
+class TestEngagement:
+    def test_default_floor_falls_back(self):
+        """Without the fixture, fuzz-sized graphs stay serial on purpose."""
+        assert sharding.MIN_SHARD_NODES >= 1024
+        job = edge_packing_job(families.cycle_graph(40), unit_weights(40))
+        serial, sharded = _run_pair(job, 4)
+        assert not sharding.LAST_DECISION.engaged
+        assert "MIN_SHARD_NODES" in sharding.LAST_DECISION.reason
+        assert_run_results_equal(sharded, serial)
+
+    def test_canary_proves_engagement(self, engage_small):
+        """The fuzzer's engagement check is not vacuous: a sharded run
+        flips LAST_DECISION to engaged with the decided width."""
+        job = edge_packing_job(families.cycle_graph(12), unit_weights(12))
+        run(**dict(job, shards=3))
+        decision = sharding.LAST_DECISION
+        assert decision.engaged and decision.shards == 3
+        assert decision.reason is None
+
+
+# ---------------------------------------------------------------------------
+# on_max_rounds="raise" through the sharded path
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p", (2, 7))
+def test_max_rounds_raise_parity(p, engage_small):
+    """MaxRoundsExceeded carries the same rounds and non-halted ids."""
+    graph = families.cycle_graph(10)
+    job = edge_packing_job(graph, uniform_weights(10, 4, seed=1))
+    job["max_rounds"] = 2  # far below schedule_length: nobody halts
+
+    outcomes = {}
+    for label, shards in (("serial", 1), ("sharded", p)):
+        with pytest.raises(MaxRoundsExceeded) as info:
+            run(**dict(job, shards=shards, on_max_rounds="raise"))
+        outcomes[label] = (info.value.rounds, list(info.value.non_halted))
+    assert sharding.LAST_DECISION.engaged
+    assert outcomes["sharded"] == outcomes["serial"]
+
+
+@pytest.mark.parametrize("p", (2, 3))
+def test_max_rounds_return_parity(p, engage_small):
+    """The default on_max_rounds="return" path agrees field-for-field
+    on a truncated (not-all-halted) run."""
+    graph = families.cycle_graph(10)
+    job = edge_packing_job(graph, uniform_weights(10, 4, seed=1))
+    job["max_rounds"] = 3
+    serial, sharded = _assert_sharded_equal(job, p)
+    assert not serial.all_halted  # the truncation actually bit
+
+
+# ---------------------------------------------------------------------------
+# Fault adversaries (process_safe) across shard counts
+# ---------------------------------------------------------------------------
+
+def _fault_job():
+    graph = families.cycle_graph(8)
+    job = edge_packing_job(graph, uniform_weights(8, W, seed=4))
+    job["machine"] = SelfStabilisingMachine(EdgePackingMachine(), T_PORT)
+    job["max_rounds"] = FAULTY_ROUNDS + T_PORT
+    return job
+
+
+def _adversary(kind):
+    return adversary_from_spec(
+        kind, until_round=FAULTY_ROUNDS, rate=0.3, seed=1
+    )
+
+
+class TestFaultAdversaries:
+    @pytest.mark.parametrize("p", (2, 3))
+    @pytest.mark.parametrize("kind", PROCESS_SAFE_KINDS)
+    def test_bit_identical_schedules(self, kind, p, engage_small):
+        """A seeded process_safe adversary injects the exact same fault
+        schedule whether the round runs serially or across p shards."""
+        adv_serial = _adversary(kind)
+        serial = run(**_fault_job(), fault_adversary=adv_serial)
+
+        adv_sharded = _adversary(kind)
+        sharded = run(
+            **_fault_job(), fault_adversary=adv_sharded, shards=p
+        )
+        assert sharding.LAST_DECISION.engaged, sharding.LAST_DECISION.reason
+        assert_run_results_equal(
+            sharded, serial, label_a=f"shards={p}", label_b="serial"
+        )
+        # the mutated adversary state (diagnostic event counter) is
+        # synced back from the attempt that actually ran
+        assert adv_sharded.events == adv_serial.events
+
+    def test_non_process_safe_falls_back(self, engage_small):
+        """State corruption rewrites parent-side state objects; the
+        sharded engine must refuse and rerun serially, bit-identically."""
+        serial = run(
+            **_fault_job(),
+            fault_adversary=RandomStateCorruption(
+                until_round=FAULTY_ROUNDS, rate=0.3, seed=1
+            ),
+        )
+        sharded = run(
+            **_fault_job(),
+            fault_adversary=RandomStateCorruption(
+                until_round=FAULTY_ROUNDS, rate=0.3, seed=1
+            ),
+            shards=3,
+        )
+        assert not sharding.LAST_DECISION.engaged
+        assert "process_safe" in sharding.LAST_DECISION.reason
+        assert_run_results_equal(sharded, serial)

@@ -9,9 +9,10 @@ What it enforces (CI `docs` job; run locally with
    the CLIs fail here), and the ``python`` block in README.md actually
    executes;
 2. the ``--help`` texts of both CLIs still advertise the flags the
-   docs promise (``--workers``/``--backend``/``--json``/``--replay``),
-   the library CLI advertises the ``dynamic`` subcommand, and that
-   subcommand documents its knobs (``--mode``/``--stream``/...);
+   docs promise (``--workers``/``--backend``/``--json``/``--replay``,
+   ``--shards`` on ``vc``/``sweep``), the library CLI advertises the
+   ``dynamic`` subcommand, and that subcommand documents its knobs
+   (``--mode``/``--stream``/...);
 3. every ``repro.*`` module named in the README paper->code map
    imports, and so does every ``repro.*`` reference in
    ``docs/architecture.md`` (the simulation-layers doc);
@@ -176,6 +177,12 @@ def check_help_texts() -> None:
             fail(f"repro.cli vc --help no longer documents {flag}")
         else:
             ok(f"repro.cli vc --help documents {flag}")
+    # intra-run sharding is promised on both run surfaces
+    for sub_name, sub_help in (("vc", vc_help), ("sweep", help_text)):
+        if "--shards" not in sub_help:
+            fail(f"repro.cli {sub_name} --help no longer documents --shards")
+        else:
+            ok(f"repro.cli {sub_name} --help documents --shards")
     # the engine choices themselves are read from the code, not
     # hard-coded: both subcommands must offer every runtime engine.
     from repro.simulator.runtime import ENGINES
@@ -267,6 +274,13 @@ def check_architecture_doc() -> None:
             ok(f"architecture.md covers the columnar substrate: {piece}")
         else:
             fail(f"architecture.md does not mention {piece}")
+    # ...and the sharded intra-run engine.
+    for piece in ("repro.simulator.sharding", "shards=", "boundary",
+                  "LAST_DECISION"):
+        if piece in doc:
+            ok(f"architecture.md covers the sharded engine: {piece}")
+        else:
+            fail(f"architecture.md does not mention {piece}")
 
 
 def check_performance_doc() -> None:
@@ -313,11 +327,23 @@ def check_performance_doc() -> None:
             ok(f"performance.md documents on_max_rounds mode {mode!r}")
     for knob in ("arithmetic", "n_workers", "quiescence", "replay",
                  "DynamicRun", "repaired_fraction", "engine",
-                 "MaxRoundsExceeded", "StateLayout", "bench_columnar"):
+                 "MaxRoundsExceeded", "StateLayout", "bench_columnar",
+                 "shards=", "bench_shards"):
         if knob not in doc:
             fail(f"docs/performance.md does not mention {knob}")
         else:
             ok(f"performance.md mentions {knob}")
+    # the sharding thresholds are read from the code, not hard-coded:
+    # the doc must state the real engagement floor and width clamp.
+    from repro.simulator import sharding
+
+    for name, value in (("MIN_SHARD_NODES", sharding.MIN_SHARD_NODES),
+                        ("MAX_SHARDS", sharding.MAX_SHARDS)):
+        if f"`{name}` = {value}" in doc or f"{name} = {value}" in doc:
+            ok(f"performance.md states {name} = {value}")
+        else:
+            fail(f"docs/performance.md does not state the real value "
+                 f"{name} = {value}")
 
 
 def check_robustness_doc() -> None:
