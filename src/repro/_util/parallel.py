@@ -78,7 +78,9 @@ __all__ = [
     "RetryEvent",
     "map_jobs",
     "resolve_backend",
+    "retire_serve_pools",
     "retire_shard_pools",
+    "serve_pool",
     "shard_pool",
     "shutdown_pools",
 ]
@@ -111,6 +113,15 @@ _PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
 # shards get dedicated max_workers=1 pools, warm across runs like the
 # chunked pools above and shut down with them atexit.
 _SHARD_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+# Warm single-worker pools for the dynamic serving host
+# (:mod:`repro.dynamic.serving`).  Same affinity story as the shard
+# pools — a serving worker keeps its assigned DynamicRun sessions
+# resident between batches, so every batch for a session must land on
+# the same process — but an independent lifecycle: a serving-worker
+# crash retires only the serving fleet, never a concurrent sharded run
+# (and vice versa).
+_SERVE_POOLS: Dict[int, ProcessPoolExecutor] = {}
 
 
 @dataclass(frozen=True)
@@ -197,6 +208,7 @@ def shutdown_pools() -> None:
         _, pool = _PROCESS_POOLS.popitem()
         pool.shutdown(wait=False, cancel_futures=True)
     retire_shard_pools()
+    retire_serve_pools()
 
 
 def shard_pool(index: int) -> ProcessPoolExecutor:
@@ -223,6 +235,40 @@ def retire_shard_pools() -> None:
     """
     while _SHARD_POOLS:
         _, pool = _SHARD_POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def serve_pool(index: int) -> ProcessPoolExecutor:
+    """The persistent single-worker pool for serving worker ``index``.
+
+    Created on first use, then warm for the interpreter's lifetime:
+    the serving host's worker-resident sessions always find their
+    process again, and successive :class:`~repro.dynamic.serving.
+    ServingHost` instances reuse the same warm fleet.
+    """
+    pool = _SERVE_POOLS.get(index)
+    if pool is None:
+        pool = _SERVE_POOLS[index] = ProcessPoolExecutor(max_workers=1)
+    return pool
+
+
+def retire_serve_pools(index: Optional[int] = None) -> None:
+    """Shut down serving pools (idempotent).
+
+    Crash recovery for the serving host: a dead worker strands its
+    resident sessions, so the host retires that worker's pool and
+    replays each stranded session from its last checkpoint onto a
+    fresh one.  Unlike the shard fleet, serving workers are mutually
+    independent — pass ``index`` to retire just the broken one;
+    ``None`` retires them all (atexit / host shutdown).
+    """
+    if index is not None:
+        pool = _SERVE_POOLS.pop(index, None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return
+    while _SERVE_POOLS:
+        _, pool = _SERVE_POOLS.popitem()
         pool.shutdown(wait=False, cancel_futures=True)
 
 

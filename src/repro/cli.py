@@ -10,6 +10,8 @@ Examples::
         --workers 4 --backend process --metering none --json
     python -m repro.cli dynamic --family cycle --n 256 --batches 8 \\
         --stream random --mode incremental --verify
+    python -m repro.cli serve --family cycle --n 128 --sessions 8 \\
+        --batches 12 --workers 2 --verify
     python -m repro.cli families
 
 ``sweep`` runs one instance per (size, seed) pair through the batched
@@ -38,6 +40,15 @@ node).  ``--snapshot PATH`` serialises the session after the last
 batch; ``--restore PATH`` resumes it later — even in a different
 process — and keeps absorbing batches bit-for-bit as if never
 interrupted.
+
+``serve`` drives the multiplexed serving host
+(:class:`repro.dynamic.serving.ServingHost`): it scripts an
+independent churn stream per session (untimed), then serves all
+sessions concurrently over ``--workers`` warm worker processes
+(``--workers 0`` multiplexes in-process), reporting batch-latency
+percentiles via the shared ``latency_ms`` summary shape.  ``--verify``
+re-derives every served session's final state and asserts it is
+bit-for-bit the state a lone session fed the same stream reaches.
 
 (The experiment harness regenerating the paper's tables lives in
 ``python -m repro.experiments.cli``; it takes the same
@@ -72,7 +83,9 @@ from repro.dynamic import (
     DynamicRun,
     HubChurn,
     RandomChurn,
+    ServingHost,
     SlidingWindowStream,
+    latency_summary,
 )
 from repro.graphs import families
 from repro.graphs.setcover import random_instance
@@ -266,6 +279,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "snapshot; --family/--n/--W/--mode are ignored)",
     )
     dy.add_argument("--json", action="store_true", help="machine-readable output")
+
+    se = sub.add_parser(
+        "serve",
+        help="multiplex many churn sessions over warm worker pools",
+    )
+    se.add_argument("--family", default="cycle", help="graph family name")
+    se.add_argument("--n", type=int, default=64, help="size parameter")
+    se.add_argument("--W", type=int, default=1, help="max weight (1 = unweighted)")
+    se.add_argument("--seed", type=int, default=0,
+                    help="base seed; session i uses seed+i")
+    se.add_argument(
+        "--algorithm",
+        choices=["port", "broadcast"],
+        default="port",
+        help="Section 3 (port numbering) or Section 5 (broadcast)",
+    )
+    se.add_argument(
+        "--mode",
+        choices=list(DYNAMIC_MODES),
+        default="incremental",
+        help="per-batch re-solve strategy inside each served session",
+    )
+    se.add_argument(
+        "--stream",
+        choices=["random", "hubs", "window"],
+        default="random",
+        help="edit stream driven independently per session",
+    )
+    se.add_argument("--sessions", type=int, default=4,
+                    help="concurrent sessions to serve")
+    se.add_argument("--batches", type=int, default=5,
+                    help="edit batches per session")
+    se.add_argument(
+        "--edits-per-batch", type=int, default=2, help="edits per batch"
+    )
+    se.add_argument(
+        "--workers", type=int, default=0,
+        help="warm worker processes (0 = multiplex in-process)",
+    )
+    se.add_argument(
+        "--checkpoint-every", type=int, default=16,
+        help="committed batches between worker-side checkpoint refreshes",
+    )
+    se.add_argument(
+        "--metering",
+        choices=["none", "counts", "bits"],
+        default="none",
+        help="what each session measures per re-solve",
+    )
+    se.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert each served session's final state is bit-identical "
+        "to a lone session fed the same stream",
+    )
+    se.add_argument("--json", action="store_true", help="machine-readable output")
 
     sub.add_parser("families", help="list graph family names")
     return parser
@@ -500,6 +569,22 @@ def _verify_diff(a, b, field: str) -> str:
     return f" ({_short(va)} != {_short(vb)})"
 
 
+def _make_stream(kind: str, edits_per_batch: int, seed: int, W: int, delta: int):
+    """The churn-stream zoo shared by ``dynamic`` and ``serve``."""
+    if kind == "random":
+        return RandomChurn(
+            edits_per_batch=edits_per_batch, seed=seed, W=W, max_degree=delta
+        )
+    if kind == "hubs":
+        return HubChurn(edits_per_batch=edits_per_batch, seed=seed)
+    return SlidingWindowStream(
+        window=max(2, edits_per_batch * 2),
+        edits_per_batch=edits_per_batch,
+        seed=seed,
+        max_degree=delta,
+    )
+
+
 def _run_dynamic(args) -> dict:
     """A churn session: apply edit batches, repair the cover live."""
     if args.batches < 1 or args.edits_per_batch < 1:
@@ -553,19 +638,7 @@ def _run_dynamic(args) -> dict:
                 **session_kwargs,
             )
     other_mode = "scratch" if session.mode == "incremental" else "incremental"
-    if args.stream == "random":
-        stream = RandomChurn(
-            edits_per_batch=args.edits_per_batch, seed=args.seed,
-            W=W, max_degree=delta,
-        )
-    elif args.stream == "hubs":
-        stream = HubChurn(edits_per_batch=args.edits_per_batch, seed=args.seed)
-    else:
-        stream = SlidingWindowStream(
-            window=max(2, args.edits_per_batch * 2),
-            edits_per_batch=args.edits_per_batch,
-            seed=args.seed, max_degree=delta,
-        )
+    stream = _make_stream(args.stream, args.edits_per_batch, args.seed, W, delta)
 
     records = []
     started = time.perf_counter()
@@ -627,6 +700,9 @@ def _run_dynamic(args) -> dict:
             if records
             else 0.0
         ),
+        "latency_ms": _round_latency(
+            latency_summary([r["wall_ms"] for r in records])
+        ),
         "batches": records,
     }
     if args.snapshot:
@@ -639,6 +715,109 @@ def _run_dynamic(args) -> dict:
         payload["snapshot_path"] = args.snapshot
         payload["snapshot_bytes"] = len(blob)
     return payload
+
+
+def _round_latency(summary: dict) -> dict:
+    return {
+        k: (v if k == "count" else round(v, 3)) for k, v in summary.items()
+    }
+
+
+def _run_serve(args) -> dict:
+    """Multiplexed serving: script per-session streams, then serve them.
+
+    Stream scripting is untimed and doubles as the verification
+    oracle: the driver session that generates each stream ends in the
+    exact state the served session must reach."""
+    if args.sessions < 1 or args.batches < 1 or args.edits_per_batch < 1:
+        raise SystemExit(
+            "need --sessions >= 1, --batches >= 1 and --edits-per-batch >= 1"
+        )
+    if args.workers < 0 or args.checkpoint_every < 1:
+        raise SystemExit("need --workers >= 0 and --checkpoint-every >= 1")
+    W = max(1, args.W)
+
+    # Untimed: script an independent stream per session via a driver
+    # session (which thereby computes the expected final state).
+    scripts = []  # (session_id, initial snapshot, batches, driver)
+    for i in range(args.sessions):
+        seed = args.seed + i
+        graph = _make_graph(args.family, args.n, seed)
+        weights = (
+            unit_weights(graph.n)
+            if args.W <= 1
+            else uniform_weights(graph.n, W, seed=seed)
+        )
+        delta = graph.max_degree + 1
+        driver = DynamicRun.vertex_cover(
+            graph, weights,
+            mode=args.mode,
+            algorithm=args.algorithm,
+            delta=delta,
+            W=W,
+            metering=args.metering,
+        )
+        blob0 = driver.snapshot()
+        stream = _make_stream(args.stream, args.edits_per_batch, seed, W, delta)
+        batches = []
+        for _ in range(args.batches):
+            batch = stream.next_batch(driver.graph, driver.inputs)
+            if not batch:
+                continue
+            driver.apply(batch)
+            batches.append(batch)
+        scripts.append((f"session-{i}", blob0, batches, driver))
+
+    # Timed: serve every scripted stream through the host, one
+    # multiplexed wave per batch index.
+    host = ServingHost(workers=args.workers, checkpoint_every=args.checkpoint_every)
+    started = time.perf_counter()
+    for sid, blob0, _, _ in scripts:
+        host.open(sid, blob0)
+    waves = max((len(b) for _, _, b, _ in scripts), default=0)
+    for w in range(waves):
+        items = [(sid, b[w]) for sid, _, b, _ in scripts if w < len(b)]
+        host.apply_each(items)
+    elapsed = time.perf_counter() - started
+    report = host.report()
+
+    if args.verify:
+        for sid, _, _, driver in scripts:
+            served = DynamicRun.restore(host.snapshot(sid))
+            a, b = served.result, driver.result
+            for field in ("outputs", "rounds", "all_halted", "messages_sent",
+                          "message_bits", "per_round_bits", "states"):
+                if getattr(a, field) != getattr(b, field):
+                    raise SystemExit(
+                        f"--verify failed for {sid}: RunResult.{field} "
+                        f"differs between the served session and the solo "
+                        f"reference" + _verify_diff(a, b, field)
+                    )
+    host.shutdown()
+
+    total_batches = report.batches_applied
+    return {
+        "problem": "dynamic-serving",
+        "algorithm": args.algorithm,
+        "mode": args.mode,
+        "stream": args.stream,
+        "family": args.family,
+        "n0": args.n,
+        "W": W,
+        "metering": args.metering,
+        "sessions": args.sessions,
+        "workers": args.workers,
+        "checkpoint_every": args.checkpoint_every,
+        "batches_per_session": args.batches,
+        "batches_applied": total_batches,
+        "worker_recoveries": report.worker_recoveries,
+        "verified_against_solo": bool(args.verify),
+        "wall_seconds": elapsed,
+        "batches_per_sec": (
+            round(total_batches / elapsed, 2) if elapsed > 0 else 0.0
+        ),
+        "latency_ms": _round_latency(report.latency_ms),
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -671,6 +850,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(" | ".join(cols))
                 for rec in payload["batches"]:
                     print(" | ".join(str(rec[c]) for c in cols))
+        return 0
+    if args.command == "serve":
+        payload = _run_serve(args)
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            width = max(len(k) for k in payload)
+            for key, value in payload.items():
+                print(f"{key.ljust(width)}  {value}")
         return 0
     payload = _run_vc(args) if args.command == "vc" else _run_sc(args)
     if args.json:

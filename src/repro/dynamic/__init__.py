@@ -7,7 +7,9 @@ from scratch (``mode="scratch"``, the paper-literal reference) or via
 a dirty-region warm restart (``mode="incremental"``, bit-for-bit
 identical, see :mod:`repro.dynamic.session`).  Edit streams — random
 churn, targeted hub churn, sliding windows — live in
-:mod:`repro.dynamic.streams`.
+:mod:`repro.dynamic.streams`.  :class:`ServingHost`
+(:mod:`repro.dynamic.serving`) multiplexes many such sessions over
+warm worker pools with checkpoint-replay crash recovery.
 """
 
 from repro.dynamic.edits import (
@@ -22,6 +24,8 @@ from repro.dynamic.edits import (
     remove_vertex,
     reweight,
 )
+from repro.dynamic.overlay import MutableTopology, OverlayBatch
+from repro.dynamic.serving import HostReport, ServingHost, latency_summary
 from repro.dynamic.session import (
     DYNAMIC_MODES,
     SNAPSHOT_VERSION,
@@ -48,9 +52,14 @@ __all__ = [
     "EditError",
     "EditStream",
     "GraphEdit",
+    "HostReport",
     "HubChurn",
+    "MutableTopology",
+    "OverlayBatch",
     "RandomChurn",
+    "ServingHost",
     "SlidingWindowStream",
+    "latency_summary",
     "add_edge",
     "add_vertex",
     "apply_edits",

@@ -1,0 +1,419 @@
+"""Mutable-topology overlay: O(dirty) batch application for sessions.
+
+:func:`repro.dynamic.edits.apply_edits` is the *pure* reference
+semantics of the edit language: it rebuilds the whole ``(n, edges,
+inputs)`` triple and the session then pays a full
+:meth:`PortNumberedGraph.from_edges` rebuild — O(n + m) per batch no
+matter how small the batch.  For a serving host absorbing thousands of
+k-edit batches that rebuild *is* the cost, so this module keeps the
+graph in a mutable form that applies a batch in time proportional to
+the **dirty region**, not the graph:
+
+* adjacency is one sorted neighbour list per node — exactly the
+  *canonical* port numbering (``v``'s port ``p`` leads to its
+  ``p``-th smallest neighbour), so an edge edit is two ``bisect``
+  updates touching only its endpoints;
+* the CSR-style delivery routes the replay engine consumes —
+  per-node ``(neighbour, reverse_port)`` rows — are cached and patched
+  locally: mutating ``adj[u]`` invalidates only ``u``'s row and the
+  rows of ``u``'s neighbours (whose reverse ports into ``u`` may have
+  shifted), never the other n − O(deg) rows;
+* per-node inputs are edited in place with an undo log, so a k-edit
+  batch moves O(k) pointers instead of copying the input list.
+
+Vertex edits are the exception by design: ``remove_vertex`` renumbers
+every higher index (order-preserving — see :mod:`repro.dynamic.edits`),
+which is intrinsically O(n); such batches take a snapshot first and pay
+the linear cost, exactly like the reference semantics.
+
+**Equivalence contract.**  For every edit batch, the overlay commits
+exactly the state ``apply_edits`` would produce — same edges, same
+canonical ports, same node map, same inputs — and *rejects* exactly the
+batches ``apply_edits`` rejects, leaving the overlay untouched
+(sequential validation with rollback).  ``tests/test_dynamic_overlay.py``
+fuzzes this against the real ``apply_edits`` + full
+``PortNumberedGraph.from_edges`` rebuild; :meth:`MutableTopology.
+materialise` is the full-rebuild shadow kept as that reference.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.dynamic.edits import EditError, GraphEdit
+from repro.graphs.topology import PortNumberedGraph
+
+__all__ = ["OverlayBatch", "MutableTopology"]
+
+PortTarget = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class OverlayBatch:
+    """What one committed batch tells the warm-restart engine.
+
+    Mirrors :class:`repro.dynamic.edits.AppliedBatch` except that the
+    pieces with O(n) footprints stay ``None`` unless the batch actually
+    needed them: ``node_map`` is ``None`` for the (common) identity
+    case of a batch without vertex churn, and ``old_degrees`` holds
+    pre-batch degrees only for the touched nodes (keyed by *post*-batch
+    label; removed nodes are listed in ``removed`` with their pre-batch
+    degree instead).
+    """
+
+    n: int
+    touched: FrozenSet[int]
+    node_map: Optional[Tuple[Optional[int], ...]]
+    old_degrees: Dict[int, int]
+    removed: Tuple[Tuple[int, int], ...]  # (pre-batch label, pre-batch degree)
+
+    @property
+    def identity(self) -> bool:
+        return self.node_map is None
+
+
+class MutableTopology:
+    """A mutable graph in canonical port numbering (see module doc).
+
+    The replay engine reads it through the same accessors it would use
+    on a :class:`PortNumberedGraph` — ``n``, ``degree``, ``neighbours``,
+    ``ports`` — while :meth:`apply_batch` keeps it in lockstep with the
+    edit language.  :meth:`materialise` builds the equivalent immutable
+    canonical graph (cached until the next mutation).
+    """
+
+    __slots__ = ("_n", "_m", "_adj", "_rows", "_graph_cache", "_last_undo")
+
+    def __init__(self, n: int, edges: Sequence[Tuple[int, int]]):
+        self._n = n
+        adj: List[List[int]] = [[] for _ in range(n)]
+        for (u, v) in edges:
+            adj[u].append(v)
+            adj[v].append(u)
+        for lst in adj:
+            lst.sort()
+        self._adj = adj
+        self._m = len(edges)
+        # Patched delivery routes: node -> ((neighbour, reverse_port),
+        # ...) rows, invalidated locally on mutation.
+        self._rows: Dict[int, Tuple[PortTarget, ...]] = {}
+        self._graph_cache: Optional[PortNumberedGraph] = None
+        self._last_undo: Optional[List[Tuple[Any, ...]]] = None
+
+    @classmethod
+    def from_graph(cls, graph: PortNumberedGraph) -> "MutableTopology":
+        overlay = cls(graph.n, graph.edges)
+        overlay._graph_cache = graph
+        return overlay
+
+    # -- read side (what the replay engine consumes) --------------------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def neighbours(self, v: int) -> List[int]:
+        """``v``'s neighbours in canonical (ascending) port order.
+
+        Returns the live internal list for O(1) access — callers must
+        not mutate it.
+        """
+        return self._adj[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        lst = self._adj[u]
+        i = bisect_left(lst, v)
+        return i < len(lst) and lst[i] == v
+
+    def ports(self, v: int) -> Tuple[PortTarget, ...]:
+        """``v``'s delivery routes ``(neighbour, reverse_port)``.
+
+        Cached per node; an edit invalidates only the rows of its
+        endpoints and their neighbours, so a k-edit batch re-derives
+        O(k · Δ) routes and an untouched node keeps its row forever.
+        """
+        row = self._rows.get(v)
+        if row is None:
+            adj = self._adj
+            row = tuple((u, bisect_left(adj[u], v)) for u in adj[v])
+            self._rows[v] = row
+        return row
+
+    def max_degree_of(self, nodes) -> int:
+        """Max degree over a node subset (the O(dirty) validator path)."""
+        adj = self._adj
+        return max((len(adj[v]) for v in nodes), default=0)
+
+    def edges_sorted(self) -> List[Tuple[int, int]]:
+        """All edges as sorted ``(u, v)``, ``u < v`` — O(m), used by
+        the materialised shadow and snapshots, never per-batch."""
+        out = []
+        for u, lst in enumerate(self._adj):
+            i = bisect_left(lst, u)
+            out.extend((u, w) for w in lst[i:])
+        return out
+
+    def materialise(self) -> PortNumberedGraph:
+        """The immutable canonical graph — the full-rebuild shadow.
+
+        Built directly from the sorted adjacency (bit-identical to
+        ``PortNumberedGraph.from_edges(n, edges)`` on the same edge
+        set) and cached until the next committed batch.
+        """
+        g = self._graph_cache
+        if g is None:
+            adj = self._adj
+            ports = [
+                [(u, bisect_left(adj[u], v)) for u in adj[v]]
+                for v in range(self._n)
+            ]
+            g = PortNumberedGraph(ports)
+            self._graph_cache = g
+        return g
+
+    # -- write side ------------------------------------------------------
+
+    def _invalidate(self, v: int) -> None:
+        """Drop the cached routes of ``v`` and of everyone whose
+        reverse port into ``v`` may have shifted."""
+        rows = self._rows
+        rows.pop(v, None)
+        for u in self._adj[v]:
+            rows.pop(u, None)
+
+    def _link(self, u: int, v: int) -> None:
+        self._invalidate(u)
+        self._invalidate(v)
+        insort(self._adj[u], v)
+        insort(self._adj[v], u)
+        self._m += 1
+
+    def _unlink(self, u: int, v: int) -> None:
+        self._invalidate(u)
+        self._invalidate(v)
+        lst = self._adj[u]
+        del lst[bisect_left(lst, v)]
+        lst = self._adj[v]
+        del lst[bisect_left(lst, u)]
+        self._m -= 1
+
+    def apply_batch(
+        self, edits: Sequence[GraphEdit], inputs: List[Any]
+    ) -> OverlayBatch:
+        """Apply one batch, mutating the overlay and ``inputs`` in place.
+
+        Sequential validation with the exact semantics (and rejection
+        conditions) of :func:`repro.dynamic.edits.apply_edits`; on an
+        invalid edit, every already-applied edit of the batch is rolled
+        back and :class:`EditError` raised — the overlay and ``inputs``
+        are left untouched.  Cost is O(Σ deg(endpoints)) for edge-only
+        batches and O(n + m) once a vertex edit appears (renumbering).
+        """
+        undo: List[Tuple[Any, ...]] = []
+        touched: Set[int] = set()
+        node_map: Optional[List[Optional[int]]] = None
+        old_degrees: Dict[int, int] = {}
+        removed: List[Tuple[int, int]] = []
+        pre_n = self._n
+        adj = self._adj
+
+        def note_degree(v: int) -> None:
+            # Pre-batch degree of a touched survivor, keyed (for now)
+            # by its *current* label; remove_vertex re-keys the dict.
+            if v not in old_degrees:
+                old_degrees[v] = len(adj[v])
+
+        def check_node(x: Any, what: str) -> int:
+            if not isinstance(x, int) or isinstance(x, bool):
+                raise EditError(f"{what} must be an int, got {x!r}")
+            if not 0 <= x < self._n:
+                raise EditError(f"{what} {x} out of range for n={self._n}")
+            return x
+
+        try:
+            for edit in edits:
+                kind = edit.kind
+                if kind in ("add_edge", "remove_edge"):
+                    u = check_node(edit.u, f"{kind} endpoint")
+                    v = check_node(edit.v, f"{kind} endpoint")
+                    if u == v:
+                        raise EditError(
+                            f"{kind}({u}, {v}): self-loops are not allowed"
+                        )
+                    e = (u, v) if u < v else (v, u)
+                    present = self.has_edge(u, v)
+                    if kind == "add_edge":
+                        if present:
+                            raise EditError(
+                                f"add_edge{e}: edge already present"
+                            )
+                        note_degree(u)
+                        note_degree(v)
+                        self._link(u, v)
+                        undo.append(("unlink", u, v))
+                    else:
+                        if not present:
+                            raise EditError(f"remove_edge{e}: no such edge")
+                        note_degree(u)
+                        note_degree(v)
+                        self._unlink(u, v)
+                        undo.append(("link", u, v))
+                    touched.update(e)
+                elif kind == "reweight":
+                    v = check_node(edit.v, "reweight vertex")
+                    note_degree(v)
+                    undo.append(("input", v, inputs[v]))
+                    inputs[v] = edit.input
+                    touched.add(v)
+                elif kind == "add_vertex":
+                    attach = [
+                        check_node(u, "add_vertex neighbour")
+                        for u in edit.neighbours
+                    ]
+                    if len(set(attach)) != len(attach):
+                        raise EditError(
+                            f"add_vertex: duplicate neighbours {attach}"
+                        )
+                    new = self._n
+                    for u in attach:
+                        note_degree(u)
+                    self._n += 1
+                    adj.append([])
+                    inputs.append(edit.input)
+                    old_degrees[new] = 0  # fresh node: no pre-batch rows
+                    for u in attach:
+                        self._link(new, u)
+                        touched.add(u)
+                    touched.add(new)
+                    undo.append(("pop_vertex",))
+                elif kind == "remove_vertex":
+                    v = check_node(edit.v, "remove_vertex vertex")
+                    # Renumbering is O(n); snapshot so a later invalid
+                    # edit can restore this exact state wholesale.
+                    undo.append(
+                        (
+                            "snapshot",
+                            self._n,
+                            self._m,
+                            [list(l) for l in adj],
+                            list(inputs),
+                        )
+                    )
+                    if node_map is None:
+                        node_map = list(range(pre_n))
+                    nbrs = list(adj[v])
+                    note_degree(v)
+                    # Pre-batch label and degree of the removed node,
+                    # if it existed before the batch.
+                    pre_label = next(
+                        (
+                            old
+                            for old, cur in enumerate(node_map)
+                            if cur == v
+                        ),
+                        None,
+                    )
+                    if pre_label is not None:
+                        removed.append((pre_label, old_degrees[v]))
+                    for u in nbrs:
+                        note_degree(u)
+                        self._unlink(u, v)
+                        touched.add(u)
+                    touched.discard(v)
+                    # Shift labels above v down by one (order-preserving).
+                    del adj[v]
+                    del inputs[v]
+                    for lst in self._adj:
+                        for i, w in enumerate(lst):
+                            if w > v:
+                                lst[i] = w - 1
+                    self._rows.clear()
+                    self._n -= 1
+                    touched = {x if x < v else x - 1 for x in touched}
+                    old_degrees = {
+                        (x if x < v else x - 1): d
+                        for x, d in old_degrees.items()
+                        if x != v
+                    }
+                    node_map = [
+                        None if m == v else (m if m is None or m < v else m - 1)
+                        for m in node_map
+                    ]
+                else:  # pragma: no cover — GraphEdit rejects these
+                    raise EditError(f"unknown edit kind {kind!r}")
+        except EditError:
+            self._rollback(undo, inputs)
+            raise
+        self._graph_cache = None
+        self._last_undo = undo
+        # node_map covers pre-batch labels only (like AppliedBatch's):
+        # fresh add_vertex nodes have no pre-batch label to map.
+        return OverlayBatch(
+            n=self._n,
+            touched=frozenset(touched),
+            node_map=None if node_map is None else tuple(node_map),
+            old_degrees=old_degrees,
+            removed=tuple(removed),
+        )
+
+    def rollback_last(self, inputs: List[Any]) -> None:
+        """Undo the most recent *successful* :meth:`apply_batch`.
+
+        The session layer uses this when a batch passes the edit
+        language but fails a pinned session bound (``delta``/``W``/…):
+        structurally the batch is valid, so ``apply_batch`` committed
+        it, but the session contract says a rejected batch leaves the
+        session untouched.  One-shot: consumed on use.
+        """
+        undo, self._last_undo = self._last_undo, None
+        if undo is None:
+            raise RuntimeError("no batch to roll back")
+        self._rollback(undo, inputs)
+
+    def _rollback(self, undo: List[Tuple[Any, ...]], inputs: List[Any]) -> None:
+        """Unwind committed edits of a failed batch, newest first."""
+        adj = self._adj
+        for entry in reversed(undo):
+            op = entry[0]
+            if op == "link":
+                self._link(entry[1], entry[2])
+            elif op == "unlink":
+                self._unlink(entry[1], entry[2])
+            elif op == "input":
+                inputs[entry[1]] = entry[2]
+            elif op == "pop_vertex":
+                v = self._n - 1
+                for u in list(adj[v]):
+                    self._unlink(u, v)
+                adj.pop()
+                inputs.pop()
+                self._rows.pop(v, None)
+                self._n -= 1
+            elif op == "snapshot":
+                _, n, m, saved_adj, saved_inputs = entry
+                self._n = n
+                self._m = m
+                self._adj = adj = saved_adj
+                inputs[:] = saved_inputs
+                self._rows.clear()
+            else:  # pragma: no cover
+                raise AssertionError(f"unknown undo op {op!r}")
+        self._graph_cache = None

@@ -7,32 +7,28 @@ inputs, the machine that solves it and the standing
 after every batch.  Two modes, selected once per session:
 
 * ``mode="scratch"`` — the paper-literal reference contract: every
-  batch re-runs the machine on the fresh post-edit graph through
-  :func:`repro.simulator.runtime.run`, exactly as
+  batch applies the edits through the pure
+  :func:`~repro.dynamic.edits.apply_edits` semantics, rebuilds the
+  canonical graph, and re-runs the machine on the fresh post-edit
+  instance through :func:`repro.simulator.runtime.run`, exactly as
   ``maximal_edge_packing`` / ``vertex_cover_2approx`` (and the
   broadcast / set-cover flows) would on a one-shot instance.
-* ``mode="incremental"`` (default) — a **dirty-region warm restart**.
-  The paper's algorithms are strictly local: a node's state after
-  ``t`` rounds is a pure function of its radius-``t`` ball (topology,
-  inputs and globals within distance ``t``), because information moves
-  one hop per synchronous round.  An edit therefore only perturbs the
-  BFS ball of radius = the executed round count around the touched
-  endpoints.  The session keeps the previous run's per-round message
-  history in a :class:`repro._util.memo.GenerationalMemo` (one
-  generation per batch; stale generations are retired automatically)
-  and, per batch, re-executes **only the dirty ball**: clean nodes
-  replay their memoised emissions round by round — never stepping —
-  while dirty nodes run from ``start()`` against inboxes assembled
-  from fresh (dirty) and replayed (clean) messages.  The repaired
-  states, outputs and metering are then spliced into the standing
-  ``RunResult``.
+* ``mode="incremental"`` (default) — a **light-cone warm restart**
+  over a mutable topology.  Batches mutate a
+  :class:`~repro.dynamic.overlay.MutableTopology` in O(dirty region)
+  instead of rebuilding the graph (vertex renumbering stays O(n), as
+  in the reference semantics), and the repair re-executes only the
+  edit's *light cone* rather than every node of the dirty ball from
+  round 0 — see below.  The repaired states, outputs and metering are
+  spliced into the standing ``RunResult`` in place.
 
 The two modes are **bit-for-bit identical** on every ``RunResult``
 field — outputs, rounds, ``all_halted``, message counts, metered bits,
 per-round bits, final states — in the same contract style as the
-``replay=`` and ``arithmetic=`` knobs; ``tests/test_dynamic.py`` pins
-the equality differentially across graph families, edit kinds,
-metering modes, arithmetic modes and seeds.
+``replay=`` and ``arithmetic=`` knobs; ``tests/test_dynamic.py`` and
+the 100+-batch streams in ``tests/test_dynamic_soak.py`` pin the
+equality differentially across graph families, edit kinds, metering
+modes, arithmetic modes and seeds.
 
 Soundness of the warm restart (why replaying is not an approximation):
 run the pre- and post-edit executions in lockstep and let ``Dirty_t``
@@ -46,6 +42,19 @@ BFS ball around the touched nodes.  Everything outside the ball has an
 identical trajectory, so its recorded emissions, final state and
 output can be reused verbatim.
 
+The **light cone** sharpens the same argument per node: a ball node
+``v`` at BFS distance ``d = dist(v, touched)`` cannot receive any
+perturbed message before round ``d − 1`` (information moves one hop
+per round), so its state trajectory through round ``d − 1`` — and its
+emission in round ``d − 1`` itself, a function of the round-``d − 1``
+state — are *identical* to the recording.  The session therefore keeps
+per-node state columns alongside the message history and resumes ``v``
+at round ``d − 1`` from its recorded state, with fresh emissions only
+from round ``d`` on; a ball node that had already halted by round
+``d − 1`` is not re-executed at all.  Re-executed work drops from
+``|ball| × R`` node-rounds to the cone ``Σ_v (R − d(v))`` — for a
+small batch on a large graph, a constant independent of ``n``.
+
 Requirements (both asserted where cheap, documented otherwise): the
 machine must be deterministic (it may receive a ``ctx.rng`` but must
 not read it — true of all the paper's machines) with a round count
@@ -54,14 +63,20 @@ that never *grows* under edits that keep the global parameters fixed
 pins at construction: ``delta``/``W`` for vertex cover, ``f``/``k``/
 ``W`` for set cover — an edit exceeding a pinned bound is rejected).
 Sessions run on the canonical port numbering (edits are defined on the
-edge set; the session normalises the initial graph).
+edge set; the session normalises the initial graph, and the overlay
+maintains canonical ports under mutation).  If a previous run was cut
+off by ``max_rounds`` (``all_halted`` false), the warm restart is
+unsound — the session detects this and falls back to a full recorded
+solve, preserving bit-equality.
 """
 
 from __future__ import annotations
 
 import math
 import pickle
-from dataclasses import dataclass
+import random
+import time
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import (
     Any,
@@ -71,17 +86,17 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
-    Set,
     Tuple,
 )
 
 from repro._util.memo import GenerationalMemo
 from repro._util.ordering import canonical_key
 from repro._util.sizes import message_size_bits
-from repro.dynamic.edits import AppliedBatch, EditError, GraphEdit, apply_edits
+from repro.dynamic.edits import EditError, GraphEdit, apply_edits
+from repro.dynamic.overlay import MutableTopology, OverlayBatch
 from repro.graphs.topology import PortNumberedGraph
 from repro.graphs.weights import validate_weights
-from repro.simulator.machine import PORT_NUMBERING, Machine
+from repro.simulator.machine import PORT_NUMBERING, LocalContext, Machine
 from repro.simulator.runtime import (
     Metering,
     RunResult,
@@ -105,8 +120,9 @@ DYNAMIC_MODES = ("incremental", "scratch")
 #: Bump it whenever the payload layout changes; :meth:`DynamicRun.
 #: restore` refuses snapshots from a different version rather than
 #: guessing (snapshots are durable state — they outlive the process
-#: and may outlive the code that wrote them).
-SNAPSHOT_VERSION = 1
+#: and may outlive the code that wrote them).  Version 2: column-major
+#: state+message history for light-cone restarts (PR 9).
+SNAPSHOT_VERSION = 2
 
 _INF = math.inf
 
@@ -121,24 +137,52 @@ def validate_dynamic_mode(mode: str) -> str:
 
 
 # ----------------------------------------------------------------------
-# Recorded message histories
+# Recorded run histories (column-major: one column per node)
 # ----------------------------------------------------------------------
 
 
 @dataclass
-class _History:
+class _SessionHistory:
     """What one run leaves behind for the next batch's warm restart.
 
-    ``outboxes[t][v]`` is node ``v``'s emission during round ``t`` —
-    the port-indexed message list (port model) or the broadcast
-    payload, ``None`` for a halted node.  ``halt_round[v]`` is the
-    first round index at whose *start* ``v`` is halted (``0`` = halted
-    before round 0, ``inf`` = never halted within the run).
+    Column-major so a cone replay touches only the columns of cone
+    nodes.  Per node ``v``:
+
+    * ``out[v][t]`` — ``v``'s emission during round ``t``: the
+      port-indexed message list (port model) or the broadcast payload;
+      ``None`` for silence.  Truncated at the halt round (a halted
+      node is silent forever, so ``t >= len(out[v])`` reads as
+      ``None``).
+    * ``st[v][t]`` — ``v``'s state *after* round ``t + 1``, truncated
+      the same way (machine states are persistent values — ``step``
+      returns successors without mutating its argument — so these are
+      references, not copies).
+    * ``halt_round[v]`` — first round index at whose *start* ``v`` is
+      halted (``0`` = halted before round 0, ``inf`` = never halted
+      within the run).
+    * ``deg[v]`` — ``v``'s degree when its rows were recorded (the
+      broadcast metering delta needs it; a node's rows are only ever
+      reused while its degree is unchanged).
+
+    Aggregates, kept incrementally so rounds/metering splice in
+    O(cone + R) instead of O(n):
+
+    * ``halt_counts`` — histogram of ``halt_round`` values; the run's
+      round count is its largest finite key (or ``max_rounds`` if any
+      node never halted).
+    * ``round_msgs[t]`` / ``round_bits[t]`` — total messages / bits
+      sent in round ``t`` (maintained only under the corresponding
+      metering modes).
     """
 
     rounds: int
-    outboxes: List[List[Any]]
+    out: List[List[Any]]
+    st: List[List[Any]]
     halt_round: List[float]
+    deg: List[int]
+    halt_counts: Dict[float, int]
+    round_msgs: List[int]
+    round_bits: List[int]
 
 
 def _record_run(
@@ -149,8 +193,8 @@ def _record_run(
     max_rounds: int,
     metering: Any,
     seed: Optional[int],
-) -> Tuple[RunResult, _History]:
-    """A full :func:`run` that also records the message history.
+) -> Tuple[RunResult, _SessionHistory]:
+    """A full :func:`run` that also records the session history.
 
     The observer sees every round (it disables quiescence parking), so
     the recording is exact; results are identical to an unobserved run
@@ -169,10 +213,12 @@ def _record_run(
             halt_round[v] = 0
         else:
             pending.append(v)
-    outbox_log: List[List[Any]] = []
+    out_rows: List[List[Any]] = []
+    st_rows: List[List[Any]] = []
 
     def observer(round_index: int, states: List[Any], outboxes: List[Any]) -> None:
-        outbox_log.append(list(outboxes))
+        out_rows.append(list(outboxes))
+        st_rows.append(list(states))
         still = []
         for v in pending:
             if halted_fn(ctxs[v], states[v]):
@@ -191,218 +237,438 @@ def _record_run(
         observer=observer,
         metering=metering,
     )
-    return result, _History(result.rounds, outbox_log, halt_round)
+
+    meter = Metering.of(metering)
+    model = machine.model
+    size_of = message_size_bits
+    R = result.rounds
+    degs = list(graph.degree_array)
+    out_cols: List[List[Any]] = []
+    st_cols: List[List[Any]] = []
+    halt_counts: Dict[float, int] = {}
+    for v in range(n):
+        h = halt_round[v]
+        k = int(min(h, R))
+        out_cols.append([out_rows[t][v] for t in range(k)])
+        st_cols.append([st_rows[t][v] for t in range(k)])
+        halt_counts[h] = halt_counts.get(h, 0) + 1
+    round_msgs: List[int] = []
+    if meter.counts_messages:
+        for t in range(R):
+            row = out_rows[t]
+            c = 0
+            if model == PORT_NUMBERING:
+                for out in row:
+                    if out is not None:
+                        for msg in out:
+                            if msg is not None:
+                                c += 1
+            else:
+                for v, payload in enumerate(row):
+                    if payload is not None:
+                        c += degs[v]
+            round_msgs.append(c)
+    # Per-round bits are exactly what the engine metered.
+    round_bits = list(result.per_round_bits) if meter.meters_bits else []
+    history = _SessionHistory(
+        rounds=R,
+        out=out_cols,
+        st=st_cols,
+        halt_round=halt_round,
+        deg=degs,
+        halt_counts=halt_counts,
+        round_msgs=round_msgs,
+        round_bits=round_bits,
+    )
+    return result, history
 
 
-def _dirty_ball(
-    graph: PortNumberedGraph, seeds: Set[int], radius: int
-) -> Set[int]:
-    """BFS ball of the given radius around ``seeds`` (inclusive)."""
+def _dirty_cone(
+    topo: MutableTopology, seeds: Sequence[int], radius: int
+) -> Dict[int, int]:
+    """BFS distances from ``seeds`` out to ``radius`` (inclusive)."""
     dist: Dict[int, int] = {v: 0 for v in seeds}
-    frontier = list(seeds)
+    frontier = list(dist)
     d = 0
     while frontier and d < radius:
         d += 1
         nxt: List[int] = []
         for v in frontier:
-            for u in graph.neighbours(v):
+            for u in topo.neighbours(v):
                 if u not in dist:
                     dist[u] = d
                     nxt.append(u)
         frontier = nxt
-    return set(dist)
+    return dist
 
 
-def _replay_run(
-    graph: PortNumberedGraph,
+def _remap_history(
+    hist: _SessionHistory,
+    result: RunResult,
+    node_map: Sequence[Optional[int]],
+    new_n: int,
+    model: str,
+    metering: Any,
+) -> None:
+    """Relabel history and standing result after vertex churn (O(n)).
+
+    ``remove_vertex`` renumbering is order-preserving, so a surviving
+    node's canonical ports — and therefore its recorded port rows —
+    stay valid under its new label; columns just move.  Removed nodes'
+    recorded messages are subtracted from the per-round totals and
+    their halt entries from the histogram.  Fresh vertices get empty
+    columns and a provisional halt of 0 — they are always batch seeds,
+    so the cone replay re-derives them from ``start()``.
+    """
+    meter = Metering.of(metering)
+    count_msgs = meter.counts_messages
+    meter_bits = meter.meters_bits
+    size_of = message_size_bits
+    out_cols = hist.out
+    halt_counts = hist.halt_counts
+    round_msgs = hist.round_msgs
+    round_bits = hist.round_bits
+
+    new_out: List[Optional[List[Any]]] = [None] * new_n
+    new_st: List[Optional[List[Any]]] = [None] * new_n
+    new_halt: List[float] = [0.0] * new_n
+    new_deg: List[int] = [0] * new_n
+    new_outputs: List[Any] = [None] * new_n
+    new_states: List[Any] = [None] * new_n
+    for old, new in enumerate(node_map):
+        if new is None:
+            h = hist.halt_round[old]
+            c = halt_counts[h] - 1
+            if c:
+                halt_counts[h] = c
+            else:
+                del halt_counts[h]
+            if count_msgs:
+                d_rec = hist.deg[old]
+                for t, row in enumerate(out_cols[old]):
+                    if row is None:
+                        continue
+                    if model == PORT_NUMBERING:
+                        cnt = 0
+                        bits = 0
+                        for msg in row:
+                            if msg is not None:
+                                cnt += 1
+                                if meter_bits:
+                                    bits += size_of(msg)
+                    else:
+                        cnt = d_rec
+                        bits = d_rec * size_of(row) if meter_bits else 0
+                    if cnt:
+                        round_msgs[t] -= cnt
+                        if meter_bits:
+                            round_bits[t] -= bits
+            continue
+        new_out[new] = out_cols[old]
+        new_st[new] = hist.st[old]
+        new_halt[new] = hist.halt_round[old]
+        new_deg[new] = hist.deg[old]
+        new_outputs[new] = result.outputs[old]
+        new_states[new] = result.states[old]
+    for v in range(new_n):
+        if new_out[v] is None:
+            new_out[v] = []
+            new_st[v] = []
+            new_halt[v] = 0
+            halt_counts[0] = halt_counts.get(0, 0) + 1
+    hist.out = new_out
+    hist.st = new_st
+    hist.halt_round = new_halt
+    hist.deg = new_deg
+    # Splice in place: the standing RunResult keeps its identity.
+    result.outputs[:] = new_outputs
+    result.states[:] = new_states
+
+
+def _cone_replay(
+    topo: MutableTopology,
     machine: Machine,
     inputs: Optional[Sequence[Any]],
     globals_map: Optional[Mapping[str, Any]],
     max_rounds: int,
     metering: Any,
     seed: Optional[int],
-    prev: _History,
-    prev_result: RunResult,
-    new_to_old: Sequence[Optional[int]],
-    dirty: Set[int],
-) -> Tuple[RunResult, _History]:
-    """The dirty-region warm restart (see the module docstring).
+    hist: _SessionHistory,
+    result: RunResult,
+    dist: Mapping[int, int],
+) -> Tuple[int, int]:
+    """The light-cone warm restart (see the module docstring).
 
-    Dirty nodes re-run from ``start()``; clean nodes replay their
-    recorded emissions and keep their previous final state/output.
-    Implements exactly the engine semantics of
-    :func:`repro.simulator.runtime.run` (halted nodes silent, messages
-    of a node halting after round ``t`` still delivered in round ``t``,
-    metering counts every non-``None`` message) so the spliced
-    ``RunResult`` is field-for-field what a fresh run would produce.
+    ``dist`` maps every dirty-ball node to its BFS distance from the
+    batch's touched set.  A node at distance ``d`` resumes at round
+    ``d − 1`` from its recorded state (its trajectory through round
+    ``d − 1`` is pure), emits fresh rows from round ``d`` on, and a
+    ball node that had already halted by round ``d − 1`` is skipped
+    entirely.  Clean nodes never step: their recorded emissions are
+    read straight out of the history columns.  Metering is maintained
+    as a *delta* against the recorded per-round totals, and the halt
+    histogram re-derives the round count — both O(cone + R).
 
-    Like ``run_reference``, this loop deliberately *mirrors* the fast
-    engine rather than sharing code with it — a change to the engine
-    semantics must be reflected here, and ``tests/test_dynamic.py``
-    (incremental ≡ scratch on every field) is the drift alarm, exactly
-    as the equivalence suite is for the reference engine.
+    Mutates ``hist`` and ``result`` in place (column splice) and
+    implements exactly the engine semantics of
+    :func:`repro.simulator.runtime.run` — halted nodes silent, a node
+    halting after round ``t`` still delivers its round-``t`` messages,
+    broadcast inboxes are the content-sorted neighbour payloads.  Like
+    ``run_reference``, this loop deliberately *mirrors* the fast
+    engine rather than sharing code with it; the incremental ≡ scratch
+    differential suites are the drift alarm.
+
+    Returns ``(cone_size, node_rounds)`` — nodes re-executed and the
+    total (node, round) step count, the light cone's area.
     """
     meter = Metering.of(metering)
     count_msgs = meter.counts_messages
     meter_bits = meter.meters_bits
     size_of = message_size_bits
-    n = graph.n
     model = machine.model
-    ctxs = _make_contexts(graph, inputs, globals_map, seed)
+    port_model = model == PORT_NUMBERING
+    out_cols = hist.out
+    st_cols = hist.st
+    halt_round = hist.halt_round
+    rec_deg = hist.deg
+    round_msgs = hist.round_msgs
+    round_bits = hist.round_bits
+    halt_counts = hist.halt_counts
+
+    # -- the cone: ball nodes still live when the wavefront arrives.
+    cone: Dict[int, int] = {}
+    by_activation: Dict[int, List[int]] = {}
+    max_act = -1
+    for v, d in dist.items():
+        a = d - 1 if d else 0
+        if d and halt_round[v] <= a:
+            continue  # frozen before the perturbation could reach it
+        cone[v] = d
+        by_activation.setdefault(a, []).append(v)
+        if a > max_act:
+            max_act = a
+
+    g = dict(globals_map or {})
+    ctxs: Dict[int, LocalContext] = {}
+    for v in cone:
+        rng = random.Random(f"node-rng:{seed}:{v}") if seed is not None else None
+        ctxs[v] = LocalContext(
+            degree=topo.degree(v),
+            input=None if inputs is None else inputs[v],
+            globals=g,
+            rng=rng,
+        )
+
     emit = machine.emit
     step = machine.step
     halted_fn = machine.halted
-    degrees = graph.degree_array
+    start = machine.start
+    output_fn = machine.output
 
-    dirty_list = sorted(dirty)
-    clean = [v for v in range(n) if v not in dirty]
-    identity_map = len(prev.halt_round) == n and all(
-        new_to_old[v] == v for v in range(n)
-    )
+    def old_row(u: int, t: int) -> Any:
+        rows = out_cols[u]
+        return rows[t] if t < len(rows) else None
 
+    def row_meter(row: Any, deg: int) -> Tuple[int, int]:
+        """(messages, bits) one emission row contributes to round totals."""
+        if row is None:
+            return 0, 0
+        if port_model:
+            c = 0
+            b = 0
+            for msg in row:
+                if msg is not None:
+                    c += 1
+                    if meter_bits:
+                        b += size_of(msg)
+            return c, b
+        return deg, deg * size_of(row) if meter_bits else 0
+
+    def bump(t: int, dm: int, db: int) -> None:
+        while len(round_msgs) <= t:
+            round_msgs.append(0)
+        round_msgs[t] += dm
+        if meter_bits:
+            while len(round_bits) <= t:
+                round_bits.append(0)
+            round_bits[t] += db
+
+    def retire_old_rows(v: int, start_t: int) -> None:
+        """The new run halts ``v`` at ``start_t``; its recorded
+        emissions from that round on no longer happen."""
+        if not count_msgs:
+            return
+        rows = out_cols[v]
+        deg = rec_deg[v]
+        for t in range(start_t, len(rows)):
+            c, b = row_meter(rows[t], deg)
+            if c or b:
+                bump(t, -c, -b)
+
+    fresh_out: Dict[int, List[Any]] = {}
+    fresh_st: Dict[int, List[Any]] = {}
+    new_halt: Dict[int, float] = {}
     states: Dict[int, Any] = {}
-    halted: Dict[int, bool] = {}
-    halt_round: List[float] = [0.0] * n
-    for v in clean:
-        halt_round[v] = prev.halt_round[new_to_old[v]]
-    for v in dirty_list:
-        st = machine.start(ctxs[v])
-        states[v] = st
-        h = halted_fn(ctxs[v], st)
-        halted[v] = h
-        halt_round[v] = 0 if h else _INF
+    for v in cone:
+        fresh_out[v] = []
+        fresh_st[v] = []
 
-    clean_live_until: float = max((halt_round[v] for v in clean), default=0)
-    prev_rounds = prev.rounds
-    if model == PORT_NUMBERING:
-        ports = {v: graph.ports(v) for v in dirty_list}
-    else:
-        nbrs = {v: graph.neighbours(v) for v in dirty_list}
-
-    rounds = 0
-    messages_sent = 0
-    message_bits = 0
-    per_round_bits: List[int] = []
-    new_outboxes: List[List[Any]] = []
-    live_dirty = [v for v in dirty_list if not halted[v]]
-
-    while rounds < max_rounds and (live_dirty or rounds < clean_live_until):
-        t = rounds
-        # -- emissions: replayed rows for clean nodes, fresh for dirty.
-        if t < prev_rounds:
-            prev_row = prev.outboxes[t]
-            if identity_map:
-                row = list(prev_row)
-                for v in dirty_list:
-                    row[v] = None
-            else:
-                row = [None] * n
-                for v in clean:
-                    row[v] = prev_row[new_to_old[v]]
-        else:
-            # Past the recorded history every clean node has halted
-            # (halt_round <= prev.rounds unless the previous run hit
-            # max_rounds, in which case this loop cannot get here).
-            row = [None] * n
-        for v in live_dirty:
-            out = emit(ctxs[v], states[v])
-            if model == PORT_NUMBERING:
-                d = degrees[v]
-                if out is None:
-                    out = [None] * d
+    live: List[int] = []
+    node_rounds = 0
+    t = 0
+    cur_rows: Dict[int, Any] = {}
+    while (live or t <= max_act) and t < max_rounds:
+        # -- activations: nodes whose light cone opens this round.
+        for v in by_activation.get(t, ()):
+            d = cone[v]
+            if d == 0:
+                st0 = start(ctxs[v])
+                states[v] = st0
+                if halted_fn(ctxs[v], st0):
+                    new_halt[v] = 0
+                    retire_old_rows(v, 0)
                 else:
-                    if type(out) is not list and type(out) is not tuple:
-                        out = list(out)
-                    if len(out) != d:
-                        raise _bad_arity(d, len(out))
-            row[v] = out
-
-        # -- metering over the full row (replayed messages count too —
-        # identical to what a fresh run would have sent).
-        round_bits = 0
-        if count_msgs:
-            if model == PORT_NUMBERING:
-                for out in row:
-                    if out is None:
-                        continue
-                    for m in out:
-                        if m is not None:
-                            messages_sent += 1
-                            if meter_bits:
-                                round_bits += size_of(m)
+                    live.append(v)
             else:
-                for v, payload in enumerate(row):
-                    if payload is not None:
-                        d = degrees[v]
-                        messages_sent += d
-                        if meter_bits:
-                            round_bits += d * size_of(payload)
+                # Purity: v's trajectory through round d − 1 matches
+                # the recording, so resume from the recorded state
+                # (guaranteed live here — earlier halts were pruned).
+                states[v] = st_cols[v][d - 2] if d >= 2 else start(ctxs[v])
+                live.append(v)
 
-        # -- deliver to the dirty region only, and step it.
-        next_live: List[int] = []
-        if model == PORT_NUMBERING:
-            for v in live_dirty:
-                inbox = [
-                    row[u][q] if row[u] is not None else None
-                    for (u, q) in ports[v]
-                ]
+        # -- fresh emissions: cone nodes the wavefront has reached.
+        # A node at distance t + 1 is activated (it must step this
+        # round) but its round-t emission still matches the recording.
+        cur_rows.clear()
+        for v in live:
+            if cone[v] > t:
+                continue
+            out = emit(ctxs[v], states[v])
+            if port_model and out is not None:
+                deg = ctxs[v].degree
+                if type(out) is not list and type(out) is not tuple:
+                    out = list(out)
+                if len(out) != deg:
+                    raise _bad_arity(deg, len(out))
+            cur_rows[v] = out
+            fresh_out[v].append(out)
+            if count_msgs:
+                oc, ob = row_meter(old_row(v, t), rec_deg[v])
+                nc, nb = row_meter(out, ctxs[v].degree)
+                if nc != oc or nb != ob:
+                    bump(t, nc - oc, nb - ob)
+
+        # -- deliver and step the live cone.
+        if port_model:
+            next_live: List[int] = []
+            for v in live:
+                inbox = []
+                for (u, q) in topo.ports(v):
+                    if u in cone and cone[u] <= t:
+                        row = cur_rows.get(u)
+                    else:
+                        row = old_row(u, t)
+                    inbox.append(None if row is None else row[q])
                 st = step(ctxs[v], states[v], inbox)
+                node_rounds += 1
                 states[v] = st
+                fresh_st[v].append(st)
                 if halted_fn(ctxs[v], st):
-                    halted[v] = True
-                    halt_round[v] = t + 1
+                    new_halt[v] = t + 1
+                    retire_old_rows(v, t + 1)
                 else:
                     next_live.append(v)
+            live = next_live
         else:
+            payloads: Dict[int, Any] = {}
             keys: Dict[int, Any] = {}
+
+            def payload_of(u: int) -> Any:
+                if u in payloads:
+                    return payloads[u]
+                if u in cone and cone[u] <= t:
+                    p = cur_rows.get(u)
+                else:
+                    p = old_row(u, t)
+                payloads[u] = p
+                return p
 
             def key_of(u: int) -> Any:
                 k = keys.get(u)
                 if k is None:
-                    k = canonical_key(row[u])
+                    k = canonical_key(payload_of(u))
                     keys[u] = k
                 return k
 
-            for v in live_dirty:
-                inbox = tuple(row[u] for u in sorted(nbrs[v], key=key_of))
+            next_live = []
+            for v in live:
+                # Content-sorted multiset of neighbour payloads; the
+                # stable sort over the canonical neighbour order equals
+                # the engine's sender-anonymous inbox.
+                inbox = tuple(
+                    payload_of(u)
+                    for u in sorted(topo.neighbours(v), key=key_of)
+                )
                 st = step(ctxs[v], states[v], inbox)
+                node_rounds += 1
                 states[v] = st
+                fresh_st[v].append(st)
                 if halted_fn(ctxs[v], st):
-                    halted[v] = True
-                    halt_round[v] = t + 1
+                    new_halt[v] = t + 1
+                    retire_old_rows(v, t + 1)
                 else:
                     next_live.append(v)
-        live_dirty = next_live
-        rounds += 1
-        if meter_bits:
-            message_bits += round_bits
-            per_round_bits.append(round_bits)
-        new_outboxes.append(row)
+            live = next_live
+        t += 1
 
-    # -- splice repaired states/outputs into the standing result.
-    final_states: List[Any] = [None] * n
-    outputs: List[Any] = [None] * n
-    for v in clean:
-        o = new_to_old[v]
-        final_states[v] = prev_result.states[o]
-        outputs[v] = prev_result.outputs[o]
-    output_fn = machine.output
-    for v in dirty_list:
-        final_states[v] = states[v]
-        outputs[v] = output_fn(ctxs[v], states[v])
-    all_halted = not live_dirty and all(
-        halt_round[v] <= rounds for v in range(n)
-    )
-    result = RunResult(
-        outputs=outputs,
-        rounds=rounds,
-        all_halted=all_halted,
-        messages_sent=messages_sent,
-        message_bits=message_bits,
-        per_round_bits=per_round_bits,
-        states=final_states,
-    )
-    return result, _History(rounds, new_outboxes, halt_round)
+    # -- halt histogram: move every cone node old -> new.
+    for v in cone:
+        old_h = halt_round[v]
+        c = halt_counts[old_h] - 1
+        if c:
+            halt_counts[old_h] = c
+        else:
+            del halt_counts[old_h]
+        h = new_halt.get(v, _INF)
+        halt_counts[h] = halt_counts.get(h, 0) + 1
+        halt_round[v] = h
+
+    # -- round count: largest halt round, or the cap if any node ran
+    # into it (exactly the engine's loop condition).
+    if _INF in halt_counts:
+        rounds_new = max_rounds
+        all_halted = False
+    else:
+        rounds_new = int(max(halt_counts)) if halt_counts else 0
+        all_halted = True
+    while len(round_msgs) < rounds_new:
+        round_msgs.append(0)
+    del round_msgs[rounds_new:]
+    if meter_bits:
+        while len(round_bits) < rounds_new:
+            round_bits.append(0)
+        del round_bits[rounds_new:]
+
+    # -- splice the repaired columns and scalars in place.
+    outputs = result.outputs
+    final_states = result.states
+    for v, d in cone.items():
+        st = states[v]
+        final_states[v] = st
+        outputs[v] = output_fn(ctxs[v], st)
+        keep = d - 1 if d else 0
+        out_cols[v] = out_cols[v][:d] + fresh_out[v]
+        st_cols[v] = st_cols[v][:keep] + fresh_st[v]
+        rec_deg[v] = ctxs[v].degree
+    hist.rounds = rounds_new
+    result.rounds = rounds_new
+    result.all_halted = all_halted
+    if count_msgs:
+        result.messages_sent = sum(round_msgs)
+    if meter_bits:
+        result.message_bits = sum(round_bits)
+        result.per_round_bits = list(round_bits)
+    return len(cone), node_rounds
 
 
 # ----------------------------------------------------------------------
@@ -412,7 +678,14 @@ def _replay_run(
 
 @dataclass(frozen=True)
 class BatchStats:
-    """Per-batch repair accounting (returned by :meth:`DynamicRun.apply`)."""
+    """Per-batch repair accounting (returned by :meth:`DynamicRun.apply`).
+
+    ``cone_node_rounds`` is the light cone's area — (node, round) step
+    executions the warm restart actually performed (0 for scratch mode
+    and full-solve fallbacks).  ``wall_ms`` is the batch's wall-clock
+    latency; it is excluded from equality so differential suites can
+    compare stats lists across sessions.
+    """
 
     batch: int
     mode: str
@@ -422,6 +695,8 @@ class BatchStats:
     dirty_seeds: int
     repaired_nodes: int
     rounds: int
+    cone_node_rounds: int = 0
+    wall_ms: float = field(default=0.0, compare=False)
 
     @property
     def repaired_fraction(self) -> float:
@@ -487,13 +762,20 @@ class DynamicRun:
         inputs = list(inputs)
         if validate is not None:
             validate(graph, inputs)
-        self._graph = graph
+        if self.mode == "incremental":
+            self._topo: Optional[MutableTopology] = MutableTopology.from_graph(
+                graph
+            )
+            self._graph = None
+        else:
+            self._topo = None
+            self._graph = graph
         self._inputs = inputs
         self._generation = 0
         self._batches = 0
         self._view_cache: Optional[Tuple[int, CoverView]] = None
         self.stats: List[BatchStats] = []
-        # One generation of message history per batch; put() retires
+        # One generation of run history per batch; put() retires
         # everything older than the previous batch automatically.
         self._memo: Optional[GenerationalMemo] = (
             GenerationalMemo() if self.mode == "incremental" else None
@@ -504,6 +786,14 @@ class DynamicRun:
 
     @property
     def graph(self) -> PortNumberedGraph:
+        """The current canonical graph.
+
+        Incremental sessions materialise it from the mutable overlay
+        (cached until the next committed batch); scratch sessions hold
+        it directly.
+        """
+        if self._topo is not None:
+            return self._topo.materialise()
         return self._graph
 
     @property
@@ -512,7 +802,11 @@ class DynamicRun:
 
     @property
     def result(self) -> RunResult:
-        """The standing run result for the current graph."""
+        """The standing run result for the current graph.
+
+        Incremental repairs splice into this object in place — it is a
+        live view of the session, not a per-batch value.
+        """
         return self._result
 
     @property
@@ -543,14 +837,15 @@ class DynamicRun:
     def _solve_full(self) -> int:
         """Solve the whole current graph; returns the node count
         re-executed (always n here)."""
+        graph = self.graph
         if self._memo is None:
-            self._result = run(self._graph, self._machine, **self._run_kwargs())
+            self._result = run(graph, self._machine, **self._run_kwargs())
         else:
             self._result, history = _record_run(
-                self._graph, self._machine, **self._run_kwargs()
+                graph, self._machine, **self._run_kwargs()
             )
             self._memo.put(self._generation, "history", history)
-        return self._graph.n
+        return graph.n
 
     def apply(self, edits: Sequence[GraphEdit]) -> BatchStats:
         """Apply one edit batch and re-derive the cover.
@@ -561,6 +856,7 @@ class DynamicRun:
         or :class:`ValueError` (pinned global bound exceeded) with no
         change to the session.
         """
+        t0 = time.perf_counter()
         edits = list(edits)
         if self._allowed_edit_kinds is not None:
             for e in edits:
@@ -570,6 +866,11 @@ class DynamicRun:
                         f"{self.flow!r} flow (allowed: "
                         f"{self._allowed_edit_kinds})"
                     )
+        if self._topo is None:
+            return self._apply_scratch(edits, t0)
+        return self._apply_overlay(edits, t0)
+
+    def _apply_scratch(self, edits: List[GraphEdit], t0: float) -> BatchStats:
         batch = apply_edits(
             self._graph.n, self._graph.edges, self._inputs, edits
         )
@@ -578,61 +879,126 @@ class DynamicRun:
         if self._validate is not None:
             self._validate(new_graph, new_inputs)
 
-        prev_result = self._result
         prev_state = (self._graph, self._inputs, self._generation)
         self._graph = new_graph
         self._inputs = new_inputs
         self._generation += 1
         try:
-            if self._memo is None:
-                repaired = self._solve_full()
-            else:
-                repaired = self._apply_incremental(batch, prev_result)
+            repaired = self._solve_full()
         except BaseException:
             # Leave the session on its last consistent state.
             self._graph, self._inputs, self._generation = prev_state
             raise
+        return self._finish_batch(edits, len(batch.touched), repaired, 0, t0)
+
+    def _apply_overlay(self, edits: List[GraphEdit], t0: float) -> BatchStats:
+        topo = self._topo
+        # Structural apply in O(dirty); an invalid edit raises EditError
+        # with the overlay already rolled back.
+        ob = topo.apply_batch(edits, self._inputs)
+        try:
+            self._validate_batch(ob)
+        except BaseException:
+            # Structurally valid but breaks a pinned session bound:
+            # undo the committed batch so the session is untouched.
+            topo.rollback_last(self._inputs)
+            raise
+        self._generation += 1
+        prev_result = self._result
+        hist = (
+            self._memo.get(self._generation - 1, "history")
+            if self._memo is not None
+            else None
+        )
+        try:
+            repaired, cone_rounds = self._repair(ob, hist, prev_result)
+        except Exception:
+            # The batch is committed; a repair failure must not leave a
+            # half-spliced session.  Drop the (possibly corrupt)
+            # history and re-solve the committed graph outright.
+            self._memo = GenerationalMemo()
+            repaired = self._solve_full()
+            cone_rounds = 0
+        return self._finish_batch(edits, len(ob.touched), repaired, cone_rounds, t0)
+
+    def _validate_batch(self, ob: OverlayBatch) -> None:
+        if self._validate is None:
+            return
+        fast = getattr(self._validate, "validate_touched", None)
+        if fast is not None and ob.identity:
+            # O(touched): a violation of the pinned bounds can only
+            # arise at a node whose degree or input the batch changed.
+            fast(self._topo, self._inputs, ob.touched)
+        else:
+            # Vertex churn is O(n) anyway; use the reference check.
+            self._validate(self._topo.materialise(), self._inputs)
+
+    def _repair(
+        self,
+        ob: OverlayBatch,
+        hist: Optional[_SessionHistory],
+        prev_result: RunResult,
+    ) -> Tuple[int, int]:
+        n = self._topo.n
+        if hist is None or not prev_result.all_halted:
+            # Evicted history, or the previous run was cut off by
+            # max_rounds (replay would be unsound): full recorded solve.
+            return self._solve_full(), 0
+        seeds = set(ob.touched)
+        if not ob.identity:
+            mapped = {new for new in ob.node_map if new is not None}
+            seeds.update(v for v in range(n) if v not in mapped)
+        radius = prev_result.rounds
+        dist = _dirty_cone(self._topo, seeds, radius)
+        if len(dist) >= n:
+            return self._solve_full(), 0
+        if not ob.identity:
+            _remap_history(
+                hist, prev_result, ob.node_map, n,
+                self._machine.model, self._metering,
+            )
+        cone, node_rounds = _cone_replay(
+            self._topo,
+            self._machine,
+            self._inputs,
+            self._globals,
+            self._max_rounds,
+            self._metering,
+            self._seed,
+            hist,
+            prev_result,
+            dist,
+        )
+        self._memo.put(self._generation, "history", hist)
+        return cone, node_rounds
+
+    def _finish_batch(
+        self,
+        edits: List[GraphEdit],
+        dirty_seeds: int,
+        repaired: int,
+        cone_rounds: int,
+        t0: float,
+    ) -> BatchStats:
         self._batches += 1
+        if self._topo is not None:
+            g_n, g_m = self._topo.n, self._topo.m
+        else:
+            g_n, g_m = self._graph.n, self._graph.m
         stats = BatchStats(
             batch=self._batches,
             mode=self.mode,
             n_edits=len(edits),
-            n=new_graph.n,
-            m=new_graph.m,
-            dirty_seeds=len(batch.touched),
+            n=g_n,
+            m=g_m,
+            dirty_seeds=dirty_seeds,
             repaired_nodes=repaired,
             rounds=self._result.rounds,
+            cone_node_rounds=cone_rounds,
+            wall_ms=(time.perf_counter() - t0) * 1e3,
         )
         self.stats.append(stats)
         return stats
-
-    def _apply_incremental(
-        self, batch: AppliedBatch, prev_result: RunResult
-    ) -> int:
-        prev_history = self._memo.get(self._generation - 1, "history")
-        new_to_old: List[Optional[int]] = [None] * batch.n
-        for old, new in enumerate(batch.node_map):
-            if new is not None:
-                new_to_old[new] = old
-        seeds = set(batch.touched)
-        seeds.update(v for v in range(batch.n) if new_to_old[v] is None)
-        radius = prev_result.rounds
-        ball = _dirty_ball(self._graph, seeds, radius)
-        if prev_history is None or len(ball) >= batch.n:
-            # Evicted history or a global edit: fall back to a full
-            # (recorded) solve — still bit-identical, just not partial.
-            return self._solve_full()
-        self._result, history = _replay_run(
-            self._graph,
-            self._machine,
-            prev=prev_history,
-            prev_result=prev_result,
-            new_to_old=new_to_old,
-            dirty=ball,
-            **self._run_kwargs(),
-        )
-        self._memo.put(self._generation, "history", history)
-        return len(ball)
 
     # -- durability ------------------------------------------------------
 
@@ -645,7 +1011,7 @@ class DynamicRun:
         edge set (the graph is rebuilt canonically on restore), the
         machine (with its warm memo caches — pickling them is pinned by
         ``tests/test_parallel_backends.py``) and, for incremental
-        sessions, the current generation's message history out of the
+        sessions, the current generation's session history out of the
         :class:`GenerationalMemo`.  Versioned via
         :data:`SNAPSHOT_VERSION`; restored by :meth:`restore`.
         """
@@ -654,6 +1020,10 @@ class DynamicRun:
             if self._memo is not None
             else None
         )
+        if self._topo is not None:
+            n, edges = self._topo.n, self._topo.edges_sorted()
+        else:
+            n, edges = self._graph.n, list(self._graph.edges)
         payload = {
             "version": SNAPSHOT_VERSION,
             "flow": self.flow,
@@ -665,8 +1035,8 @@ class DynamicRun:
             "seed": self._seed,
             "validate": self._validate,
             "allowed_edit_kinds": self._allowed_edit_kinds,
-            "n": self._graph.n,
-            "edges": list(self._graph.edges),
+            "n": n,
+            "edges": edges,
             "inputs": list(self._inputs),
             "generation": self._generation,
             "batches": self._batches,
@@ -682,7 +1052,7 @@ class DynamicRun:
 
         The restored session does **not** re-solve: it resumes on the
         serialised standing result (and, for incremental sessions,
-        message history), so applying the remaining edit batches yields
+        session history), so applying the remaining edit batches yields
         results bit-for-bit equal to the uninterrupted session's
         (pinned by ``tests/test_dynamic_snapshot.py``).
         """
@@ -709,9 +1079,14 @@ class DynamicRun:
         session._seed = payload["seed"]
         session._validate = payload["validate"]
         session._allowed_edit_kinds = payload["allowed_edit_kinds"]
-        session._graph = PortNumberedGraph.from_edges(
-            payload["n"], payload["edges"]
-        )
+        if session.mode == "incremental":
+            session._topo = MutableTopology(payload["n"], payload["edges"])
+            session._graph = None
+        else:
+            session._topo = None
+            session._graph = PortNumberedGraph.from_edges(
+                payload["n"], payload["edges"]
+            )
         session._inputs = list(payload["inputs"])
         session._generation = payload["generation"]
         session._batches = payload["batches"]
@@ -744,7 +1119,7 @@ class DynamicRun:
 
     def _build_cover_view(self) -> CoverView:
         outputs = self._result.outputs
-        g = self._graph
+        g = self.graph
         if self.flow == "port":
             cover = frozenset(
                 v for v in g.nodes() if outputs[v]["in_cover"]
@@ -936,6 +1311,32 @@ class _VertexCoverValidator:
                 f"session bound delta={self.delta}"
             )
 
+    def validate_touched(
+        self,
+        topo: MutableTopology,
+        inputs: Sequence[Any],
+        touched: Sequence[int],
+    ) -> None:
+        """O(touched) equivalent of the full check for edge-only
+        batches: untouched nodes keep their degree and weight, and the
+        pre-batch state satisfied the bounds, so a violation can only
+        sit at a touched node (whose degree is then the global max)."""
+        W = self.W
+        for v in sorted(touched):
+            w = inputs[v]
+            if isinstance(w, bool) or not isinstance(w, int):
+                raise TypeError(
+                    f"weight of node {v} must be an int, got {type(w).__name__}"
+                )
+            if not (1 <= w <= W):
+                raise ValueError(f"weight of node {v} is {w}, outside 1..{W}")
+        deg = topo.max_degree_of(touched)
+        if deg > self.delta:
+            raise ValueError(
+                f"edit pushes max degree to {deg}, past the "
+                f"session bound delta={self.delta}"
+            )
+
 
 class _SetCoverValidator:
     """The set-cover flow's per-batch instance check (picklable; see
@@ -946,43 +1347,67 @@ class _SetCoverValidator:
         self.k = k
         self.W = W
 
+    def _check_node(self, v: int, inp: Any, degree: int) -> None:
+        f, k, W = self.f, self.k, self.W
+        if not isinstance(inp, Mapping) or "role" not in inp:
+            raise ValueError(
+                f"node {v}: set-cover inputs must be role dicts"
+            )
+        if inp["role"] == "subset":
+            w = inp.get("weight")
+            if not isinstance(w, int) or isinstance(w, bool) or not (
+                1 <= w <= W
+            ):
+                raise ValueError(
+                    f"subset node {v}: weight {w!r} outside 1..{W}"
+                )
+            if degree > k:
+                raise ValueError(
+                    f"subset node {v}: size {degree} exceeds k={k}"
+                )
+        elif inp["role"] == "element":
+            if degree < 1:
+                raise ValueError(
+                    f"edit orphans element node {v} (infeasible cover)"
+                )
+            if degree > f:
+                raise ValueError(
+                    f"element node {v}: frequency {degree} "
+                    f"exceeds f={f}"
+                )
+        else:
+            raise ValueError(f"node {v}: unknown role {inp['role']!r}")
+
     def __call__(
         self, g: PortNumberedGraph, node_inputs: Sequence[Any]
     ) -> None:
-        f, k, W = self.f, self.k, self.W
         for v in g.nodes():
-            inp = node_inputs[v]
-            if not isinstance(inp, Mapping) or "role" not in inp:
-                raise ValueError(
-                    f"node {v}: set-cover inputs must be role dicts"
-                )
-            if inp["role"] == "subset":
-                w = inp.get("weight")
-                if not isinstance(w, int) or isinstance(w, bool) or not (
-                    1 <= w <= W
-                ):
-                    raise ValueError(
-                        f"subset node {v}: weight {w!r} outside 1..{W}"
-                    )
-                if g.degree(v) > k:
-                    raise ValueError(
-                        f"subset node {v}: size {g.degree(v)} exceeds k={k}"
-                    )
-            elif inp["role"] == "element":
-                if g.degree(v) < 1:
-                    raise ValueError(
-                        f"edit orphans element node {v} (infeasible cover)"
-                    )
-                if g.degree(v) > f:
-                    raise ValueError(
-                        f"element node {v}: frequency {g.degree(v)} "
-                        f"exceeds f={f}"
-                    )
-            else:
-                raise ValueError(f"node {v}: unknown role {inp['role']!r}")
+            self._check_node(v, node_inputs[v], g.degree(v))
         for (a, b) in g.edges:
             if node_inputs[a]["role"] == node_inputs[b]["role"]:
                 raise ValueError(
                     f"edge ({a}, {b}) joins two {node_inputs[a]['role']} "
                     f"nodes — the layout must stay bipartite"
                 )
+
+    def validate_touched(
+        self,
+        topo: MutableTopology,
+        node_inputs: Sequence[Any],
+        touched: Sequence[int],
+    ) -> None:
+        """O(touched · deg): role, weight, size/frequency and
+        bipartiteness can only break at a node the batch touched (an
+        added edge touches both endpoints; a reweight can only flip
+        the role of the reweighted node)."""
+        for v in sorted(touched):
+            self._check_node(v, node_inputs[v], topo.degree(v))
+        for v in sorted(touched):
+            role = node_inputs[v]["role"]
+            for u in topo.neighbours(v):
+                if node_inputs[u]["role"] == role:
+                    a, b = (v, u) if v < u else (u, v)
+                    raise ValueError(
+                        f"edge ({a}, {b}) joins two {role} "
+                        f"nodes — the layout must stay bipartite"
+                    )

@@ -10,6 +10,9 @@ the churn rate (edits per batch) on one instance, runs an incremental
 and a scratch session in lockstep at every rate, and tabulates
 
 * mean repaired fraction and mean repaired node count (incremental),
+* per-batch repair latency percentiles (the shared ``latency_ms``
+  vocabulary of :func:`repro.dynamic.latency_summary` — the same
+  shape ``repro.cli dynamic --json`` and the serving benchmark emit),
 * the final cover weight and the *worst* certificate ratio over the
   whole stream (``<= 1`` certifies every intermediate cover),
 * whether every intermediate cover was valid, and
@@ -25,7 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.dynamic import DynamicRun, RandomChurn
+from repro.dynamic import DynamicRun, RandomChurn, latency_summary
 from repro.experiments.common import ExperimentTable, parallel_map
 from repro.graphs import families
 from repro.graphs.weights import uniform_weights, unit_weights
@@ -80,6 +83,8 @@ def _churn_cell(cfg: Tuple[str, int, int, int, int, int]) -> Dict[str, Any]:
         "mean_nodes": (
             sum(s.repaired_nodes for s in stats) / len(stats) if stats else 0.0
         ),
+        # per-batch repair wall clock, in the shared latency shape
+        "latency_ms": latency_summary([s.wall_ms for s in stats]),
         "final_weight": inc.cover_weight(),
         "worst_ratio": worst_ratio,
         "always_cover": always_cover,
@@ -110,6 +115,8 @@ def run(
             "batches",
             "mean repaired fraction",
             "mean repaired nodes",
+            "p50 latency (ms)",
+            "p99 latency (ms)",
             "final cover weight",
             "worst certificate ratio",
             "covers valid",
@@ -129,6 +136,8 @@ def run(
                 "batches": cell["batches"],
                 "mean repaired fraction": round(cell["mean_fraction"], 4),
                 "mean repaired nodes": round(cell["mean_nodes"], 1),
+                "p50 latency (ms)": round(cell["latency_ms"]["p50_ms"], 3),
+                "p99 latency (ms)": round(cell["latency_ms"]["p99_ms"], 3),
                 "final cover weight": cell["final_weight"],
                 "worst certificate ratio": cell["worst_ratio"],
                 "covers valid": cell["always_cover"],

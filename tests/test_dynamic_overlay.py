@@ -1,0 +1,222 @@
+"""Property-style fuzzer: ``MutableTopology`` ≡ ``apply_edits`` rebuild.
+
+The overlay applies an edit batch in O(dirty region); the reference
+semantics (:func:`repro.dynamic.edits.apply_edits` followed by a full
+``PortNumberedGraph.from_edges`` rebuild) pays O(n + m).  This suite
+pins the equivalence contract under seeded random batches — edge
+churn, reweights, membership churn including orphaning vertex
+removals, and deliberately invalid edits — checking after every batch:
+
+* **edges** — the overlay's edge set equals the reference's;
+* **canonical ports** — ``materialise()`` equals
+  ``PortNumberedGraph.from_edges`` on the same edges (``__eq__`` is
+  port-structure equality), and the overlay's patched per-node routes
+  equal the rebuilt graph's;
+* **node maps** — the ``OverlayBatch`` relabelling matches
+  ``AppliedBatch.node_map`` (with ``None`` standing for identity),
+  and the touched sets coincide;
+* **rejection** — a batch ``apply_edits`` rejects is rejected by the
+  overlay too, leaving overlay state and inputs bit-identical to
+  before the attempt (rollback), and vice versa: the overlay never
+  rejects a batch the reference accepts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dynamic import MutableTopology, apply_edits
+from repro.dynamic.edits import (
+    EditError,
+    add_edge,
+    add_vertex,
+    remove_edge,
+    remove_vertex,
+    reweight,
+)
+from repro.graphs import families
+from repro.graphs.topology import PortNumberedGraph
+
+
+def _random_batch(rng, n, edge_set, allow_invalid=False):
+    """A random edit batch generated against the current state."""
+    batch = []
+    cur_n = n
+    cur_edges = set(edge_set)
+    for _ in range(rng.randint(1, 4)):
+        kinds = ["add_edge", "remove_edge", "reweight"]
+        if cur_n < 24:
+            kinds.append("add_vertex")
+        if cur_n > 4:
+            kinds.append("remove_vertex")
+        if allow_invalid:
+            kinds.append("invalid")
+        kind = rng.choice(kinds)
+        if kind == "add_edge" and cur_n >= 2:
+            u, v = rng.sample(range(cur_n), 2)
+            e = (min(u, v), max(u, v))
+            if e in cur_edges:
+                continue
+            cur_edges.add(e)
+            batch.append(add_edge(*e))
+        elif kind == "remove_edge":
+            if not cur_edges:
+                continue
+            e = rng.choice(sorted(cur_edges))
+            cur_edges.discard(e)
+            batch.append(remove_edge(*e))
+        elif kind == "reweight":
+            batch.append(reweight(rng.randrange(cur_n), rng.randint(1, 5)))
+        elif kind == "add_vertex":
+            k = rng.randint(0, min(3, cur_n))
+            attach = rng.sample(range(cur_n), k)
+            batch.append(add_vertex(rng.randint(1, 5), attach))
+            cur_edges.update(
+                (min(u, cur_n), max(u, cur_n)) for u in attach
+            )
+            cur_n += 1
+        elif kind == "remove_vertex":
+            # Deliberately biased towards high-degree nodes now and
+            # then: orphaning removals are the interesting case.
+            if rng.random() < 0.5 and cur_edges:
+                v = rng.choice(rng.choice(sorted(cur_edges)))
+            else:
+                v = rng.randrange(cur_n)
+            batch.append(remove_vertex(v))
+            cur_edges = {
+                (min(a2, b2), max(a2, b2))
+                for (a, b) in cur_edges
+                if a != v and b != v
+                for a2, b2 in [(a - (a > v), b - (b > v))]
+            }
+            cur_n -= 1
+        else:  # invalid: pick a rejection mode at random
+            roll = rng.random()
+            if roll < 0.25:
+                batch.append(add_edge(0, 0))  # self-loop
+            elif roll < 0.5:
+                batch.append(remove_edge(cur_n + 3, cur_n + 4))  # range
+            elif roll < 0.75 and cur_edges:
+                e = rng.choice(sorted(cur_edges))
+                batch.append(add_edge(*e))  # duplicate
+            else:
+                batch.append(remove_vertex(cur_n + 7))  # range
+    return batch
+
+
+def _assert_states_equal(topo, inputs, n, edges, ref_inputs):
+    assert topo.n == n
+    assert topo.edges_sorted() == sorted(edges)
+    assert inputs == list(ref_inputs)
+    rebuilt = PortNumberedGraph.from_edges(n, edges)
+    # __eq__ compares the full port structure, not just the edge set.
+    assert topo.materialise() == rebuilt
+    for v in range(n):
+        assert topo.degree(v) == rebuilt.degree(v)
+        assert list(topo.neighbours(v)) == rebuilt.neighbours(v)
+        assert topo.ports(v) == rebuilt.ports(v)
+
+
+def _fuzz(seed, steps=40, allow_invalid=False):
+    rng = random.Random(f"overlay-fuzz:{seed}")
+    g = families.gnp_random(10, 0.3, seed=seed)
+    n, edges = g.n, list(g.edges)
+    ref_inputs = [rng.randint(1, 5) for _ in range(n)]
+    topo = MutableTopology(n, edges)
+    inputs = list(ref_inputs)
+    _assert_states_equal(topo, inputs, n, edges, ref_inputs)
+    rejected = 0
+    for step in range(steps):
+        batch = _random_batch(rng, n, set(edges), allow_invalid=allow_invalid)
+        if not batch:
+            continue
+        try:
+            ab = apply_edits(n, edges, ref_inputs, batch)
+        except EditError:
+            rejected += 1
+            with pytest.raises(EditError):
+                topo.apply_batch(batch, inputs)
+            # rollback: the overlay is bit-identical to before the try
+            _assert_states_equal(topo, inputs, n, edges, ref_inputs)
+            continue
+        ob = topo.apply_batch(batch, inputs)
+        n, edges, ref_inputs = ab.n, list(ab.edges), list(ab.inputs)
+        _assert_states_equal(topo, inputs, n, edges, ref_inputs)
+        # node map: None is the identity shorthand
+        assert ob.n == ab.n
+        assert ob.touched == ab.touched
+        if ob.node_map is None:
+            assert ab.node_map == tuple(range(len(ab.node_map)))
+        else:
+            assert ob.node_map == ab.node_map
+        # old_degrees covers exactly the touched survivors
+        assert set(ob.old_degrees) >= set(ob.touched)
+    return rejected
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_valid_batches(seed):
+    _fuzz(seed, steps=40, allow_invalid=False)
+
+
+@pytest.mark.parametrize("seed", range(8, 14))
+def test_fuzz_with_rejections(seed):
+    rejected = _fuzz(seed, steps=40, allow_invalid=True)
+    assert rejected > 0  # the adversarial kinds must actually fire
+
+
+def test_orphaning_removal_explicit():
+    """Removing a star centre orphans every edge and relabels every
+    higher node — the worst case for the O(dirty) bookkeeping."""
+    g = families.star_graph(5)  # centre 0, leaves 1..5
+    n, edges = g.n, list(g.edges)
+    topo = MutableTopology(n, edges)
+    inputs = [1] * n
+    ref_inputs = [1] * n
+    ab = apply_edits(n, edges, ref_inputs, [remove_vertex(0)])
+    ob = topo.apply_batch([remove_vertex(0)], inputs)
+    assert topo.n == 5 and topo.m == 0
+    assert ob.node_map == ab.node_map == (None, 0, 1, 2, 3, 4)
+    assert ob.touched == ab.touched == frozenset(range(5))
+    assert ob.removed == ((0, 5),)
+    _assert_states_equal(topo, inputs, ab.n, list(ab.edges), list(ab.inputs))
+
+
+def test_rollback_last_round_trips():
+    """The session-layer escape hatch: a structurally valid batch that
+    fails a *session* bound is rolled back wholesale."""
+    g = families.cycle_graph(6)
+    topo = MutableTopology(g.n, list(g.edges))
+    inputs = [1] * 6
+    before_edges = topo.edges_sorted()
+    topo.apply_batch([add_edge(0, 3), reweight(2, 9)], inputs)
+    topo.rollback_last(inputs)
+    assert topo.edges_sorted() == before_edges
+    assert inputs == [1] * 6
+    _assert_states_equal(topo, inputs, 6, before_edges, [1] * 6)
+    with pytest.raises(RuntimeError, match="no batch to roll back"):
+        topo.rollback_last(inputs)  # one-shot: already consumed
+
+
+def test_membership_churn_sequence():
+    """A scripted add/remove interleaving crossing label shifts."""
+    n, edges = 4, [(0, 1), (1, 2), (2, 3)]
+    topo = MutableTopology(n, edges)
+    inputs = [1, 2, 3, 4]
+    ref_inputs = [1, 2, 3, 4]
+    script = [
+        [add_vertex(9, [0, 2])],
+        [remove_vertex(1)],          # shifts every higher label down
+        [add_edge(0, 1), remove_vertex(3)],
+        [add_vertex(7, []), reweight(0, 5)],  # isolated newcomer
+    ]
+    for batch in script:
+        ab = apply_edits(n, edges, ref_inputs, batch)
+        ob = topo.apply_batch(batch, inputs)
+        n, edges, ref_inputs = ab.n, list(ab.edges), list(ab.inputs)
+        assert ob.touched == ab.touched
+        if ob.node_map is not None:
+            assert ob.node_map == ab.node_map
+        _assert_states_equal(topo, inputs, n, edges, ref_inputs)

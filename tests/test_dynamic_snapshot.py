@@ -30,6 +30,8 @@ from repro.graphs.weights import uniform_weights
 from repro.simulator.runtime import run
 from repro.core.edge_packing import edge_packing_job
 
+from helpers import assert_run_results_equal
+
 
 def _vc_session(mode="incremental", metering="bits", arithmetic="scaled",
                 algorithm="port", seed_w=2):
@@ -47,7 +49,9 @@ def _drive(session, stream, batches):
 
 
 def _assert_sessions_equal(a, b):
-    assert a.result == b.result  # RunResult dataclass: every field
+    # every RunResult field, with a field-naming diff on mismatch
+    assert_run_results_equal(a.result, b.result,
+                             label_a="control", label_b="restored")
     assert a.graph.edges == b.graph.edges
     assert a.inputs == b.inputs
     assert a.stats == b.stats
@@ -135,7 +139,8 @@ class TestRestoreEqualsUninterrupted:
         restored = DynamicRun.restore(victim.snapshot())
         assert restored.batches_applied == 2
         assert len(restored.stats) == 2
-        assert restored.result == victim.result
+        assert_run_results_equal(restored.result, victim.result,
+                                 label_a="restored", label_b="victim")
 
     def test_validators_survive_the_round_trip(self):
         """The restored session still enforces the pinned bounds."""
@@ -211,11 +216,14 @@ class TestProcessBoundary:
             backend="process",
         )
         (res1, blob1), (res2, blob2) = out
-        assert res1 == control.result
-        assert res2 == control.result
+        assert_run_results_equal(res1, control.result,
+                                 label_a="child-1", label_b="control")
+        assert_run_results_equal(res2, control.result,
+                                 label_a="child-2", label_b="control")
         # and the child's re-snapshot restores in the parent
         grandchild = DynamicRun.restore(blob1)
-        assert grandchild.result == control.result
+        assert_run_results_equal(grandchild.result, control.result,
+                                 label_a="grandchild", label_b="control")
 
     @pytest.mark.parametrize(
         "obj",
@@ -240,10 +248,7 @@ class TestProcessBoundary:
                                      [1, 2, 3, 1, 2, 3, 1, 2, 3, 1]))
         child_bytes = map_jobs(_pickle_roundtrip, [res], 2, backend="process")
         clone = pickle.loads(child_bytes[0])
-        assert clone == res
-        assert clone.per_round_bits == res.per_round_bits
-        assert clone.states == res.states
-        assert clone.outputs == res.outputs
+        assert_run_results_equal(clone, res, label_a="clone", label_b="original")
 
     def test_generational_memo_contents_survive(self):
         memo = GenerationalMemo()

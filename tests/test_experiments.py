@@ -368,7 +368,16 @@ class TestChurnExperiment:
 
         serial = run(rates=[1, 2], n=64, batches=2)
         pooled = run(rates=[1, 2], n=64, batches=2, n_workers=2, backend="process")
-        assert serial.rows == pooled.rows
+
+        def algorithmic(rows):
+            # latency columns are wall clock — everything else must be
+            # bit-identical between serial and pooled execution
+            return [
+                {k: v for k, v in row.items() if "latency" not in k}
+                for row in rows
+            ]
+
+        assert algorithmic(serial.rows) == algorithmic(pooled.rows)
 
     def test_registered_in_cli(self, capsys):
         from repro.experiments.cli import main

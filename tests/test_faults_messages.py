@@ -44,6 +44,8 @@ from repro.simulator.faults import (
 )
 from repro.simulator.runtime import run, run_reference
 
+from helpers import assert_run_results_equal
+
 FAULTY_KINDS = tuple(k for k in FAULT_KINDS if k != "none")
 
 N = 8
@@ -94,8 +96,8 @@ class TestEngineEquivalence:
         # state corruption) must not leak one run's buffer into the next
         fast = run(fault_adversary=_adversary(kind), **jobfn())
         ref = run_reference(fault_adversary=_adversary(kind), **jobfn())
-        assert fast == ref  # RunResult dataclass: every field compared
-        assert fast.per_round_bits == ref.per_round_bits
+        # every RunResult field, with a field-naming diff on mismatch
+        assert_run_results_equal(fast, ref, label_a="fast", label_b="reference")
 
     @pytest.mark.parametrize("jobfn", [_port_job, _bcast_job],
                              ids=["port", "broadcast"])
@@ -109,7 +111,7 @@ class TestEngineEquivalence:
 
         fast = run(fault_adversary=mk(), **jobfn())
         ref = run_reference(fault_adversary=mk(), **jobfn())
-        assert fast == ref
+        assert_run_results_equal(fast, ref, label_a="fast", label_b="reference")
 
     def test_crash_stop_never_halts(self):
         # crash-stop: node 2 goes down at round 1 and never recovers,
@@ -120,7 +122,7 @@ class TestEngineEquivalence:
         job = _port_job(max_rounds=30)
         fast = run(fault_adversary=mk(), **job)
         ref = run_reference(fault_adversary=mk(), **job)
-        assert fast == ref
+        assert_run_results_equal(fast, ref, label_a="fast", label_b="reference")
         assert not fast.all_halted
         assert fast.rounds == 30
 
@@ -133,7 +135,7 @@ class TestEngineEquivalence:
         job = _port_job(max_rounds=5 + T_PORT)
         fast = run(fault_adversary=mk(), **job)
         ref = run_reference(fault_adversary=mk(), **job)
-        assert fast == ref
+        assert_run_results_equal(fast, ref, label_a="fast", label_b="reference")
         fault_free = run(**edge_packing_job(_graph(), _weights()))
         assert fast.outputs == fault_free.outputs
 
@@ -146,7 +148,7 @@ class TestDeterminism:
         a1, a2 = _adversary(kind, seed=5), _adversary(kind, seed=5)
         r1 = run(fault_adversary=a1, **_port_job())
         r2 = run(fault_adversary=a2, **_port_job())
-        assert r1 == r2
+        assert_run_results_equal(r1, r2, label_a="seed-run-1", label_b="seed-run-2")
         assert a1.events == a2.events
 
     @pytest.mark.parametrize("kind", ("loss", "corruption", "crash"))
@@ -178,7 +180,8 @@ class TestDeterminism:
             ),
             **_port_job(),
         )
-        assert first == second == fresh
+        assert_run_results_equal(first, second, label_a="run-1", label_b="run-2")
+        assert_run_results_equal(second, fresh, label_a="run-2", label_b="fresh")
 
 
 class TestSelfStabilisingRecovery:

@@ -134,10 +134,12 @@ def check_help_texts() -> None:
     parser = _build_parser()
     sweep_parser = None
     dynamic_parser = None
+    serve_parser = None
     for action in parser._actions:
         if isinstance(action, argparse._SubParsersAction):
             sweep_parser = action.choices.get("sweep")
             dynamic_parser = action.choices.get("dynamic")
+            serve_parser = action.choices.get("serve")
     if sweep_parser is None:
         fail("repro.cli has no 'sweep' subcommand")
         return
@@ -162,6 +164,24 @@ def check_help_texts() -> None:
             fail(f"repro.cli dynamic --help no longer documents {flag}")
         else:
             ok(f"repro.cli dynamic --help documents {flag}")
+
+    # the serving host rides the same CLI: the subcommand is
+    # advertised and documents the knobs performance.md promises.
+    if "serve" not in parser.format_help():
+        fail("repro.cli --help no longer advertises the 'serve' subcommand")
+    else:
+        ok("repro.cli --help advertises the 'serve' subcommand")
+    if serve_parser is None:
+        fail("repro.cli has no 'serve' subcommand")
+        return
+    serve_help = serve_parser.format_help()
+    for flag in ("--sessions", "--workers", "--checkpoint-every",
+                 "--stream", "--mode", "--batches", "--edits-per-batch",
+                 "--verify", "--json"):
+        if flag not in serve_help:
+            fail(f"repro.cli serve --help no longer documents {flag}")
+        else:
+            ok(f"repro.cli serve --help documents {flag}")
 
     vc_parser = None
     for action in parser._actions:
@@ -281,6 +301,24 @@ def check_architecture_doc() -> None:
             ok(f"architecture.md covers the sharded engine: {piece}")
         else:
             fail(f"architecture.md does not mention {piece}")
+    # ...and the serving host / overlay layer (PR 9).  The names are
+    # read from the package, not hard-coded: they must stay importable
+    # AND documented.
+    import repro.dynamic as dynamic_pkg
+
+    for name in ("ServingHost", "MutableTopology", "latency_summary"):
+        if not hasattr(dynamic_pkg, name):
+            fail(f"repro.dynamic no longer exports {name}")
+        elif name in doc:
+            ok(f"architecture.md covers the serving/overlay layer: {name}")
+        else:
+            fail(f"architecture.md does not mention {name}")
+    for piece in ("repro.dynamic.serving", "repro.dynamic.overlay",
+                  "light cone", "serve_pool", "checkpoint"):
+        if piece in doc:
+            ok(f"architecture.md covers the serving/overlay layer: {piece}")
+        else:
+            fail(f"architecture.md does not mention {piece}")
 
 
 def check_performance_doc() -> None:
@@ -328,11 +366,27 @@ def check_performance_doc() -> None:
     for knob in ("arithmetic", "n_workers", "quiescence", "replay",
                  "DynamicRun", "repaired_fraction", "engine",
                  "MaxRoundsExceeded", "StateLayout", "bench_columnar",
-                 "shards=", "bench_shards"):
+                 "shards=", "bench_shards", "ServingHost", "workers=",
+                 "checkpoint_every", "latency_summary", "MutableTopology",
+                 "cone_node_rounds", "bench_serving"):
         if knob not in doc:
             fail(f"docs/performance.md does not mention {knob}")
         else:
             ok(f"performance.md mentions {knob}")
+    # the serving defaults are read from the code, not hard-coded: the
+    # doc must state the real checkpoint cadence.
+    import inspect
+
+    from repro.dynamic import ServingHost
+
+    ckpt_default = inspect.signature(ServingHost.__init__).parameters[
+        "checkpoint_every"
+    ].default
+    if f"`checkpoint_every` (default {ckpt_default})" in doc:
+        ok(f"performance.md states checkpoint_every default = {ckpt_default}")
+    else:
+        fail(f"docs/performance.md does not state the real "
+             f"checkpoint_every default ({ckpt_default})")
     # the sharding thresholds are read from the code, not hard-coded:
     # the doc must state the real engagement floor and width clamp.
     from repro.simulator import sharding
