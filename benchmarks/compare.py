@@ -24,7 +24,8 @@ Auxiliary sections (``sweep_scaling`` from
 ``bench_sweep_scaling.py``; ``bvc_replay``/``selfstab`` from
 ``bench_replay.py``; ``dynamic``/``dynamic_snapshot`` from
 ``bench_dynamic.py``; ``columnar`` from ``bench_columnar.py``;
-``serving`` from ``bench_serving.py``) are
+``serving`` from ``bench_serving.py``; ``obs`` from
+``bench_obs.py``) are
 host- or configuration-comparisons, not
 hot-path history: ``check`` never
 gates on them and a baseline without them still compares cleanly
@@ -46,7 +47,7 @@ DEFAULT_THRESHOLD = 1.25
 # check skips them whether present or missing, update preserves them.
 AUX_SECTIONS = (
     "sweep_scaling", "bvc_replay", "selfstab", "dynamic",
-    "dynamic_snapshot", "columnar", "shards", "serving",
+    "dynamic_snapshot", "columnar", "shards", "serving", "obs",
 )
 
 # (numerator benchmark or seed entry, denominator benchmark) pairs the

@@ -42,6 +42,8 @@ import pickle
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro._util.identity import IdentityMemo
+from repro.obs import CTR_MEMO_HIT, CTR_MEMO_MISS
+from repro.obs import current as _tracer
 
 __all__ = [
     "REPLAY_INCREMENTAL",
@@ -132,10 +134,15 @@ class ReplayMemo:
 
     def get(self, key: Hashable) -> Optional[Any]:
         value = self._entries.get(key)
+        tr = _tracer()
         if value is None:
             self.misses += 1
+            if tr is not None:
+                tr.count(CTR_MEMO_MISS)
         else:
             self.hits += 1
+            if tr is not None:
+                tr.count(CTR_MEMO_HIT)
         return value
 
     def put(self, key: Hashable, value: Any) -> Any:
@@ -172,10 +179,15 @@ class GenerationalMemo:
 
     def get(self, generation: int, key: Hashable) -> Optional[Any]:
         value = self._buckets.get(generation, {}).get(key)
+        tr = _tracer()
         if value is None:
             self.misses += 1
+            if tr is not None:
+                tr.count(CTR_MEMO_MISS)
         else:
             self.hits += 1
+            if tr is not None:
+                tr.count(CTR_MEMO_HIT)
         return value
 
     def put(self, generation: int, key: Hashable, value: Any) -> Any:

@@ -64,12 +64,16 @@ runs the *same* per-job callable — are bit-for-bit identical across
 from __future__ import annotations
 
 import atexit
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.obs import CTR_POOL_RESTARTS, EV_POOL_RETRY
 
 __all__ = [
     "BACKENDS",
@@ -300,6 +304,33 @@ def _run_chunk(fn: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
     return [fn(j) for j in chunk]
 
 
+def _run_chunk_traced(
+    fn: Callable[[Any], Any], chunk: List[Any]
+) -> Tuple[List[Any], Dict[str, Any]]:
+    """Worker-side chunk body under a worker-local tracer.
+
+    The parent's tracer cannot cross the process boundary, so the
+    chunk runs with its own and ships the drained buffers back with
+    the results; the parent absorbs them into its trace.
+    """
+    tracer = obs.Tracer(f"pool worker pid {os.getpid()}")
+    with obs.tracing(tracer):
+        results = [fn(j) for j in chunk]
+    return results, tracer.drain_remote()
+
+
+def _note_retry(tr: Optional["obs.Tracer"], ev: RetryEvent) -> None:
+    if tr is not None:
+        tr.event(
+            EV_POOL_RETRY,
+            chunk=ev.chunk,
+            jobs=ev.jobs,
+            attempt=ev.attempt,
+            action=ev.action,
+            backoff_s=ev.backoff_s,
+        )
+
+
 def _picklable(*objs: Any) -> bool:
     try:
         for obj in objs:
@@ -344,22 +375,27 @@ def _map_process(
     events: List[RetryEvent] = []
     pool_failures = 0
     degraded = False
+    tr = obs.current()
+    # Traced chunks run under a worker-local tracer and return
+    # (results, trace payload); serial fallbacks run in the parent,
+    # where the parent's tracer is already installed.
+    runner = _run_chunk if tr is None else _run_chunk_traced
 
     while pending:
         if pool_failures >= _MAX_POOL_FAILURES:
             # Rung 3: stop building pools, finish in the parent.
             degraded = True
             for ci in pending:
-                events.append(
-                    RetryEvent(
-                        chunk=ci,
-                        jobs=len(chunks[ci]),
-                        attempt=attempts[ci],
-                        error="pool failure budget exhausted",
-                        backoff_s=0.0,
-                        action="serial",
-                    )
+                ev = RetryEvent(
+                    chunk=ci,
+                    jobs=len(chunks[ci]),
+                    attempt=attempts[ci],
+                    error="pool failure budget exhausted",
+                    backoff_s=0.0,
+                    action="serial",
                 )
+                events.append(ev)
+                _note_retry(tr, ev)
                 results[ci] = _run_chunk(fn, chunks[ci])
             pending = []
             break
@@ -368,7 +404,7 @@ def _map_process(
         futures: Dict[int, Any] = {}
         for ci in pending:
             try:
-                futures[ci] = pool.submit(_run_chunk, fn, chunks[ci])
+                futures[ci] = pool.submit(runner, fn, chunks[ci])
             except BrokenProcessPool:
                 break  # pool died before the work even left: retry all
 
@@ -380,18 +416,25 @@ def _map_process(
                 failed.append(ci)
                 continue
             try:
-                results[ci] = fut.result()
+                value = fut.result()
             except BrokenProcessPool as exc:
                 err = exc
                 failed.append(ci)
+                continue
             # A genuine job exception (not a dead worker) propagates:
             # retrying deterministic code cannot fix it.
+            if tr is not None:
+                value, payload = value
+                tr.absorb(payload)
+            results[ci] = value
 
         if not failed:
             pending = []
             break
 
         pool_failures += 1
+        if tr is not None:
+            tr.count(CTR_POOL_RESTARTS)
         _retire_pool(n_workers, pool)
         err_text = repr(err) if err is not None else "BrokenProcessPool"
         next_pending: List[int] = []
@@ -401,16 +444,16 @@ def _map_process(
             if attempts[ci] >= _MAX_CHUNK_REDISPATCH:
                 # Rung 2: the chunk itself is the likely killer — run
                 # it in the parent so a real fault surfaces normally.
-                events.append(
-                    RetryEvent(
-                        chunk=ci,
-                        jobs=len(chunks[ci]),
-                        attempt=attempts[ci],
-                        error=err_text,
-                        backoff_s=0.0,
-                        action="serial",
-                    )
+                ev = RetryEvent(
+                    chunk=ci,
+                    jobs=len(chunks[ci]),
+                    attempt=attempts[ci],
+                    error=err_text,
+                    backoff_s=0.0,
+                    action="serial",
                 )
+                events.append(ev)
+                _note_retry(tr, ev)
                 results[ci] = _run_chunk(fn, chunks[ci])
             else:
                 # Rung 1: fresh pool, exponential backoff.
@@ -419,16 +462,16 @@ def _map_process(
                     _BACKOFF_BASE_S * 2.0 ** (attempts[ci] - 1),
                 )
                 backoff = max(backoff, wait)
-                events.append(
-                    RetryEvent(
-                        chunk=ci,
-                        jobs=len(chunks[ci]),
-                        attempt=attempts[ci],
-                        error=err_text,
-                        backoff_s=wait,
-                        action="redispatch",
-                    )
+                ev = RetryEvent(
+                    chunk=ci,
+                    jobs=len(chunks[ci]),
+                    attempt=attempts[ci],
+                    error=err_text,
+                    backoff_s=wait,
+                    action="redispatch",
                 )
+                events.append(ev)
+                _note_retry(tr, ev)
                 next_pending.append(ci)
         if next_pending and backoff > 0.0:
             time.sleep(backoff)

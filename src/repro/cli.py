@@ -60,9 +60,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import List, Optional
 
+from repro import obs
 from repro.baselines.exact import exact_min_set_cover, exact_min_vertex_cover
 from repro.core.edge_packing import (
     EdgePackingMachine,
@@ -336,6 +336,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     se.add_argument("--json", action="store_true", help="machine-readable output")
 
+    tr = sub.add_parser(
+        "trace",
+        help="inspect Chrome trace files written by --trace",
+    )
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+    trsum = trsub.add_parser(
+        "summarize",
+        help="human-readable span/event/counter summary of a trace file",
+    )
+    trsum.add_argument("path", help="trace JSON file (from --trace)")
+
+    # Every run-shaped command can capture a trace of itself.
+    for cmd in (vc, sw, dy, se):
+        cmd.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="record a Chrome trace (spans, events, counters; load "
+            "in Perfetto or summarize with `repro.cli trace summarize`)",
+        )
+
     sub.add_parser("families", help="list graph family names")
     return parser
 
@@ -501,9 +520,9 @@ def _run_sweep(args) -> dict:
                     )
                 )
 
-    started = time.perf_counter()
+    started = obs.clock()
     results = sweep(jobs, n_workers=args.workers, backend=args.backend)
-    elapsed = time.perf_counter() - started
+    elapsed = obs.clock() - started
 
     assemble = (
         edge_packing_from_run if args.algorithm == "port" else broadcast_vc_from_run
@@ -641,14 +660,14 @@ def _run_dynamic(args) -> dict:
     stream = _make_stream(args.stream, args.edits_per_batch, args.seed, W, delta)
 
     records = []
-    started = time.perf_counter()
+    started = obs.clock()
     for _ in range(args.batches):
         batch = stream.next_batch(session.graph, session.inputs)
         if not batch:
             continue
-        t0 = time.perf_counter()
+        t0 = obs.clock()
         stats = session.apply(batch)
-        wall_ms = (time.perf_counter() - t0) * 1e3
+        wall_ms = (obs.clock() - t0) * 1e3
         if shadow is not None:
             shadow.apply(batch)
             a, b = session.result, shadow.result
@@ -680,7 +699,7 @@ def _run_dynamic(args) -> dict:
                 "wall_ms": round(wall_ms, 2),
             }
         )
-    elapsed = time.perf_counter() - started
+    elapsed = obs.clock() - started
     payload = {
         "problem": "dynamic-vertex-cover",
         "algorithm": session.flow,
@@ -771,14 +790,14 @@ def _run_serve(args) -> dict:
     # Timed: serve every scripted stream through the host, one
     # multiplexed wave per batch index.
     host = ServingHost(workers=args.workers, checkpoint_every=args.checkpoint_every)
-    started = time.perf_counter()
+    started = obs.clock()
     for sid, blob0, _, _ in scripts:
         host.open(sid, blob0)
     waves = max((len(b) for _, _, b, _ in scripts), default=0)
     for w in range(waves):
         items = [(sid, b[w]) for sid, _, b, _ in scripts if w < len(b)]
         host.apply_each(items)
-    elapsed = time.perf_counter() - started
+    elapsed = obs.clock() - started
     report = host.report()
 
     if args.verify:
@@ -817,11 +836,43 @@ def _run_serve(args) -> dict:
             round(total_batches / elapsed, 2) if elapsed > 0 else 0.0
         ),
         "latency_ms": _round_latency(report.latency_ms),
+        "counters": report.counters,
     }
+
+
+def _summarize_trace_file(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace file: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{path} is not a JSON trace file: {exc}")
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise SystemExit(
+            f"{path} does not look like a Chrome trace (no traceEvents)"
+        )
+    return obs.summarize_trace(data)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "trace":
+        print(_summarize_trace_file(args.path))
+        return 0
+    tracer = None
+    if getattr(args, "trace", None):
+        tracer = obs.Tracer(f"repro.cli {args.command}")
+        obs.install(tracer)
+    try:
+        return _dispatch(args)
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+            tracer.dump(args.trace)
+
+
+def _dispatch(args) -> int:
     if args.command == "families":
         for name in sorted(families.FAMILIES):
             print(name)

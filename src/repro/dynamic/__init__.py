@@ -38,6 +38,7 @@ from repro.dynamic.streams import (
     EditStream,
     HubChurn,
     RandomChurn,
+    SetCoverChurn,
     SlidingWindowStream,
 )
 
@@ -58,6 +59,7 @@ __all__ = [
     "OverlayBatch",
     "RandomChurn",
     "ServingHost",
+    "SetCoverChurn",
     "SlidingWindowStream",
     "latency_summary",
     "add_edge",

@@ -48,14 +48,23 @@ from __future__ import annotations
 
 import itertools
 import math
-import time
+import os
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro._util.parallel import retire_serve_pools, serve_pool
 from repro.dynamic.edits import GraphEdit
 from repro.dynamic.session import BatchStats, DynamicRun
+from repro.obs import (
+    CTR_SERVING_CHECKPOINTS,
+    CTR_SERVING_RECOVERIES,
+    CTR_SERVING_REPLAYED,
+    EV_SERVING_CHECKPOINT,
+    EV_SERVING_RECOVERY,
+    EV_SERVING_REPLAY,
+)
 
 __all__ = ["HostReport", "ServingHost", "latency_summary"]
 
@@ -114,6 +123,21 @@ def _w_apply(key: str, edits: Sequence[GraphEdit]) -> BatchStats:
     return _SESSIONS[key].apply(edits)
 
 
+def _w_apply_traced(
+    key: str, edits: Sequence[GraphEdit]
+) -> Tuple[BatchStats, Dict[str, Any]]:
+    """Like :func:`_w_apply`, plus the worker-side trace payload.
+
+    Used when the host process has a tracer installed: the batch span
+    and dynamic-batch events recorded inside the worker ship back with
+    the stats and are absorbed into the host trace as a worker lane.
+    """
+    tracer = obs.Tracer(f"serve worker pid {os.getpid()}")
+    with obs.tracing(tracer):
+        stats = _SESSIONS[key].apply(edits)
+    return stats, tracer.drain_remote()
+
+
 def _w_snapshot(key: str) -> bytes:
     return _SESSIONS[key].snapshot()
 
@@ -152,6 +176,11 @@ class HostReport:
     batches_applied: int
     worker_recoveries: int
     latency_ms: Dict[str, float]  #: :func:`latency_summary` of batch latencies
+    #: Trace-derived serving counters (:data:`repro.obs.COUNTER_NAMES`
+    #: vocabulary): checkpoints taken, worker recoveries, batches
+    #: replayed during recovery.  Kept host-side, so populated whether
+    #: or not a tracer is installed.
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 class ServingHost:
@@ -181,6 +210,11 @@ class ServingHost:
         self._next_worker = 0
         self._recoveries = 0
         self._latencies: List[float] = []
+        self._counters: Dict[str, int] = {
+            CTR_SERVING_CHECKPOINTS: 0,
+            CTR_SERVING_RECOVERIES: 0,
+            CTR_SERVING_REPLAYED: 0,
+        }
         self._closed = False
 
     # -- session lifecycle ----------------------------------------------
@@ -249,13 +283,15 @@ class ServingHost:
         """Apply one batch to one session (synchronous)."""
         slot = self._slot(session_id)
         edits = list(edits)
-        t0 = time.perf_counter()
+        t0 = obs.clock()
         if slot.worker < 0:
+            # In-process: the session records into the host's own
+            # tracer (if any) directly; no payload transport needed.
             stats = _w_apply(self._key(session_id), edits)
         else:
             stats = self._submit_apply(session_id, slot, edits)
         self._commit(session_id, slot, edits)
-        self._latencies.append((time.perf_counter() - t0) * 1e3)
+        self._latencies.append((obs.clock() - t0) * 1e3)
         return stats
 
     def apply_each(
@@ -271,7 +307,7 @@ class ServingHost:
         siblings stay committed, exactly as if applied one by one.
         """
         items = [(sid, list(edits)) for sid, edits in items]
-        t0 = time.perf_counter()
+        t0 = obs.clock()
         if not self.workers:
             results: List[Any] = []
             first_err: Optional[BaseException] = None
@@ -286,12 +322,14 @@ class ServingHost:
                 raise first_err
             return results
 
+        tr = obs.current()
+        w_apply = _w_apply if tr is None else _w_apply_traced
         futures: List[Any] = []
         for sid, edits in items:
             slot = self._slot(sid)
             futures.append(
                 (sid, edits, self._pool(slot.worker).submit(
-                    _w_apply, self._key(sid), edits
+                    w_apply, self._key(sid), edits
                 ))
             )
         results = [None] * len(items)
@@ -300,7 +338,11 @@ class ServingHost:
         for i, (sid, edits, fut) in enumerate(futures):
             slot = self._slots[sid]
             try:
-                results[i] = fut.result()
+                value = fut.result()
+                if tr is not None:
+                    value, payload = value
+                    tr.absorb(payload, lane=f"serve worker {slot.worker}")
+                results[i] = value
                 self._commit(sid, slot, edits)
             except BrokenProcessPool:
                 broken.append(i)
@@ -321,7 +363,7 @@ class ServingHost:
                 except Exception as exc:
                     if first_err is None:
                         first_err = exc
-        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        elapsed_ms = (obs.clock() - t0) * 1e3
         # One multiplexed wave: attribute the wave's wall clock to each
         # batch would overcount; record the per-batch share.
         if items:
@@ -335,6 +377,15 @@ class ServingHost:
         slot.log.append(edits)
         slot.batches += 1
         if slot.worker >= 0 and len(slot.log) >= self.checkpoint_every:
+            self._counters[CTR_SERVING_CHECKPOINTS] += 1
+            tr = obs.current()
+            if tr is not None:
+                tr.event(
+                    EV_SERVING_CHECKPOINT,
+                    session=session_id,
+                    batches=len(slot.log),
+                )
+                tr.count(CTR_SERVING_CHECKPOINTS)
             slot.checkpoint = self._submit(
                 slot.worker, _w_snapshot, self._key(session_id)
             )
@@ -356,33 +407,51 @@ class ServingHost:
     def _submit_apply(
         self, session_id: str, slot: _Slot, edits: List[GraphEdit]
     ) -> BatchStats:
+        tr = obs.current()
+        w_apply = _w_apply if tr is None else _w_apply_traced
         try:
-            return (
+            value = (
                 self._pool(slot.worker)
-                .submit(_w_apply, self._key(session_id), edits)
+                .submit(w_apply, self._key(session_id), edits)
                 .result()
             )
         except BrokenProcessPool:
             # The dying worker cannot have committed this batch (it
             # died holding it); recover the fleet slice and retry once.
             self._recover_worker(slot.worker)
-            return (
+            value = (
                 self._pool(slot.worker)
-                .submit(_w_apply, self._key(session_id), edits)
+                .submit(w_apply, self._key(session_id), edits)
                 .result()
             )
+        if tr is not None:
+            value, payload = value
+            tr.absorb(payload, lane=f"serve worker {slot.worker}")
+        return value
 
     def _recover_worker(self, worker: int) -> None:
         """Rebuild every session of a dead worker on a fresh process."""
         retire_serve_pools(worker)
         self._recoveries += 1
+        self._counters[CTR_SERVING_RECOVERIES] += 1
+        tr = obs.current()
         pool = self._pool(worker)  # fresh single-worker pool
+        recovered = 0
         for sid, slot in self._slots.items():
             if slot.worker != worker:
                 continue
+            recovered += 1
+            self._counters[CTR_SERVING_REPLAYED] += len(slot.log)
+            if tr is not None:
+                tr.event(EV_SERVING_REPLAY, session=sid, batches=len(slot.log))
+                if slot.log:
+                    tr.count(CTR_SERVING_REPLAYED, len(slot.log))
             pool.submit(
                 _w_recover, self._key(sid), slot.checkpoint, slot.log
             ).result()
+        if tr is not None:
+            tr.event(EV_SERVING_RECOVERY, worker=worker, sessions=recovered)
+            tr.count(CTR_SERVING_RECOVERIES)
 
     # -- metrics ---------------------------------------------------------
 
@@ -394,4 +463,5 @@ class ServingHost:
             batches_applied=sum(s.batches for s in self._slots.values()),
             worker_recoveries=self._recoveries,
             latency_ms=latency_summary(self._latencies),
+            counters=dict(self._counters),
         )

@@ -75,7 +75,6 @@ from __future__ import annotations
 import math
 import pickle
 import random
-import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import (
@@ -89,8 +88,10 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro._util.memo import GenerationalMemo
 from repro._util.ordering import canonical_key
+from repro.obs import EV_DYNAMIC_BATCH, SPAN_BATCH
 from repro._util.sizes import message_size_bits
 from repro.dynamic.edits import EditError, GraphEdit, apply_edits
 from repro.dynamic.overlay import MutableTopology, OverlayBatch
@@ -856,7 +857,7 @@ class DynamicRun:
         or :class:`ValueError` (pinned global bound exceeded) with no
         change to the session.
         """
-        t0 = time.perf_counter()
+        t0 = obs.clock()
         edits = list(edits)
         if self._allowed_edit_kinds is not None:
             for e in edits:
@@ -995,9 +996,28 @@ class DynamicRun:
             repaired_nodes=repaired,
             rounds=self._result.rounds,
             cone_node_rounds=cone_rounds,
-            wall_ms=(time.perf_counter() - t0) * 1e3,
+            wall_ms=(obs.clock() - t0) * 1e3,
         )
         self.stats.append(stats)
+        tr = obs.current()
+        if tr is not None:
+            dur_us = stats.wall_ms * 1e3
+            tr.complete(
+                SPAN_BATCH,
+                tr.now() - dur_us,
+                batch=stats.batch,
+                mode=stats.mode,
+                n_edits=stats.n_edits,
+            )
+            tr.event(
+                EV_DYNAMIC_BATCH,
+                mode=stats.mode,
+                n_edits=stats.n_edits,
+                dirty_seeds=stats.dirty_seeds,
+                repaired_nodes=stats.repaired_nodes,
+                cone_node_rounds=stats.cone_node_rounds,
+                rounds=stats.rounds,
+            )
         return stats
 
     # -- durability ------------------------------------------------------

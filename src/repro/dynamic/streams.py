@@ -23,7 +23,13 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from repro.dynamic.edits import GraphEdit, add_edge, remove_edge, reweight
 from repro.graphs.topology import PortNumberedGraph
 
-__all__ = ["EditStream", "RandomChurn", "HubChurn", "SlidingWindowStream"]
+__all__ = [
+    "EditStream",
+    "RandomChurn",
+    "HubChurn",
+    "SetCoverChurn",
+    "SlidingWindowStream",
+]
 
 
 class EditStream:
@@ -216,6 +222,120 @@ class HubChurn(EditStream):
             degrees[e[1]] -= 1
             self._severed.append(e)
             batch.append(remove_edge(*e))
+        return batch
+
+
+class SetCoverChurn(EditStream):
+    """Membership churn for the set-cover flow's bipartite layout.
+
+    Every edit the stream emits respects the pinned session bounds
+    (:meth:`repro.dynamic.session.DynamicRun.set_cover`): an edge is
+    only ever added between a subset node and an element node and only
+    while the subset stays within size ``k`` and the element within
+    frequency ``f``; a removal never orphans an element (its degree
+    stays ``>= 1``); reweights target subset nodes with weights drawn
+    uniformly in ``1..W``.  Roles are read off the session's role-dict
+    inputs each batch, so the stream follows the instance as it drifts.
+
+    ``f``/``k``/``W`` default to the *current* instance's values at
+    each batch; pass the session's pinned bounds to let the stream
+    churn up to them instead.
+    """
+
+    def __init__(
+        self,
+        edits_per_batch: int = 2,
+        seed: int = 0,
+        p_add: float = 0.45,
+        p_remove: float = 0.45,
+        f: Optional[int] = None,
+        k: Optional[int] = None,
+        W: Optional[int] = None,
+    ):
+        if edits_per_batch < 1:
+            raise ValueError("edits_per_batch must be >= 1")
+        total = p_add + p_remove
+        if total > 1.0 + 1e-9 or p_add < 0 or p_remove < 0:
+            raise ValueError("need p_add, p_remove >= 0 with p_add + p_remove <= 1")
+        self.edits_per_batch = edits_per_batch
+        self.p_add = p_add
+        self.p_remove = p_remove
+        self.f = f
+        self.k = k
+        self.W = W
+        self.rng = random.Random(f"setcover-churn:{seed}")
+
+    def next_batch(self, graph, inputs):
+        rng = self.rng
+        subsets = [
+            v for v in range(graph.n) if inputs[v].get("role") == "subset"
+        ]
+        elements = [
+            v for v in range(graph.n) if inputs[v].get("role") == "element"
+        ]
+        if not subsets or not elements:
+            return []
+        edge_set = set(graph.edges)
+        degrees = list(graph.degree_array)
+        f = self.f if self.f is not None else max(degrees[e] for e in elements)
+        k = self.k if self.k is not None else max(degrees[s] for s in subsets)
+        W = self.W if self.W is not None else max(
+            inputs[s].get("weight", 1) for s in subsets
+        )
+        batch: List[GraphEdit] = []
+
+        def try_add() -> bool:
+            for _ in range(64):
+                s = rng.choice(subsets)
+                u = rng.choice(elements)
+                if degrees[s] >= k or degrees[u] >= f:
+                    continue
+                e = (s, u) if s < u else (u, s)
+                if e in edge_set:
+                    continue
+                edge_set.add(e)
+                degrees[s] += 1
+                degrees[u] += 1
+                batch.append(add_edge(*e))
+                return True
+            return False
+
+        def try_remove() -> bool:
+            # Only edges whose element endpoint keeps degree >= 1.
+            candidates = [
+                e
+                for e in sorted(edge_set)
+                if degrees[e[0] if inputs[e[0]]["role"] == "element" else e[1]]
+                > 1
+            ]
+            if not candidates:
+                return False
+            e = rng.choice(candidates)
+            edge_set.discard(e)
+            degrees[e[0]] -= 1
+            degrees[e[1]] -= 1
+            batch.append(remove_edge(*e))
+            return True
+
+        for _ in range(self.edits_per_batch):
+            roll = rng.random()
+            if roll >= self.p_add + self.p_remove:
+                if W > 1:
+                    s = rng.choice(subsets)
+                    batch.append(
+                        reweight(
+                            s,
+                            {"role": "subset", "weight": rng.randint(1, W)},
+                        )
+                    )
+                    continue
+                roll = 0.0
+            if roll < self.p_remove:
+                if try_remove() or try_add():
+                    continue
+            else:
+                if try_add() or try_remove():
+                    continue
         return batch
 
 

@@ -28,9 +28,9 @@ import importlib
 import inspect
 import json
 import sys
-import time
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments import EXPERIMENT_MODULES
 from repro.experiments.common import ExperimentTable
 from repro._util.memo import REPLAY_MODES
@@ -131,11 +131,11 @@ def main(argv: List[str] | None = None) -> int:
 
     records = []
     for name in names:
-        started = time.perf_counter()
+        started = obs.clock()
         tables = _run_one(
             name, args.workers, args.backend, args.replay, fault_kinds
         )
-        elapsed = time.perf_counter() - started
+        elapsed = obs.clock() - started
         if args.json:
             for table in tables:
                 record = table.to_dict()

@@ -28,7 +28,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.dynamic import DynamicRun, RandomChurn, latency_summary
+from repro.obs import CTR_MEMO_HIT, CTR_MEMO_MISS, EV_DYNAMIC_BATCH
 from repro.experiments.common import ExperimentTable, parallel_map
 from repro.graphs import families
 from repro.graphs.weights import uniform_weights, unit_weights
@@ -57,23 +59,29 @@ def _churn_cell(cfg: Tuple[str, int, int, int, int, int]) -> Dict[str, Any]:
     always_cover = inc.is_cover()
     always_equal = True
     applied = 0
-    for _ in range(batches):
-        batch = stream.next_batch(inc.graph, inc.inputs)
-        if not batch:
-            continue
-        inc.apply(batch)
-        scr.apply(batch)
-        applied += 1
-        r_inc, r_scr = inc.result, scr.result
-        always_equal = always_equal and (
-            r_inc.outputs == r_scr.outputs
-            and r_inc.states == r_scr.states
-            and r_inc.rounds == r_scr.rounds
-        )
-        view = inc.cover_view()
-        always_cover = always_cover and view.covered
-        worst_ratio = max(worst_ratio, view.certificate_ratio)
+    # A cell-local tracer: the memo and batch counters below are the
+    # trace-derived view of the same stream (tracing never changes
+    # results — the tests/test_obs.py contract).
+    tracer = obs.Tracer(f"exp-churn rate {rate}")
+    with obs.tracing(tracer):
+        for _ in range(batches):
+            batch = stream.next_batch(inc.graph, inc.inputs)
+            if not batch:
+                continue
+            inc.apply(batch)
+            scr.apply(batch)
+            applied += 1
+            r_inc, r_scr = inc.result, scr.result
+            always_equal = always_equal and (
+                r_inc.outputs == r_scr.outputs
+                and r_inc.states == r_scr.states
+                and r_inc.rounds == r_scr.rounds
+            )
+            view = inc.cover_view()
+            always_cover = always_cover and view.covered
+            worst_ratio = max(worst_ratio, view.certificate_ratio)
     stats = inc.stats
+    counters = tracer.counters
     return {
         "rate": rate,
         "batches": applied,
@@ -85,6 +93,9 @@ def _churn_cell(cfg: Tuple[str, int, int, int, int, int]) -> Dict[str, Any]:
         ),
         # per-batch repair wall clock, in the shared latency shape
         "latency_ms": latency_summary([s.wall_ms for s in stats]),
+        # trace-derived counters for the whole cell (both sessions)
+        "counters": counters,
+        "traced_batches": len(tracer.events(EV_DYNAMIC_BATCH)),
         "final_weight": inc.cover_weight(),
         "worst_ratio": worst_ratio,
         "always_cover": always_cover,
@@ -117,6 +128,7 @@ def run(
             "mean repaired nodes",
             "p50 latency (ms)",
             "p99 latency (ms)",
+            "memo hit / miss",
             "final cover weight",
             "worst certificate ratio",
             "covers valid",
@@ -138,6 +150,10 @@ def run(
                 "mean repaired nodes": round(cell["mean_nodes"], 1),
                 "p50 latency (ms)": round(cell["latency_ms"]["p50_ms"], 3),
                 "p99 latency (ms)": round(cell["latency_ms"]["p99_ms"], 3),
+                "memo hit / miss": (
+                    f"{cell['counters'].get(CTR_MEMO_HIT, 0)}"
+                    f"/{cell['counters'].get(CTR_MEMO_MISS, 0)}"
+                ),
                 "final cover weight": cell["final_weight"],
                 "worst certificate ratio": cell["worst_ratio"],
                 "covers valid": cell["always_cover"],

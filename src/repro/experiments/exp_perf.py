@@ -17,9 +17,9 @@ concurrent kernels contending for the GIL would inflate every number.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional
 
+from repro import obs
 from repro.analysis.verify import check_edge_packing, edge_packing_feasible_fast
 from repro.core.edge_packing import EdgePackingMachine, maximal_edge_packing
 from repro.experiments.common import ExperimentTable, parallel_map
@@ -59,13 +59,13 @@ def run(
         # exact same schedule (W defaults to max(w), which can fall
         # short of 8 on small n and shorten the schedule).
         delta, W = g.max_degree, 8
-        t0 = time.perf_counter()
+        t0 = obs.clock()
         res = maximal_edge_packing(g, w, delta=delta, W=W)
-        elapsed = time.perf_counter() - t0
+        elapsed = obs.clock() - t0
 
-        t0 = time.perf_counter()
+        t0 = obs.clock()
         maximal_edge_packing(g, w, delta=delta, W=W, metering="none")
-        nometer_s = time.perf_counter() - t0
+        nometer_s = obs.clock() - t0
 
         # Engine speedup compares the bare engines — same machine,
         # same instance, metering off on both sides, no packing
@@ -75,22 +75,22 @@ def run(
             globals_map={"delta": delta, "W": W},
             metering="none",
         )
-        t0 = time.perf_counter()
+        t0 = obs.clock()
         run_fast_engine(g, EdgePackingMachine(), **engine_kwargs)
-        fast_engine_s = time.perf_counter() - t0
+        fast_engine_s = obs.clock() - t0
 
-        t0 = time.perf_counter()
+        t0 = obs.clock()
         run_reference(g, EdgePackingMachine(), **engine_kwargs)
-        reference_s = time.perf_counter() - t0
+        reference_s = obs.clock() - t0
 
-        t1 = time.perf_counter()
+        t1 = obs.clock()
         check_edge_packing(g, w, res.y).require()
-        exact_s = time.perf_counter() - t1
+        exact_s = obs.clock() - t1
 
         y_float = [float(res.y[e]) for e in range(g.m)]
-        t2 = time.perf_counter()
+        t2 = obs.clock()
         assert edge_packing_feasible_fast(g, w, y_float)
-        float_s = time.perf_counter() - t2
+        float_s = obs.clock() - t2
 
         return {
             "n": n,

@@ -1,0 +1,120 @@
+"""The human view of a trace: ``summarize_trace``.
+
+Works on any loaded Chrome trace-event object (the dict
+:meth:`repro.obs.tracer.Tracer.chrome` returns, or ``json.load`` of a
+``--trace`` output file), so ``python -m repro.cli trace summarize
+out.json`` and :meth:`Tracer.summarize` share one implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["summarize_trace"]
+
+
+def _fmt_us(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.0f}us"
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def summarize_trace(data: Dict[str, Any]) -> str:
+    """Render a Chrome trace-event object as a human-readable report.
+
+    Sections: the per-pid lanes (process names + event volume), span
+    duration stats per span name, instant-event counts per name, and
+    the counter / histogram registries from ``metadata``.
+    """
+    events = data.get("traceEvents", [])
+    meta = data.get("metadata", {})
+
+    lane_names: Dict[int, str] = {}
+    lane_counts: Dict[int, int] = {}
+    spans: Dict[str, List[float]] = {}
+    instants: Dict[str, int] = {}
+    counter_samples: Dict[str, Any] = {}
+
+    for e in events:
+        ph = e.get("ph")
+        pid = e.get("pid", 0)
+        if ph == "M":
+            if e.get("name") == "process_name":
+                lane_names[pid] = e.get("args", {}).get("name", str(pid))
+            continue
+        lane_counts[pid] = lane_counts.get(pid, 0) + 1
+        if ph == "X":
+            spans.setdefault(e.get("name", "?"), []).append(
+                float(e.get("dur", 0.0)))
+        elif ph == "i":
+            name = e.get("name", "?")
+            instants[name] = instants.get(name, 0) + 1
+        elif ph == "C":
+            counter_samples.update(e.get("args", {}))
+
+    counters = dict(counter_samples)
+    counters.update(meta.get("counters", {}))
+    hists = meta.get("histograms", {})
+
+    lines: List[str] = []
+    label = meta.get("label")
+    title = f"trace summary ({label})" if label else "trace summary"
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    lines.append("")
+    lines.append("lanes:")
+    all_pids = sorted(set(lane_names) | set(lane_counts))
+    if not all_pids:
+        lines.append("  (no events)")
+    for pid in all_pids:
+        name = lane_names.get(pid, "main" if pid == 0 else f"pid {pid}")
+        lines.append(f"  [{pid}] {name}: {lane_counts.get(pid, 0)} event(s)")
+
+    if spans:
+        lines.append("")
+        lines.append("spans:")
+        for name in sorted(spans):
+            durs = sorted(spans[name])
+            total = sum(durs)
+            lines.append(
+                f"  {name}: n={len(durs)} total={_fmt_us(total)} "
+                f"p50={_fmt_us(_percentile(durs, 0.50))} "
+                f"p99={_fmt_us(_percentile(durs, 0.99))} "
+                f"max={_fmt_us(durs[-1])}")
+
+    if instants:
+        lines.append("")
+        lines.append("events:")
+        for name in sorted(instants):
+            lines.append(f"  {name}: {instants[name]}")
+
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name}: {counters[name]}")
+
+    if hists:
+        lines.append("")
+        lines.append("histograms:")
+        for name in sorted(hists):
+            vals = sorted(float(v) for v in hists[name])
+            if not vals:
+                continue
+            mean = sum(vals) / len(vals)
+            lines.append(
+                f"  {name}: n={len(vals)} mean={mean:.3f} "
+                f"p50={_percentile(vals, 0.50):.3f} "
+                f"max={vals[-1]:.3f}")
+
+    return "\n".join(lines)

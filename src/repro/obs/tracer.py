@@ -1,0 +1,287 @@
+"""The tracer core: spans, events, counters, and the install plumbing.
+
+One :class:`Tracer` per traced region.  The instrumented modules never
+hold a tracer; they ask :func:`current` at their instrumentation site
+and do nothing when it returns ``None`` — that single global read +
+``None`` check is the entire cost of disabled tracing (the no-op fast
+path ``benchmarks/bench_obs.py`` gates).
+
+Worker processes cannot see the parent's tracer.  They build their own
+(:func:`install` is per-process), and ship its buffers back with their
+results via :meth:`Tracer.drain_remote`; the parent merges them with
+:meth:`Tracer.absorb` under a distinct pid lane, yielding one trace
+for the whole fleet.
+
+Timestamps are microseconds since the tracer's creation, on
+:func:`clock` (the monotonic performance counter).  Absorbed worker
+lanes keep their own timebase — lanes are independent in the Chrome
+trace model, and cross-process clock alignment would be a lie.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Tracer",
+    "clock",
+    "current",
+    "install",
+    "uninstall",
+    "tracing",
+]
+
+#: The process-wide wall clock every timed code path in ``src/`` uses
+#: (``tools/check_no_raw_timers.py`` forbids direct ``perf_counter``
+#: use outside this package, so timing stays observable in one place).
+clock = time.perf_counter
+
+_CURRENT: Optional["Tracer"] = None
+
+
+def current() -> Optional["Tracer"]:
+    """The installed tracer, or ``None`` (tracing disabled).
+
+    This is the no-op fast path: instrumentation sites call it once,
+    check for ``None`` and pay nothing further when tracing is off.
+    """
+    return _CURRENT
+
+
+def install(tracer: Optional["Tracer"]) -> Optional["Tracer"]:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer
+    return previous
+
+
+def uninstall() -> None:
+    """Remove the installed tracer (idempotent)."""
+    install(None)
+
+
+@contextmanager
+def tracing(tracer: Optional["Tracer"]) -> Iterator[Optional["Tracer"]]:
+    """Install ``tracer`` for a ``with`` region, restoring on exit.
+
+    ``tracing(None)`` is a no-op region (tracing stays off), so
+    callers can thread an optional tracer without branching.
+    """
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)
+
+
+class Tracer:
+    """Collects spans, typed events, counters and histograms.
+
+    Append-only and lock-light: span/event records append pre-built
+    dicts (atomic under the GIL); counter and histogram updates take a
+    small lock (they read-modify-write).  All methods are safe to call
+    from multiple threads — the thread id becomes the Chrome ``tid``
+    lane, keeping per-thread spans properly nested.
+    """
+
+    def __init__(self, label: str = "main"):
+        self.label = label
+        self._t0 = clock()
+        self._events: List[Dict[str, Any]] = []
+        self._counters: Dict[str, int] = {}
+        self._hists: Dict[str, List[float]] = {}
+        self._lock = threading.Lock()
+        self._tids: Dict[int, int] = {}
+        self._lanes: List[str] = []  # absorbed worker lane labels
+
+    # -- time ------------------------------------------------------------
+
+    def now(self) -> float:
+        """Microseconds since this tracer was created."""
+        return (clock() - self._t0) * 1e6
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    # -- spans -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[None]:
+        """Record a complete-span ("X") event around a ``with`` body."""
+        t0 = self.now()
+        try:
+            yield
+        finally:
+            self.complete(name, t0, **args)
+
+    def complete(self, name: str, start_us: float, **args: Any) -> None:
+        """Record a complete span begun at ``start_us`` (from :meth:`now`).
+
+        The open-coded form of :meth:`span` for hot loops, where a
+        context manager per round would dominate the measurement.
+        """
+        now = self.now()
+        self._events.append({
+            "name": name,
+            "ph": "X",
+            "ts": start_us,
+            "dur": max(0.0, now - start_us),
+            "pid": 0,
+            "tid": self._tid(),
+            "args": args,
+        })
+
+    # -- typed events / registries --------------------------------------
+
+    def event(self, name: str, **args: Any) -> None:
+        """Record an instant ("i") event with structured args."""
+        self._events.append({
+            "name": name,
+            "ph": "i",
+            "ts": self.now(),
+            "pid": 0,
+            "tid": self._tid(),
+            "s": "t",
+            "args": args,
+        })
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Bump a monotonic counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def observe(self, name: str, value: float) -> None:
+        """Append a sample to a histogram series."""
+        with self._lock:
+            self._hists.setdefault(name, []).append(float(value))
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """A snapshot of the counter registry."""
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def histograms(self) -> Dict[str, List[float]]:
+        """A snapshot of the histogram registry."""
+        with self._lock:
+            return {k: list(v) for k, v in self._hists.items()}
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The recorded events (optionally filtered by name), a copy."""
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e["name"] == name]
+
+    # -- worker merge ----------------------------------------------------
+
+    def drain_remote(self) -> Dict[str, Any]:
+        """This tracer's buffers as one picklable payload.
+
+        Called worker-side at the end of a chunk/op so the spans ride
+        back with the results; the parent passes the payload to
+        :meth:`absorb`.
+        """
+        with self._lock:
+            return {
+                "label": self.label,
+                "os_pid": os.getpid(),
+                "events": list(self._events),
+                "counters": dict(self._counters),
+                "hists": {k: list(v) for k, v in self._hists.items()},
+            }
+
+    def absorb(self, remote: Optional[Dict[str, Any]],
+               lane: Optional[str] = None) -> None:
+        """Merge a worker payload (:meth:`drain_remote`) into this trace.
+
+        The payload's events land on a fresh pid lane (named ``lane``,
+        default the payload's label), its counters add into the
+        registry, and its histogram samples append.  ``None`` payloads
+        are ignored, so callers can ship them unconditionally.
+        """
+        if not remote:
+            return
+        with self._lock:
+            self._lanes.append(lane or remote.get("label", "worker"))
+            pid = len(self._lanes)  # 0 is the parent lane
+        for e in remote.get("events", ()):
+            e = dict(e)
+            e["pid"] = pid
+            self._events.append(e)
+        with self._lock:
+            for name, delta in remote.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + delta
+            for name, samples in remote.get("hists", {}).items():
+                self._hists.setdefault(name, []).extend(samples)
+
+    # -- export ----------------------------------------------------------
+
+    def chrome(self) -> Dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object.
+
+        ``traceEvents`` holds the spans/instants plus process-name
+        metadata for every lane and a final counter ("C") sample;
+        counters and histograms also appear under ``metadata`` for
+        programmatic readers (the ``summarize`` view, ``HostReport``).
+        """
+        with self._lock:
+            lanes = list(self._lanes)
+            counters = dict(self._counters)
+            hists = {k: list(v) for k, v in self._hists.items()}
+        events: List[Dict[str, Any]] = [{
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": self.label},
+        }]
+        for i, lane in enumerate(lanes):
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": i + 1,
+                "tid": 0,
+                "args": {"name": lane},
+            })
+        events.extend(self._events)
+        if counters:
+            events.append({
+                "name": "counters",
+                "ph": "C",
+                "ts": self.now(),
+                "pid": 0,
+                "tid": 0,
+                "args": counters,
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "label": self.label,
+                "counters": counters,
+                "histograms": hists,
+            },
+        }
+
+    def dump(self, path: str) -> None:
+        """Write :meth:`chrome` JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome(), fh)
+
+    def summarize(self) -> str:
+        """The human view (see :func:`repro.obs.export.summarize_trace`)."""
+        from repro.obs.export import summarize_trace
+
+        return summarize_trace(self.chrome())

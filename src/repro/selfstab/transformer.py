@@ -61,7 +61,7 @@ change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
+from repro.obs import clock as _clock
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro._util.identity import IdentityMemo
@@ -256,7 +256,7 @@ class SelfStabilisingMachine(Machine):
         # identity-memoised metering/keying of the payload O(1).
         ctx_fp = self._ctx_fingerprint(ctx)
         key = None
-        t0 = perf_counter()
+        t0 = _clock()
         if ctx_fp is not None:
             fp_of = self._state_fps.of
             try:
@@ -267,7 +267,7 @@ class SelfStabilisingMachine(Machine):
                 )
             except Exception:
                 key = None
-        fp_s = perf_counter() - t0
+        fp_s = _clock() - t0
         if key is not None:
             cached = self._step_memo.get(key)
             if cached is not None:
@@ -336,7 +336,7 @@ class SelfStabilisingMachine(Machine):
         # state both repeat round after round, so one lookup replaces
         # the entire per-level loop.
         whole_key = None
-        t0 = perf_counter()
+        t0 = _clock()
         try:
             whole_key = (
                 b"step",
@@ -346,7 +346,7 @@ class SelfStabilisingMachine(Machine):
             )
         except Exception:
             pass
-        fp_s += perf_counter() - t0
+        fp_s += _clock() - t0
         if whole_key is not None:
             cached = memo.get(whole_key)
             if cached is not None:
@@ -356,7 +356,7 @@ class SelfStabilisingMachine(Machine):
         for i in range(self.horizon):
             level_inbox = self._project_level(ctx, inbox, i)
             prev = state.pipeline[i]
-            t0 = perf_counter()
+            t0 = _clock()
             try:
                 # Per-message fingerprints: emitted payload objects are
                 # identity-stable across rounds in steady state (see
@@ -365,19 +365,19 @@ class SelfStabilisingMachine(Machine):
                 key = (ctx_fp, fp_of(prev), tuple(fp_of(m) for m in level_inbox))
             except Exception:
                 key = None  # unfingerprintable level: recompute
-            fp_s += perf_counter() - t0
+            fp_s += _clock() - t0
             nxt = None
             if key is not None:
                 nxt = memo.get(key)
                 if nxt is not None:
                     avoided += 1
             if nxt is None:
-                t0 = perf_counter()
+                t0 = _clock()
                 try:
                     nxt = self.inner.step(ctx, prev, level_inbox)
                 except Exception:
                     nxt = self._start_state(ctx)
-                step_s += perf_counter() - t0
+                step_s += _clock() - t0
                 stepped += 1
                 if key is not None and nxt is not None:
                     memo.put(key, nxt)

@@ -61,6 +61,8 @@ import random
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.graphs.topology import PortNumberedGraph
+from repro.obs import CTR_FAULT_EVENTS, EV_FAULT_INJECTED
+from repro.obs import current as _tracer
 
 __all__ = [
     "FAULT_KINDS",
@@ -94,6 +96,22 @@ def _unit(seed: Any, *key: Any) -> float:
     # 53 bits, not 64: a full 64-bit draw near 2**64 rounds to 1.0 in a
     # double, and callers rely on the draw being strictly below 1.
     return (int.from_bytes(digest, "big") >> 11) * 2.0**-53
+
+
+def _note_fault(kind: str, round_index: int, count: int) -> None:
+    """Log ``count`` injected fault events on the current tracer.
+
+    The injected-event log: every adversary reports what it actually
+    did each round, so a trace shows where the faults landed.  A no-op
+    when tracing is off or nothing was injected.
+    """
+    if count <= 0:
+        return
+    tr = _tracer()
+    if tr is None:
+        return
+    tr.event(EV_FAULT_INJECTED, kind=kind, round=round_index, events=count)
+    tr.count(CTR_FAULT_EVENTS, count)
 
 
 class FaultAdversary:
@@ -200,6 +218,7 @@ class RandomStateCorruption(FaultAdversary):
             return states
         states = list(states)
         n = len(states)
+        before = self.corruptions
         for v in range(n):
             if self.rng.random() < self.rate:
                 if self.corruptor is not None:
@@ -207,6 +226,7 @@ class RandomStateCorruption(FaultAdversary):
                 else:
                     states[v] = states[self.rng.randrange(n)]
                 self.corruptions += 1
+        _note_fault("state", round_index, self.corruptions - before)
         return states
 
 
@@ -232,6 +252,7 @@ class TargetedCorruption(FaultAdversary):
         for v, bad_state in self.plan[round_index].items():
             states[v] = bad_state
             self.corruptions += 1
+        _note_fault("state", round_index, len(self.plan[round_index]))
         return states
 
 
@@ -261,10 +282,12 @@ class MessageLoss(FaultAdversary):
 
     def tamper(self, round_index, graph, links):
         rate, seed = self.rate, self.seed
+        before = self.events
         for k, m in links.items():
             if m is not None and _unit(seed, "loss", round_index, k) < rate:
                 links[k] = None
                 self.events += 1
+        _note_fault("loss", round_index, self.events - before)
         return links
 
 
@@ -308,6 +331,7 @@ class MessageCorruption(FaultAdversary):
         if not sent:
             return links
         rate, seed = self.rate, self.seed
+        before = self.events
         for k, m in sent:
             if _unit(seed, "corrupt", round_index, k) < rate:
                 if self.corruptor is not None:
@@ -318,6 +342,7 @@ class MessageCorruption(FaultAdversary):
                     j = int(_unit(seed, "pick", round_index, k) * len(sent))
                     links[k] = sent[j][1]
                 self.events += 1
+        _note_fault("corruption", round_index, self.events - before)
         return links
 
 
@@ -357,6 +382,7 @@ class MessageDuplication(FaultAdversary):
         sent = dict(links)  # pre-tamper snapshot: what round r really sent
         if self._last is not None and self._last_round == round_index - 1:
             last, rate, seed = self._last, self.rate, self.seed
+            before = self.events
             for k in links:
                 old = last.get(k)
                 if old is not None and _unit(
@@ -364,6 +390,7 @@ class MessageDuplication(FaultAdversary):
                 ) < rate:
                     links[k] = old
                     self.events += 1
+            _note_fault("duplication", round_index, self.events - before)
         # A non-consecutive round (a fresh run reusing this instance)
         # invalidates the buffer above and re-seeds it here.
         self._last = sent
@@ -397,7 +424,7 @@ class NodeCrash(FaultAdversary):
         return False
 
     def paused(self, round_index, graph):
-        return tuple(
+        down = tuple(
             sorted(
                 v
                 for v, (crash, recover) in self.plan.items()
@@ -405,6 +432,8 @@ class NodeCrash(FaultAdversary):
                 and (recover is None or round_index < recover)
             )
         )
+        _note_fault("crash", round_index, len(down))
+        return down
 
     def restarted(self, round_index, graph):
         return tuple(
@@ -484,7 +513,9 @@ class RandomCrashes(FaultAdversary):
         return False
 
     def paused(self, round_index, graph):
-        return self._schedule(graph.n)[0].get(round_index, ())
+        down = self._schedule(graph.n)[0].get(round_index, ())
+        _note_fault("crash", round_index, len(down))
+        return down
 
     def restarted(self, round_index, graph):
         return self._schedule(graph.n)[1].get(round_index, ())

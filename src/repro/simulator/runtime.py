@@ -49,9 +49,17 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro._util.ordering import canonical_key
 from repro._util.parallel import map_jobs
 from repro._util.sizes import message_size_bits
+from repro.obs import (
+    EV_ENGINE_FALLBACK,
+    EV_ENGINE_SELECTED,
+    SPAN_PHASE,
+    SPAN_ROUND,
+    SPAN_RUN,
+)
 from repro.graphs.topology import PortNumberedGraph
 from repro.simulator.machine import (
     BROADCAST,
@@ -342,6 +350,9 @@ def run(
 
     result: Optional[RunResult] = None
     ctxs: Optional[List[LocalContext]] = None
+    tr = obs.current()
+    run_t0 = tr.now() if tr is not None else 0.0
+    engine_used = "object"
     if shards > 1:
         # Contexts are built lazily: an engaged shard run constructs
         # its own contexts worker-side and must not pay for a parent
@@ -353,6 +364,15 @@ def run(
             max_rounds=max_rounds, seed=seed, observer=observer,
             fault_adversary=fault_adversary, meter=meter, shards=shards,
         )
+        if result is not None:
+            engine_used = "sharded"
+        elif tr is not None:
+            decision = sharding.last_shard_decision()
+            tr.event(
+                EV_ENGINE_FALLBACK,
+                wanted="sharded",
+                reason=decision.reason if decision is not None else None,
+            )
     if result is None:
         ctxs = _make_contexts(graph, inputs, globals_map, seed)
         if (
@@ -362,6 +382,15 @@ def run(
             and fault_adversary is None
         ):
             result = _run_columnar_port(graph, machine, ctxs, max_rounds, meter)
+            if result is not None:
+                engine_used = "columnar"
+        elif engine == "columnar" and tr is not None:
+            tr.event(
+                EV_ENGINE_FALLBACK,
+                wanted="columnar",
+                reason="columnar engine needs the port-numbering model "
+                       "with no observer or fault adversary",
+            )
         if result is None:
             states: List[Any] = [machine.start(ctxs[v]) for v in graph.nodes()]
             halted: List[bool] = [
@@ -371,6 +400,13 @@ def run(
                 graph, machine, ctxs, states, halted,
                 max_rounds, observer, fault_adversary, meter,
             )
+    if tr is not None:
+        tr.event(
+            EV_ENGINE_SELECTED,
+            engine=engine_used, shards=shards, n=graph.n,
+            rounds=result.rounds,
+        )
+        tr.complete(SPAN_RUN, run_t0, engine=engine_used, n=graph.n)
     if not result.all_halted and on_max_rounds == "raise":
         if ctxs is None:
             ctxs = _make_contexts(graph, inputs, globals_map, seed)
@@ -403,11 +439,23 @@ def _run_columnar_port(
     impossible rather than documented.
     """
     if not state_layout.HAVE_NUMPY:
+        _columnar_fallback("numpy is unavailable")
         return None
     if graph.n == 0 or graph.m == 0:
+        _columnar_fallback("graph has no nodes or no edges")
         return None
     plan = machine.columnar_fields(graph, ctxs)
-    if plan is None or plan.rounds <= 0 or plan.rounds > max_rounds:
+    if plan is None:
+        _columnar_fallback("machine declares no columnar plan")
+        return None
+    if plan.rounds <= 0:
+        _columnar_fallback("columnar plan covers no rounds")
+        return None
+    if plan.rounds > max_rounds:
+        _columnar_fallback(
+            f"columnar plan needs {plan.rounds} rounds, "
+            f"max_rounds is {max_rounds}"
+        )
         return None
     np = state_layout.np
     layout = state_layout.StateLayout(graph)
@@ -423,6 +471,8 @@ def _run_columnar_port(
     messages_sent = 0
     message_bits = 0
     per_round_bits: List[int] = []
+    tr = obs.current()
+    phase_t0 = tr.now() if tr is not None else 0.0
     for r in range(plan.rounds):
         values, sending, decode = machine.emit_columnar(layout, r)
         if layout.halted.any():
@@ -446,6 +496,10 @@ def _run_columnar_port(
         inbox_sent.flags.writeable = False
         machine.step_columnar(layout, r, inbox_vals, inbox_sent)
 
+    if tr is not None:
+        tr.complete(
+            SPAN_PHASE, phase_t0, phase="columnar rounds", rounds=plan.rounds
+        )
     states = machine.finish_columnar(layout, ctxs)
     halted = [machine.halted(ctxs[v], states[v]) for v in graph.nodes()]
     inner = _run_fast_port(
@@ -461,6 +515,13 @@ def _run_columnar_port(
         per_round_bits=per_round_bits + inner.per_round_bits,
         states=inner.states,
     )
+
+
+def _columnar_fallback(reason: str) -> None:
+    """Log why the columnar engine could not engage this run."""
+    tr = obs.current()
+    if tr is not None:
+        tr.event(EV_ENGINE_FALLBACK, wanted="columnar", reason=reason)
 
 
 def _run_fast_port(
@@ -546,7 +607,9 @@ def _run_fast_port(
                  for u, q in zip(flat_targets[s:e], flat_rev[s:e])]
             )
 
+    tr = obs.current()
     while rounds < max_rounds and n_halted + len(parked) < n:
+        rt0 = tr.now() if tr is not None else 0.0
         paused: frozenset = _EMPTY_SET
         if adversary is not None:
             changed = False
@@ -709,6 +772,8 @@ def _run_fast_port(
             silent[v] = 1
         live = next_live
         rounds += 1
+        if tr is not None:
+            tr.complete(SPAN_ROUND, rt0, round=rounds - 1)
         if meter_bits:
             message_bits += round_bits
             per_round_bits.append(round_bits)
@@ -782,7 +847,9 @@ def _run_fast_broadcast(
         adv_tampers = getattr(adversary, "tampers", None)
     start_fn = machine.start
 
+    tr = obs.current()
     while rounds < max_rounds and n_halted < n:
+        rt0 = tr.now() if tr is not None else 0.0
         paused: frozenset = _EMPTY_SET
         if adversary is not None:
             changed = False
@@ -902,6 +969,8 @@ def _run_fast_broadcast(
                 next_live.append(v)
         live = next_live
         rounds += 1
+        if tr is not None:
+            tr.complete(SPAN_ROUND, rt0, round=rounds - 1)
         if meter_bits:
             message_bits += round_bits
             per_round_bits.append(round_bits)
@@ -985,7 +1054,10 @@ def run_reference(
     message_bits = 0
     per_round_bits: List[int] = []
 
+    tr = obs.current()
+    run_t0 = tr.now() if tr is not None else 0.0
     while rounds < max_rounds and not all(halted):
+        rt0 = tr.now() if tr is not None else 0.0
         paused: frozenset = _EMPTY_SET
         if fault_adversary is not None:
             if adv_restarted is not None:
@@ -1053,10 +1125,18 @@ def run_reference(
                 states[v] = machine.step(ctxs[v], states[v], inboxes[v])
                 halted[v] = machine.halted(ctxs[v], states[v])
         rounds += 1
+        if tr is not None:
+            tr.complete(SPAN_ROUND, rt0, round=rounds - 1)
 
         if observer is not None:
             observer(rounds, states, outboxes)
 
+    if tr is not None:
+        tr.event(
+            EV_ENGINE_SELECTED,
+            engine="reference", shards=1, n=graph.n, rounds=rounds,
+        )
+        tr.complete(SPAN_RUN, run_t0, engine="reference", n=graph.n)
     if not all(halted) and on_max_rounds == "raise":
         raise MaxRoundsExceeded(
             rounds=rounds,

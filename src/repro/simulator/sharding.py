@@ -58,8 +58,9 @@ and ``process_safe`` fault adversaries all behave identically:
 not ``process_safe``, graph below :data:`MIN_SHARD_NODES`, already
 inside a worker process, unpicklable payloads, a crashed shard pool —
 falls back to the serial engine with identical results;
-:data:`LAST_DECISION` records the decision and the reason (the test
-suites' engagement canary).  Worker crashes reuse the PR 6 recovery
+:func:`last_shard_decision` records the decision and the reason (the
+test suites' engagement canary; the module global ``LAST_DECISION``
+remains as a deprecated, racy mirror).  Worker crashes reuse the PR 6 recovery
 ladder shape: retire the shard pools, retry the whole run once on
 fresh workers, then degrade to serial.
 """
@@ -77,8 +78,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro._util import parallel
 from repro._util.ordering import canonical_key
+from repro.obs import EV_SHARD_BOUNDARY, EV_SHARD_DECISION, SPAN_ROUND
 from repro._util.sizes import message_size_bits
 from repro.graphs.topology import PortNumberedGraph
 from repro.simulator import state_layout
@@ -97,6 +100,7 @@ __all__ = [
     "MIN_SHARD_NODES",
     "ShardDecision",
     "hash64",
+    "last_shard_decision",
     "owner",
     "run_sharded",
     "shard_fallback_reason",
@@ -150,10 +154,43 @@ class ShardDecision:
     reason: Optional[str] = None
 
 
-#: The decision made by the most recent ``run(..., shards>1)`` call in
-#: this process — the differential suites' engagement canary (runs with
-#: ``shards=1`` never consult this module and leave it untouched).
+#: Deprecated mirror of :func:`last_shard_decision`'s record, kept for
+#: existing callers.  Being a plain module global it is racy under
+#: concurrent runs — read the thread-local accessor instead.
 LAST_DECISION: Optional[ShardDecision] = None
+
+_DECISIONS = threading.local()
+
+
+def _set_decision(decision: ShardDecision) -> None:
+    """Record a shard engage/fallback decision everywhere it is read:
+    the thread-local accessor, the deprecated module global, and (when
+    tracing) an :data:`~repro.obs.EV_SHARD_DECISION` event.
+    """
+    global LAST_DECISION
+    _DECISIONS.value = decision
+    LAST_DECISION = decision
+    tr = obs.current()
+    if tr is not None:
+        tr.event(
+            EV_SHARD_DECISION,
+            engaged=decision.engaged,
+            shards=decision.shards,
+            reason=decision.reason,
+        )
+
+
+def last_shard_decision() -> Optional[ShardDecision]:
+    """The decision made by this thread's most recent ``run(...,
+    shards>1)`` call — the differential suites' engagement canary.
+
+    Runs with ``shards=1`` never consult this module and leave the
+    record untouched; ``None`` means no sharded run has been attempted
+    on this thread yet.  Thread-local (unlike the deprecated
+    :data:`LAST_DECISION` global), so concurrent runs on other threads
+    cannot clobber the record between a run and its check.
+    """
+    return getattr(_DECISIONS, "value", None)
 
 # One sharded run at a time: the shard sessions are keyed per pool
 # worker, and two concurrent runs would interleave their round
@@ -226,7 +263,6 @@ def run_sharded(
     the shard fleet failed and the crash ladder degraded to serial.
     Results are bit-for-bit identical either way.
     """
-    global LAST_DECISION
     if inputs is not None and len(inputs) != graph.n:
         # Same loud failure the serial path raises from _make_contexts.
         raise ValueError(f"expected {graph.n} inputs, got {len(inputs)}")
@@ -234,12 +270,12 @@ def run_sharded(
         graph, machine, observer, fault_adversary, shards, max_rounds
     )
     if reason is not None:
-        LAST_DECISION = ShardDecision(False, shards, reason)
+        _set_decision(ShardDecision(False, shards, reason))
         return None
     if not _ENGAGE_LOCK.acquire(blocking=False):
-        LAST_DECISION = ShardDecision(
+        _set_decision(ShardDecision(
             False, shards, "another sharded run is already in flight"
-        )
+        ))
         return None
     try:
         p = min(shards, MAX_SHARDS, graph.n)
@@ -253,10 +289,10 @@ def run_sharded(
                     # fallback replays against a pristine instance.
                     adv = copy.deepcopy(fault_adversary)
                 except Exception:
-                    LAST_DECISION = ShardDecision(
+                    _set_decision(ShardDecision(
                         False, shards,
                         "fault adversary cannot be deep-copied",
-                    )
+                    ))
                     return None
             try:
                 result = _execute(
@@ -277,9 +313,9 @@ def run_sharded(
                 break
             if fault_adversary is not None and adv is not None:
                 _sync_adversary(fault_adversary, adv)
-            LAST_DECISION = ShardDecision(True, p, None)
+            _set_decision(ShardDecision(True, p, None))
             return result
-        LAST_DECISION = ShardDecision(False, shards, reason)
+        _set_decision(ShardDecision(False, shards, reason))
         return None
     finally:
         _ENGAGE_LOCK.release()
@@ -339,6 +375,7 @@ def _execute(
 
     token = f"shard-run:{os.getpid()}:{next(_TOKENS)}"
     pools = [parallel.shard_pool(i) for i in range(p)]
+    tr = obs.current()
     spec_common = {
         "model": model,
         "graph": graph,
@@ -350,6 +387,9 @@ def _execute(
         "metering": meter.mode,
         "max_rounds": max_rounds,
         "use_parking": use_parking,
+        # Workers buffer their own spans and ship them back in the
+        # finish payload; the parent absorbs them into one trace.
+        "trace": tr is not None,
     }
 
     finished = False
@@ -369,6 +409,7 @@ def _execute(
         per_round_bits: List[int] = []
 
         while rounds < max_rounds and unfinished > 0:
+            rt0 = tr.now() if tr is not None else 0.0
             restarted_by: Optional[List[List[int]]] = None
             paused_by: Optional[List[List[int]]] = None
             chaos = False
@@ -485,14 +526,25 @@ def _execute(
                     messages_sent += msgs
                     round_bits += bits
                 futs = []
+                n_chunks = 0
                 for i in range(p):
                     *head, tail = _chunks(batches[i], BOUNDARY_CHUNK)
+                    n_chunks += len(head) + 1
                     for chunk in head:
                         pools[i].submit(_shard_call, token, "import", chunk)
                     futs.append(
                         pools[i].submit(_shard_call, token, "step", (tail, None))
                     )
+                if tr is not None:
+                    tr.event(
+                        EV_SHARD_BOUNDARY,
+                        round=rounds,
+                        messages=sum(len(b) for b in batches),
+                        chunks=n_chunks,
+                    )
             unfinished = sum(f.result() for f in futs)
+            if tr is not None:
+                tr.complete(SPAN_ROUND, rt0, round=rounds)
             rounds += 1
             if meter_bits:
                 message_bits += round_bits
@@ -506,7 +558,7 @@ def _execute(
         states: List[Any] = [None] * n
         outputs: List[Any] = [None] * n
         n_halted = 0
-        for f in futs:
+        for i, f in enumerate(futs):
             info = f.result()
             for v, st in info["states"]:
                 states[v] = st
@@ -515,6 +567,8 @@ def _execute(
             n_halted += info["n_halted"]
             if info["rounds"] > rounds:
                 rounds = info["rounds"]
+            if tr is not None:
+                tr.absorb(info.get("trace"), lane=f"shard {i}")
         if meter_bits and len(per_round_bits) < rounds:
             per_round_bits.extend([0] * (rounds - len(per_round_bits)))
             # (silent tail rounds: no messages, no bits)
@@ -630,6 +684,30 @@ class _ShardSessionBase:
         self.live: List[int] = [v for v in self.owned if not self.halted[v]]
         self.paused: frozenset = frozenset()
         self.pending_imports: List[Any] = []
+        # Worker-side span buffer: a session-local tracer whose drained
+        # events ride home in the finish payload (the parent's tracer
+        # cannot cross the process boundary).
+        self.tracer = (
+            obs.Tracer(f"shard {self.index} pid {os.getpid()}")
+            if spec.get("trace")
+            else None
+        )
+        self._round_t0 = 0.0
+        self._obs_round = 0
+
+    def _obs_round_begin(self) -> None:
+        if self.tracer is not None:
+            self._round_t0 = self.tracer.now()
+
+    def _obs_round_end(self) -> None:
+        if self.tracer is not None:
+            self.tracer.complete(
+                SPAN_ROUND, self._round_t0, round=self._obs_round
+            )
+            self._obs_round += 1
+
+    def _obs_payload(self) -> Optional[Dict[str, Any]]:
+        return self.tracer.drain_remote() if self.tracer is not None else None
 
     def _drain_imports(self, imports: Sequence[Any]) -> List[Any]:
         if self.pending_imports:
@@ -721,6 +799,7 @@ class _PortShardSession(_ShardSessionBase):
     def phase_emit(
         self, restarted: Sequence[int], paused: Sequence[int], chaos: bool
     ) -> Any:
+        self._obs_round_begin()
         if restarted:
             self._apply_restarts(restarted)
         self.paused = frozenset(paused) if paused else frozenset()
@@ -836,6 +915,7 @@ class _PortShardSession(_ShardSessionBase):
             self.silent[v] = True
         self.live = next_live
         self.rounds_done += 1
+        self._obs_round_end()
         return len(next_live)
 
     def finish(self) -> Dict[str, Any]:
@@ -859,6 +939,7 @@ class _PortShardSession(_ShardSessionBase):
             ],
             "n_halted": self.n_halted,
             "rounds": local_rounds,
+            "trace": self._obs_payload(),
         }
 
 
@@ -903,6 +984,7 @@ class _BroadcastShardSession(_ShardSessionBase):
     def phase_emit(
         self, restarted: Sequence[int], paused: Sequence[int], chaos: bool
     ) -> Any:
+        self._obs_round_begin()
         if restarted:
             self._apply_restarts(restarted)
         self.paused = frozenset(paused) if paused else frozenset()
@@ -997,6 +1079,7 @@ class _BroadcastShardSession(_ShardSessionBase):
             payload[v] = None
             key[v] = _NONE_KEY
         self.live = next_live
+        self._obs_round_end()
         return len(next_live)
 
     def finish(self) -> Dict[str, Any]:
@@ -1008,4 +1091,5 @@ class _BroadcastShardSession(_ShardSessionBase):
             ],
             "n_halted": self.n_halted,
             "rounds": 0,
+            "trace": self._obs_payload(),
         }

@@ -434,6 +434,63 @@ def check_robustness_doc() -> None:
             fail(f"{label} does not link docs/robustness.md")
 
 
+def check_observability_doc() -> None:
+    doc_path = REPO / "docs" / "observability.md"
+    if not doc_path.exists():
+        fail("docs/observability.md missing")
+        return
+    doc = doc_path.read_text()
+    check_repro_references(doc, "observability.md")
+    # The span/event/counter vocabulary is read from the code, not
+    # hard-coded here: every name the layer can emit must be documented.
+    from repro.obs import COUNTER_NAMES, EVENT_NAMES, SPAN_NAMES
+
+    for kind, names in (("span", SPAN_NAMES), ("event", EVENT_NAMES),
+                        ("counter", COUNTER_NAMES)):
+        for name in names:
+            if f"`{name}`" in doc:
+                ok(f"observability.md documents {kind} {name!r}")
+            else:
+                fail(f"observability.md does not document {kind} {name!r}")
+    # The CLI surfaces the doc promises: --trace on every run-shaped
+    # subcommand and the trace summarize subcommand.
+    import argparse
+
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    subs = {}
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            subs = action.choices
+    for cmd in ("vc", "sweep", "dynamic", "serve"):
+        sub = subs.get(cmd)
+        if sub is None or "--trace" not in sub.format_help():
+            fail(f"repro.cli {cmd} --help no longer documents --trace")
+        else:
+            ok(f"repro.cli {cmd} --help documents --trace")
+    if "trace" not in subs:
+        fail("repro.cli has no 'trace' subcommand")
+    else:
+        ok("repro.cli advertises the 'trace' subcommand")
+    for piece in ("--trace", "trace summarize", "last_shard_decision",
+                  "drain_remote", "absorb", "HostReport.counters",
+                  "check_no_raw_timers", "bench_obs"):
+        if piece in doc:
+            ok(f"observability.md mentions {piece}")
+        else:
+            fail(f"observability.md does not mention {piece}")
+    # the doc is linked from README and the architecture tour
+    for source, label in (
+        (REPO / "README.md", "README.md"),
+        (REPO / "docs" / "architecture.md", "architecture.md"),
+    ):
+        if "observability.md" in source.read_text():
+            ok(f"{label} links docs/observability.md")
+        else:
+            fail(f"{label} does not link docs/observability.md")
+
+
 def check_cli_end_to_end() -> None:
     from repro.cli import main as lib_main
 
@@ -470,6 +527,7 @@ def main() -> int:
     check_architecture_doc()
     check_performance_doc()
     check_robustness_doc()
+    check_observability_doc()
     check_cli_end_to_end()
     if FAILURES:
         print(f"\n{len(FAILURES)} docs check(s) failed")

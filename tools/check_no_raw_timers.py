@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Lint: all timing in ``src/`` goes through ``repro.obs.clock``.
+
+The observability layer (`docs/observability.md`) owns the process
+clock: ``repro.obs.clock`` is the designated timer, so every timed
+code path stays observable from one seam and the disabled-tracing
+fast path stays honest.  This check fails the build if any file under
+``src/`` outside ``src/repro/obs/`` mentions ``perf_counter`` — as a
+call, an import, or an alias (the *token* is forbidden, which keeps
+the check un-gameable by `from time import perf_counter as pc` style
+renames of the import line itself).
+
+Run from the repo root: ``python tools/check_no_raw_timers.py``.
+Exit code 0 = clean.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+ALLOWED = SRC / "repro" / "obs"
+
+FORBIDDEN = "perf_counter"
+
+
+def main() -> int:
+    offenders: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        if ALLOWED in path.parents:
+            continue
+        text = path.read_text(encoding="utf-8")
+        if FORBIDDEN not in text:
+            continue
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if FORBIDDEN in line:
+                rel = path.relative_to(REPO)
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    if offenders:
+        print(
+            f"{len(offenders)} raw timer reference(s) outside repro.obs "
+            f"(use `repro.obs.clock` — see docs/observability.md):"
+        )
+        for off in offenders:
+            print(f"  {off}")
+        return 1
+    print(f"ok: no {FORBIDDEN!r} references in src/ outside repro/obs/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
